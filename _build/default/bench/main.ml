@@ -1,0 +1,173 @@
+(* Benchmark harness: one Bechamel test per paper table/figure measuring
+   the computational core behind that artifact, followed by the full
+   experiment tables (the regenerated Table 2 / Fig 3-6 / §7.5 / tiling
+   numbers recorded in EXPERIMENTS.md).
+
+   Run with:  dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+open Dphls_core
+
+let seed = 42
+let bench_len = 64
+
+(* Pre-generated workloads so the benches measure engines, not RNG. *)
+let workload_for id =
+  let e = Dphls_kernels.Catalog.find id in
+  let rng = Dphls_util.Rng.create (seed + id) in
+  (e, e.Dphls_kernels.Catalog.gen rng ~len:bench_len)
+
+let systolic_run ?(n_pe = 16) (e : Dphls_kernels.Catalog.entry) w () =
+  let (Registry.Packed (k, p)) = e.packed in
+  let cfg = Dphls_systolic.Config.create ~n_pe in
+  ignore (Dphls_systolic.Engine.run cfg k p w)
+
+(* Table 2: the per-kernel systolic cycle measurement behind every
+   throughput row — all 15 kernels once. *)
+let test_table2 =
+  let runs = List.map (fun id -> workload_for id) Dphls_kernels.Catalog.ids in
+  Test.make ~name:"table2:15-kernel-systolic-pass"
+    (Staged.stage (fun () -> List.iter (fun (e, w) -> systolic_run e w ()) runs))
+
+(* Fig 3: scaling measurement — kernel #1 at two N_PE points. *)
+let test_fig3 =
+  let e, w = workload_for 1 in
+  Test.make ~name:"fig3:npe-8-vs-32"
+    (Staged.stage (fun () ->
+         systolic_run ~n_pe:8 e w ();
+         systolic_run ~n_pe:32 e w ()))
+
+(* Fig 4: DP-HLS kernel #2 vs the GACT RTL cycle model. *)
+let test_fig4 =
+  let e, w = workload_for 2 in
+  Test.make ~name:"fig4:dphls2-vs-gact"
+    (Staged.stage (fun () ->
+         systolic_run e w ();
+         ignore
+           (Dphls_baselines.Gact_rtl.cycles ~n_pe:16 ~qry_len:bench_len
+              ~ref_len:bench_len ~tb_steps:bench_len)))
+
+(* Fig 5: the N_PE sweep body for kernel #2. *)
+let test_fig5 =
+  let e, w = workload_for 2 in
+  Test.make ~name:"fig5:gact-scaling-point"
+    (Staged.stage (fun () -> systolic_run ~n_pe:32 e w ()))
+
+(* Fig 6: the three CPU baseline scoring kernels. *)
+let test_fig6 =
+  let rng = Dphls_util.Rng.create seed in
+  let q = Dphls_alphabet.Dna.random rng 128 and r = Dphls_alphabet.Dna.random rng 128 in
+  let pq = Dphls_alphabet.Protein.random rng 128
+  and pr = Dphls_alphabet.Protein.random rng 128 in
+  let scoring =
+    Dphls_baselines.Seqan_like.dna_scoring ~match_:2 ~mismatch:(-2)
+      ~gap:(Dphls_baselines.Seqan_like.Affine { open_ = -3; extend = -1 })
+      ~mode:Dphls_baselines.Seqan_like.Global
+  in
+  Test.make ~name:"fig6:cpu-baselines"
+    (Staged.stage (fun () ->
+         ignore (Dphls_baselines.Seqan_like.score scoring ~query:q ~reference:r);
+         ignore
+           (Dphls_baselines.Minimap2_like.score Dphls_baselines.Minimap2_like.default
+              ~query:q ~reference:r);
+         ignore (Dphls_baselines.Emboss_like.blosum62_score ~query:pq ~reference:pr)))
+
+(* §7.5: kernel #3 vs the Vitis HLS baseline model. *)
+let test_hls =
+  let e, w = workload_for 3 in
+  Test.make ~name:"sec7_5:dphls3-vs-vitis"
+    (Staged.stage (fun () ->
+         systolic_run e w ();
+         ignore
+           (Dphls_baselines.Vitis_hls_model.cycles_per_alignment ~n_pe:16
+              ~qry_len:bench_len ~ref_len:bench_len ~tb_steps:bench_len)))
+
+(* Tiling: one long-read tiled alignment. *)
+let test_tiling =
+  let rng = Dphls_util.Rng.create seed in
+  let genome = Dphls_seqgen.Dna_gen.genome rng 1024 in
+  let read =
+    List.hd
+      (Dphls_seqgen.Read_sim.simulate rng ~genome
+         ~profile:(Dphls_seqgen.Read_sim.scaled Dphls_seqgen.Read_sim.pacbio_30 0.1)
+         ~read_length:512 ~count:1)
+  in
+  let qb, rb = Dphls_seqgen.Read_sim.pair_for_alignment read in
+  let query = Types.seq_of_bases qb and reference = Types.seq_of_bases rb in
+  let p = Dphls_kernels.K02_global_affine.default in
+  let cfg = Dphls_systolic.Config.create ~n_pe:16 in
+  let run_tile w =
+    let result, stats =
+      Dphls_systolic.Engine.run cfg Dphls_kernels.K02_global_affine.kernel p w
+    in
+    (result, stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total)
+  in
+  Test.make ~name:"tiling:512b-read"
+    (Staged.stage (fun () ->
+         ignore
+           (Dphls_tiling.Tiling.align
+              { Dphls_tiling.Tiling.tile = 128; overlap = 16 }
+              ~run:run_tile ~query ~reference)))
+
+(* §7.2: a fully traced systolic pass (the invariant-check substrate). *)
+let test_trace =
+  let e, w = workload_for 9 in
+  Test.make ~name:"sec7_2:traced-systolic-pass"
+    (Staged.stage (fun () ->
+         let (Registry.Packed (k, p)) = e.packed in
+         let trace = Dphls_systolic.Trace.create ~enabled:true in
+         let cfg = Dphls_systolic.Config.create ~n_pe:8 in
+         ignore (Dphls_systolic.Engine.run ~trace cfg k p w)))
+
+(* RTL emission: generate and lint one full design. *)
+let test_rtl =
+  let e = Dphls_kernels.Catalog.find 2 in
+  let cell, bindings = Dphls_kernels.Datapaths.cell_for 2 in
+  let (Registry.Packed (k, _)) = e.Dphls_kernels.Catalog.packed in
+  Test.make ~name:"rtl:emit-and-lint-kernel2"
+    (Staged.stage (fun () ->
+         let d =
+           Dphls_rtl.Emit.emit ~kernel_name:"k2" ~cell ~bindings
+             ~n_layers:k.Kernel.n_layers ~score_bits:k.Kernel.score_bits
+             ~tb_bits:k.Kernel.tb_bits ~char_bits:2 ~n_pe:16 ~n_b:2 ~n_k:1
+             ~max_qry:256 ~max_ref:256
+         in
+         assert (Dphls_rtl.Lint.check_design d = [])))
+
+let tests =
+  Test.make_grouped ~name:"dphls"
+    [
+      test_table2; test_fig3; test_fig4; test_fig5; test_fig6; test_hls;
+      test_tiling; test_trace; test_rtl;
+    ]
+
+let run_benchmarks () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~stabilize:true ~quota:(Time.second 0.5) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Dphls_util.Pretty.section "Bechamel micro-benchmarks (ns per run)";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> Printf.sprintf "%.0f" est
+        | Some _ | None -> "n/a"
+      in
+      rows := (name, est) :: !rows)
+    results;
+  List.iter
+    (fun (name, est) -> Printf.printf "%-42s %14s ns/run\n" name est)
+    (List.sort compare !rows)
+
+let () =
+  run_benchmarks ();
+  Dphls_util.Pretty.section "Experiment tables (paper artifacts)";
+  Dphls_experiments.Runner.run_all ()

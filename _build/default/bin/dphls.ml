@@ -1,0 +1,338 @@
+(* dphls — command-line front-end to the DP-HLS reproduction.
+
+   Subcommands:
+     list                      show the Table 1 kernel catalog
+     align                     align two sequences on a chosen kernel
+     resources                 print the resource/frequency estimate
+     experiment [NAME]         run one or all experiments *)
+
+open Cmdliner
+open Dphls_core
+
+let find_kernel spec =
+  match int_of_string_opt spec with
+  | Some id -> Dphls_kernels.Catalog.find id
+  | None -> Dphls_kernels.Catalog.find_by_name spec
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    Dphls_util.Pretty.print_table ~title:"DP-HLS kernel catalog (Table 1)"
+      ~header:[ "#"; "name"; "alphabet"; "layers"; "tb bits"; "application" ]
+      (List.map
+         (fun (e : Dphls_kernels.Catalog.entry) ->
+           [
+             string_of_int (Registry.id e.packed);
+             Registry.name e.packed;
+             e.alphabet;
+             string_of_int (Registry.n_layers e.packed);
+             string_of_int (Registry.tb_bits e.packed);
+             e.application;
+           ])
+         Dphls_kernels.Catalog.all)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"Show the 15-kernel catalog")
+    Term.(const run $ const ())
+
+(* ---- align ---- *)
+
+let parse_sequence (e : Dphls_kernels.Catalog.entry) s =
+  let id = Registry.id e.packed in
+  if id = 15 then Types.seq_of_bases (Dphls_alphabet.Protein.of_string s)
+  else Types.seq_of_bases (Dphls_alphabet.Dna.of_string s)
+
+let align_run kernel_spec query reference n_pe vcd_path =
+  let e = find_kernel kernel_spec in
+  let id = Registry.id e.packed in
+  if List.mem id [ 8; 9; 14 ] then begin
+    Printf.eprintf
+      "kernel #%d takes %s input; use the examples/ programs for signal and \
+       profile workloads\n"
+      id e.Dphls_kernels.Catalog.alphabet;
+    exit 2
+  end;
+  let w =
+    Workload.of_seqs ~query:(parse_sequence e query)
+      ~reference:(parse_sequence e reference)
+  in
+  let (Registry.Packed (k, p)) = e.packed in
+  let cfg = Dphls_systolic.Config.create ~n_pe in
+  let trace = Dphls_systolic.Trace.create ~enabled:(vcd_path <> None) in
+  let result, stats = Dphls_systolic.Engine.run ~trace cfg k p w in
+  let golden = Dphls_reference.Ref_engine.run k p w in
+  (match vcd_path with
+  | Some path ->
+    Dphls_systolic.Vcd.write_file path trace ~n_pe;
+    Printf.eprintf "wrote waveform %s\n" path
+  | None -> ());
+  Printf.printf "kernel      : #%d %s\n" id (Registry.name e.packed);
+  Printf.printf "score       : %s\n" (Dphls_util.Score.to_string result.Result.score);
+  if result.Result.path <> [] then
+    Printf.printf "cigar       : %s\n" (Result.cigar result);
+  (match result.Result.start_cell with
+  | Some c -> Printf.printf "start cell  : (%d,%d)\n" c.Types.row c.Types.col
+  | None -> ());
+  Printf.printf "cycles      : %d (prologue %d, compute %d, traceback %d)\n"
+    stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total
+    stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.prologue
+    stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.compute
+    stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.traceback;
+  Printf.printf "PE util     : %.2f over %d PEs\n"
+    stats.Dphls_systolic.Engine.utilization n_pe;
+  Printf.printf "golden check: %s\n"
+    (if Result.equal_alignment result golden then "match" else "MISMATCH")
+
+let align_cmd =
+  let kernel =
+    Arg.(required & opt (some string) None & info [ "k"; "kernel" ] ~doc:"Kernel id or name")
+  in
+  let query = Arg.(required & opt (some string) None & info [ "q"; "query" ] ~doc:"Query sequence") in
+  let reference =
+    Arg.(required & opt (some string) None & info [ "r"; "reference" ] ~doc:"Reference sequence")
+  in
+  let n_pe = Arg.(value & opt int 32 & info [ "n-pe" ] ~doc:"Processing elements") in
+  let vcd =
+    Arg.(value & opt (some string) None & info [ "vcd" ] ~doc:"Write a VCD waveform")
+  in
+  Cmd.v
+    (Cmd.info "align" ~doc:"Align two sequences on the systolic simulator")
+    Term.(const align_run $ kernel $ query $ reference $ n_pe $ vcd)
+
+(* ---- resources ---- *)
+
+let resources_run kernel_spec n_pe n_b n_k max_len =
+  let e = find_kernel kernel_spec in
+  let cfg = { Dphls_resource.Estimate.n_pe; max_qry = max_len; max_ref = max_len } in
+  let u = Dphls_resource.Estimate.full e.packed cfg ~n_b ~n_k in
+  let p = Dphls_resource.Device.percent_of Dphls_resource.Device.xcvu9p u in
+  Printf.printf "kernel #%d %s on %s, N_PE=%d N_B=%d N_K=%d max_len=%d\n"
+    (Registry.id e.packed) (Registry.name e.packed)
+    Dphls_resource.Device.xcvu9p.Dphls_resource.Device.name n_pe n_b n_k max_len;
+  Printf.printf "LUT  %.2f%%  FF %.2f%%  BRAM %.2f%%  DSP %.3f%%\n"
+    (100.0 *. p.Dphls_resource.Device.lut_pct)
+    (100.0 *. p.ff_pct) (100.0 *. p.bram_pct) (100.0 *. p.dsp_pct);
+  Printf.printf "max clock: %.1f MHz\n"
+    (Dphls_resource.Estimate.max_frequency_mhz e.packed);
+  Printf.printf "fits device: %b\n"
+    (Dphls_resource.Estimate.fits_device e.packed cfg ~n_b ~n_k)
+
+let resources_cmd =
+  let kernel =
+    Arg.(required & opt (some string) None & info [ "k"; "kernel" ] ~doc:"Kernel id or name")
+  in
+  let n_pe = Arg.(value & opt int 32 & info [ "n-pe" ] ~doc:"Processing elements") in
+  let n_b = Arg.(value & opt int 1 & info [ "n-b" ] ~doc:"Blocks per kernel") in
+  let n_k = Arg.(value & opt int 1 & info [ "n-k" ] ~doc:"Kernel channels") in
+  let max_len = Arg.(value & opt int 256 & info [ "max-len" ] ~doc:"Max sequence length") in
+  Cmd.v
+    (Cmd.info "resources" ~doc:"Estimate FPGA resources for a configuration")
+    Term.(const resources_run $ kernel $ n_pe $ n_b $ n_k $ max_len)
+
+(* ---- gen ---- *)
+
+let gen_run kind count length error_rate seed output =
+  let rng = Dphls_util.Rng.create seed in
+  let records =
+    match kind with
+    | "genome" ->
+      [ { Dphls_io.Fasta.id = "genome"; description = "synthetic";
+          sequence = Dphls_alphabet.Dna.to_string (Dphls_seqgen.Dna_gen.genome rng length) } ]
+    | "reads" ->
+      let genome = Dphls_seqgen.Dna_gen.genome rng (max (length * 4) (length + 1)) in
+      let profile =
+        Dphls_seqgen.Read_sim.scaled Dphls_seqgen.Read_sim.pacbio_30 error_rate
+      in
+      List.map
+        (fun (r : Dphls_seqgen.Read_sim.read) ->
+          { Dphls_io.Fasta.id = Printf.sprintf "read%d" r.id;
+            description = Printf.sprintf "origin=%d" r.origin;
+            sequence = Dphls_alphabet.Dna.to_string r.sequence })
+        (Dphls_seqgen.Read_sim.simulate rng ~genome ~profile ~read_length:length
+           ~count)
+    | "protein" ->
+      List.init count (fun i ->
+          { Dphls_io.Fasta.id = Printf.sprintf "prot%d" i; description = "";
+            sequence =
+              Dphls_alphabet.Protein.to_string
+                (Dphls_seqgen.Protein_gen.sample rng length) })
+    | other ->
+      Printf.eprintf "unknown kind %S (genome | reads | protein)\n" other;
+      exit 2
+  in
+  match output with
+  | None -> print_string (Dphls_io.Fasta.to_string records)
+  | Some path ->
+    Dphls_io.Fasta.write_file path records;
+    Printf.eprintf "wrote %d records to %s\n" (List.length records) path
+
+let gen_cmd =
+  let kind =
+    Arg.(value & pos 0 string "reads" & info [] ~docv:"KIND" ~doc:"genome | reads | protein")
+  in
+  let count = Arg.(value & opt int 10 & info [ "n"; "count" ] ~doc:"Record count") in
+  let length = Arg.(value & opt int 256 & info [ "l"; "length" ] ~doc:"Sequence length") in
+  let error_rate =
+    Arg.(value & opt float 0.1 & info [ "e"; "error" ] ~doc:"Read error rate")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed") in
+  let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"FASTA file") in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate synthetic FASTA datasets (the paper's workloads)")
+    Term.(const gen_run $ kind $ count $ length $ error_rate $ seed $ output)
+
+(* ---- map ---- *)
+
+let map_run reads_path reference_path n_pe =
+  let references = Dphls_io.Fasta.read_file reference_path in
+  let reads = Dphls_io.Fasta.read_file reads_path in
+  if references = [] then begin
+    Printf.eprintf "no reference sequences in %s\n" reference_path;
+    exit 2
+  end;
+  let target = List.hd references in
+  let reference_b = Dphls_io.Fasta.dna_of_record target in
+  let reference = Types.seq_of_bases reference_b in
+  let module K7 = Dphls_kernels.K07_semi_global in
+  let cfg = Dphls_systolic.Config.create ~n_pe in
+  List.iter
+    (fun (read : Dphls_io.Fasta.record) ->
+      let query_b = Dphls_io.Fasta.dna_of_record read in
+      let query = Types.seq_of_bases query_b in
+      let w = Workload.of_seqs ~query ~reference in
+      let result, _ = Dphls_systolic.Engine.run cfg K7.kernel K7.default w in
+      match Alignment_view.first_consumed result with
+      | None -> Printf.eprintf "%s: unmapped\n" read.Dphls_io.Fasta.id
+      | Some (row0, col0) ->
+        let stats =
+          Alignment_view.stats ~query ~reference ~start_row:row0 ~start_col:col0
+            result.Result.path
+        in
+        let mapq =
+          min 60 (int_of_float (60.0 *. stats.Alignment_view.identity))
+        in
+        let record =
+          Dphls_io.Paf.of_alignment ~query_name:read.Dphls_io.Fasta.id
+            ~query_length:(Array.length query_b)
+            ~target_name:target.Dphls_io.Fasta.id
+            ~target_length:(Array.length reference_b) ~result ~stats ~mapq
+        in
+        print_endline (Dphls_io.Paf.to_line record))
+    reads
+
+let map_cmd =
+  let reads =
+    Arg.(required & opt (some file) None & info [ "reads" ] ~doc:"FASTA reads file")
+  in
+  let reference =
+    Arg.(required & opt (some file) None & info [ "reference" ] ~doc:"FASTA reference file")
+  in
+  let n_pe = Arg.(value & opt int 32 & info [ "n-pe" ] ~doc:"Processing elements") in
+  Cmd.v
+    (Cmd.info "map" ~doc:"Map FASTA reads semi-globally and emit PAF records")
+    Term.(const map_run $ reads $ reference $ n_pe)
+
+(* ---- cosim ---- *)
+
+let cosim_run kernel_spec n_pe trials len =
+  let e = find_kernel kernel_spec in
+  let (Registry.Packed (k, p)) = e.packed in
+  let rng = Dphls_util.Rng.create 2026 in
+  let workloads =
+    List.init trials (fun _ -> e.Dphls_kernels.Catalog.gen rng ~len)
+  in
+  let id = Registry.id e.packed in
+  let alt_pe =
+    match Dphls_kernels.Datapaths.cell_for id with
+    | cell, bindings -> Some (Dphls_core.Datapath.eval cell bindings)
+    | exception Not_found -> None
+  in
+  let report = Dphls_cosim.Cosim.verify ~n_pe ?alt_pe k p workloads in
+  Format.printf "%a@." Dphls_cosim.Cosim.pp_report report;
+  exit (if Dphls_cosim.Cosim.passed report then 0 else 1)
+
+let cosim_cmd =
+  let kernel =
+    Arg.(required & opt (some string) None & info [ "k"; "kernel" ] ~doc:"Kernel id or name")
+  in
+  let n_pe = Arg.(value & opt int 16 & info [ "n-pe" ] ~doc:"Processing elements") in
+  let trials = Arg.(value & opt int 25 & info [ "trials" ] ~doc:"Workloads to verify") in
+  let len = Arg.(value & opt int 128 & info [ "len" ] ~doc:"Workload length") in
+  Cmd.v
+    (Cmd.info "cosim"
+       ~doc:"Verify golden engine vs systolic engine vs symbolic datapath")
+    Term.(const cosim_run $ kernel $ n_pe $ trials $ len)
+
+(* ---- rtl ---- *)
+
+let rtl_run kernel_spec n_pe n_b n_k max_len output =
+  let e = find_kernel kernel_spec in
+  let id = Registry.id e.packed in
+  let cell, bindings = Dphls_kernels.Datapaths.cell_for id in
+  let (Registry.Packed (k, _)) = e.packed in
+  let design =
+    Dphls_rtl.Emit.emit ~kernel_name:(Registry.name e.packed) ~cell ~bindings
+      ~n_layers:k.Kernel.n_layers ~score_bits:k.Kernel.score_bits
+      ~tb_bits:k.Kernel.tb_bits
+      ~char_bits:(max 1 (k.Kernel.traits.Traits.char_bits / max 1 (Dphls_rtl.Pe_gen.char_arity cell)))
+      ~n_pe ~n_b ~n_k ~max_qry:max_len ~max_ref:max_len
+  in
+  let text = Dphls_rtl.Emit.to_text design in
+  (match output with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Printf.eprintf "wrote %s (%d bytes)\n" path (String.length text));
+  Printf.eprintf
+    "PE datapath: %d adders, %d multipliers, %d comparators, %d lookups; TB depth %d\n"
+    design.Dphls_rtl.Emit.ops.Datapath.adders
+    design.Dphls_rtl.Emit.ops.Datapath.multipliers
+    design.Dphls_rtl.Emit.ops.Datapath.comparators
+    design.Dphls_rtl.Emit.ops.Datapath.lookups design.Dphls_rtl.Emit.tb_depth
+
+let rtl_cmd =
+  let kernel =
+    Arg.(required & opt (some string) None & info [ "k"; "kernel" ] ~doc:"Kernel id or name")
+  in
+  let n_pe = Arg.(value & opt int 32 & info [ "n-pe" ] ~doc:"Processing elements") in
+  let n_b = Arg.(value & opt int 1 & info [ "n-b" ] ~doc:"Blocks per kernel") in
+  let n_k = Arg.(value & opt int 1 & info [ "n-k" ] ~doc:"Kernel channels") in
+  let max_len = Arg.(value & opt int 256 & info [ "max-len" ] ~doc:"Max sequence length") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output .v file")
+  in
+  Cmd.v
+    (Cmd.info "rtl" ~doc:"Emit structural Verilog for a kernel's systolic design")
+    Term.(const rtl_run $ kernel $ n_pe $ n_b $ n_k $ max_len $ output)
+
+(* ---- experiment ---- *)
+
+let experiment_run name quick =
+  match name with
+  | None -> Dphls_experiments.Runner.run_all ~quick ()
+  | Some n -> (
+    try Dphls_experiments.Runner.run_one ~quick n
+    with Not_found ->
+      Printf.eprintf "unknown experiment %S; available: %s\n" n
+        (String.concat ", " Dphls_experiments.Runner.names);
+      exit 2)
+
+let experiment_cmd =
+  let exp_name =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Experiment name")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sample counts") in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run paper experiments (all when no name given)")
+    Term.(const experiment_run $ exp_name $ quick)
+
+let () =
+  let info =
+    Cmd.info "dphls" ~version:"1.0.0"
+      ~doc:"OCaml reproduction of the DP-HLS framework (HPCA 2026)"
+  in
+  exit (Cmd.eval (Cmd.group info
+       [ list_cmd; align_cmd; gen_cmd; map_cmd; cosim_cmd; resources_cmd; rtl_cmd;
+         experiment_cmd ]))

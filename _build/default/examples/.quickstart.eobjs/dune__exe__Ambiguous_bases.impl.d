@@ -1,0 +1,1 @@
+examples/ambiguous_bases.ml: Alignment_view Array Dphls_alphabet Dphls_core Dphls_kernels Dphls_reference Dphls_systolic Dphls_util Kernel Pe Printf Result String Traceback Traits Types Workload

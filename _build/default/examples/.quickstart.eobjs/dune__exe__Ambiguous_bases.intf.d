@@ -1,0 +1,1 @@
+examples/ambiguous_bases.mli:

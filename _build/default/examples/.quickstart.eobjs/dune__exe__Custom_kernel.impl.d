@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Array Dphls_alphabet Dphls_core Dphls_kernels Dphls_resource Dphls_systolic Dphls_util Fun Kernel List Pe Printf Registry Result Traceback Traits Types Workload

@@ -1,0 +1,1 @@
+examples/long_read_tiling.ml: Array Dphls_baselines Dphls_core Dphls_kernels Dphls_seqgen Dphls_systolic Dphls_tiling Dphls_util List Printf Rescore Types

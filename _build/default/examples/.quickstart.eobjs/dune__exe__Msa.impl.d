@@ -1,0 +1,1 @@
+examples/msa.ml: Array Dphls_alphabet Dphls_core Dphls_kernels Dphls_seqgen Dphls_systolic Dphls_util List Printf Result String Traceback Workload

@@ -1,0 +1,1 @@
+examples/protein_search.ml: Array Dphls_baselines Dphls_core Dphls_kernels Dphls_seqgen Dphls_systolic Dphls_util List Printf Result Types Workload

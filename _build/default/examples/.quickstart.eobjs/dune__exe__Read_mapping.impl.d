@@ -1,0 +1,1 @@
+examples/read_mapping.ml: Array Dphls_core Dphls_host Dphls_kernels Dphls_resource Dphls_seqgen Dphls_systolic Dphls_util List Printf Registry Result Types Workload

@@ -1,0 +1,1 @@
+examples/squiggle_filter.mli:

@@ -1,0 +1,63 @@
+(* Read mapping: the BWA-MEM-style use case behind kernel #7.
+
+   Simulate short reads from a synthetic genome, align each read
+   semi-globally against a candidate window, and recover the mapping
+   position from the traceback. Also estimates the FPGA device
+   throughput at the kernel's Table 2 configuration.
+
+   Run with:  dune exec examples/read_mapping.exe *)
+
+open Dphls_core
+module K7 = Dphls_kernels.K07_semi_global
+module Rng = Dphls_util.Rng
+
+let window = 512
+let read_len = 128
+let n_reads = 20
+
+let () =
+  let rng = Rng.create 7 in
+  let genome = Dphls_seqgen.Dna_gen.genome rng 4096 in
+  let profile = Dphls_seqgen.Read_sim.scaled Dphls_seqgen.Read_sim.pacbio_30 0.05 in
+  let reads =
+    Dphls_seqgen.Read_sim.simulate rng ~genome ~profile ~read_length:read_len
+      ~count:n_reads
+  in
+  let config = Dphls_systolic.Config.create ~n_pe:32 in
+  let correct = ref 0 in
+  let total_cycles = ref 0 in
+  List.iter
+    (fun (r : Dphls_seqgen.Read_sim.read) ->
+      (* Candidate window around the true origin, as a seeding stage
+         (minimizers etc.) would produce. *)
+      let wstart = max 0 (min (Array.length genome - window) (r.origin - 64)) in
+      let reference = Array.sub genome wstart window in
+      let w = Workload.of_bases ~query:r.sequence ~reference in
+      let result, stats = Dphls_systolic.Engine.run config K7.kernel K7.default w in
+      total_cycles := !total_cycles + stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total;
+      (* The traceback's end column is where the read starts in the window. *)
+      let mapped =
+        match result.Result.end_cell with
+        | Some c -> wstart + c.Types.col
+        | None -> -1
+      in
+      if abs (mapped - r.origin) <= 2 then incr correct;
+      if r.id < 5 then
+        Printf.printf "read %2d: true origin %5d, mapped %5d, score %4s, cigar %s\n"
+          r.id r.origin mapped
+          (Dphls_util.Score.to_string result.Result.score)
+          (Result.cigar result))
+    reads;
+  Printf.printf "\nmapped within 2 bp: %d/%d reads\n" !correct n_reads;
+  let mean_cycles = float_of_int !total_cycles /. float_of_int n_reads in
+  let freq =
+    Dphls_resource.Estimate.max_frequency_mhz
+      (Registry.Packed (K7.kernel, K7.default))
+  in
+  let throughput =
+    Dphls_host.Throughput.alignments_per_sec ~cycles_per_alignment:mean_cycles
+      ~freq_mhz:freq ~n_b:16 ~n_k:4
+  in
+  Printf.printf "device estimate at (N_PE=32, N_B=16, N_K=4), %.0f MHz: %s alignments/s\n"
+    freq
+    (Dphls_util.Pretty.sci throughput)

@@ -1,0 +1,1 @@
+lib/alphabet/dna.ml: Array Dphls_util Printf String

@@ -1,0 +1,1 @@
+lib/alphabet/dna.mli: Dphls_util

@@ -1,0 +1,1 @@
+lib/alphabet/profile.ml: Array List Printf String

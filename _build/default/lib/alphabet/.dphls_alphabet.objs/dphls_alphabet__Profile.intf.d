@@ -1,0 +1,1 @@
+lib/alphabet/profile.mli:

@@ -1,0 +1,1 @@
+lib/alphabet/protein.ml: Array Char Dphls_util Printf String

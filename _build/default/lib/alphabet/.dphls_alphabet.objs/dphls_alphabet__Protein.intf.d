@@ -1,0 +1,1 @@
+lib/alphabet/protein.mli: Dphls_util

@@ -1,0 +1,1 @@
+lib/alphabet/signal.ml: Array Dphls_fixed Float

@@ -1,0 +1,1 @@
+lib/alphabet/signal.mli: Dphls_fixed

@@ -1,0 +1,31 @@
+let cardinality = 4
+let bits = 2
+
+let encode c =
+  match c with
+  | 'A' | 'a' -> 0
+  | 'C' | 'c' -> 1
+  | 'G' | 'g' -> 2
+  | 'T' | 't' -> 3
+  | _ -> invalid_arg (Printf.sprintf "Dna.encode: %C" c)
+
+let decode b =
+  match b with
+  | 0 -> 'A'
+  | 1 -> 'C'
+  | 2 -> 'G'
+  | 3 -> 'T'
+  | _ -> invalid_arg (Printf.sprintf "Dna.decode: %d" b)
+
+let of_string s = Array.init (String.length s) (fun i -> encode s.[i])
+
+let to_string seq =
+  String.init (Array.length seq) (fun i -> decode seq.(i))
+
+let complement b = 3 - b
+
+let revcomp seq =
+  let n = Array.length seq in
+  Array.init n (fun i -> complement seq.(n - 1 - i))
+
+let random rng n = Array.init n (fun _ -> Dphls_util.Rng.int rng cardinality)

@@ -1,0 +1,23 @@
+(** DNA alphabet: the 2-bit [char_t] of most DP-HLS kernels.
+
+    Bases are encoded A=0, C=1, G=2, T=3 (the paper's Listing 1, left). *)
+
+val cardinality : int
+(** 4. *)
+
+val bits : int
+(** 2 — the width of the synthesized [char_t]. *)
+
+val encode : char -> int
+(** Case-insensitive; raises [Invalid_argument] on a non-ACGT character. *)
+
+val decode : int -> char
+
+val of_string : string -> int array
+val to_string : int array -> string
+
+val complement : int -> int
+val revcomp : int array -> int array
+
+val random : Dphls_util.Rng.t -> int -> int array
+(** Uniform random sequence of the given length. *)

@@ -1,0 +1,67 @@
+let arity = 5
+let gap_index = 4
+
+let column_of_counts counts =
+  if Array.length counts <> arity then invalid_arg "Profile.column_of_counts: length";
+  Array.iter (fun c -> if c < 0 then invalid_arg "Profile.column_of_counts: negative") counts;
+  counts
+
+let depth col = Array.fold_left ( + ) 0 col
+
+let symbol_index c =
+  match c with
+  | 'A' | 'a' -> 0
+  | 'C' | 'c' -> 1
+  | 'G' | 'g' -> 2
+  | 'T' | 't' -> 3
+  | '-' -> gap_index
+  | _ -> invalid_arg (Printf.sprintf "Profile.of_alignment: %C" c)
+
+let of_alignment rows =
+  match rows with
+  | [] -> invalid_arg "Profile.of_alignment: empty"
+  | first :: rest ->
+    let len = String.length first in
+    List.iter
+      (fun r -> if String.length r <> len then invalid_arg "Profile.of_alignment: ragged")
+      rest;
+    Array.init len (fun j ->
+        let col = Array.make arity 0 in
+        List.iter
+          (fun row ->
+            let k = symbol_index row.[j] in
+            col.(k) <- col.(k) + 1)
+          rows;
+        col)
+
+let sum_of_pairs_matrix ~match_ ~mismatch ~gap =
+  Array.init arity (fun a ->
+      Array.init arity (fun b ->
+          if a = gap_index && b = gap_index then 0
+          else if a = gap_index || b = gap_index then gap
+          else if a = b then match_
+          else mismatch))
+
+let sum_of_pairs_score sigma x y =
+  let acc = ref 0 in
+  for a = 0 to arity - 1 do
+    if x.(a) <> 0 then
+      for b = 0 to arity - 1 do
+        acc := !acc + (x.(a) * y.(b) * sigma.(a).(b))
+      done
+  done;
+  !acc
+
+let consensus profile =
+  String.init (Array.length profile) (fun j ->
+      let col = profile.(j) in
+      let best = ref 0 in
+      for k = 1 to arity - 1 do
+        if col.(k) > col.(!best) then best := k
+      done;
+      match !best with
+      | 0 -> 'A'
+      | 1 -> 'C'
+      | 2 -> 'G'
+      | 3 -> 'T'
+      | _ -> '-')

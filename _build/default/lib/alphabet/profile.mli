@@ -1,0 +1,36 @@
+(** Sequence-profile alphabet for kernel #8 (profile alignment).
+
+    A profile column is a tuple of 5 integers — counts of A, C, G, T and
+    gap observed at that alignment position across the profile's member
+    sequences (the paper's "tuple of 5 integers" [char_t]). Columns are
+    represented as [int array]s of length 5 so they fit the uniform
+    character representation of the core engine. *)
+
+val arity : int
+(** 5: four nucleotides plus gap. *)
+
+val gap_index : int
+(** 4. *)
+
+val column_of_counts : int array -> int array
+(** Validates length/negativity and returns the column. *)
+
+val depth : int array -> int
+(** Total count in a column (number of member sequences). *)
+
+val of_alignment : string list -> int array array
+(** Build a profile from equal-length rows of an alignment; characters are
+    ACGT or '-'. *)
+
+val sum_of_pairs_matrix : match_:int -> mismatch:int -> gap:int -> int array array
+(** The 5x5 symbol-pair score table sigma used by sum-of-pairs column
+    scoring: nucleotide pairs score match/mismatch, any pairing with a gap
+    scores [gap], gap-with-gap scores 0. *)
+
+val sum_of_pairs_score : int array array -> int array -> int array -> int
+(** [sum_of_pairs_score sigma x y] = sum_{a,b} x_a * y_b * sigma_{a,b} —
+    the two matrix-vector multiplications per DP cell that make kernel #8
+    DSP-heavy. *)
+
+val consensus : int array array -> string
+(** Majority base per column ('-' when gap dominates). *)

@@ -1,0 +1,59 @@
+let order = "ARNDCQEGHILKMFPSTWYV"
+
+let cardinality = 20
+let bits = 5
+
+let encode c =
+  let c = Char.uppercase_ascii c in
+  match String.index_opt order c with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Protein.encode: %C" c)
+
+let decode i =
+  if i < 0 || i >= cardinality then invalid_arg (Printf.sprintf "Protein.decode: %d" i);
+  order.[i]
+
+let of_string s = Array.init (String.length s) (fun i -> encode s.[i])
+
+let to_string seq = String.init (Array.length seq) (fun i -> decode seq.(i))
+
+(* BLOSUM62 in A R N D C Q E G H I L K M F P S T W Y V order
+   (Henikoff & Henikoff 1992). *)
+let blosum62 =
+  [| (* A *) [| 4; -1; -2; -2; 0; -1; -1; 0; -2; -1; -1; -1; -1; -2; -1; 1; 0; -3; -2; 0 |];
+     (* R *) [| -1; 5; 0; -2; -3; 1; 0; -2; 0; -3; -2; 2; -1; -3; -2; -1; -1; -3; -2; -3 |];
+     (* N *) [| -2; 0; 6; 1; -3; 0; 0; 0; 1; -3; -3; 0; -2; -3; -2; 1; 0; -4; -2; -3 |];
+     (* D *) [| -2; -2; 1; 6; -3; 0; 2; -1; -1; -3; -4; -1; -3; -3; -1; 0; -1; -4; -3; -3 |];
+     (* C *) [| 0; -3; -3; -3; 9; -3; -4; -3; -3; -1; -1; -3; -1; -2; -3; -1; -1; -2; -2; -1 |];
+     (* Q *) [| -1; 1; 0; 0; -3; 5; 2; -2; 0; -3; -2; 1; 0; -3; -1; 0; -1; -2; -1; -2 |];
+     (* E *) [| -1; 0; 0; 2; -4; 2; 5; -2; 0; -3; -3; 1; -2; -3; -1; 0; -1; -3; -2; -2 |];
+     (* G *) [| 0; -2; 0; -1; -3; -2; -2; 6; -2; -4; -4; -2; -3; -3; -2; 0; -2; -2; -3; -3 |];
+     (* H *) [| -2; 0; 1; -1; -3; 0; 0; -2; 8; -3; -3; -1; -2; -1; -2; -1; -2; -2; 2; -3 |];
+     (* I *) [| -1; -3; -3; -3; -1; -3; -3; -4; -3; 4; 2; -3; 1; 0; -3; -2; -1; -3; -1; 3 |];
+     (* L *) [| -1; -2; -3; -4; -1; -2; -3; -4; -3; 2; 4; -2; 2; 0; -3; -2; -1; -2; -1; 1 |];
+     (* K *) [| -1; 2; 0; -1; -3; 1; 1; -2; -1; -3; -2; 5; -1; -3; -1; 0; -1; -3; -2; -2 |];
+     (* M *) [| -1; -1; -2; -3; -1; 0; -2; -3; -2; 1; 2; -1; 5; 0; -2; -1; -1; -1; -1; 1 |];
+     (* F *) [| -2; -3; -3; -3; -2; -3; -3; -3; -1; 0; 0; -3; 0; 6; -4; -2; -2; 1; 3; -1 |];
+     (* P *) [| -1; -2; -2; -1; -3; -1; -1; -2; -2; -3; -3; -1; -2; -4; 7; -1; -1; -4; -3; -2 |];
+     (* S *) [| 1; -1; 1; 0; -1; 0; 0; 0; -1; -2; -2; 0; -1; -2; -1; 4; 1; -3; -2; -2 |];
+     (* T *) [| 0; -1; 0; -1; -1; -1; -1; -2; -2; -1; -1; -1; -1; -2; -1; 1; 5; -2; -2; 0 |];
+     (* W *) [| -3; -3; -4; -4; -2; -2; -3; -2; -2; -3; -2; -3; -1; 1; -4; -3; -2; 11; 2; -3 |];
+     (* Y *) [| -2; -2; -2; -3; -2; -1; -2; -3; 2; -1; -1; -2; -1; 3; -3; -2; -2; 2; 7; -1 |];
+     (* V *) [| 0; -3; -3; -3; -1; -2; -2; -3; -3; 3; 1; -2; 1; -1; -2; -2; 0; -3; -1; 4 |] |]
+
+let blosum62_score a b = blosum62.(a).(b)
+
+(* UniProtKB/Swiss-Prot amino-acid composition (approximate release-level
+   percentages), reordered to the BLOSUM62 index order. *)
+let background_frequency =
+  let pct =
+    [| (* A *) 8.25; (* R *) 5.53; (* N *) 4.06; (* D *) 5.46; (* C *) 1.38;
+       (* Q *) 3.93; (* E *) 6.72; (* G *) 7.07; (* H *) 2.27; (* I *) 5.91;
+       (* L *) 9.65; (* K *) 5.80; (* M *) 2.41; (* F *) 3.86; (* P *) 4.74;
+       (* S *) 6.65; (* T *) 5.36; (* W *) 1.10; (* Y *) 2.92; (* V *) 6.86 |]
+  in
+  let total = Array.fold_left ( +. ) 0.0 pct in
+  Array.map (fun p -> p /. total) pct
+
+let random rng n =
+  Array.init n (fun _ -> Dphls_util.Rng.weighted_index rng background_frequency)

@@ -1,0 +1,29 @@
+(** Protein alphabet (20 amino acids) and the BLOSUM62 substitution matrix
+    used by kernel #15 (local linear alignment of protein sequences).
+
+    Amino acids are encoded in the canonical BLOSUM row order
+    A R N D C Q E G H I L K M F P S T W Y V (0..19). *)
+
+val cardinality : int
+(** 20. *)
+
+val bits : int
+(** 5 — width of the synthesized protein [char_t]. *)
+
+val encode : char -> int
+val decode : int -> char
+val of_string : string -> int array
+val to_string : int array -> string
+
+val blosum62 : int array array
+(** 20x20 substitution scores, [blosum62.(a).(b)] symmetric. *)
+
+val blosum62_score : int -> int -> int
+
+val background_frequency : float array
+(** Swiss-Prot-like amino-acid background frequencies (per-mille scale
+    normalized to sum 1.0), indexed like {!encode}. Used by the protein
+    sequence generator as the UniProtKB sampling substitute. *)
+
+val random : Dphls_util.Rng.t -> int -> int array
+(** Sequence sampled from {!background_frequency}. *)

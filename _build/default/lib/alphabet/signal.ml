@@ -1,0 +1,26 @@
+module Ap_fixed = Dphls_fixed.Ap_fixed
+
+let complex_spec = Ap_fixed.spec ~width:32 ~frac:16
+
+let complex_of_floats ~re ~im =
+  [| Ap_fixed.of_float complex_spec re; Ap_fixed.of_float complex_spec im |]
+
+let complex_to_floats ch =
+  if Array.length ch <> 2 then invalid_arg "Signal.complex_to_floats";
+  (Ap_fixed.to_float complex_spec ch.(0), Ap_fixed.to_float complex_spec ch.(1))
+
+let manhattan_complex a b =
+  let d1 = Ap_fixed.abs_diff complex_spec a.(0) b.(0) in
+  let d2 = Ap_fixed.abs_diff complex_spec a.(1) b.(1) in
+  Ap_fixed.add complex_spec d1 d2
+
+let sdtw_levels = 256
+
+let quantize_current x =
+  (* Normalized current in roughly [-4, 4] sigma; clamp then spread over
+     the level range. *)
+  let clamped = Float.max (-4.0) (Float.min 4.0 x) in
+  let scaled = (clamped +. 4.0) /. 8.0 *. float_of_int (sdtw_levels - 1) in
+  int_of_float (Float.round scaled)
+
+let int_sample v = [| v |]

@@ -1,0 +1,31 @@
+(** Signal alphabets for the DTW kernels.
+
+    Kernel #9 (DTW) compares complex-valued temporal signals: each
+    character is a pair of fixed-point numbers (real, imaginary) — the
+    paper's Listing 1 (right). Kernel #14 (sDTW, SquiggleFilter) compares
+    integer-quantized nanopore current levels. Both are represented as
+    [int array] characters for the uniform core engine. *)
+
+val complex_spec : Dphls_fixed.Ap_fixed.spec
+(** 32-bit fixed point with 16 fractional bits, per the paper's 32-bit
+    fixed-point complex components. *)
+
+val complex_of_floats : re:float -> im:float -> int array
+(** Quantize a complex sample to a 2-element character. *)
+
+val complex_to_floats : int array -> float * float
+
+val manhattan_complex : int array -> int array -> int
+(** |re1-re2| + |im1-im2| on raw fixed-point values (saturating) — the
+    DTW substitution metric. *)
+
+val sdtw_levels : int
+(** Number of quantization levels for sDTW current samples
+    (SquiggleFilter uses small unsigned integers; we use 256 levels). *)
+
+val quantize_current : float -> int
+(** Map a normalized current sample (mean 0, stddev 1 expected range
+    roughly [-4, 4]) onto [0, sdtw_levels). *)
+
+val int_sample : int -> int array
+(** Wrap an integer current level as a 1-element character. *)

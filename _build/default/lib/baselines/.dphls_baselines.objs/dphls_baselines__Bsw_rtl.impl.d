@@ -1,0 +1,1 @@
+lib/baselines/bsw_rtl.ml: Array Dphls_core Dphls_kernels Dphls_util List Rtl_model

@@ -1,0 +1,1 @@
+lib/baselines/bsw_rtl.mli: Dphls_resource Rtl_model

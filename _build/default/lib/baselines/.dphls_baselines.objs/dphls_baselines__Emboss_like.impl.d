@@ -1,0 +1,1 @@
+lib/baselines/emboss_like.ml: Array Dphls_alphabet Dphls_util List

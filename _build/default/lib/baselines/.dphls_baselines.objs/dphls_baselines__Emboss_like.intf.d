@@ -1,0 +1,1 @@
+lib/baselines/emboss_like.mli:

@@ -1,0 +1,1 @@
+lib/baselines/gact_rtl.ml: Dphls_core Dphls_kernels Rtl_model Seqan_like

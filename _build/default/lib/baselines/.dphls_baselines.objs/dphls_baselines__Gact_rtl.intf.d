@@ -1,0 +1,1 @@
+lib/baselines/gact_rtl.mli: Dphls_resource Rtl_model

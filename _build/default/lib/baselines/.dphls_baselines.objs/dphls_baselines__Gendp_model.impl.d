@@ -1,0 +1,1 @@
+lib/baselines/gendp_model.ml: Datapath Dphls_core Dphls_kernels Dphls_resource Registry Rtl_model Traits

@@ -1,0 +1,1 @@
+lib/baselines/gendp_model.mli: Dphls_core Dphls_resource

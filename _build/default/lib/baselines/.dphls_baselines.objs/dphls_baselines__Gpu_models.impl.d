@@ -1,0 +1,1 @@
+lib/baselines/gpu_models.ml: Aws

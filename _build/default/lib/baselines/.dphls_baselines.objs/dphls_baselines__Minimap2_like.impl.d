@@ -1,0 +1,1 @@
+lib/baselines/minimap2_like.ml: Array Dphls_util List

@@ -1,0 +1,1 @@
+lib/baselines/minimap2_like.mli:

@@ -1,0 +1,1 @@
+lib/baselines/rtl_model.ml: Dphls_host Dphls_resource Dphls_systolic

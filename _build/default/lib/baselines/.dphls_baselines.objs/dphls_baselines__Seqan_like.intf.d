@@ -1,0 +1,1 @@
+lib/baselines/seqan_like.mli:

@@ -1,0 +1,1 @@
+lib/baselines/squigglefilter_rtl.ml: Array Dphls_core Dphls_kernels Dphls_util Rtl_model

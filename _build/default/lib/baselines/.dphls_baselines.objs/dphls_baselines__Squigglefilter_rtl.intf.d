@@ -1,0 +1,1 @@
+lib/baselines/squigglefilter_rtl.mli: Dphls_resource Rtl_model

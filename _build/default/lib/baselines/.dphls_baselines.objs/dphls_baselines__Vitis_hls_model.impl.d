@@ -1,0 +1,1 @@
+lib/baselines/vitis_hls_model.ml: Dphls_host Dphls_systolic

@@ -1,0 +1,1 @@
+lib/baselines/xdrop.ml: Array Dphls_util

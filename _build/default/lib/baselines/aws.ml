@@ -1,0 +1,29 @@
+type instance = {
+  name : string;
+  cost_per_hour : float;
+  description : string;
+}
+
+let f1_2xlarge =
+  {
+    name = "f1.2xlarge";
+    cost_per_hour = 1.650;
+    description = "FPGA instance (XCVU9P) hosting DP-HLS kernels";
+  }
+
+let c4_8xlarge =
+  {
+    name = "c4.8xlarge";
+    cost_per_hour = 1.591;
+    description = "36-vCPU compute-optimized instance (SeqAn3/Minimap2/EMBOSS)";
+  }
+
+let p3_2xlarge =
+  {
+    name = "p3.2xlarge";
+    cost_per_hour = 3.060;
+    description = "NVIDIA Tesla V100 instance (GASAL2/CUDASW++)";
+  }
+
+let iso_cost_factor instance =
+  f1_2xlarge.cost_per_hour /. instance.cost_per_hour

@@ -1,0 +1,22 @@
+(** AWS EC2 instance pricing used for the paper's iso-cost normalization
+    (§6.3): all baseline throughputs are scaled to the F1 instance's
+    hourly price before comparison. *)
+
+type instance = {
+  name : string;
+  cost_per_hour : float;  (** USD, on-demand, as quoted in the paper *)
+  description : string;
+}
+
+val f1_2xlarge : instance
+(** FPGA: XCVU9P, $1.65/h — the reference instance. *)
+
+val c4_8xlarge : instance
+(** CPU: 36 vCPUs, 60 GB, $1.591/h. *)
+
+val p3_2xlarge : instance
+(** GPU: NVIDIA V100, $3.06/h. *)
+
+val iso_cost_factor : instance -> float
+(** Multiplier applied to a baseline instance's throughput to normalize
+    it to the F1 price point. *)

@@ -1,0 +1,53 @@
+module Score = Dphls_util.Score
+
+(* Independent banded SWG, full-matrix for clarity (oracle duty only). *)
+let score ~match_ ~mismatch ~gap_open ~gap_extend ~bandwidth ~query ~reference =
+  let qn = Array.length query and rn = Array.length reference in
+  if qn = 0 || rn = 0 then invalid_arg "Bsw_rtl.score: empty sequence";
+  let ninf = Score.neg_inf in
+  let h = Array.make_matrix (qn + 1) (rn + 1) ninf in
+  let d = Array.make_matrix (qn + 1) (rn + 1) ninf in
+  let ins = Array.make_matrix (qn + 1) (rn + 1) ninf in
+  let in_band i j = abs (i - j) <= bandwidth in
+  let best = ref 0 in
+  for i = 0 to qn do
+    for j = 0 to rn do
+      if i = 0 || j = 0 then h.(i).(j) <- 0
+      else if in_band (i - 1) (j - 1) then begin
+        let dv =
+          Score.max2
+            (Score.add h.(i - 1).(j) (gap_open + gap_extend))
+            (Score.add d.(i - 1).(j) gap_extend)
+        in
+        let iv =
+          Score.max2
+            (Score.add h.(i).(j - 1) (gap_open + gap_extend))
+            (Score.add ins.(i).(j - 1) gap_extend)
+        in
+        let sub = if query.(i - 1) = reference.(j - 1) then match_ else mismatch in
+        let hv =
+          List.fold_left Score.max2 0 [ Score.add h.(i - 1).(j - 1) sub; dv; iv ]
+        in
+        d.(i).(j) <- dv;
+        ins.(i).(j) <- iv;
+        h.(i).(j) <- hv;
+        if hv > !best then best := hv
+      end
+    done
+  done;
+  !best
+
+let cycles ~n_pe ~qry_len ~ref_len ~bandwidth =
+  Rtl_model.cycles ~n_pe ~qry_len ~ref_len
+    ~banding:(Some (Dphls_core.Banding.fixed bandwidth))
+    ~ii:1 ~tb_steps:0
+
+let packed =
+  Dphls_core.Registry.Packed
+    (Dphls_kernels.K12_banded_local_affine.kernel,
+     Dphls_kernels.K12_banded_local_affine.default)
+
+let utilization ~n_pe ~max_qry ~max_ref =
+  Rtl_model.utilization packed ~n_pe ~max_qry ~max_ref
+
+let freq_mhz = 200.0

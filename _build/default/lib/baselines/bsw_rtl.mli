@@ -1,0 +1,18 @@
+(** BSW (Darwin-WGA) RTL baseline [Turakhia et al., HPCA 2019]: banded
+    Smith-Waterman with affine gaps, score only — the comparison target
+    of kernel #12 in Fig 4B/E. Because neither design runs traceback,
+    DP-HLS's non-overlapped prologue weighs relatively heaviest here
+    (the 16.8 % gap of §7.3). *)
+
+val score :
+  match_:int -> mismatch:int -> gap_open:int -> gap_extend:int -> bandwidth:int ->
+  query:int array -> reference:int array -> int
+(** Independent banded local affine score (band |i - j| <= bandwidth). *)
+
+val cycles :
+  n_pe:int -> qry_len:int -> ref_len:int -> bandwidth:int -> Rtl_model.cycle_model
+
+val utilization :
+  n_pe:int -> max_qry:int -> max_ref:int -> Dphls_resource.Device.utilization
+
+val freq_mhz : float

@@ -1,0 +1,31 @@
+module Score = Dphls_util.Score
+
+let score ~matrix ~gap ~query ~reference =
+  let qn = Array.length query and rn = Array.length reference in
+  if qn = 0 || rn = 0 then invalid_arg "Emboss_like.score: empty sequence";
+  let prev = Array.make (rn + 1) 0 in
+  let cur = Array.make (rn + 1) 0 in
+  let best = ref 0 in
+  for i = 0 to qn - 1 do
+    cur.(0) <- 0;
+    for j = 1 to rn do
+      let h =
+        List.fold_left Score.max2 0
+          [
+            Score.add prev.(j - 1) matrix.(query.(i)).(reference.(j - 1));
+            Score.add prev.(j) gap;
+            Score.add cur.(j - 1) gap;
+          ]
+      in
+      cur.(j) <- h;
+      if h > !best then best := h
+    done;
+    Array.blit cur 0 prev 0 (rn + 1)
+  done;
+  !best
+
+let blosum62_score ~query ~reference =
+  score ~matrix:Dphls_alphabet.Protein.blosum62 ~gap:(-4) ~query ~reference
+
+(* EMBOSS water is scalar C; only the native-codegen gap applies. *)
+let native_factor = 8.0

@@ -1,0 +1,13 @@
+(** EMBOSS-Water-like protein Smith-Waterman — the paper's CPU baseline
+    for kernel #15 (run as 32 parallel single-threaded jobs under GNU
+    parallel; we model that as the same 32x thread scaling). *)
+
+val score :
+  matrix:int array array -> gap:int -> query:int array -> reference:int array -> int
+(** Best local score under a substitution matrix and linear gap. *)
+
+val blosum62_score : query:int array -> reference:int array -> int
+(** Convenience: BLOSUM62 with gap -4 (kernel #15 defaults). *)
+
+val native_factor : float
+(** Performance factor of EMBOSS's scalar C over this OCaml kernel: 8x. *)

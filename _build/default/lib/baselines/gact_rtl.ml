@@ -1,0 +1,20 @@
+let score ~match_ ~mismatch ~gap_open ~gap_extend ~query ~reference =
+  Seqan_like.score
+    (Seqan_like.dna_scoring ~match_ ~mismatch
+       ~gap:(Seqan_like.Affine { open_ = gap_open; extend = gap_extend })
+       ~mode:Seqan_like.Global)
+    ~query ~reference
+
+let cycles ~n_pe ~qry_len ~ref_len ~tb_steps =
+  Rtl_model.cycles ~n_pe ~qry_len ~ref_len ~banding:None ~ii:1 ~tb_steps
+
+(* GACT's datapath is structurally kernel #2's (affine, 3 layers, 4-bit
+   pointers); resources are the hand-optimized variant of that block. *)
+let packed =
+  Dphls_core.Registry.Packed
+    (Dphls_kernels.K02_global_affine.kernel, Dphls_kernels.K02_global_affine.default)
+
+let utilization ~n_pe ~max_qry ~max_ref =
+  Rtl_model.utilization packed ~n_pe ~max_qry ~max_ref
+
+let freq_mhz = 250.0

@@ -1,0 +1,19 @@
+(** GACT (Darwin) RTL baseline [Turakhia et al., ASPLOS 2018]: a
+    hand-written systolic-array accelerator for tiled global affine
+    alignment — the comparison target of kernel #2 in Fig 4A/D and
+    Fig 5. Functionally it is Gotoh global alignment over GACT tiles;
+    our model provides an independent score implementation plus the
+    overlapped-RTL cycle and resource models. *)
+
+val score :
+  match_:int -> mismatch:int -> gap_open:int -> gap_extend:int ->
+  query:int array -> reference:int array -> int
+(** Independent global affine score (via the SeqAn-like engine). *)
+
+val cycles : n_pe:int -> qry_len:int -> ref_len:int -> tb_steps:int -> Rtl_model.cycle_model
+
+val utilization :
+  n_pe:int -> max_qry:int -> max_ref:int -> Dphls_resource.Device.utilization
+
+val freq_mhz : float
+(** GACT closes timing at DP-HLS's 250 MHz on the F1 part. *)

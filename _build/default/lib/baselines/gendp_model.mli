@@ -1,0 +1,32 @@
+(** Model of a GenDP-style software-programmable systolic PE deployed on
+    an FPGA (Gu et al., ISCA 2023).
+
+    GenDP's PEs execute DP recurrences from an instruction stream, which
+    is what makes one ASIC serve many kernels. The paper's introduction
+    argues this flexibility is the wrong trade on FPGAs, whose fabric is
+    itself reprogrammable: the instruction memory, decode logic and
+    multi-instruction evaluation per cell all cost fabric and cycles
+    that a circuit-specialized (DP-HLS) PE does not pay. This model
+    quantifies that argument. *)
+
+val instructions_per_cell : Dphls_core.Registry.packed -> int
+(** DP operations per cell compiled to the programmable PE's ISA
+    (derived from the kernel's datapath op census: one instruction per
+    ALU op, plus pointer packing). *)
+
+val effective_ii : Dphls_core.Registry.packed -> lanes:int -> int
+(** Cycles per wavefront for a PE executing that instruction stream on
+    [lanes] parallel functional units (GenDP-like PEs are modestly
+    superscalar; 4 lanes by default in the experiment). *)
+
+val utilization :
+  Dphls_core.Registry.packed -> n_pe:int -> max_qry:int -> max_ref:int ->
+  Dphls_resource.Device.utilization
+(** DP-HLS block resources plus the programmability tax: instruction
+    memory per PE, decode/operand-select logic, and a register file. *)
+
+val cycles :
+  Dphls_core.Registry.packed -> n_pe:int -> lanes:int ->
+  qry_len:int -> ref_len:int -> tb_steps:int -> int
+(** Per-alignment cycles at the effective II (load/init overlapped, as
+    a hand-tuned design would). *)

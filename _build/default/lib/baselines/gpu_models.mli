@@ -1,0 +1,34 @@
+(** GPU baseline throughput models (GASAL2 and CUDASW++ 4.0 on a
+    p3.2xlarge V100), used in Fig 6B's iso-cost comparison.
+
+    We have no GPU in this environment, so the baselines enter as
+    alignments-per-second numbers reconstructed from the paper itself:
+    Table 2 gives DP-HLS's absolute throughput per kernel and §7.4 gives
+    the DP-HLS/GPU ratios (5.83-17.72x over GASAL2, 1.41x over
+    CUDASW++), which pins down each baseline's measured V100 throughput.
+    The reconstruction is documented value-by-value below; iso-cost
+    scaling to the F1 price is applied separately via {!Aws}. *)
+
+type gpu_baseline = {
+  tool : string;
+  kernel_id : int;           (** DP-HLS kernel compared against *)
+  mode : string;             (** baseline configuration (e.g. LOCAL) *)
+  raw_alignments_per_sec : float;  (** measured-on-V100 reconstruction *)
+}
+
+val gasal2_global : gpu_baseline
+(** vs kernel #2. *)
+
+val gasal2_local : gpu_baseline
+(** vs kernel #4. *)
+
+val gasal2_banded : gpu_baseline
+(** vs kernel #12 (BSW mode). *)
+
+val cudasw_protein : gpu_baseline
+(** vs kernel #15, traceback disabled. *)
+
+val all : gpu_baseline list
+
+val iso_cost_throughput : gpu_baseline -> float
+(** Alignments/second after normalizing the V100's price to the F1's. *)

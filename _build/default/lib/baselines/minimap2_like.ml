@@ -1,0 +1,77 @@
+module Score = Dphls_util.Score
+
+type params = {
+  match_ : int;
+  mismatch : int;
+  open1 : int;
+  extend1 : int;
+  open2 : int;
+  extend2 : int;
+}
+
+let default =
+  { match_ = 2; mismatch = -4; open1 = -4; extend1 = -2; open2 = -24; extend2 = -1 }
+
+let border p len =
+  Score.max2 (p.open1 + (p.extend1 * len)) (p.open2 + (p.extend2 * len))
+
+let score p ~query ~reference =
+  let qn = Array.length query and rn = Array.length reference in
+  if qn = 0 || rn = 0 then invalid_arg "Minimap2_like.score: empty sequence";
+  let ninf = Score.neg_inf in
+  let h_prev = Array.make (rn + 1) 0 in
+  let d1_prev = Array.make (rn + 1) ninf in
+  let d2_prev = Array.make (rn + 1) ninf in
+  let h_cur = Array.make (rn + 1) 0 in
+  let d1_cur = Array.make (rn + 1) ninf in
+  let d2_cur = Array.make (rn + 1) ninf in
+  h_prev.(0) <- 0;
+  for j = 1 to rn do
+    h_prev.(j) <- border p j
+  done;
+  for i = 0 to qn - 1 do
+    h_cur.(0) <- border p (i + 1);
+    d1_cur.(0) <- ninf;
+    d2_cur.(0) <- ninf;
+    let i1 = ref ninf and i2 = ref ninf in
+    for j = 1 to rn do
+      let d1 =
+        Score.max2
+          (Score.add h_prev.(j) (p.open1 + p.extend1))
+          (Score.add d1_prev.(j) p.extend1)
+      in
+      let d2 =
+        Score.max2
+          (Score.add h_prev.(j) (p.open2 + p.extend2))
+          (Score.add d2_prev.(j) p.extend2)
+      in
+      let i1' =
+        Score.max2
+          (Score.add h_cur.(j - 1) (p.open1 + p.extend1))
+          (Score.add !i1 p.extend1)
+      in
+      let i2' =
+        Score.max2
+          (Score.add h_cur.(j - 1) (p.open2 + p.extend2))
+          (Score.add !i2 p.extend2)
+      in
+      i1 := i1';
+      i2 := i2';
+      let sub = if query.(i) = reference.(j - 1) then p.match_ else p.mismatch in
+      let h =
+        List.fold_left Score.max2
+          (Score.add h_prev.(j - 1) sub)
+          [ d1; d2; i1'; i2' ]
+      in
+      h_cur.(j) <- h;
+      d1_cur.(j) <- d1;
+      d2_cur.(j) <- d2
+    done;
+    Array.blit h_cur 0 h_prev 0 (rn + 1);
+    Array.blit d1_cur 0 d1_prev 0 (rn + 1);
+    Array.blit d2_cur 0 d2_prev 0 (rn + 1)
+  done;
+  h_prev.(rn)
+
+(* ksw2's SSE-vectorized two-piece kernel vs this scalar OCaml one. *)
+let native_factor = 25.0

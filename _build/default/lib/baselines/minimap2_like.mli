@@ -1,0 +1,22 @@
+(** Minimap2-like (ksw2-style) two-piece affine global aligner — the
+    paper's CPU baseline for kernel #5. Score-only, rolling rows, five
+    layers. Independent of the core engines. *)
+
+type params = {
+  match_ : int;
+  mismatch : int;
+  open1 : int;
+  extend1 : int;
+  open2 : int;
+  extend2 : int;
+}
+
+val default : params
+(** Matches [K05_global_two_piece.default]. *)
+
+val score : params -> query:int array -> reference:int array -> int
+(** Global two-piece affine score (bottom-right cell). *)
+
+val native_factor : float
+(** Performance factor of minimap2's SSE ksw2 kernel over this scalar
+    OCaml implementation: 25x. *)

@@ -1,0 +1,32 @@
+module Schedule = Dphls_systolic.Schedule
+
+type cycle_model = {
+  compute : int;
+  traceback : int;
+  fill : int;
+  total : int;
+}
+
+let cycles ~n_pe ~qry_len ~ref_len ~banding ~ii ~tb_steps =
+  let s = Schedule.create ~n_pe ~qry_len ~ref_len in
+  let compute = Schedule.compute_cycles s ~banding ~ii in
+  let fill = 8 + (s.Schedule.n_chunks * 2) in
+  { compute; traceback = tb_steps; fill; total = compute + tb_steps + fill }
+
+let lut_discount = 0.93
+let ff_discount = 0.90
+
+let utilization packed ~n_pe ~max_qry ~max_ref =
+  let cfg = { Dphls_resource.Estimate.n_pe; max_qry; max_ref } in
+  let u = Dphls_resource.Estimate.block packed cfg in
+  let info = Dphls_resource.Pe_cost.of_packed packed ~max_len:(max max_qry max_ref) in
+  {
+    u with
+    Dphls_resource.Device.lut = u.Dphls_resource.Device.lut *. lut_discount;
+    ff = u.Dphls_resource.Device.ff *. ff_discount;
+    dsp = u.Dphls_resource.Device.dsp -. Dphls_resource.Pe_cost.fixed_dsp info;
+  }
+
+let throughput ~n_pe:_ ~n_b ~freq_mhz ~cycles_total =
+  Dphls_host.Throughput.alignments_per_sec
+    ~cycles_per_alignment:(float_of_int cycles_total) ~freq_mhz ~n_b ~n_k:1

@@ -1,0 +1,34 @@
+(** Common cycle/resource model for the hand-written RTL baselines (GACT,
+    BSW, SquiggleFilter).
+
+    The baselines share DP-HLS's linear-systolic-array microarchitecture
+    (§6.3: "all are based on linear systolic array architecture") but are
+    hand-optimized: query load and DP-matrix initialization fully overlap
+    with computation (§7.3), there is no generic-framework reduction
+    stage, and no DSPs are spent on traceback address precompute. Their
+    logic is also mildly leaner than HLS output. *)
+
+type cycle_model = {
+  compute : int;
+  traceback : int;
+  fill : int;
+  total : int;  (** no prologue: load/init overlapped *)
+}
+
+val cycles :
+  n_pe:int -> qry_len:int -> ref_len:int ->
+  banding:Dphls_core.Banding.t option ->
+  ii:int -> tb_steps:int -> cycle_model
+
+val utilization :
+  Dphls_core.Registry.packed ->
+  n_pe:int -> max_qry:int -> max_ref:int ->
+  Dphls_resource.Device.utilization
+(** RTL block resources: the DP-HLS estimate for the same datapath with
+    the hand-optimization discounts applied (0.93x LUT, 0.90x FF, no
+    fixed traceback-address DSPs). *)
+
+val throughput :
+  n_pe:int -> n_b:int -> freq_mhz:float -> cycles_total:int -> float
+(** Alignments/second for one kernel instance (N_K = 1 in the baseline
+    designs). *)

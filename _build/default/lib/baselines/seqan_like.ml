@@ -1,0 +1,85 @@
+module Score = Dphls_util.Score
+
+type mode = Global | Local | Semi_global | Overlap
+
+type gap_model = Linear of int | Affine of { open_ : int; extend : int }
+
+type scoring = {
+  sub : int -> int -> int;
+  gap : gap_model;
+  mode : mode;
+}
+
+let dna_scoring ~match_ ~mismatch ~gap ~mode =
+  { sub = (fun a b -> if a = b then match_ else mismatch); gap; mode }
+
+let free_top s = match s.mode with Global -> false | Local | Semi_global | Overlap -> true
+let free_left s = match s.mode with Global | Semi_global -> false | Local | Overlap -> true
+
+let gap_of_len s len =
+  match s.gap with
+  | Linear g -> g * len
+  | Affine { open_; extend } -> open_ + (extend * len)
+
+(* Rolling-row DP over three layers (H, D vertical, I horizontal); for
+   linear gaps D/I degenerate into simple neighbour adds. Row index runs
+   over the query. *)
+let score s ~query ~reference =
+  let qn = Array.length query and rn = Array.length reference in
+  if qn = 0 || rn = 0 then invalid_arg "Seqan_like.score: empty sequence";
+  let open_, extend =
+    match s.gap with
+    | Linear g -> (0, g)
+    | Affine { open_; extend } -> (open_, extend)
+  in
+  let ninf = Score.neg_inf in
+  (* previous row of H and D, current row built in place *)
+  let h_prev = Array.make (rn + 1) 0 in
+  let d_prev = Array.make (rn + 1) ninf in
+  let h_cur = Array.make (rn + 1) 0 in
+  let d_cur = Array.make (rn + 1) ninf in
+  (* virtual border row (-1): column j+1 holds border at reference j *)
+  h_prev.(0) <- 0;
+  for j = 1 to rn do
+    h_prev.(j) <- (if free_top s then 0 else gap_of_len s j)
+  done;
+  let best = ref (match s.mode with Local -> 0 | _ -> ninf) in
+  let observe v = if v > !best then best := v in
+  for i = 0 to qn - 1 do
+    h_cur.(0) <- (if free_left s then 0 else gap_of_len s (i + 1));
+    d_cur.(0) <- ninf;
+    let ins = ref ninf in
+    for j = 1 to rn do
+      let d =
+        Score.max2
+          (Score.add h_prev.(j) (open_ + extend))
+          (Score.add d_prev.(j) extend)
+      in
+      let i_score =
+        Score.max2
+          (Score.add h_cur.(j - 1) (open_ + extend))
+          (Score.add !ins extend)
+      in
+      ins := i_score;
+      let h =
+        Score.max2
+          (Score.add h_prev.(j - 1) (s.sub query.(i) reference.(j - 1)))
+          (Score.max2 d i_score)
+      in
+      let h = if s.mode = Local then Score.max2 0 h else h in
+      h_cur.(j) <- h;
+      d_cur.(j) <- d;
+      (match s.mode with
+      | Local -> observe h
+      | Overlap -> if i = qn - 1 || j = rn then observe h
+      | Semi_global -> if i = qn - 1 then observe h
+      | Global -> if i = qn - 1 && j = rn then observe h)
+    done;
+    Array.blit h_cur 0 h_prev 0 (rn + 1);
+    Array.blit d_cur 0 d_prev 0 (rn + 1)
+  done;
+  !best
+
+let threads_scale = 32
+
+let native_factor = 100.0

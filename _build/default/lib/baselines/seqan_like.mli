@@ -1,0 +1,38 @@
+(** SeqAn3-like CPU pairwise aligner.
+
+    An independent, cache-friendly rolling-row implementation of the
+    pairwise DP kernels SeqAn3 provides (global / local / semi-global /
+    overlap ends-free modes with linear or affine gaps). It plays two
+    roles in the reproduction: (a) the measured CPU baseline of Fig 6A
+    (its wall-clock throughput is benchmarked and scaled to the paper's
+    32-thread c4.8xlarge setting), and (b) a third, engine-independent
+    oracle for the kernel scores. Sequences are plain symbol arrays. *)
+
+type mode = Global | Local | Semi_global | Overlap
+
+type gap_model =
+  | Linear of int                              (** per-base penalty *)
+  | Affine of { open_ : int; extend : int }    (** open + L*extend *)
+
+type scoring = {
+  sub : int -> int -> int;  (** substitution score of two symbols *)
+  gap : gap_model;
+  mode : mode;
+}
+
+val dna_scoring : match_:int -> mismatch:int -> gap:gap_model -> mode:mode -> scoring
+
+val score : scoring -> query:int array -> reference:int array -> int
+(** Best alignment score under the mode's start/end conventions;
+    O(min-row) memory, no traceback (the baselines are throughput-
+    oriented score kernels). *)
+
+val threads_scale : int
+(** The paper's CPU baselines run 32 threads; measured single-thread
+    throughput is multiplied by this. *)
+
+val native_factor : float
+(** Documented performance factor between this scalar boxed-OCaml kernel
+    and SeqAn3's AVX2 inter-sequence SIMD C++ (16 x 16-bit lanes times a
+    ~6x native-codegen gap), used when scaling measured throughput to the
+    paper's baseline: 100x. *)

@@ -1,0 +1,40 @@
+module Score = Dphls_util.Score
+
+let score ~query ~reference =
+  let qn = Array.length query and rn = Array.length reference in
+  if qn = 0 || rn = 0 then invalid_arg "Squigglefilter_rtl.score: empty sequence";
+  let pinf = Score.pos_inf in
+  (* rows over the query; free start/end along the reference *)
+  let prev = Array.make (rn + 1) 0 in
+  let cur = Array.make (rn + 1) 0 in
+  for i = 0 to qn - 1 do
+    cur.(0) <- pinf;
+    for j = 1 to rn do
+      let cost = abs (query.(i) - reference.(j - 1)) in
+      let best =
+        Score.min2 prev.(j - 1) (Score.min2 prev.(j) cur.(j - 1))
+      in
+      cur.(j) <- Score.add best cost
+    done;
+    Array.blit cur 0 prev 0 (rn + 1)
+  done;
+  let best = ref pinf in
+  for j = 1 to rn do
+    if prev.(j) < !best then best := prev.(j)
+  done;
+  !best
+
+let classify ~threshold ~query ~reference =
+  let s = score ~query ~reference in
+  s / max 1 (Array.length query) < threshold
+
+let cycles ~n_pe ~qry_len ~ref_len =
+  Rtl_model.cycles ~n_pe ~qry_len ~ref_len ~banding:None ~ii:1 ~tb_steps:0
+
+let packed =
+  Dphls_core.Registry.Packed (Dphls_kernels.K14_sdtw.kernel, Dphls_kernels.K14_sdtw.default)
+
+let utilization ~n_pe ~max_qry ~max_ref =
+  Rtl_model.utilization packed ~n_pe ~max_qry ~max_ref
+
+let freq_mhz = 250.0

@@ -1,0 +1,20 @@
+(** SquiggleFilter RTL baseline [Dunn et al., MICRO 2021]: a systolic
+    sDTW accelerator for basecalling-free virus detection — the
+    comparison target of kernel #14 in Fig 4C/F. The paper removes the
+    baseline's match-bonus feature to align semantics with kernel #14;
+    this model implements exactly that variant (plain |q - r| cost,
+    subsequence DTW, min over the last row). *)
+
+val score : query:int array -> reference:int array -> int
+(** Independent sDTW distance (lower = better match). *)
+
+val classify : threshold:int -> query:int array -> reference:int array -> bool
+(** The accelerator's actual output: target detected when the
+    normalized distance falls below the threshold. *)
+
+val cycles : n_pe:int -> qry_len:int -> ref_len:int -> Rtl_model.cycle_model
+
+val utilization :
+  n_pe:int -> max_qry:int -> max_ref:int -> Dphls_resource.Device.utilization
+
+val freq_mhz : float

@@ -1,0 +1,23 @@
+module Schedule = Dphls_systolic.Schedule
+
+let freq_mhz = 250.0
+
+(* Effective II of the baseline's wavefront loop: sparser pragmas leave
+   occasional port conflicts, costing ~25 % extra compute cycles. *)
+let ii_penalty = 1.25
+
+let cycles_per_alignment ~n_pe ~qry_len ~ref_len ~tb_steps =
+  let s = Schedule.create ~n_pe ~qry_len ~ref_len in
+  let compute =
+    int_of_float
+      (float_of_int (Schedule.compute_cycles s ~banding:None ~ii:1) *. ii_penalty)
+  in
+  (* Host-device streaming: sequences in (1 char/cycle) and the
+     traceback path out (2 symbols/cycle), serialized with compute. *)
+  let streaming = qry_len + ref_len + (tb_steps / 2) in
+  compute + streaming + tb_steps + Schedule.pipeline_fill_cycles s
+
+let throughput ~n_pe ~n_b ~qry_len ~ref_len ~tb_steps =
+  let cycles = cycles_per_alignment ~n_pe ~qry_len ~ref_len ~tb_steps in
+  Dphls_host.Throughput.alignments_per_sec
+    ~cycles_per_alignment:(float_of_int cycles) ~freq_mhz ~n_b ~n_k:1

@@ -1,0 +1,64 @@
+module Score = Dphls_util.Score
+
+type result = { score : int; cells_explored : int }
+
+(* Row-by-row SWG keeping, per row, the live column interval: cells whose
+   H is within [x] of the global best. Classic X-drop narrows or widens
+   the interval as scores evolve. *)
+let align ~match_ ~mismatch ~gap_open ~gap_extend ~x ~query ~reference =
+  if x < 0 then invalid_arg "Xdrop.align: x must be >= 0";
+  let qn = Array.length query and rn = Array.length reference in
+  if qn = 0 || rn = 0 then invalid_arg "Xdrop.align: empty sequence";
+  let ninf = Score.neg_inf in
+  let h_prev = Array.make (rn + 1) 0 in
+  let d_prev = Array.make (rn + 1) ninf in
+  let h_cur = Array.make (rn + 1) 0 in
+  let d_cur = Array.make (rn + 1) ninf in
+  let best = ref 0 in
+  let cells = ref 0 in
+  (* live interval of columns (1-based, inclusive) *)
+  let lo = ref 1 and hi = ref rn in
+  (try
+     for i = 0 to qn - 1 do
+       let row_lo = !lo and row_hi = min rn (!hi + 1) in
+       if row_lo > row_hi then raise Exit;
+       Array.fill h_cur 0 (rn + 1) ninf;
+       Array.fill d_cur 0 (rn + 1) ninf;
+       h_cur.(row_lo - 1) <- (if row_lo = 1 then 0 else ninf);
+       let ins = ref ninf in
+       let new_lo = ref max_int and new_hi = ref min_int in
+       for j = row_lo to row_hi do
+         incr cells;
+         let d =
+           Score.max2
+             (Score.add h_prev.(j) (gap_open + gap_extend))
+             (Score.add d_prev.(j) gap_extend)
+         in
+         let i_score =
+           Score.max2
+             (Score.add h_cur.(j - 1) (gap_open + gap_extend))
+             (Score.add !ins gap_extend)
+         in
+         ins := i_score;
+         let sub = if query.(i) = reference.(j - 1) then match_ else mismatch in
+         let h =
+           Score.max2 0
+             (Score.max2 (Score.add h_prev.(j - 1) sub) (Score.max2 d i_score))
+         in
+         h_cur.(j) <- h;
+         d_cur.(j) <- d;
+         if h > !best then best := h;
+         (* keep the cell alive only while within X of the best *)
+         if h > !best - x then begin
+           if j < !new_lo then new_lo := j;
+           if j > !new_hi then new_hi := j
+         end
+       done;
+       if !new_lo > !new_hi then raise Exit;
+       lo := max 1 !new_lo;
+       hi := !new_hi;
+       Array.blit h_cur 0 h_prev 0 (rn + 1);
+       Array.blit d_cur 0 d_prev 0 (rn + 1)
+     done
+   with Exit -> ());
+  { score = !best; cells_explored = !cells }

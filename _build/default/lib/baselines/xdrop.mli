@@ -1,0 +1,22 @@
+(** X-Drop adaptive banding (Zhang et al. 2000; the adaptive pruning
+    heuristic of the paper's §2.2.4, used by Darwin-WGA).
+
+    Where DP-HLS's fixed banding (kernels #11-#13) prunes a constant
+    diagonal corridor — the hardware-friendly choice — X-Drop prunes any
+    cell whose score falls more than X below the running best, letting
+    the explored region adapt to the alignment. This software
+    implementation serves as the accuracy yardstick in the banding
+    ablation: how much score fixed bands give up relative to adaptive
+    pruning at equal or smaller explored area. *)
+
+type result = {
+  score : int;             (** best score found *)
+  cells_explored : int;    (** DP cells actually evaluated *)
+}
+
+val align :
+  match_:int -> mismatch:int -> gap_open:int -> gap_extend:int -> x:int ->
+  query:int array -> reference:int array -> result
+(** Local (Smith-Waterman-Gotoh) alignment under X-drop pruning with
+    threshold [x >= 0]: a cell is expanded only while its score is within
+    [x] of the current global best. *)

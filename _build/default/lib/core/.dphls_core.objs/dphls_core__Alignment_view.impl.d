@@ -1,0 +1,1 @@
+lib/core/alignment_view.ml: Array Buffer List Result String Traceback Types

@@ -1,0 +1,1 @@
+lib/core/alignment_view.mli: Result Traceback Types

@@ -1,0 +1,1 @@
+lib/core/datapath.ml: Array Dphls_util List Map Pe Printf

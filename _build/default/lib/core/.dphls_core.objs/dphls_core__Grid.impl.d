@@ -1,0 +1,1 @@
+lib/core/grid.ml: Array Banding Dphls_util Kernel Pe Types

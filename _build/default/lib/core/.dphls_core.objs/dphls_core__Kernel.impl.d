@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Banding Dphls_util Option Pe Traceback Traits Types

@@ -1,0 +1,1 @@
+lib/core/kernel.mli: Banding Dphls_util Pe Traceback Traits Types

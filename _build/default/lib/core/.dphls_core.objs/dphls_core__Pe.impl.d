@@ -1,0 +1,1 @@
+lib/core/pe.ml: Types

@@ -1,0 +1,1 @@
+lib/core/registry.mli: Banding Dphls_util Kernel Traits

@@ -1,0 +1,1 @@
+lib/core/rescore.ml: Array Dphls_util List Traceback

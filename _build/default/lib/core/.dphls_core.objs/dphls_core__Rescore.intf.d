@@ -1,0 +1,1 @@
+lib/core/rescore.mli: Traceback Types

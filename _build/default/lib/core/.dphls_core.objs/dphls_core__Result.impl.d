@@ -1,0 +1,1 @@
+lib/core/result.ml: Buffer Dphls_util Format List Printf Traceback Types

@@ -1,0 +1,1 @@
+lib/core/score_site.mli: Banding Dphls_util Traceback Types

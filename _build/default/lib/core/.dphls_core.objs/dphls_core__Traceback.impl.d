@@ -1,0 +1,1 @@
+lib/core/traceback.ml: Dphls_util Types

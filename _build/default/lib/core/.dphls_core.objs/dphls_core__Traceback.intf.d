@@ -1,0 +1,1 @@
+lib/core/traceback.mli: Dphls_util Types

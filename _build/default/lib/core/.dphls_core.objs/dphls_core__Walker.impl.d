@@ -1,0 +1,1 @@
+lib/core/walker.ml: Printf Traceback Types

@@ -1,0 +1,1 @@
+lib/core/walker.mli: Traceback Types

@@ -1,0 +1,100 @@
+type stats = {
+  matches : int;
+  mismatches : int;
+  insertions : int;
+  deletions : int;
+  identity : float;
+  query_coverage : float;
+  reference_coverage : float;
+}
+
+let walk ~query ~reference ~start_row ~start_col path ~on_column =
+  let qi = ref start_row and ri = ref start_col in
+  List.iter
+    (fun (op : Traceback.op) ->
+      (match op with
+      | Mmi ->
+        if !qi >= Array.length query || !ri >= Array.length reference then
+          invalid_arg "Alignment_view: path overruns sequences";
+        on_column (Some query.(!qi)) (Some reference.(!ri));
+        incr qi;
+        incr ri
+      | Ins ->
+        if !ri >= Array.length reference then
+          invalid_arg "Alignment_view: path overruns reference";
+        on_column None (Some reference.(!ri));
+        incr ri
+      | Del ->
+        if !qi >= Array.length query then
+          invalid_arg "Alignment_view: path overruns query";
+        on_column (Some query.(!qi)) None;
+        incr qi))
+    path
+
+let stats ~query ~reference ~start_row ~start_col path =
+  let matches = ref 0 and mismatches = ref 0 in
+  let insertions = ref 0 and deletions = ref 0 in
+  walk ~query ~reference ~start_row ~start_col path ~on_column:(fun q r ->
+      match (q, r) with
+      | Some q, Some r -> if q = r then incr matches else incr mismatches
+      | None, Some _ -> incr insertions
+      | Some _, None -> incr deletions
+      | None, None -> assert false);
+  let columns = !matches + !mismatches + !insertions + !deletions in
+  {
+    matches = !matches;
+    mismatches = !mismatches;
+    insertions = !insertions;
+    deletions = !deletions;
+    identity = (if columns = 0 then 0.0 else float_of_int !matches /. float_of_int columns);
+    query_coverage =
+      float_of_int (!matches + !mismatches + !deletions)
+      /. float_of_int (max 1 (Array.length query));
+    reference_coverage =
+      float_of_int (!matches + !mismatches + !insertions)
+      /. float_of_int (max 1 (Array.length reference));
+  }
+
+let first_consumed (r : Result.t) =
+  match r.Result.start_cell with
+  | None -> None
+  | Some start ->
+    let qc, rc = Result.path_consumes r in
+    Some (start.Types.row - qc + 1, start.Types.col - rc + 1)
+
+let render ?(width = 60) ~decode ~query ~reference ~start_row ~start_col path =
+  let top = Buffer.create 128 in
+  let mid = Buffer.create 128 in
+  let bot = Buffer.create 128 in
+  walk ~query ~reference ~start_row ~start_col path ~on_column:(fun q r ->
+      match (q, r) with
+      | Some q, Some r ->
+        Buffer.add_char top (decode q);
+        Buffer.add_char mid (if q = r then '|' else '.');
+        Buffer.add_char bot (decode r)
+      | None, Some r ->
+        Buffer.add_char top '-';
+        Buffer.add_char mid ' ';
+        Buffer.add_char bot (decode r)
+      | Some q, None ->
+        Buffer.add_char top (decode q);
+        Buffer.add_char mid ' ';
+        Buffer.add_char bot '-'
+      | None, None -> assert false);
+  let top = Buffer.contents top
+  and mid = Buffer.contents mid
+  and bot = Buffer.contents bot in
+  let out = Buffer.create 256 in
+  let n = String.length top in
+  let rec chunk offset =
+    if offset < n then begin
+      let len = min width (n - offset) in
+      Buffer.add_string out ("qry  " ^ String.sub top offset len ^ "\n");
+      Buffer.add_string out ("     " ^ String.sub mid offset len ^ "\n");
+      Buffer.add_string out ("ref  " ^ String.sub bot offset len ^ "\n");
+      if offset + len < n then Buffer.add_char out '\n';
+      chunk (offset + len)
+    end
+  in
+  chunk 0;
+  Buffer.contents out

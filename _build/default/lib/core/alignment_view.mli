@@ -1,0 +1,37 @@
+(** Human-readable alignment rendering and accuracy statistics, derived
+    from a result's traceback path. *)
+
+type stats = {
+  matches : int;      (** aligned pairs with equal characters *)
+  mismatches : int;   (** aligned pairs with differing characters *)
+  insertions : int;   (** reference characters against gaps *)
+  deletions : int;    (** query characters against gaps *)
+  identity : float;   (** matches / path columns *)
+  query_coverage : float;     (** consumed query fraction *)
+  reference_coverage : float; (** consumed reference fraction *)
+}
+
+val stats :
+  query:Types.seq -> reference:Types.seq ->
+  start_row:int -> start_col:int ->
+  Traceback.op list -> stats
+(** [start_row]/[start_col] are the first consumed indices (0 for global
+    alignments; derivable from a local result's start cell and
+    {!Result.path_consumes}). Raises [Invalid_argument] on overruns. *)
+
+val first_consumed : Result.t -> (int * int) option
+(** First consumed (query, reference) indices of a result with a path:
+    start cell minus consumption, as required by {!stats} and {!render}. *)
+
+val render :
+  ?width:int ->
+  decode:(Types.ch -> char) ->
+  query:Types.seq -> reference:Types.seq ->
+  start_row:int -> start_col:int ->
+  Traceback.op list -> string
+(** Classic three-line view, wrapped at [width] (default 60) columns:
+    {v
+      query  ACGT-ACGT
+             |||| |-||
+      ref    ACGTTA-GT
+    v} *)

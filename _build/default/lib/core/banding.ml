@@ -1,0 +1,22 @@
+type t = { width : int }
+
+let fixed width =
+  if width < 1 then invalid_arg "Banding.fixed: width must be >= 1";
+  { width }
+
+let in_band band ~row ~col =
+  match band with
+  | None -> true
+  | Some { width } -> abs (row - col) <= width
+
+let cells_in_band band ~qry_len ~ref_len =
+  match band with
+  | None -> qry_len * ref_len
+  | Some _ ->
+    let count = ref 0 in
+    for row = 0 to qry_len - 1 do
+      for col = 0 to ref_len - 1 do
+        if in_band band ~row ~col then incr count
+      done
+    done;
+    !count

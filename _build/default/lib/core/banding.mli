@@ -1,0 +1,17 @@
+(** Fixed banding — the paper's [BANDING]/[BANDWIDTH] search-space pruning
+    (§2.2.4, kernels #11-#13). Cells within a fixed anti-diagonal distance
+    of the main diagonal are computed; everything else is pruned and reads
+    as the objective's worst value. *)
+
+type t = { width : int }
+
+val fixed : int -> t
+(** [fixed w] keeps cells with [|row - col| <= w]. Width must be >= 1 so
+    the diagonal's direct neighbours exist. *)
+
+val in_band : t option -> row:int -> col:int -> bool
+(** [None] means unbanded (always true). Virtual border cells (row or col
+    = -1) follow the same rule so init values join the band smoothly. *)
+
+val cells_in_band : t option -> qry_len:int -> ref_len:int -> int
+(** Number of computed cells, for workload accounting. *)

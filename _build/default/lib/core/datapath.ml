@@ -1,0 +1,197 @@
+module Score = Dphls_util.Score
+
+type cond =
+  | Eq of expr * expr
+  | Le of expr * expr
+  | Lt of expr * expr
+
+and expr =
+  | Const of int
+  | Param of string
+  | Up of int
+  | Diag of int
+  | Left of int
+  | Qry of int
+  | Ref of int
+  | Cur of int
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Abs of expr
+  | Max of expr list
+  | Min of expr list
+  | Ite of cond * expr * expr
+  | Lookup2 of string * expr * expr
+
+type tb_field = { bits : int; value : expr }
+
+type cell = { layers : expr array; tb_fields : tb_field list }
+
+type bindings = {
+  params : (string * int) list;
+  tables : (string * int array array) list;
+}
+
+(* Layer-0-last evaluation order (see the interface). *)
+let eval_order n_layers =
+  List.init (n_layers - 1) (fun i -> i + 1) @ [ 0 ]
+
+let eval cell bindings =
+  let param name =
+    match List.assoc_opt name bindings.params with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Datapath.eval: unbound param %s" name)
+  in
+  let table name =
+    match List.assoc_opt name bindings.tables with
+    | Some t -> t
+    | None -> invalid_arg (Printf.sprintf "Datapath.eval: unbound table %s" name)
+  in
+  let n_layers = Array.length cell.layers in
+  fun (input : Pe.input) ->
+    let cur = Array.make n_layers Score.neg_inf in
+    let cur_done = Array.make n_layers false in
+    let rec ev = function
+      | Const c -> c
+      | Param name -> param name
+      | Up l -> input.Pe.up.(l)
+      | Diag l -> input.Pe.diag.(l)
+      | Left l -> input.Pe.left.(l)
+      | Qry i -> input.Pe.qry.(i)
+      | Ref i -> input.Pe.rf.(i)
+      | Cur l ->
+        if not cur_done.(l) then invalid_arg "Datapath.eval: Cur before definition";
+        cur.(l)
+      | Add (a, b) -> Score.add (ev a) (ev b)
+      | Sub (a, b) -> Score.add (ev a) (-ev b)
+      | Mul (a, b) -> ev a * ev b
+      | Abs a -> abs (ev a)
+      | Max es -> (
+        match es with
+        | [] -> invalid_arg "Datapath.eval: empty Max"
+        | first :: rest -> List.fold_left (fun acc e -> Score.max2 acc (ev e)) (ev first) rest)
+      | Min es -> (
+        match es with
+        | [] -> invalid_arg "Datapath.eval: empty Min"
+        | first :: rest -> List.fold_left (fun acc e -> Score.min2 acc (ev e)) (ev first) rest)
+      | Ite (c, t, f) -> if ev_cond c then ev t else ev f
+      | Lookup2 (name, a, b) -> (table name).(ev a).(ev b)
+    and ev_cond = function
+      | Eq (a, b) -> ev a = ev b
+      | Le (a, b) -> ev a <= ev b
+      | Lt (a, b) -> ev a < ev b
+    in
+    List.iter
+      (fun l ->
+        cur.(l) <- ev cell.layers.(l);
+        cur_done.(l) <- true)
+      (eval_order n_layers);
+    let tb, _ =
+      List.fold_left
+        (fun (acc, shift) f -> (acc lor (ev f.value lsl shift), shift + f.bits))
+        (0, 0) cell.tb_fields
+    in
+    { Pe.scores = Array.copy cur; tb }
+
+type op_count = {
+  adders : int;
+  multipliers : int;
+  comparators : int;
+  lookups : int;
+  depth : int;
+}
+
+(* Structurally identical subexpressions are hardware-shared (the HLS
+   compiler CSEs them), so each unique node is counted once. *)
+let count cell =
+  let module M = Map.Make (struct
+    type t = expr
+
+    let compare = compare
+  end) in
+  let adders = ref 0 and muls = ref 0 and cmps = ref 0 and lookups = ref 0 in
+  let memo = ref M.empty in
+  let rec walk e =
+    match M.find_opt e !memo with
+    | Some d -> d
+    | None ->
+      let d =
+        match e with
+        | Const _ | Param _ | Up _ | Diag _ | Left _ | Qry _ | Ref _ | Cur _ -> 1
+        | Add (a, b) | Sub (a, b) ->
+          incr adders;
+          1 + max (walk a) (walk b)
+        | Mul (a, b) ->
+          incr muls;
+          1 + max (walk a) (walk b)
+        | Abs a ->
+          incr adders;
+          1 + walk a
+        | Max es | Min es ->
+          cmps := !cmps + max 0 (List.length es - 1);
+          let d = List.fold_left (fun acc x -> max acc (walk x)) 0 es in
+          d + max 1 (List.length es - 1)
+        | Ite (c, t, f) ->
+          incr cmps;
+          1 + max (walk_cond c) (max (walk t) (walk f))
+        | Lookup2 (_, a, b) ->
+          incr lookups;
+          1 + max (walk a) (walk b)
+      in
+      memo := M.add e d !memo;
+      d
+  and walk_cond = function Eq (a, b) | Le (a, b) | Lt (a, b) -> max (walk a) (walk b) in
+  let depth =
+    List.fold_left
+      (fun acc e -> max acc (walk e))
+      0
+      (Array.to_list cell.layers @ List.map (fun f -> f.value) cell.tb_fields)
+  in
+  {
+    adders = !adders;
+    multipliers = !muls;
+    comparators = !cmps;
+    lookups = !lookups;
+    depth;
+  }
+
+let validate cell ~n_layers =
+  if Array.length cell.layers <> n_layers then
+    invalid_arg "Datapath.validate: layer count mismatch";
+  let check_layer l what =
+    if l < 0 || l >= n_layers then
+      invalid_arg (Printf.sprintf "Datapath.validate: %s layer %d out of range" what l)
+  in
+  (* Cur discipline: only layer-0 and pointer expressions may reference
+     other layers, which are all evaluated before them. *)
+  let rec walk ~allow_cur = function
+    | Const _ | Param _ | Qry _ | Ref _ -> ()
+    | Up l -> check_layer l "Up"
+    | Diag l -> check_layer l "Diag"
+    | Left l -> check_layer l "Left"
+    | Cur l ->
+      check_layer l "Cur";
+      if not allow_cur then invalid_arg "Datapath.validate: Cur in a gap layer";
+      if l = 0 then invalid_arg "Datapath.validate: Cur 0 is never available"
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Lookup2 (_, a, b) ->
+      walk ~allow_cur a;
+      walk ~allow_cur b
+    | Abs a -> walk ~allow_cur a
+    | Max es | Min es ->
+      if es = [] then invalid_arg "Datapath.validate: empty Max/Min";
+      List.iter (walk ~allow_cur) es
+    | Ite (c, t, f) ->
+      (match c with
+      | Eq (a, b) | Le (a, b) | Lt (a, b) ->
+        walk ~allow_cur a;
+        walk ~allow_cur b);
+      walk ~allow_cur t;
+      walk ~allow_cur f
+  in
+  Array.iteri (fun l e -> walk ~allow_cur:(l = 0) e) cell.layers;
+  List.iter
+    (fun f ->
+      if f.bits < 1 then invalid_arg "Datapath.validate: field width < 1";
+      walk ~allow_cur:true f.value)
+    cell.tb_fields
+

@@ -1,0 +1,73 @@
+(** Symbolic PE datapath descriptions.
+
+    A kernel's recurrence can be given not only as an OCaml closure
+    ({!Pe.f}) but also as a symbolic expression tree. The symbolic form
+    is what the HLS back-end actually consumes in the real DP-HLS flow:
+    from it this reproduction can (a) evaluate the PE (and verify bit-
+    equality against the closure form — the analog of C-simulation vs
+    RTL co-simulation), (b) emit structural Verilog for the PE and the
+    surrounding systolic array, and (c) derive operator counts that
+    cross-check the resource model's traits.
+
+    Layer-evaluation convention: layers 1..n-1 are evaluated in ascending
+    order first, then layer 0 (which may reference the freshly computed
+    gap layers through {!Cur}) — this matches affine/two-piece/Viterbi
+    dependencies. *)
+
+type cond =
+  | Eq of expr * expr
+  | Le of expr * expr
+  | Lt of expr * expr
+
+and expr =
+  | Const of int
+  | Param of string            (** named scoring parameter *)
+  | Up of int                  (** layer of cell (row-1, col) *)
+  | Diag of int                (** layer of cell (row-1, col-1) *)
+  | Left of int                (** layer of cell (row, col-1) *)
+  | Qry of int                 (** element of the local query character *)
+  | Ref of int                 (** element of the local reference character *)
+  | Cur of int                 (** current cell's layer (must be evaluated
+                                   earlier per the convention above) *)
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Abs of expr
+  | Max of expr list
+  | Min of expr list
+  | Ite of cond * expr * expr
+  | Lookup2 of string * expr * expr
+      (** 2-D table indexed by two expressions (emission matrices,
+          substitution matrices) *)
+
+type tb_field = { bits : int; value : expr }
+(** One field of the packed traceback pointer (LSB-first concatenation). *)
+
+type cell = {
+  layers : expr array;      (** one expression per output layer *)
+  tb_fields : tb_field list;
+}
+
+type bindings = {
+  params : (string * int) list;
+  tables : (string * int array array) list;
+}
+
+val eval : cell -> bindings -> Pe.f
+(** Compile the symbolic cell into a PE function (with the saturating
+    arithmetic of {!Dphls_util.Score}). Raises [Invalid_argument] on
+    unbound names, bad layer references or out-of-range [Cur] uses. *)
+
+type op_count = {
+  adders : int;       (** Add/Sub/Abs nodes *)
+  multipliers : int;
+  comparators : int;  (** Max/Min pairwise reductions + Ite conditions *)
+  lookups : int;
+  depth : int;        (** longest operator chain *)
+}
+
+val count : cell -> op_count
+(** Structural operator counts of the whole cell (layers + pointer). *)
+
+val validate : cell -> n_layers:int -> unit
+(** Check layer indices, [Cur] ordering discipline and field widths. *)

@@ -1,0 +1,43 @@
+module Score = Dphls_util.Score
+
+type 'p t = {
+  kernel : 'p Kernel.t;
+  params : 'p;
+  qry_len : int;
+  ref_len : int;
+  read : row:int -> col:int -> layer:int -> Types.score;
+  worst : Types.score;
+}
+
+let create kernel params ~qry_len ~ref_len ~read =
+  {
+    kernel;
+    params;
+    qry_len;
+    ref_len;
+    read;
+    worst = Score.worst_value kernel.Kernel.objective;
+  }
+
+let neighbor t ~row ~col ~layer =
+  let k = t.kernel in
+  if not (Banding.in_band k.Kernel.banding ~row ~col) then t.worst
+  else if row = -1 && col = -1 then k.Kernel.origin t.params ~layer
+  else if row = -1 then k.Kernel.init_row t.params ~ref_len:t.ref_len ~layer ~col
+  else if col = -1 then k.Kernel.init_col t.params ~qry_len:t.qry_len ~layer ~row
+  else t.read ~row ~col ~layer
+
+let layers t f = Array.init t.kernel.Kernel.n_layers f
+
+let pe_input t ~query ~reference ~row ~col =
+  {
+    Pe.up = layers t (fun layer -> neighbor t ~row:(row - 1) ~col ~layer);
+    diag = layers t (fun layer -> neighbor t ~row:(row - 1) ~col:(col - 1) ~layer);
+    left = layers t (fun layer -> neighbor t ~row ~col:(col - 1) ~layer);
+    qry = query.(row);
+    rf = reference.(col);
+    row;
+    col;
+  }
+
+let worst t = t.worst

@@ -1,0 +1,24 @@
+(** Border- and band-aware neighbour access shared by the golden engine
+    and the systolic engine, so that both see bit-identical PE inputs.
+
+    The DP matrix is surrounded by a virtual row/column at index -1 whose
+    values come from the kernel's [init_row]/[init_col]/[origin]; pruned
+    (out-of-band) cells read as the objective's worst value. *)
+
+type 'p t
+
+val create :
+  'p Kernel.t -> 'p -> qry_len:int -> ref_len:int ->
+  read:(row:int -> col:int -> layer:int -> Types.score) ->
+  'p t
+(** [read] must return the stored score of an in-matrix, in-band cell;
+    it is never called for border or pruned coordinates. *)
+
+val neighbor : 'p t -> row:int -> col:int -> layer:int -> Types.score
+(** Score of any coordinate in [-1, len): border, pruned or stored. *)
+
+val pe_input :
+  'p t -> query:Types.seq -> reference:Types.seq -> row:int -> col:int -> Pe.input
+(** Assemble the full [PE_func] input for cell (row, col). *)
+
+val worst : 'p t -> Types.score

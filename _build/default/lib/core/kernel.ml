@@ -1,0 +1,32 @@
+type 'p t = {
+  id : int;
+  name : string;
+  description : string;
+  objective : Dphls_util.Score.objective;
+  n_layers : int;
+  score_bits : int;
+  tb_bits : int;
+  init_row : 'p -> ref_len:int -> layer:int -> col:int -> Types.score;
+  init_col : 'p -> qry_len:int -> layer:int -> row:int -> Types.score;
+  origin : 'p -> layer:int -> Types.score;
+  pe : 'p -> Pe.f;
+  score_site : Traceback.start_rule;
+  traceback : 'p -> Traceback.spec option;
+  banding : Banding.t option;
+  traits : Traits.t;
+}
+
+let validate k params =
+  if k.n_layers < 1 then invalid_arg "Kernel: n_layers must be >= 1";
+  if k.score_bits < 2 || k.score_bits > 62 then
+    invalid_arg "Kernel: score_bits out of [2,62]";
+  if k.tb_bits < 0 || k.tb_bits > 16 then invalid_arg "Kernel: tb_bits out of [0,16]";
+  (match k.traceback params with
+  | Some _ when k.tb_bits = 0 ->
+    invalid_arg "Kernel: traceback enabled but tb_bits = 0"
+  | Some spec when spec.Traceback.fsm.n_states < 1 ->
+    invalid_arg "Kernel: FSM needs at least one state"
+  | Some _ | None -> ());
+  Traits.validate k.traits
+
+let has_traceback k params = Option.is_some (k.traceback params)

@@ -1,0 +1,41 @@
+(** The kernel specification — the DP-HLS front-end contract (§4).
+
+    A kernel packages the six user customizations of the paper:
+    (1) data types and parameters (alphabet width, score width, layer
+    count, scoring parameters, traceback pointer type and states, banding),
+    (2) initial row/column scores, (3) the PE function, (4) the traceback
+    strategy, and the structural traits the back-end needs. Parallelism
+    — step (5), the (N_PE, N_B, N_K) triple — lives with the engines, and
+    step (6), the host program, in [dphls_host]. *)
+
+type 'p t = {
+  id : int;  (** Table 1 kernel number (0 for user-defined kernels) *)
+  name : string;
+  description : string;
+  objective : Dphls_util.Score.objective;
+  n_layers : int;          (** [N_LAYERS]: values stored per DP cell *)
+  score_bits : int;        (** width of the score datatype [type_t] *)
+  tb_bits : int;           (** bits per stored traceback pointer (0 = none) *)
+  init_row : 'p -> ref_len:int -> layer:int -> col:int -> Types.score;
+      (** [init_row_scr]: virtual row -1; the up/diag neighbour of row 0. *)
+  init_col : 'p -> qry_len:int -> layer:int -> row:int -> Types.score;
+      (** [init_col_scr]: virtual column -1. *)
+  origin : 'p -> layer:int -> Types.score;
+      (** Value of the virtual corner (-1,-1), the diag neighbour of (0,0). *)
+  pe : 'p -> Pe.f;
+      (** [PE_func], closed over the scoring parameters. *)
+  score_site : Traceback.start_rule;
+      (** Where the kernel's objective value is read (and where traceback
+          starts when enabled). *)
+  traceback : 'p -> Traceback.spec option;
+      (** [None] reproduces the paper's no-traceback option (#10, #12, #14). *)
+  banding : Banding.t option;
+  traits : Traits.t;
+}
+
+val validate : 'p t -> 'p -> unit
+(** Structural checks: positive layer count, pointer width large enough
+    for the FSM's pointer alphabet, traits well-formed. Raises
+    [Invalid_argument] on violation. *)
+
+val has_traceback : 'p t -> 'p -> bool

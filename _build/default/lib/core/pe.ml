@@ -1,0 +1,13 @@
+type input = {
+  up : Types.score array;
+  diag : Types.score array;
+  left : Types.score array;
+  qry : Types.ch;
+  rf : Types.ch;
+  row : int;
+  col : int;
+}
+
+type output = { scores : Types.score array; tb : int }
+
+type f = input -> output

@@ -1,0 +1,27 @@
+(** The processing-element interface — the DP-HLS [PE_func] contract.
+
+    A kernel's recurrence is a pure function from the three neighbouring
+    cells' layer scores plus the local query/reference characters to this
+    cell's layer scores and traceback pointer, exactly the paper's
+    Listing 5/6 signature ([dp_mem_up]/[dp_mem_diag]/[dp_mem_left],
+    [lc_qry_val]/[lc_ref_val] in; [wt_scr]/[wt_tbp] out). *)
+
+type input = {
+  up : Types.score array;    (** layer scores of cell (row-1, col) *)
+  diag : Types.score array;  (** layer scores of cell (row-1, col-1) *)
+  left : Types.score array;  (** layer scores of cell (row, col-1) *)
+  qry : Types.ch;            (** [lc_qry_val]: query character at [row] *)
+  rf : Types.ch;             (** [lc_ref_val]: reference character at [col] *)
+  row : int;                 (** global row (query index) of this cell *)
+  col : int;                 (** global column (reference index) *)
+}
+
+type output = {
+  scores : Types.score array;  (** [wt_scr] per layer; layer 0 is primary *)
+  tb : int;                    (** [wt_tbp]: encoded traceback pointer *)
+}
+
+type f = input -> output
+(** The user-supplied recurrence, already closed over its scoring
+    parameters. Must be pure: both the golden and the systolic engine call
+    it, in different orders, and results must agree bit-for-bit. *)

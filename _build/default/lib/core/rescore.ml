@@ -1,0 +1,59 @@
+let walk ~query ~reference ~start_row ~start_col ~on_sub ~on_gap path =
+  let qi = ref start_row and ri = ref start_col in
+  let gap_run = ref 0 in
+  let gap_kind = ref Traceback.Mmi in
+  let flush () =
+    if !gap_run > 0 then begin
+      on_gap !gap_run;
+      gap_run := 0
+    end
+  in
+  List.iter
+    (fun (op : Traceback.op) ->
+      match op with
+      | Mmi ->
+        flush ();
+        if !qi >= Array.length query || !ri >= Array.length reference then
+          invalid_arg "Rescore: path overruns sequences";
+        on_sub query.(!qi) reference.(!ri);
+        incr qi;
+        incr ri
+      | Ins ->
+        if !gap_run > 0 && !gap_kind <> Ins then flush ();
+        gap_kind := Ins;
+        incr gap_run;
+        if !ri >= Array.length reference then
+          invalid_arg "Rescore: path overruns reference";
+        incr ri
+      | Del ->
+        if !gap_run > 0 && !gap_kind <> Del then flush ();
+        gap_kind := Del;
+        incr gap_run;
+        if !qi >= Array.length query then invalid_arg "Rescore: path overruns query";
+        incr qi)
+    path;
+  flush ()
+
+let score_with ~gap_cost ~sub ~query ~reference ~start_row ~start_col path =
+  let total = ref 0 in
+  walk ~query ~reference ~start_row ~start_col
+    ~on_sub:(fun q r -> total := !total + sub q r)
+    ~on_gap:(fun len -> total := !total + gap_cost len)
+    path;
+  !total
+
+let linear ~sub ~gap ~query ~reference ~start_row ~start_col path =
+  score_with ~gap_cost:(fun len -> gap * len) ~sub ~query ~reference ~start_row
+    ~start_col path
+
+let affine ~sub ~gap_open ~gap_extend ~query ~reference ~start_row ~start_col path =
+  score_with
+    ~gap_cost:(fun len -> gap_open + (gap_extend * len))
+    ~sub ~query ~reference ~start_row ~start_col path
+
+let two_piece ~sub ~open1 ~extend1 ~open2 ~extend2 ~query ~reference ~start_row
+    ~start_col path =
+  score_with
+    ~gap_cost:(fun len ->
+      Dphls_util.Score.max2 (open1 + (extend1 * len)) (open2 + (extend2 * len)))
+    ~sub ~query ~reference ~start_row ~start_col path

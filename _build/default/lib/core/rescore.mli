@@ -1,0 +1,40 @@
+(** Path rescoring: recompute an alignment's score from its operation
+    list. Used by property tests (the engine's reported score must equal
+    its path's score) and by the tiling heuristic to score stitched
+    alignments. *)
+
+val linear :
+  sub:(Types.ch -> Types.ch -> int) ->
+  gap:int ->
+  query:Types.seq ->
+  reference:Types.seq ->
+  start_row:int ->
+  start_col:int ->
+  Traceback.op list ->
+  Types.score
+(** Score the path starting at matrix position (start_row, start_col) —
+    the first consumed query/reference indices. Raises [Invalid_argument]
+    if the path overruns either sequence. *)
+
+val affine :
+  sub:(Types.ch -> Types.ch -> int) ->
+  gap_open:int ->
+  gap_extend:int ->
+  query:Types.seq ->
+  reference:Types.seq ->
+  start_row:int ->
+  start_col:int ->
+  Traceback.op list ->
+  Types.score
+(** Affine gap model: each maximal Ins/Del run costs open + len*extend. *)
+
+val two_piece :
+  sub:(Types.ch -> Types.ch -> int) ->
+  open1:int -> extend1:int -> open2:int -> extend2:int ->
+  query:Types.seq ->
+  reference:Types.seq ->
+  start_row:int ->
+  start_col:int ->
+  Traceback.op list ->
+  Types.score
+(** Each gap run costs the better of the two affine pieces. *)

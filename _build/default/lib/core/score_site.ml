@@ -1,0 +1,33 @@
+let find ~objective ~rule ~banding ~score_at ~qry_len ~ref_len =
+  if qry_len < 1 || ref_len < 1 then invalid_arg "Score_site.find: empty matrix";
+  let best = Traceback.Best_cell.create objective in
+  let observe row col =
+    if Banding.in_band banding ~row ~col then
+      Traceback.Best_cell.observe best { Types.row; col } (score_at ~row ~col)
+  in
+  (match (rule : Traceback.start_rule) with
+  | Bottom_right -> observe (qry_len - 1) (ref_len - 1)
+  | Global_best ->
+    for row = 0 to qry_len - 1 do
+      for col = 0 to ref_len - 1 do
+        observe row col
+      done
+    done
+  | Last_row_best ->
+    for col = 0 to ref_len - 1 do
+      observe (qry_len - 1) col
+    done
+  | Last_row_or_col_best ->
+    for col = 0 to ref_len - 1 do
+      observe (qry_len - 1) col
+    done;
+    for row = 0 to qry_len - 1 do
+      observe row (ref_len - 1)
+    done);
+  match Traceback.Best_cell.get best with
+  | Some (cell, score) -> (cell, score)
+  | None ->
+    (* Every candidate cell was pruned; report the worst value at the
+       bottom-right corner so callers still get a well-formed result. *)
+    ({ Types.row = qry_len - 1; col = ref_len - 1 },
+     Dphls_util.Score.worst_value objective)

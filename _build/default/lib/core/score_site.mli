@@ -1,0 +1,17 @@
+(** Locating the kernel's objective value in the DP matrix (and the
+    traceback start) according to the kernel's {!Traceback.start_rule}.
+
+    Shared by both engines; ties break canonically toward the lowest
+    (row, col), matching {!Traceback.Best_cell}. *)
+
+val find :
+  objective:Dphls_util.Score.objective ->
+  rule:Traceback.start_rule ->
+  banding:Banding.t option ->
+  score_at:(row:int -> col:int -> Types.score) ->
+  qry_len:int ->
+  ref_len:int ->
+  Types.cell * Types.score
+(** [score_at] reads the layer-0 score of an in-matrix cell (pruned cells
+    must read as the objective's worst value). Raises [Invalid_argument]
+    on empty matrices. *)

@@ -1,0 +1,67 @@
+module Score = Dphls_util.Score
+
+type move = Diag | Up | Left | Stay | Stop
+
+type op = Mmi | Ins | Del
+
+let op_of_move = function
+  | Diag -> Some Mmi
+  | Up -> Some Del
+  | Left -> Some Ins
+  | Stay | Stop -> None
+
+type state = int
+
+type fsm = {
+  n_states : int;
+  start_state : state;
+  transition : state -> ptr:int -> state * move;
+}
+
+type start_rule =
+  | Bottom_right
+  | Global_best
+  | Last_row_best
+  | Last_row_or_col_best
+
+type stop_rule = At_origin | At_top_row | At_top_or_left | On_stop_move
+
+type spec = { fsm : fsm; stop : stop_rule }
+
+let max_steps ~qry_len ~ref_len = (2 * (qry_len + ref_len)) + 8
+
+module Best_cell = struct
+  type t = {
+    objective : Score.objective;
+    mutable cell : Types.cell option;
+    mutable score : Types.score;
+  }
+
+  let create objective =
+    { objective; cell = None; score = Score.worst_value objective }
+
+  let earlier (a : Types.cell) (b : Types.cell) =
+    a.row < b.row || (a.row = b.row && a.col < b.col)
+
+  let observe t cell score =
+    match t.cell with
+    | None ->
+      t.cell <- Some cell;
+      t.score <- score
+    | Some current ->
+      if
+        Score.better t.objective score t.score
+        || (score = t.score && earlier cell current)
+      then begin
+        t.cell <- Some cell;
+        t.score <- score
+      end
+
+  let get t = match t.cell with None -> None | Some c -> Some (c, t.score)
+
+  let merge a b =
+    let t = create a.objective in
+    (match get a with None -> () | Some (c, s) -> observe t c s);
+    (match get b with None -> () | Some (c, s) -> observe t c s);
+    t
+end

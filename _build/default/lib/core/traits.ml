@@ -1,0 +1,16 @@
+type t = {
+  adds_per_pe : int;
+  muls_per_pe : int;
+  cmps_per_pe : int;
+  ii : int;
+  logic_depth : int;
+  char_bits : int;
+  param_bits : int;
+}
+
+let validate t =
+  if t.ii < 1 then invalid_arg "Traits: ii must be >= 1";
+  if
+    t.adds_per_pe < 0 || t.muls_per_pe < 0 || t.cmps_per_pe < 0
+    || t.logic_depth < 1 || t.char_bits < 1 || t.param_bits < 0
+  then invalid_arg "Traits: negative or zero field"

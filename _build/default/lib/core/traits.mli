@@ -1,0 +1,19 @@
+(** Kernel datapath traits — the structural facts about a kernel's PE
+    function that the back-end resource and frequency models consume.
+
+    In the real DP-HLS flow these are implicit in the C++ the HLS compiler
+    schedules; in the reproduction each kernel declares them, and tests
+    check they are consistent with the kernel's declared layers/pointers. *)
+
+type t = {
+  adds_per_pe : int;     (** adders/subtractors in one PE *)
+  muls_per_pe : int;     (** multipliers in one PE (mapped to DSPs) *)
+  cmps_per_pe : int;     (** comparators + selection muxes in one PE *)
+  ii : int;              (** initiation interval of the wavefront loop *)
+  logic_depth : int;     (** levels of logic on the PE critical path *)
+  char_bits : int;       (** width of one [char_t] in bits *)
+  param_bits : int;      (** total bits of ScoringParams storage *)
+}
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on non-positive II or negative counts. *)

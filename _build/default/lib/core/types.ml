@@ -1,0 +1,15 @@
+type ch = int array
+type seq = ch array
+type score = Dphls_util.Score.t
+type cell = { row : int; col : int }
+
+let seq_of_bases bases = Array.map (fun b -> [| b |]) bases
+
+let bases_of_seq seq =
+  Array.map
+    (fun c ->
+      if Array.length c <> 1 then invalid_arg "Types.bases_of_seq: tuple character";
+      c.(0))
+    seq
+
+let equal_ch a b = a = b

@@ -1,0 +1,25 @@
+(** Shared base types of the DP-HLS front-end.
+
+    Characters ([char_t] in the paper) are uniformly represented as small
+    integer tuples so that one engine serves every alphabet: a DNA base is
+    [[|b|]], a profile column is a 5-tuple of counts, a complex sample is
+    [[|re; im|]] in fixed point, an sDTW sample is [[|level|]]. *)
+
+type ch = int array
+(** One sequence character. *)
+
+type seq = ch array
+(** A sequence of characters. *)
+
+type score = Dphls_util.Score.t
+
+type cell = { row : int; col : int }
+(** DP-matrix coordinate: [row] indexes the query, [col] the reference. *)
+
+val seq_of_bases : int array -> seq
+(** Lift a plain symbol array (DNA/protein codes) into tuple characters. *)
+
+val bases_of_seq : seq -> int array
+(** Inverse of {!seq_of_bases}; requires 1-element characters. *)
+
+val equal_ch : ch -> ch -> bool

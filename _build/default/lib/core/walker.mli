@@ -1,0 +1,23 @@
+(** The traceback walker: drives a kernel's FSM over stored pointers.
+
+    Both engines share this walker; they differ only in how pointers are
+    stored (full matrix vs. banked, address-coalesced traceback memory),
+    which the [ptr_at] callback abstracts. *)
+
+type outcome = {
+  path : Traceback.op list;  (** operations in sequence order *)
+  end_cell : Types.cell;     (** last in-matrix cell visited *)
+  steps : int;               (** FSM iterations (pointer reads), the cycle
+                                 cost of the traceback stage *)
+}
+
+val walk :
+  fsm:Traceback.fsm ->
+  stop:Traceback.stop_rule ->
+  ptr_at:(row:int -> col:int -> int) ->
+  start:Types.cell ->
+  qry_len:int ->
+  ref_len:int ->
+  outcome
+(** Raises [Failure] if the FSM exceeds {!Traceback.max_steps} (an
+    ill-formed kernel, e.g. a [Stay] loop). *)

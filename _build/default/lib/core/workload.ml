@@ -1,0 +1,12 @@
+type t = { query : Types.seq; reference : Types.seq }
+
+let of_bases ~query ~reference =
+  { query = Types.seq_of_bases query; reference = Types.seq_of_bases reference }
+
+let of_seqs ~query ~reference = { query; reference }
+
+let sizes t = (Array.length t.query, Array.length t.reference)
+
+let cells t =
+  let q, r = sizes t in
+  q * r

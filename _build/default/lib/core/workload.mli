@@ -1,0 +1,17 @@
+(** Alignment workloads: the (query, reference) pairs fed to kernels. *)
+
+type t = {
+  query : Types.seq;
+  reference : Types.seq;
+}
+
+val of_bases : query:int array -> reference:int array -> t
+(** Lift symbol arrays (DNA/protein codes) into a workload pair. *)
+
+val of_seqs : query:Types.seq -> reference:Types.seq -> t
+
+val sizes : t -> int * int
+(** (query length, reference length). *)
+
+val cells : t -> int
+(** Unbanded DP-matrix size. *)

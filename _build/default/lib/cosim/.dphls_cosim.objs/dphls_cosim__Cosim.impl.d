@@ -1,0 +1,1 @@
+lib/cosim/cosim.ml: Dphls_core Dphls_reference Dphls_systolic Format Kernel List Result

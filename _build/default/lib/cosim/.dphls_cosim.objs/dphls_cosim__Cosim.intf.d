@@ -1,0 +1,1 @@
+lib/cosim/cosim.mli: Dphls_core Format

@@ -1,0 +1,60 @@
+open Dphls_core
+
+type mismatch = {
+  index : int;
+  golden : Result.t;
+  systolic : Result.t;
+}
+
+type report = {
+  total : int;
+  agreed : int;
+  mismatches : mismatch list;
+  mean_cycles : float;
+  mean_utilization : float;
+}
+
+let passed r = r.agreed = r.total
+
+let verify ?(n_pe = 16) ?alt_pe kernel params workloads =
+  let cfg = Dphls_systolic.Config.create ~n_pe in
+  let total = List.length workloads in
+  let agreed = ref 0 in
+  let mismatches = ref [] in
+  let cycles_sum = ref 0.0 in
+  let util_sum = ref 0.0 in
+  List.iteri
+    (fun index w ->
+      let golden = Dphls_reference.Ref_engine.run kernel params w in
+      let systolic, stats = Dphls_systolic.Engine.run cfg kernel params w in
+      cycles_sum :=
+        !cycles_sum
+        +. float_of_int stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total;
+      util_sum := !util_sum +. stats.Dphls_systolic.Engine.utilization;
+      let alt_ok =
+        match alt_pe with
+        | None -> true
+        | Some pe ->
+          let alt = { kernel with Kernel.pe = (fun _ -> pe) } in
+          Result.equal_alignment golden (Dphls_reference.Ref_engine.run alt params w)
+      in
+      if Result.equal_alignment golden systolic && alt_ok then incr agreed
+      else if List.length !mismatches < 8 then
+        mismatches := { index; golden; systolic } :: !mismatches)
+    workloads;
+  {
+    total;
+    agreed = !agreed;
+    mismatches = List.rev !mismatches;
+    mean_cycles = (if total = 0 then 0.0 else !cycles_sum /. float_of_int total);
+    mean_utilization = (if total = 0 then 0.0 else !util_sum /. float_of_int total);
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "co-simulation: %d/%d agreed; mean %.0f cycles, %.0f%% PE utilization"
+    r.agreed r.total r.mean_cycles (100.0 *. r.mean_utilization);
+  List.iter
+    (fun m ->
+      Format.fprintf fmt "@\n  mismatch at workload %d:@\n    golden  %a@\n    systolic %a"
+        m.index Result.pp m.golden Result.pp m.systolic)
+    r.mismatches

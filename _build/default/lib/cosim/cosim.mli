@@ -1,0 +1,37 @@
+(** Co-simulation: the paper's verification flow (Fig 2A) as a library.
+
+    The real DP-HLS flow checks C-simulation output against RTL
+    co-simulation before deployment; here the golden full-matrix engine
+    plays the C-sim role and the cycle-level systolic engine the RTL
+    role, with an optional third implementation of the PE (typically the
+    symbolic datapath's evaluator) standing in for the synthesized
+    netlist. A report collects agreement and cycle statistics. *)
+
+type mismatch = {
+  index : int;                       (** workload index *)
+  golden : Dphls_core.Result.t;
+  systolic : Dphls_core.Result.t;
+}
+
+type report = {
+  total : int;
+  agreed : int;
+  mismatches : mismatch list;        (** capped at 8 *)
+  mean_cycles : float;
+  mean_utilization : float;
+}
+
+val passed : report -> bool
+
+val verify :
+  ?n_pe:int ->
+  ?alt_pe:Dphls_core.Pe.f ->
+  'p Dphls_core.Kernel.t ->
+  'p ->
+  Dphls_core.Workload.t list ->
+  report
+(** Run every workload through both engines (and, when [alt_pe] is
+    given, a third golden pass with the alternate PE) and compare
+    alignments bit-for-bit. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/dphls/align.ml: Alignment_view Array Dphls_alphabet Dphls_core Dphls_kernels Dphls_reference Dphls_systolic Kernel Result Types Workload

@@ -1,0 +1,1 @@
+lib/dphls/align.mli:

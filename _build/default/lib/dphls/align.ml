@@ -1,0 +1,95 @@
+open Dphls_core
+
+type engine = Golden | Systolic of int
+
+type alignment = {
+  score : int;
+  cigar : string;
+  identity : float;
+  query_span : int * int;
+  reference_span : int * int;
+  view : string;
+  device_cycles : int option;
+}
+
+let run_kernel (type p) ~engine (kernel : p Kernel.t) (params : p) w ~decode =
+  let result, cycles =
+    match engine with
+    | Golden -> (Dphls_reference.Ref_engine.run kernel params w, None)
+    | Systolic n_pe ->
+      let r, stats =
+        Dphls_systolic.Engine.run (Dphls_systolic.Config.create ~n_pe) kernel params w
+      in
+      (r, Some stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total)
+  in
+  let query = w.Workload.query and reference = w.Workload.reference in
+  match Alignment_view.first_consumed result with
+  | None ->
+    {
+      score = result.Result.score;
+      cigar = "";
+      identity = 0.0;
+      query_span = (0, 0);
+      reference_span = (0, 0);
+      view = "";
+      device_cycles = cycles;
+    }
+  | Some (row0, col0) ->
+    let stats =
+      Alignment_view.stats ~query ~reference ~start_row:row0 ~start_col:col0
+        result.Result.path
+    in
+    let last =
+      match result.Result.start_cell with Some c -> c | None -> assert false
+    in
+    {
+      score = result.Result.score;
+      cigar = Result.cigar result;
+      identity = stats.Alignment_view.identity;
+      query_span = (row0, last.Types.row + 1);
+      reference_span = (col0, last.Types.col + 1);
+      view =
+        Alignment_view.render ~decode ~query ~reference ~start_row:row0
+          ~start_col:col0 result.Result.path;
+      device_cycles = cycles;
+    }
+
+let dna_workload ~query ~reference =
+  Workload.of_bases
+    ~query:(Dphls_alphabet.Dna.of_string query)
+    ~reference:(Dphls_alphabet.Dna.of_string reference)
+
+let dna_decode c = Dphls_alphabet.Dna.decode c.(0)
+let protein_decode c = Dphls_alphabet.Protein.decode c.(0)
+
+let global ?(engine = Golden) ~query ~reference () =
+  run_kernel ~engine Dphls_kernels.K01_global_linear.kernel
+    Dphls_kernels.K01_global_linear.default
+    (dna_workload ~query ~reference)
+    ~decode:dna_decode
+
+let global_affine ?(engine = Golden) ~query ~reference () =
+  run_kernel ~engine Dphls_kernels.K02_global_affine.kernel
+    Dphls_kernels.K02_global_affine.default
+    (dna_workload ~query ~reference)
+    ~decode:dna_decode
+
+let local ?(engine = Golden) ~query ~reference () =
+  run_kernel ~engine Dphls_kernels.K03_local_linear.kernel
+    Dphls_kernels.K03_local_linear.default
+    (dna_workload ~query ~reference)
+    ~decode:dna_decode
+
+let semi_global ?(engine = Golden) ~query ~reference () =
+  run_kernel ~engine Dphls_kernels.K07_semi_global.kernel
+    Dphls_kernels.K07_semi_global.default
+    (dna_workload ~query ~reference)
+    ~decode:dna_decode
+
+let protein_local ?(engine = Golden) ~query ~reference () =
+  run_kernel ~engine Dphls_kernels.K15_protein_local.kernel
+    Dphls_kernels.K15_protein_local.default
+    (Workload.of_bases
+       ~query:(Dphls_alphabet.Protein.of_string query)
+       ~reference:(Dphls_alphabet.Protein.of_string reference))
+    ~decode:protein_decode

@@ -1,0 +1,38 @@
+(** High-level one-call alignment API over the shipped kernels.
+
+    For programs that just want alignments (not hardware modeling):
+    string in, scored alignment out. Every call runs the requested
+    engine — the exact golden engine by default, or the systolic
+    simulator to obtain device-cycle estimates too. *)
+
+type engine =
+  | Golden                   (** exact full-matrix engine *)
+  | Systolic of int          (** cycle-level array with the given N_PE *)
+
+type alignment = {
+  score : int;
+  cigar : string;
+  identity : float;          (** matches / alignment columns *)
+  query_span : int * int;    (** first consumed, one past last (0-based) *)
+  reference_span : int * int;
+  view : string;             (** three-line rendering *)
+  device_cycles : int option;  (** Some when run on the systolic engine *)
+}
+
+val global : ?engine:engine -> query:string -> reference:string -> unit -> alignment
+(** Needleman-Wunsch (kernel #1 defaults) over DNA strings. *)
+
+val global_affine :
+  ?engine:engine -> query:string -> reference:string -> unit -> alignment
+(** Gotoh (kernel #2 defaults). *)
+
+val local : ?engine:engine -> query:string -> reference:string -> unit -> alignment
+(** Smith-Waterman (kernel #3 defaults). *)
+
+val semi_global :
+  ?engine:engine -> query:string -> reference:string -> unit -> alignment
+(** Query end-to-end within the reference (kernel #7 defaults). *)
+
+val protein_local :
+  ?engine:engine -> query:string -> reference:string -> unit -> alignment
+(** BLOSUM62 Smith-Waterman over amino-acid strings (kernel #15). *)

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Dphls_baselines Dphls_core Dphls_host Dphls_resource Dphls_systolic Dphls_util Registry Unix

@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Dphls_core Dphls_util

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Common Dphls_core Dphls_kernels Dphls_resource Dphls_util List Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Common Dphls_baselines Dphls_core Dphls_kernels Dphls_util List Paper_data Types Workload

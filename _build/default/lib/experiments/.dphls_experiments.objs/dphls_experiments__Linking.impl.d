@@ -1,0 +1,1 @@
+lib/experiments/linking.ml: Common Dphls_core Dphls_host Dphls_kernels Dphls_resource Dphls_util Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/experiments/productivity.ml: Array Dphls_util Filename List Printf String Sys

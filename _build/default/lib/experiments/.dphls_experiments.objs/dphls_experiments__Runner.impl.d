@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Ablations Dphls_util Fig3 Fig4 Fig5 Fig6 Gendp Linking List Productivity Sec7_5 Systolic_check Table2 Tiling_exp

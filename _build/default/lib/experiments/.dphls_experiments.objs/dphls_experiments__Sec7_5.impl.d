@@ -1,0 +1,1 @@
+lib/experiments/sec7_5.ml: Array Common Dphls_baselines Dphls_core Dphls_host Dphls_kernels Dphls_resource Dphls_systolic Dphls_util Paper_data Printf Registry

@@ -1,0 +1,1 @@
+lib/experiments/sec7_5.mli:

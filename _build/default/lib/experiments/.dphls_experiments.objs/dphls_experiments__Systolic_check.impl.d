@@ -1,0 +1,1 @@
+lib/experiments/systolic_check.ml: Array Banding Common Dphls_core Dphls_kernels Dphls_systolic Dphls_util Hashtbl Kernel List Option Printf Registry Types Workload

@@ -1,0 +1,1 @@
+lib/experiments/systolic_check.mli:

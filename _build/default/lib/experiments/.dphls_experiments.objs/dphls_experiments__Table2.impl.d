@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Common Dphls_core Dphls_kernels Dphls_resource Dphls_util List Paper_data Printf Registry

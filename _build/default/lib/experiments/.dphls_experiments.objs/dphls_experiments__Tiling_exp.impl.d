@@ -1,0 +1,1 @@
+lib/experiments/tiling_exp.ml: Array Common Dphls_baselines Dphls_core Dphls_kernels Dphls_seqgen Dphls_systolic Dphls_tiling Dphls_util List Printf Rescore Types

@@ -1,0 +1,1 @@
+lib/experiments/tiling_exp.mli:

@@ -1,0 +1,52 @@
+(** Ablations of the design choices DESIGN.md calls out.
+
+    - Banding width (#12): fixed bands trade alignment score for cycles;
+      X-Drop adaptive pruning is the accuracy yardstick (§2.2.4).
+    - Tiling geometry (#2): tile size and overlap trade device work for
+      optimal-score recovery.
+    - Host arbiter bandwidth: when per-alignment transfer cycles rival
+      compute, N_B blocks starve behind the shared arbiter (Fig 2B).
+    - Initiation interval (#8): the paper notes the profile kernel needs
+      II = 4; this quantifies what II = 1 would buy. *)
+
+type band_point = {
+  bandwidth : int;
+  cycles : int;
+  score : int;
+  full_score : int;           (** unbanded SWG score *)
+  recovery : float;           (** score / full_score *)
+  xdrop_cells : int;          (** X-Drop explored cells at similar accuracy *)
+  band_cells : int;
+}
+
+val banding : ?len:int -> ?seed:int -> unit -> band_point list
+
+type tiling_point = {
+  tile : int;
+  overlap : int;
+  recovery : float;
+  total_cycles : int;
+}
+
+val tiling : ?read_length:int -> ?seed:int -> unit -> tiling_point list
+
+type arbiter_point = {
+  bytes_per_cycle : int;
+  throughput : float;
+  bandwidth_bound : bool;
+}
+
+val arbiter : ?len:int -> unit -> arbiter_point list
+
+type width_point = { score_bits : int; lut : float; ff : float }
+
+val score_width : ?len:int -> unit -> width_point list
+(** Resource cost of the arbitrary-precision score datapath (#2) across
+    widths — the customization Vitis [ap_int] enables and §7.4 credits
+    for part of the CPU speedup. *)
+
+type ii_point = { ii : int; cycles : int; alignments_per_sec : float }
+
+val initiation_interval : ?len:int -> unit -> ii_point list
+
+val run : ?quick:bool -> unit -> unit

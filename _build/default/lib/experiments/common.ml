@@ -1,0 +1,39 @@
+open Dphls_core
+
+let default_seed = 20260706
+
+let median_cycles packed ~gen ~n_pe ~len ~samples ~seed =
+  let (Registry.Packed (k, p)) = packed in
+  let rng = Dphls_util.Rng.create seed in
+  let cfg = Dphls_systolic.Config.create ~n_pe in
+  let cycles =
+    Array.init samples (fun _ ->
+        let w = gen rng ~len in
+        let _, stats = Dphls_systolic.Engine.run cfg k p w in
+        float_of_int stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total)
+  in
+  Dphls_util.Stats.median cycles
+
+let model_throughput packed ~gen ~n_pe ~n_b ~n_k ~len ~samples =
+  let cycles =
+    median_cycles packed ~gen ~n_pe ~len ~samples ~seed:default_seed
+  in
+  let freq_mhz = Dphls_resource.Estimate.max_frequency_mhz packed in
+  Dphls_host.Throughput.alignments_per_sec ~cycles_per_alignment:cycles ~freq_mhz
+    ~n_b ~n_k
+
+let time_per_call f ~min_seconds =
+  (* Warm up once, then batch until enough wall time has accumulated. *)
+  f ();
+  let calls = ref 0 in
+  let start = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. start in
+  while elapsed () < min_seconds do
+    f ();
+    incr calls
+  done;
+  elapsed () /. float_of_int (max 1 !calls)
+
+let cpu_scaled_throughput ~per_call_seconds ~native_factor =
+  float_of_int Dphls_baselines.Seqan_like.threads_scale
+  *. native_factor /. per_call_seconds

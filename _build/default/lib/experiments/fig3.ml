@@ -1,0 +1,92 @@
+module Pretty = Dphls_util.Pretty
+module Estimate = Dphls_resource.Estimate
+
+type point = {
+  x : int;
+  throughput : float;
+  util : Dphls_resource.Device.percentages;
+}
+
+let npe_values = [ 4; 8; 16; 32; 64; 128 ]
+let nb_values = [ 1; 2; 4; 8; 16; 24; 32 ]
+
+let block_cfg (e : Dphls_kernels.Catalog.entry) n_pe =
+  { Estimate.n_pe; max_qry = e.default_len; max_ref = e.default_len }
+
+let npe_sweep ?(samples = 3) ~id () =
+  let e = Dphls_kernels.Catalog.find id in
+  List.map
+    (fun n_pe ->
+      {
+        x = n_pe;
+        throughput =
+          Common.model_throughput e.packed ~gen:e.gen ~n_pe ~n_b:1 ~n_k:1
+            ~len:e.default_len ~samples;
+        util =
+          Dphls_resource.Device.percent_of Dphls_resource.Device.xcvu9p
+            (Estimate.full e.packed (block_cfg e n_pe) ~n_b:1 ~n_k:1);
+      })
+    npe_values
+
+let fig3_npe_for_nb_sweep = 32
+
+let dsp_cap_nb ~id ~n_pe =
+  let e = Dphls_kernels.Catalog.find id in
+  let rec grow n_b =
+    if n_b >= 256 then 256
+    else if Estimate.fits_device e.packed (block_cfg e n_pe) ~n_b:(n_b + 1) ~n_k:1
+    then grow (n_b + 1)
+    else n_b
+  in
+  grow 0
+
+let nb_sweep ?(samples = 3) ~id () =
+  let e = Dphls_kernels.Catalog.find id in
+  let n_pe = fig3_npe_for_nb_sweep in
+  let cap = dsp_cap_nb ~id ~n_pe in
+  let per_block_cycles_throughput n_b =
+    Common.model_throughput e.packed ~gen:e.gen ~n_pe ~n_b ~n_k:1 ~len:e.default_len
+      ~samples
+  in
+  List.filter_map
+    (fun n_b ->
+      if n_b > cap then None
+      else
+        Some
+          {
+            x = n_b;
+            throughput = per_block_cycles_throughput n_b;
+            util =
+              Dphls_resource.Device.percent_of Dphls_resource.Device.xcvu9p
+                (Estimate.full e.packed (block_cfg e n_pe) ~n_b ~n_k:1);
+          })
+    nb_values
+
+let print_series title points =
+  Pretty.print_table ~title
+    ~header:[ "x"; "aligns/s"; "LUT%"; "FF%"; "BRAM%"; "DSP%" ]
+    (List.map
+       (fun p ->
+         [
+           string_of_int p.x;
+           Pretty.sci p.throughput;
+           Printf.sprintf "%.2f" (100.0 *. p.util.Dphls_resource.Device.lut_pct);
+           Printf.sprintf "%.2f" (100.0 *. p.util.ff_pct);
+           Printf.sprintf "%.2f" (100.0 *. p.util.bram_pct);
+           Printf.sprintf "%.2f" (100.0 *. p.util.dsp_pct);
+         ])
+       points)
+
+let run ?samples () =
+  List.iter
+    (fun id ->
+      let e = Dphls_kernels.Catalog.find id in
+      let name = Dphls_core.Registry.name e.packed in
+      print_series
+        (Printf.sprintf "Fig 3 — %s: N_PE sweep (N_B=1)" name)
+        (npe_sweep ?samples ~id ());
+      print_series
+        (Printf.sprintf "Fig 3 — %s: N_B sweep (N_PE=32, device cap %d)" name
+           (dsp_cap_nb ~id ~n_pe:32))
+        (nb_sweep ?samples ~id ()))
+    [ 1; 9 ]

@@ -1,0 +1,23 @@
+(** Experiment E-F3: Fig 3 — scaling of Global Linear (#1) and DTW (#9)
+    with N_PE (throughput saturates as wavefront parallelism thins at the
+    matrix edges; LUT/FF scale linearly; DSP scales only for DTW; BRAM
+    dips at N_PE = 64 via LUTRAM conversion) and with N_B (everything
+    scales near-perfectly; DTW's N_B is capped by DSP availability). *)
+
+type point = {
+  x : int;  (** N_PE or N_B *)
+  throughput : float;
+  util : Dphls_resource.Device.percentages;
+}
+
+val npe_sweep : ?samples:int -> id:int -> unit -> point list
+(** N_PE in 4..128, N_B = 1. *)
+
+val nb_sweep : ?samples:int -> id:int -> unit -> point list
+(** N_B in 1..32 (stopping at the device capacity), N_PE fixed at the
+    kernel's Fig 3 setting. *)
+
+val dsp_cap_nb : id:int -> n_pe:int -> int
+(** Largest N_B that fits the device (the paper's DTW cap of 24). *)
+
+val run : ?samples:int -> unit -> unit

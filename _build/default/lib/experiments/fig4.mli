@@ -1,0 +1,19 @@
+(** Experiment E-F4: Fig 4 — DP-HLS kernels vs hand-written RTL
+    accelerators at matched configurations: throughput (A-C) and
+    resource utilization (D-F) for #2 vs GACT, #12 vs BSW and #14 vs
+    SquiggleFilter. The paper finds DP-HLS within 7.7 / 16.8 / 8.16 %
+    of the baselines' throughput with comparable resources. *)
+
+type comparison = {
+  kernel_id : int;
+  baseline : string;
+  dphls_throughput : float;
+  rtl_throughput : float;
+  gap_pct : float;       (** (rtl - dphls) / rtl * 100 *)
+  paper_gap_pct : float;
+  dphls_util : Dphls_resource.Device.percentages;
+  rtl_util : Dphls_resource.Device.percentages;
+}
+
+val compute : ?samples:int -> unit -> comparison list
+val run : ?samples:int -> unit -> unit

@@ -1,0 +1,16 @@
+(** Experiment E-F5: Fig 5 — scaling comparison of kernel #2 vs GACT
+    with increasing N_PE (N_B = 1): throughput tracks closely and the
+    FF/LUT difference stays a constant factor. *)
+
+type point = {
+  n_pe : int;
+  dphls_throughput : float;
+  gact_throughput : float;
+  dphls_ff : float;  (** percent of device *)
+  gact_ff : float;
+  dphls_lut : float;
+  gact_lut : float;
+}
+
+val compute : ?samples:int -> unit -> point list
+val run : ?samples:int -> unit -> unit

@@ -1,0 +1,134 @@
+open Dphls_core
+module Pretty = Dphls_util.Pretty
+module B = Dphls_baselines
+module SL = Dphls_baselines.Seqan_like
+
+type cpu_row = {
+  kernel_id : int;
+  baseline : string;
+  dphls : float;
+  cpu : float;
+  speedup : float;
+  paper_speedup : float;
+}
+
+type gpu_row = {
+  kernel_id : int;
+  tool : string;
+  dphls : float;
+  gpu : float;
+  speedup : float;
+}
+
+(* CPU scorer matching each kernel's semantics, on plain base arrays. *)
+let cpu_scorer id =
+  let linear = SL.Linear (-2) and affine = SL.Affine { open_ = -3; extend = -1 } in
+  let seqan mode gap =
+    let s = SL.dna_scoring ~match_:2 ~mismatch:(-2) ~gap ~mode in
+    ( "SeqAn3-like",
+      SL.native_factor,
+      fun ~query ~reference -> ignore (SL.score s ~query ~reference) )
+  in
+  match id with
+  | 1 -> seqan SL.Global linear
+  | 2 -> seqan SL.Global affine
+  | 3 -> seqan SL.Local linear
+  | 4 -> seqan SL.Local affine
+  | 5 ->
+    ( "Minimap2-like",
+      B.Minimap2_like.native_factor,
+      fun ~query ~reference ->
+        ignore (B.Minimap2_like.score B.Minimap2_like.default ~query ~reference) )
+  | 6 -> seqan SL.Overlap linear
+  | 7 -> seqan SL.Semi_global linear
+  | 11 -> seqan SL.Global linear
+  | 12 -> seqan SL.Local affine
+  | 15 ->
+    ( "EMBOSS-Water-like",
+      B.Emboss_like.native_factor,
+      fun ~query ~reference ->
+        ignore (B.Emboss_like.blosum62_score ~query ~reference) )
+  | _ -> invalid_arg "Fig6.cpu_scorer: kernel has no CPU baseline"
+
+let compute_cpu ?(samples = 3) ?(min_seconds = 0.2) () =
+  List.map
+    (fun id ->
+      let e = Dphls_kernels.Catalog.find id in
+      let opt = e.Dphls_kernels.Catalog.optimal in
+      let dphls =
+        Common.model_throughput e.packed ~gen:e.gen
+          ~n_pe:opt.Dphls_kernels.Catalog.n_pe ~n_b:opt.n_b ~n_k:opt.n_k
+          ~len:e.default_len ~samples
+      in
+      let baseline, native_factor, call = cpu_scorer id in
+      let rng = Dphls_util.Rng.create (Common.default_seed + id) in
+      let w = e.gen rng ~len:e.default_len in
+      let query = Types.bases_of_seq w.Workload.query in
+      let reference = Types.bases_of_seq w.Workload.reference in
+      let per_call =
+        Common.time_per_call (fun () -> call ~query ~reference) ~min_seconds
+      in
+      let cpu_raw =
+        Common.cpu_scaled_throughput ~per_call_seconds:per_call ~native_factor
+      in
+      let cpu = cpu_raw *. B.Aws.iso_cost_factor B.Aws.c4_8xlarge in
+      {
+        kernel_id = id;
+        baseline;
+        dphls;
+        cpu;
+        speedup = dphls /. cpu;
+        paper_speedup = Paper_data.fig6_cpu_ratio id;
+      })
+    Paper_data.fig6_cpu_kernels
+
+let compute_gpu ?(samples = 3) () =
+  List.map
+    (fun (b : B.Gpu_models.gpu_baseline) ->
+      let e = Dphls_kernels.Catalog.find b.B.Gpu_models.kernel_id in
+      let opt = e.Dphls_kernels.Catalog.optimal in
+      let dphls =
+        Common.model_throughput e.packed ~gen:e.gen
+          ~n_pe:opt.Dphls_kernels.Catalog.n_pe ~n_b:opt.n_b ~n_k:opt.n_k
+          ~len:e.default_len ~samples
+      in
+      let gpu = B.Gpu_models.iso_cost_throughput b in
+      {
+        kernel_id = b.B.Gpu_models.kernel_id;
+        tool = b.B.Gpu_models.tool;
+        dphls;
+        gpu;
+        speedup = dphls /. gpu;
+      })
+    B.Gpu_models.all
+
+let run ?samples ?min_seconds () =
+  Pretty.print_table
+    ~title:
+      "Fig 6A — DP-HLS vs CPU baselines (iso-cost; CPU = measured x32 threads x \
+       SIMD factor)"
+    ~header:[ "#"; "baseline"; "dphls aligns/s"; "cpu aligns/s"; "speedup"; "paper" ]
+    (List.map
+       (fun (r : cpu_row) ->
+         [
+           string_of_int r.kernel_id;
+           r.baseline;
+           Pretty.sci r.dphls;
+           Pretty.sci r.cpu;
+           Pretty.ratio r.speedup;
+           Pretty.ratio r.paper_speedup;
+         ])
+       (compute_cpu ?samples ?min_seconds ()));
+  Pretty.print_table
+    ~title:"Fig 6B — DP-HLS vs GPU baselines (iso-cost; V100 rates from paper)"
+    ~header:[ "#"; "tool"; "dphls aligns/s"; "gpu aligns/s"; "speedup" ]
+    (List.map
+       (fun (r : gpu_row) ->
+         [
+           string_of_int r.kernel_id;
+           r.tool;
+           Pretty.sci r.dphls;
+           Pretty.sci r.gpu;
+           Pretty.ratio r.speedup;
+         ])
+       (compute_gpu ?samples ()))

@@ -1,0 +1,26 @@
+(** Experiment E-F6: Fig 6 — iso-cost throughput of DP-HLS kernels vs
+    CPU baselines (A: SeqAn3-like measured on this machine, scaled to
+    the paper's 32-thread SIMD setting; Minimap2-like for #5;
+    EMBOSS-Water-like for #15) and GPU baselines (B: GASAL2 and
+    CUDASW++ 4.0, reconstructed from the paper's reported ratios). *)
+
+type cpu_row = {
+  kernel_id : int;
+  baseline : string;
+  dphls : float;          (** model alignments/s at optimal config *)
+  cpu : float;            (** measured, thread/SIMD-scaled, iso-cost *)
+  speedup : float;
+  paper_speedup : float;
+}
+
+type gpu_row = {
+  kernel_id : int;
+  tool : string;
+  dphls : float;
+  gpu : float;  (** iso-cost *)
+  speedup : float;
+}
+
+val compute_cpu : ?samples:int -> ?min_seconds:float -> unit -> cpu_row list
+val compute_gpu : ?samples:int -> unit -> gpu_row list
+val run : ?samples:int -> ?min_seconds:float -> unit -> unit

@@ -1,0 +1,89 @@
+open Dphls_core
+module B = Dphls_baselines
+module Pretty = Dphls_util.Pretty
+
+type row = {
+  kernel_id : int;
+  instructions : int;
+  gendp_ii : int;
+  dphls_throughput : float;
+  gendp_throughput : float;
+  throughput_ratio : float;
+  lut_overhead : float;
+}
+
+let n_pe = 32
+let lanes = 4
+
+let compute ?(samples = 2) ?(kernels = [ 1; 2; 5; 15 ]) () =
+  List.map
+    (fun id ->
+      let e = Dphls_kernels.Catalog.find id in
+      let (Registry.Packed (k, p)) = e.packed in
+      let len = e.default_len in
+      let rng = Dphls_util.Rng.create Common.default_seed in
+      let cfg = Dphls_systolic.Config.create ~n_pe in
+      let totals = Array.make samples 0.0 and tbs = Array.make samples 0.0 in
+      for i = 0 to samples - 1 do
+        let w = e.gen rng ~len in
+        let _, stats = Dphls_systolic.Engine.run cfg k p w in
+        totals.(i) <-
+          float_of_int stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total;
+        tbs.(i) <-
+          float_of_int stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.traceback
+      done;
+      let freq = Dphls_resource.Estimate.max_frequency_mhz e.packed in
+      let dphls_tp =
+        Dphls_host.Throughput.alignments_per_sec
+          ~cycles_per_alignment:(Dphls_util.Stats.median totals) ~freq_mhz:freq
+          ~n_b:1 ~n_k:1
+      in
+      let tb_steps = int_of_float (Dphls_util.Stats.median tbs) in
+      let gendp_cycles =
+        B.Gendp_model.cycles e.packed ~n_pe ~lanes ~qry_len:len ~ref_len:len
+          ~tb_steps
+      in
+      let gendp_tp =
+        Dphls_host.Throughput.alignments_per_sec
+          ~cycles_per_alignment:(float_of_int gendp_cycles) ~freq_mhz:freq ~n_b:1
+          ~n_k:1
+      in
+      let block_cfg = { Dphls_resource.Estimate.n_pe; max_qry = len; max_ref = len } in
+      let dphls_lut =
+        (Dphls_resource.Estimate.block e.packed block_cfg).Dphls_resource.Device.lut
+      in
+      let gendp_lut =
+        (B.Gendp_model.utilization e.packed ~n_pe ~max_qry:len ~max_ref:len)
+          .Dphls_resource.Device.lut
+      in
+      {
+        kernel_id = id;
+        instructions = B.Gendp_model.instructions_per_cell e.packed;
+        gendp_ii = B.Gendp_model.effective_ii e.packed ~lanes;
+        dphls_throughput = dphls_tp;
+        gendp_throughput = gendp_tp;
+        throughput_ratio = dphls_tp /. gendp_tp;
+        lut_overhead = gendp_lut /. dphls_lut;
+      })
+    kernels
+
+let run ?samples () =
+  Pretty.print_table
+    ~title:
+      "GenDP-on-FPGA — circuit-specialized vs software-programmable PEs (N_PE=32, \
+       4-lane PEs)"
+    ~header:
+      [ "#"; "insns/cell"; "gendp II"; "dphls aligns/s"; "gendp aligns/s"; "ratio";
+        "LUT overhead" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.kernel_id;
+           string_of_int r.instructions;
+           string_of_int r.gendp_ii;
+           Pretty.sci r.dphls_throughput;
+           Pretty.sci r.gendp_throughput;
+           Pretty.ratio r.throughput_ratio;
+           Pretty.ratio r.lut_overhead;
+         ])
+       (compute ?samples ()))

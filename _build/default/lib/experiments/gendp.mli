@@ -1,0 +1,21 @@
+(** Experiment E-GENDP: quantify the paper's §1 argument that
+    software-programmable systolic PEs (GenDP-style) carry significant
+    overhead on circuit-programmable FPGAs, by comparing each kernel's
+    DP-HLS design against a programmable-PE deployment of the same
+    algorithm on the same fabric. *)
+
+type row = {
+  kernel_id : int;
+  instructions : int;        (** ISA ops per DP cell *)
+  gendp_ii : int;            (** effective initiation interval *)
+  dphls_throughput : float;
+  gendp_throughput : float;
+  throughput_ratio : float;  (** dphls / gendp *)
+  lut_overhead : float;      (** gendp LUT / dphls LUT for one block *)
+}
+
+val compute : ?samples:int -> ?kernels:int list -> unit -> row list
+(** Defaults to kernels #1, #2, #5 and #15 (linear, affine, two-piece
+    and table-driven datapaths). *)
+
+val run : ?samples:int -> unit -> unit

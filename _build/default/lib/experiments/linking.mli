@@ -1,0 +1,26 @@
+(** Experiment E-LINK: heterogeneous kernel linking (paper §4 step 5's
+    "mix of global and local aligners seamlessly linked").
+
+    Builds the Fig 2B-style mixed device — one channel each of a global
+    aligner, a local aligner and the sDTW filter — validates the device
+    fit and evaluates the aggregate throughput, which is what a real
+    pipeline (filter + map + polish on one F1 card) would deploy. *)
+
+type channel = {
+  kernel_id : int;
+  n_pe : int;
+  n_b : int;
+  throughput : float;  (** alignments/s of this channel alone *)
+}
+
+type result = {
+  channels : channel list;
+  total_throughput : float;
+  lut_pct : float;
+  bram_pct : float;
+  dsp_pct : float;
+  fits : bool;
+}
+
+val compute : ?samples:int -> unit -> result
+val run : ?samples:int -> unit -> unit

@@ -1,0 +1,65 @@
+type table2_row = {
+  id : int;
+  lut_pct : float;
+  ff_pct : float;
+  bram_pct : float;
+  dsp_pct : float;
+  n_pe : int;
+  n_b : int;
+  n_k : int;
+  freq_mhz : float;
+  alignments_per_sec : float;
+}
+
+let row id lut ff bram dsp (n_pe, n_b, n_k) freq aps =
+  {
+    id;
+    lut_pct = lut;
+    ff_pct = ff;
+    bram_pct = bram;
+    dsp_pct = dsp;
+    n_pe;
+    n_b;
+    n_k;
+    freq_mhz = freq;
+    alignments_per_sec = aps;
+  }
+
+let table2 =
+  [
+    row 1 0.72 0.42 1.78 0.029 (64, 16, 4) 250.0 3.51e6;
+    row 2 1.30 0.517 1.78 0.029 (32, 16, 4) 250.0 2.85e6;
+    row 3 0.95 0.63 1.67 0.014 (32, 16, 5) 250.0 3.43e6;
+    row 4 1.60 0.75 1.67 0.014 (32, 16, 4) 250.0 2.71e6;
+    row 5 2.03 0.65 2.67 0.029 (32, 8, 5) 150.0 1.06e6;
+    row 6 0.98 0.66 1.67 0.014 (32, 16, 4) 250.0 2.73e6;
+    row 7 1.17 0.67 0.83 0.014 (32, 16, 4) 250.0 3.34e6;
+    row 8 3.66 2.56 2.56 28.11 (16, 1, 5) 166.7 3.70e4;
+    row 9 1.62 1.55 1.88 2.84 (64, 4, 3) 200.0 2.31e5;
+    row 10 3.78 1.69 1.67 0.014 (16, 4, 7) 125.0 4.90e5;
+    row 11 1.02 0.40 0.94 0.029 (64, 8, 7) 166.7 2.25e6;
+    row 12 1.44 0.70 0.57 0.014 (16, 16, 7) 200.0 4.77e6;
+    row 13 2.25 0.69 1.83 0.029 (16, 8, 7) 125.0 1.24e6;
+    row 14 1.22 0.76 0.57 0.014 (32, 16, 5) 250.0 5.16e6;
+    row 15 1.47 0.95 2.56 0.014 (32, 8, 5) 200.0 9.33e5;
+  ]
+
+let table2_find id = List.find (fun r -> r.id = id) table2
+
+let fig4_gap_pct =
+  [ ("GACT", 7.7); ("BSW", 16.8); ("SquiggleFilter", 8.16) ]
+
+(* §7.4 gives 1.5-2.7x for the SeqAn3 kernels with per-kernel bars in
+   Fig 6A; representative per-kernel values within the stated band, plus
+   the explicitly quoted 12x (#5) and 32x (#15). *)
+let cpu_ratios =
+  [
+    (1, 2.2); (2, 2.0); (3, 2.3); (4, 1.9); (5, 12.0); (6, 2.0); (7, 2.4);
+    (11, 1.6); (12, 2.7); (15, 32.0);
+  ]
+
+let fig6_cpu_ratio id = List.assoc id cpu_ratios
+
+let fig6_cpu_kernels = [ 1; 2; 3; 4; 5; 6; 7; 11; 12; 15 ]
+
+let sec7_5_hls_gain_pct = 32.6

@@ -1,0 +1,33 @@
+(** Published numbers from the paper's evaluation, against which the
+    reproduction's model outputs are tabulated (EXPERIMENTS.md). *)
+
+type table2_row = {
+  id : int;
+  lut_pct : float;   (** % for a 32-PE block *)
+  ff_pct : float;
+  bram_pct : float;
+  dsp_pct : float;
+  n_pe : int;        (** optimal configuration *)
+  n_b : int;
+  n_k : int;
+  freq_mhz : float;
+  alignments_per_sec : float;
+}
+
+val table2 : table2_row list
+val table2_find : int -> table2_row
+
+val fig4_gap_pct : (string * float) list
+(** Paper §7.3: DP-HLS throughput deficit vs each RTL baseline
+    (GACT 7.7 %, BSW 16.8 %, SquiggleFilter 8.16 %). *)
+
+val fig6_cpu_ratio : int -> float
+(** Paper §7.4: DP-HLS / CPU-baseline iso-cost throughput ratio for a
+    kernel id (1.5-2.7x for the SeqAn3 kernels, 12x for #5, 32x for
+    #15). Raises [Not_found] for kernels without a CPU baseline. *)
+
+val fig6_cpu_kernels : int list
+(** Kernels with CPU baselines: #1-7, #11, #12, #15. *)
+
+val sec7_5_hls_gain_pct : float
+(** DP-HLS advantage over the Vitis Genomics HLS baseline: 32.6 %. *)

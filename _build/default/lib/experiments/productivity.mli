@@ -1,0 +1,18 @@
+(** Experiment E-PROD: the §7.6 productivity argument, quantified with a
+    lines-of-code proxy: specifying a new kernel through the DP-HLS
+    front-end takes ~10x less code than the back-end machinery it reuses
+    (which in turn is what a hand-written RTL design would re-implement
+    per kernel). *)
+
+type report = {
+  per_kernel_loc : (string * int) list;  (** each kernel spec module *)
+  mean_kernel_loc : float;
+  framework_loc : int;   (** core + systolic + resource back-end *)
+  leverage : float;      (** framework / mean kernel *)
+}
+
+val compute : ?root:string -> unit -> report option
+(** Counts non-blank lines under [root] (default "lib"); [None] when the
+    sources are not reachable from the working directory. *)
+
+val run : unit -> unit

@@ -1,0 +1,30 @@
+let experiments ~quick =
+  let samples = if quick then 1 else 3 in
+  [
+    ("table2", fun () -> Table2.run ~samples ());
+    ("fig3", fun () -> Fig3.run ~samples ());
+    ("fig4", fun () -> Fig4.run ~samples ());
+    ("fig5", fun () -> Fig5.run ~samples ());
+    ( "fig6",
+      fun () -> Fig6.run ~samples ~min_seconds:(if quick then 0.05 else 0.3) () );
+    ("hls_baseline", fun () -> Sec7_5.run ~samples ());
+    ( "tiling",
+      fun () -> Tiling_exp.run ~read_length:(if quick then 1024 else 2048) () );
+    ("systolic_trace", fun () -> Systolic_check.run ());
+    ("ablations", fun () -> Ablations.run ~quick ());
+    ("linking", fun () -> Linking.run ~samples ());
+    ("gendp", fun () -> Gendp.run ~samples ());
+    ("productivity", fun () -> Productivity.run ());
+  ]
+
+let names = List.map fst (experiments ~quick:true)
+
+let run_one ?(quick = false) name =
+  (List.assoc name (experiments ~quick)) ()
+
+let run_all ?(quick = false) () =
+  List.iter
+    (fun (name, f) ->
+      Dphls_util.Pretty.section name;
+      f ())
+    (experiments ~quick)

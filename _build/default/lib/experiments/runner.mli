@@ -1,0 +1,10 @@
+(** Run every experiment of the per-experiment index in DESIGN.md. *)
+
+val run_all : ?quick:bool -> unit -> unit
+(** [quick] shrinks sample counts and the tiling read length (used by
+    integration tests); the default reproduces the full protocol. *)
+
+val names : string list
+val run_one : ?quick:bool -> string -> unit
+(** Run a single experiment by name; raises [Not_found] for unknown
+    names (see {!names}). *)

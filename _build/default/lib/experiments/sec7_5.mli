@@ -1,0 +1,14 @@
+(** Experiment E-7.5: kernel #3 vs the AMD Vitis Genomics HLS
+    Smith-Waterman baseline at N_PE=32, N_B=32, N_K=1. The paper reports
+    DP-HLS 32.6 % faster, attributed to device-memory staging (vs the
+    baseline's host streaming) and denser compiler hints. *)
+
+type result = {
+  dphls_throughput : float;
+  hls_throughput : float;
+  gain_pct : float;
+  paper_gain_pct : float;
+}
+
+val compute : ?samples:int -> unit -> result
+val run : ?samples:int -> unit -> unit

@@ -1,0 +1,76 @@
+open Dphls_core
+module Trace = Dphls_systolic.Trace
+
+type check = {
+  kernel_id : int;
+  row_ownership : bool;
+  single_fire : bool;
+  full_coverage : bool;
+  utilization : float;
+}
+
+let compute ?(n_pe = 8) ?(len = 64) ~kernel_id () =
+  let e = Dphls_kernels.Catalog.find kernel_id in
+  let (Registry.Packed (k, p)) = e.packed in
+  let rng = Dphls_util.Rng.create Common.default_seed in
+  let w = e.gen rng ~len in
+  let trace = Trace.create ~enabled:true in
+  let cfg = Dphls_systolic.Config.create ~n_pe in
+  let _, stats = Dphls_systolic.Engine.run ~trace cfg k p w in
+  let events = Trace.events trace in
+  let row_ownership =
+    List.for_all (fun e -> e.Trace.cell.Types.row mod n_pe = e.Trace.pe) events
+  in
+  let slot_tbl = Hashtbl.create 256 in
+  let single_fire =
+    List.for_all
+      (fun e ->
+        let key = (e.Trace.chunk, e.Trace.wavefront, e.Trace.pe) in
+        if Hashtbl.mem slot_tbl key then false
+        else begin
+          Hashtbl.add slot_tbl key ();
+          true
+        end)
+      events
+  in
+  let cell_tbl = Hashtbl.create 256 in
+  List.iter
+    (fun e ->
+      let key = (e.Trace.cell.Types.row, e.Trace.cell.Types.col) in
+      Hashtbl.replace cell_tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt cell_tbl key)))
+    events;
+  let qlen = Array.length w.Workload.query and rlen = Array.length w.Workload.reference in
+  let full_coverage =
+    let ok = ref true in
+    for row = 0 to qlen - 1 do
+      for col = 0 to rlen - 1 do
+        let expected = if Banding.in_band k.Kernel.banding ~row ~col then 1 else 0 in
+        let got = Option.value ~default:0 (Hashtbl.find_opt cell_tbl (row, col)) in
+        if got <> expected then ok := false
+      done
+    done;
+    !ok
+  in
+  {
+    kernel_id;
+    row_ownership;
+    single_fire;
+    full_coverage;
+    utilization = stats.Dphls_systolic.Engine.utilization;
+  }
+
+let run () =
+  Dphls_util.Pretty.print_table
+    ~title:"Sec 7.2 — linear systolic array invariants (from the PE activity trace)"
+    ~header:[ "#"; "row ownership"; "single fire"; "full coverage"; "PE utilization" ]
+    (List.map
+       (fun id ->
+         let c = compute ~kernel_id:id () in
+         [
+           string_of_int c.kernel_id;
+           string_of_bool c.row_ownership;
+           string_of_bool c.single_fire;
+           string_of_bool c.full_coverage;
+           Printf.sprintf "%.2f" c.utilization;
+         ])
+       [ 1; 9 ])

@@ -1,0 +1,16 @@
+(** Experiment E-SYS: §7.2's claim that the generated design behaves as a
+    1-D linear systolic array. Where the paper infers this indirectly
+    from scaling curves (HLS output being unreadable), the simulator can
+    check the invariants directly from the PE activity trace. *)
+
+type check = {
+  kernel_id : int;
+  row_ownership : bool;      (** PE k computes only rows = k (mod N_PE) *)
+  single_fire : bool;        (** <= 1 cell per PE per wavefront *)
+  full_coverage : bool;      (** every in-band cell computed exactly once *)
+  utilization : float;       (** fires / (PE x wavefront) slots *)
+}
+
+val compute : ?n_pe:int -> ?len:int -> kernel_id:int -> unit -> check
+val run : unit -> unit
+(** Checks kernels #1 and #9 (the Fig 3 pair) and prints the verdicts. *)

@@ -1,0 +1,64 @@
+open Dphls_core
+module Pretty = Dphls_util.Pretty
+
+type result_row = {
+  id : int;
+  name : string;
+  model : Dphls_resource.Device.percentages;
+  paper : Paper_data.table2_row;
+  freq_mhz : float;
+  alignments_per_sec : float;
+}
+
+let compute ?(samples = 3) () =
+  List.map
+    (fun (e : Dphls_kernels.Catalog.entry) ->
+      let id = Registry.id e.packed in
+      let paper = Paper_data.table2_find id in
+      let block_cfg =
+        { Dphls_resource.Estimate.n_pe = 32; max_qry = e.default_len; max_ref = e.default_len }
+      in
+      let model = Dphls_resource.Estimate.block_percent e.packed block_cfg in
+      let opt = e.optimal in
+      let throughput =
+        Common.model_throughput e.packed ~gen:e.gen
+          ~n_pe:opt.Dphls_kernels.Catalog.n_pe ~n_b:opt.n_b ~n_k:opt.n_k
+          ~len:e.default_len ~samples
+      in
+      {
+        id;
+        name = Registry.name e.packed;
+        model;
+        paper;
+        freq_mhz = Dphls_resource.Estimate.max_frequency_mhz e.packed;
+        alignments_per_sec = throughput;
+      })
+    Dphls_kernels.Catalog.all
+
+let run ?samples () =
+  let rows = compute ?samples () in
+  let pct x = Printf.sprintf "%.2f" (100.0 *. x) in
+  Pretty.print_table
+    ~title:
+      "Table 2 — resources of one 32-PE block (model/paper, % of XCVU9P), optimal \
+       config, achieved clock, throughput"
+    ~header:
+      [ "#"; "kernel"; "LUT%"; "FF%"; "BRAM%"; "DSP%"; "(PE,B,K)"; "MHz"; "aligns/s";
+        "paper"; "ratio" ]
+    (List.map
+       (fun r ->
+         let p = r.paper in
+         [
+           string_of_int r.id;
+           r.name;
+           Printf.sprintf "%s/%.2f" (pct r.model.Dphls_resource.Device.lut_pct) p.Paper_data.lut_pct;
+           Printf.sprintf "%s/%.2f" (pct r.model.ff_pct) p.ff_pct;
+           Printf.sprintf "%s/%.2f" (pct r.model.bram_pct) p.bram_pct;
+           Printf.sprintf "%.3f/%.3f" (100.0 *. r.model.dsp_pct) p.dsp_pct;
+           Printf.sprintf "(%d,%d,%d)" p.n_pe p.n_b p.n_k;
+           Printf.sprintf "%.1f/%.1f" r.freq_mhz p.freq_mhz;
+           Pretty.sci r.alignments_per_sec;
+           Pretty.sci p.alignments_per_sec;
+           Pretty.ratio (r.alignments_per_sec /. p.alignments_per_sec);
+         ])
+       rows)

@@ -1,0 +1,16 @@
+(** Experiment E-T2: reproduce Table 2 — per-kernel resource utilization
+    of a 32-PE block, optimal (N_PE, N_B, N_K), achieved clock and
+    device throughput, side by side with the published values. *)
+
+type result_row = {
+  id : int;
+  name : string;
+  model : Dphls_resource.Device.percentages;  (** 32-PE block *)
+  paper : Paper_data.table2_row;
+  freq_mhz : float;
+  alignments_per_sec : float;  (** model, at the paper's optimal config *)
+}
+
+val compute : ?samples:int -> unit -> result_row list
+val run : ?samples:int -> unit -> unit
+(** Print the reproduced table with model/paper columns. *)

@@ -1,0 +1,22 @@
+(** Experiment E-TIL: long-read alignment via GACT-style tiling on
+    kernel #2 (paper contribution 5 / §7.3's long-alignment remark).
+
+    Simulated PacBio reads longer than the kernel's MAX lengths are
+    aligned tile-by-tile; the stitched path's affine score is compared
+    with the exact full-matrix score, and DP-HLS's tiled throughput with
+    GACT's (both use the same number of tiles, so the relative
+    throughput matches the short-alignment case). *)
+
+type result = {
+  read_length : int;
+  tiles : int;
+  exact_score : int;
+  tiled_score : int;
+  score_recovery : float;   (** tiled / exact (1.0 = optimal recovered) *)
+  dphls_cycles : int;       (** total over tiles *)
+  gact_cycles : int;
+  relative_throughput : float;  (** dphls / gact, should match Fig 4A *)
+}
+
+val compute : ?read_length:int -> ?seed:int -> unit -> result
+val run : ?read_length:int -> unit -> unit

@@ -1,0 +1,1 @@
+lib/fixed/ap_fixed.ml: Ap_int Float

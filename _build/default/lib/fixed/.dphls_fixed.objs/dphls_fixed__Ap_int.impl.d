@@ -1,0 +1,1 @@
+lib/fixed/ap_int.ml: Dphls_util

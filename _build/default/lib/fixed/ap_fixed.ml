@@ -1,0 +1,45 @@
+type spec = { width : int; frac : int }
+
+let spec ~width ~frac =
+  if width < 2 || width > 62 then invalid_arg "Ap_fixed.spec: width out of [2,62]";
+  if frac < 0 || frac >= width then invalid_arg "Ap_fixed.spec: frac out of [0,width)";
+  { width; frac }
+
+let int_spec { width; _ } = Ap_int.spec width
+
+let scale { frac; _ } = float_of_int (1 lsl frac)
+
+let of_float s x =
+  let scaled = x *. scale s in
+  let rounded =
+    if scaled >= 0.0 then int_of_float (Float.round scaled)
+    else -int_of_float (Float.round (-.scaled))
+  in
+  Ap_int.clamp (int_spec s) rounded
+
+let to_float s raw = float_of_int raw /. scale s
+
+let add s a b = Ap_int.add (int_spec s) a b
+let sub s a b = Ap_int.sub (int_spec s) a b
+
+let mul s a b =
+  (* Full-precision product carries 2*frac fractional bits; shift back with
+     rounding toward nearest. *)
+  let p = a * b in
+  let half = 1 lsl (s.frac - 1) in
+  let shifted =
+    if s.frac = 0 then p
+    else if p >= 0 then (p + half) asr s.frac
+    else -((-p + half) asr s.frac)
+  in
+  Ap_int.clamp (int_spec s) shifted
+
+let abs_diff s a b =
+  let d = a - b in
+  Ap_int.clamp (int_spec s) (abs d)
+
+let one s = of_float s 1.0
+
+let epsilon s = 1.0 /. scale s
+
+let resolution_error s x = abs_float (to_float s (of_float s x) -. x)

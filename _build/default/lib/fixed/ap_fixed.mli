@@ -1,0 +1,35 @@
+(** Fixed-point values — the software analog of Vitis HLS [ap_fixed<W,I>],
+    used by the DTW (#9) and Viterbi (#10) kernels whose scores are real
+    numbers.
+
+    A value is stored as a raw scaled integer: [raw = round (x * 2^frac)],
+    saturated to the declared total width. All kernel arithmetic then
+    happens on raw integers (exactly as the synthesized datapath would),
+    so DP results are bit-reproducible. *)
+
+type spec = { width : int; frac : int }
+(** [width] total bits (including sign), [frac] fractional bits. *)
+
+val spec : width:int -> frac:int -> spec
+
+val of_float : spec -> float -> int
+(** Quantize to the nearest representable raw value (round half away from
+    zero), saturating at the width bounds. *)
+
+val to_float : spec -> int -> float
+
+val add : spec -> int -> int -> int
+val sub : spec -> int -> int -> int
+
+val mul : spec -> int -> int -> int
+(** Full product re-scaled by [2^frac] (nearest), then saturated. *)
+
+val abs_diff : spec -> int -> int -> int
+(** |a - b|, saturated — the Manhattan-distance primitive of DTW. *)
+
+val one : spec -> int
+val epsilon : spec -> float
+(** Quantization step, [2^-frac]. *)
+
+val resolution_error : spec -> float -> float
+(** Absolute error introduced by quantizing the given float. *)

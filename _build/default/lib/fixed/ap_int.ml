@@ -1,0 +1,22 @@
+type spec = { width : int }
+
+let spec width =
+  if width < 1 || width > 62 then invalid_arg "Ap_int.spec: width out of [1,62]";
+  { width }
+
+let min_value { width } = -(1 lsl (width - 1))
+let max_value { width } = (1 lsl (width - 1)) - 1
+
+let in_range s x = x >= min_value s && x <= max_value s
+
+let clamp s x =
+  let lo = min_value s and hi = max_value s in
+  if x < lo then lo else if x > hi then hi else x
+
+let add s a b = clamp s (a + b)
+let sub s a b = clamp s (a - b)
+let mul s a b = clamp s (a * b)
+let neg s a = clamp s (-a)
+let of_int = clamp
+
+let bits_for ~lo ~hi = { width = Dphls_util.Bits.bits_signed_range lo hi }

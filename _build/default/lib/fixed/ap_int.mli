@@ -1,0 +1,29 @@
+(** Arbitrary-width saturating signed integers — the software analog of
+    Vitis HLS [ap_int<W>] as used by DP-HLS kernels for scores and
+    traceback indices.
+
+    Values are ordinary [int]s kept within the two's-complement range of
+    the declared width; arithmetic saturates at the range bounds (DP
+    datapaths clamp rather than wrap, which is what well-formed DP-HLS
+    kernels rely on when scores bottom out). Width must be in [1, 62]. *)
+
+type spec = { width : int }
+
+val spec : int -> spec
+val min_value : spec -> int
+val max_value : spec -> int
+val in_range : spec -> int -> bool
+
+val clamp : spec -> int -> int
+(** Saturate an arbitrary int into the width's range. *)
+
+val add : spec -> int -> int -> int
+val sub : spec -> int -> int -> int
+val mul : spec -> int -> int -> int
+val neg : spec -> int -> int
+
+val of_int : spec -> int -> int
+(** Same as {!clamp}; emphasizes intent at construction sites. *)
+
+val bits_for : lo:int -> hi:int -> spec
+(** Smallest spec able to represent every value of the range exactly. *)

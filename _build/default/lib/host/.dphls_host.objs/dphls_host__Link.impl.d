@@ -1,0 +1,1 @@
+lib/host/link.ml: Dphls_core Dphls_resource List Printf Throughput

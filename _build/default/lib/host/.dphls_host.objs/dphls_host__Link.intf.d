@@ -1,0 +1,1 @@
+lib/host/link.mli: Dphls_core Dphls_resource Stdlib

@@ -1,0 +1,29 @@
+(** Heterogeneous kernel linking (paper §4 step 5: "the design allows
+    linking N_K heterogeneous kernels — e.g. a mix of global and local
+    aligners — seamlessly").
+
+    A link plan places one kernel instance per channel, each with its own
+    N_PE/N_B, validates that the combination fits the F1 device, and
+    evaluates the aggregate throughput of the mixed design. *)
+
+type instance = {
+  packed : Dphls_core.Registry.packed;
+  n_pe : int;
+  n_b : int;
+  max_len : int;
+}
+
+type plan
+
+val plan : instance list -> (plan, string) Stdlib.result
+(** Validates each instance and the combined device fit (N_K = number of
+    instances). Returns a diagnostic message on failure. *)
+
+val utilization : plan -> Dphls_resource.Device.utilization
+val percent : plan -> Dphls_resource.Device.percentages
+val instances : plan -> instance list
+
+val throughput :
+  plan -> cycles_of:(instance -> float) -> float
+(** Aggregate alignments/second across channels: each instance runs at
+    its own kernel clock with its own per-alignment cycles. *)

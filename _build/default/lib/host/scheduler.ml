@@ -1,0 +1,120 @@
+type job = {
+  transfer_in : int;
+  compute : int;
+  transfer_out : int;
+}
+
+let job_for ~qry_len ~ref_len ~compute ~path_len ~bytes_per_cycle =
+  if bytes_per_cycle < 1 then invalid_arg "Scheduler.job_for";
+  let cycles bytes = (bytes + bytes_per_cycle - 1) / bytes_per_cycle in
+  {
+    transfer_in = cycles (qry_len + ref_len);
+    compute;
+    transfer_out = cycles (8 + path_len);
+  }
+
+type report = {
+  makespan : int;
+  jobs : int;
+  arbiter_busy : int;
+  block_busy : int;
+  arbiter_utilization : float;
+  block_utilization : float;
+  bandwidth_bound : bool;
+}
+
+(* Event-driven simulation. The arbiter serves transfer requests in
+   first-ready order (FIFO on ties); a block holds a job from the start
+   of its input transfer until its output transfer completes, then picks
+   up the next waiting job. *)
+type request = {
+  ready : int;       (* earliest start time *)
+  seq : int;         (* tie-break: submission order *)
+  duration : int;
+  is_input : bool;
+  job : job;
+  blk : int;
+}
+
+module Req_heap = struct
+  (* tiny insert-sorted list; request counts are small (2 per job) *)
+  type t = request list ref
+
+  let create () : t = ref []
+
+  let push t r =
+    let rec insert = function
+      | [] -> [ r ]
+      | x :: rest ->
+        if (r.ready, r.seq) < (x.ready, x.seq) then r :: x :: rest
+        else x :: insert rest
+    in
+    t := insert !t
+
+  let pop t = match !t with [] -> None | x :: rest -> t := rest; Some x
+end
+
+let run_channel ~n_b jobs_list =
+  if n_b < 1 then invalid_arg "Scheduler.run_channel: n_b < 1";
+  let jobs = Array.of_list jobs_list in
+  let n = Array.length jobs in
+  let heap = Req_heap.create () in
+  let seq = ref 0 in
+  let submit ~ready ~is_input ~job ~blk =
+    let duration = if is_input then job.transfer_in else job.transfer_out in
+    Req_heap.push heap { ready; seq = !seq; duration; is_input; job; blk };
+    incr seq
+  in
+  (* next undispatched job index *)
+  let next_job = ref 0 in
+  let dispatch_to blk ~at =
+    if !next_job < n then begin
+      submit ~ready:at ~is_input:true ~job:jobs.(!next_job) ~blk;
+      incr next_job
+    end
+  in
+  for blk = 0 to min n_b n - 1 do
+    dispatch_to blk ~at:0
+  done;
+  let arbiter_free = ref 0 in
+  let arbiter_busy = ref 0 in
+  let block_busy = ref 0 in
+  let makespan = ref 0 in
+  let rec drain () =
+    match Req_heap.pop heap with
+    | None -> ()
+    | Some r ->
+      let start = max r.ready !arbiter_free in
+      let finish = start + r.duration in
+      arbiter_free := finish;
+      arbiter_busy := !arbiter_busy + r.duration;
+      if r.is_input then begin
+        (* compute runs on the block immediately after the input lands *)
+        let compute_end = finish + r.job.compute in
+        block_busy := !block_busy + r.job.compute;
+        submit ~ready:compute_end ~is_input:false ~job:r.job ~blk:r.blk
+      end
+      else begin
+        makespan := max !makespan finish;
+        dispatch_to r.blk ~at:finish
+      end;
+      drain ()
+  in
+  drain ();
+  let span = max 1 !makespan in
+  {
+    makespan = !makespan;
+    jobs = n;
+    arbiter_busy = !arbiter_busy;
+    block_busy = !block_busy;
+    arbiter_utilization = float_of_int !arbiter_busy /. float_of_int span;
+    block_utilization =
+      float_of_int !block_busy /. (float_of_int span *. float_of_int n_b);
+    bandwidth_bound = float_of_int !arbiter_busy /. float_of_int span >= 0.95;
+  }
+
+let device_throughput ~n_k ~n_b ~freq_mhz jobs =
+  let r = run_channel ~n_b jobs in
+  if r.makespan = 0 then 0.0
+  else
+    float_of_int (r.jobs * n_k) *. freq_mhz *. 1e6 /. float_of_int r.makespan

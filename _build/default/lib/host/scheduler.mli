@@ -1,0 +1,39 @@
+(** Event-driven model of the DP-HLS host runtime (paper §4 step 6,
+    Fig 2B): N_K independent channels to the host, each serving N_B
+    blocks behind a single arbiter.
+
+    Within a channel, input transfer and result drain serialize on the
+    arbiter while block computation proceeds in parallel — so throughput
+    scales with N_B until the arbiter saturates, which is the effect the
+    host program's batching must stay ahead of. *)
+
+type job = {
+  transfer_in : int;   (** arbiter cycles to stream the sequence pair in *)
+  compute : int;       (** block-exclusive compute cycles *)
+  transfer_out : int;  (** arbiter cycles to stream results back *)
+}
+
+val job_for :
+  qry_len:int -> ref_len:int -> compute:int -> path_len:int -> bytes_per_cycle:int
+  -> job
+(** Transfer costs from sequence/result sizes at the given bus width. *)
+
+type report = {
+  makespan : int;            (** cycles until the last job drains *)
+  jobs : int;
+  arbiter_busy : int;        (** cycles the arbiter was transferring *)
+  block_busy : int;          (** total block-compute cycles *)
+  arbiter_utilization : float;
+  block_utilization : float; (** mean over blocks *)
+  bandwidth_bound : bool;    (** arbiter utilization >= 95 % *)
+}
+
+val run_channel : n_b:int -> job list -> report
+(** Simulate one channel: jobs are dispatched in order to the first free
+    block; each job holds the arbiter for [transfer_in], computes on its
+    block, then re-acquires the arbiter for [transfer_out]. *)
+
+val device_throughput :
+  n_k:int -> n_b:int -> freq_mhz:float -> job list -> float
+(** Alignments/second of a whole device: every channel runs the same job
+    list concurrently. *)

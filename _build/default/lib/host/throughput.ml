@@ -1,0 +1,10 @@
+let alignments_per_sec ~cycles_per_alignment ~freq_mhz ~n_b ~n_k =
+  if cycles_per_alignment <= 0.0 then invalid_arg "Throughput: non-positive cycles";
+  float_of_int (n_b * n_k) *. freq_mhz *. 1e6 /. cycles_per_alignment
+
+let cells_per_sec ~cycles_per_alignment ~freq_mhz ~n_b ~n_k ~cells =
+  alignments_per_sec ~cycles_per_alignment ~freq_mhz ~n_b ~n_k *. float_of_int cells
+
+let iso_cost ~throughput ~cost_per_hour ~reference_cost_per_hour =
+  if cost_per_hour <= 0.0 then invalid_arg "Throughput.iso_cost";
+  throughput *. reference_cost_per_hour /. cost_per_hour

@@ -1,0 +1,16 @@
+(** Device throughput arithmetic (paper §6.2): alignments per second from
+    per-alignment cycle counts, the achieved clock, and the outer-loop
+    parallelism N_B x N_K. *)
+
+val alignments_per_sec :
+  cycles_per_alignment:float -> freq_mhz:float -> n_b:int -> n_k:int -> float
+
+val cells_per_sec :
+  cycles_per_alignment:float -> freq_mhz:float -> n_b:int -> n_k:int ->
+  cells:int -> float
+(** Giga-cell-level rate helper (GCUPS x 1e9) for GPU-style comparisons. *)
+
+val iso_cost :
+  throughput:float -> cost_per_hour:float -> reference_cost_per_hour:float -> float
+(** Normalize a baseline's throughput to the reference instance's price
+    (the paper's iso-cost comparison: F1 at $1.65/h). *)

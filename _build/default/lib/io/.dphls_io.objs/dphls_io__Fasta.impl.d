@@ -1,0 +1,1 @@
+lib/io/fasta.ml: Buffer Dphls_alphabet List Printf String

@@ -1,0 +1,1 @@
+lib/io/fastq.ml: Char Fasta List String

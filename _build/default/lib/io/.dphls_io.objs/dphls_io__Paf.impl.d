@@ -1,0 +1,1 @@
+lib/io/paf.ml: Alignment_view Dphls_core List Printf Result String Types

@@ -1,0 +1,1 @@
+lib/io/paf.mli: Dphls_core

@@ -1,0 +1,24 @@
+(** FASTA parsing and writing — the input format of every sequence
+    workload a real deployment would feed the framework. *)
+
+type record = {
+  id : string;           (** text after '>' up to the first whitespace *)
+  description : string;  (** remainder of the header line *)
+  sequence : string;
+}
+
+val parse_string : string -> record list
+(** Multi-line sequences are joined; blank lines and ';' comment lines
+    are ignored. Raises [Failure] on sequence data before any header. *)
+
+val read_file : string -> record list
+
+val to_string : record list -> string
+(** 60-column wrapped FASTA text. *)
+
+val write_file : string -> record list -> unit
+
+val dna_of_record : record -> int array
+(** Encode as DNA, raising on non-ACGT characters. *)
+
+val protein_of_record : record -> int array

@@ -1,0 +1,44 @@
+type record = { id : string; sequence : string; quality : string }
+
+let parse_string text =
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text)
+  in
+  let rec go lines acc =
+    match lines with
+    | [] -> List.rev acc
+    | header :: seq :: plus :: qual :: rest ->
+      let header = String.trim header in
+      if String.length header = 0 || header.[0] <> '@' then
+        failwith "Fastq.parse_string: expected '@' header";
+      if String.length plus = 0 || (String.trim plus).[0] <> '+' then
+        failwith "Fastq.parse_string: expected '+' separator";
+      let sequence = String.trim seq and quality = String.trim qual in
+      if String.length sequence <> String.length quality then
+        failwith "Fastq.parse_string: quality length mismatch";
+      let id =
+        match String.index_opt header ' ' with
+        | None -> String.sub header 1 (String.length header - 1)
+        | Some i -> String.sub header 1 (i - 1)
+      in
+      go rest ({ id; sequence; quality } :: acc)
+    | _ -> failwith "Fastq.parse_string: truncated record"
+  in
+  go lines []
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse_string text
+
+let mean_quality r =
+  if String.length r.quality = 0 then 0.0
+  else begin
+    let total = ref 0 in
+    String.iter (fun c -> total := !total + (Char.code c - 33)) r.quality;
+    float_of_int !total /. float_of_int (String.length r.quality)
+  end
+
+let to_fasta r = { Fasta.id = r.id; description = ""; sequence = r.sequence }

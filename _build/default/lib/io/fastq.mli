@@ -1,0 +1,18 @@
+(** FASTQ parsing (sequencer read files). *)
+
+type record = {
+  id : string;
+  sequence : string;
+  quality : string;  (** Phred+33 encoded, same length as [sequence] *)
+}
+
+val parse_string : string -> record list
+(** Standard 4-line records; raises [Failure] on malformed input
+    (missing '@'/'+' markers or quality-length mismatch). *)
+
+val read_file : string -> record list
+
+val mean_quality : record -> float
+(** Average Phred score. *)
+
+val to_fasta : record -> Fasta.record

@@ -1,0 +1,91 @@
+open Dphls_core
+
+type strand = Forward | Reverse
+
+type record = {
+  query_name : string;
+  query_length : int;
+  query_start : int;
+  query_end : int;
+  strand : strand;
+  target_name : string;
+  target_length : int;
+  target_start : int;
+  target_end : int;
+  matches : int;
+  alignment_length : int;
+  mapq : int;
+  tags : (string * string) list;
+}
+
+let of_alignment ~query_name ~query_length ~target_name ~target_length ~result
+    ~stats ~mapq =
+  match (result.Result.start_cell, Alignment_view.first_consumed result) with
+  | Some last, Some (row0, col0) ->
+    let s = stats in
+    {
+      query_name;
+      query_length;
+      query_start = row0;
+      query_end = last.Types.row + 1;
+      strand = Forward;
+      target_name;
+      target_length;
+      target_start = col0;
+      target_end = last.Types.col + 1;
+      matches = s.Alignment_view.matches;
+      alignment_length =
+        s.Alignment_view.matches + s.Alignment_view.mismatches
+        + s.Alignment_view.insertions + s.Alignment_view.deletions;
+      mapq;
+      tags = [ ("cg", Result.cigar result) ];
+    }
+  | _ -> invalid_arg "Paf.of_alignment: result has no traceback path"
+
+let strand_char = function Forward -> '+' | Reverse -> '-'
+
+let to_line r =
+  let base =
+    Printf.sprintf "%s\t%d\t%d\t%d\t%c\t%s\t%d\t%d\t%d\t%d\t%d\t%d" r.query_name
+      r.query_length r.query_start r.query_end (strand_char r.strand) r.target_name
+      r.target_length r.target_start r.target_end r.matches r.alignment_length
+      r.mapq
+  in
+  let tags = List.map (fun (k, v) -> Printf.sprintf "%s:Z:%s" k v) r.tags in
+  String.concat "\t" (base :: tags)
+
+let parse_line line =
+  match String.split_on_char '\t' line with
+  | qn :: ql :: qs :: qe :: st :: tn :: tl :: ts :: te :: m :: al :: mq :: tags ->
+    let int s =
+      match int_of_string_opt s with
+      | Some v -> v
+      | None -> failwith ("Paf.parse_line: bad integer " ^ s)
+    in
+    let strand =
+      match st with
+      | "+" -> Forward
+      | "-" -> Reverse
+      | _ -> failwith "Paf.parse_line: bad strand"
+    in
+    let parse_tag t =
+      match String.split_on_char ':' t with
+      | key :: _typ :: rest -> (key, String.concat ":" rest)
+      | _ -> failwith "Paf.parse_line: bad tag"
+    in
+    {
+      query_name = qn;
+      query_length = int ql;
+      query_start = int qs;
+      query_end = int qe;
+      strand;
+      target_name = tn;
+      target_length = int tl;
+      target_start = int ts;
+      target_end = int te;
+      matches = int m;
+      alignment_length = int al;
+      mapq = int mq;
+      tags = List.map parse_tag tags;
+    }
+  | _ -> failwith "Paf.parse_line: not enough fields"

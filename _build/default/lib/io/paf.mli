@@ -1,0 +1,39 @@
+(** PAF (Pairwise mApping Format) records — minimap2's output format,
+    used by the read-mapping CLI. *)
+
+type strand = Forward | Reverse
+
+type record = {
+  query_name : string;
+  query_length : int;
+  query_start : int;   (** 0-based, inclusive *)
+  query_end : int;     (** 0-based, exclusive *)
+  strand : strand;
+  target_name : string;
+  target_length : int;
+  target_start : int;
+  target_end : int;
+  matches : int;             (** residue matches *)
+  alignment_length : int;    (** alignment block length (columns) *)
+  mapq : int;                (** 0-255 *)
+  tags : (string * string) list;  (** e.g. [("cg", "12M1I...")] *)
+}
+
+val of_alignment :
+  query_name:string ->
+  query_length:int ->
+  target_name:string ->
+  target_length:int ->
+  result:Dphls_core.Result.t ->
+  stats:Dphls_core.Alignment_view.stats ->
+  mapq:int ->
+  record
+(** Build a forward-strand record from an alignment result (requires a
+    path; raises [Invalid_argument] otherwise). The CIGAR is attached as
+    a [cg] tag. *)
+
+val to_line : record -> string
+(** Tab-separated PAF line (without trailing newline). *)
+
+val parse_line : string -> record
+(** Raises [Failure] on malformed lines. *)

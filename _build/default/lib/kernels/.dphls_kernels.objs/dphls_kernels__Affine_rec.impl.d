@@ -1,0 +1,1 @@
+lib/kernels/affine_rec.ml: Array Dphls_core Dphls_util Kdefs Pe

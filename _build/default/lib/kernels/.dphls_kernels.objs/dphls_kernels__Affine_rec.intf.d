@@ -1,0 +1,1 @@
+lib/kernels/affine_rec.mli: Dphls_core

@@ -1,0 +1,1 @@
+lib/kernels/catalog.mli: Dphls_core Dphls_util

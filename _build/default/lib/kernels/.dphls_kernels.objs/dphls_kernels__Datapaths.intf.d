@@ -1,0 +1,1 @@
+lib/kernels/datapaths.mli: Dphls_core Dphls_util

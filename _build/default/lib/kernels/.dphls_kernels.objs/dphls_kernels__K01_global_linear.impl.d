@@ -1,0 +1,1 @@
+lib/kernels/k01_global_linear.ml: Array Dphls_core Dphls_seqgen Dphls_util Kdefs Kernel Pe Traceback Traits Workload

@@ -1,0 +1,1 @@
+lib/kernels/k01_global_linear.mli: Dphls_core Dphls_util

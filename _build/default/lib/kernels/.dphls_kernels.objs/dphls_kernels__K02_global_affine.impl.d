@@ -1,0 +1,1 @@
+lib/kernels/k02_global_affine.ml: Affine_rec Dphls_core Dphls_util K01_global_linear Kdefs Kernel Pe Traceback Traits

@@ -1,0 +1,1 @@
+lib/kernels/k02_global_affine.mli: Dphls_core Dphls_util

@@ -1,0 +1,1 @@
+lib/kernels/k03_local_linear.ml: Array Dphls_core Dphls_util K01_global_linear Kdefs Kernel Pe Traceback Traits

@@ -1,0 +1,1 @@
+lib/kernels/k03_local_linear.mli: Dphls_core Dphls_util

@@ -1,0 +1,1 @@
+lib/kernels/k04_local_affine.ml: Affine_rec Dphls_core Dphls_util K01_global_linear Kdefs Kernel Pe Traceback Traits

@@ -1,0 +1,1 @@
+lib/kernels/k04_local_affine.mli: Dphls_core Dphls_util

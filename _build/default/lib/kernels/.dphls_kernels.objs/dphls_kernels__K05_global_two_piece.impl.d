@@ -1,0 +1,1 @@
+lib/kernels/k05_global_two_piece.ml: Dphls_core Dphls_util K01_global_linear Kdefs Kernel Pe Traceback Traits Two_piece_rec

@@ -1,0 +1,1 @@
+lib/kernels/k05_global_two_piece.mli: Dphls_core Dphls_util Two_piece_rec

@@ -1,0 +1,1 @@
+lib/kernels/k06_overlap.mli: Dphls_core Dphls_util

@@ -1,0 +1,1 @@
+lib/kernels/k07_semi_global.ml: Array Dphls_alphabet Dphls_core Dphls_seqgen Dphls_util Kdefs Kernel Pe Traceback Traits Workload

@@ -1,0 +1,1 @@
+lib/kernels/k07_semi_global.mli: Dphls_core Dphls_util

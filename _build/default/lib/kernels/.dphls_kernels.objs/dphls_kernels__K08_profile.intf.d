@@ -1,0 +1,1 @@
+lib/kernels/k08_profile.mli: Dphls_core Dphls_util

@@ -1,0 +1,1 @@
+lib/kernels/k09_dtw.ml: Array Dphls_alphabet Dphls_core Dphls_seqgen Dphls_util Kdefs Kernel Pe Traceback Traits Workload

@@ -1,0 +1,1 @@
+lib/kernels/k09_dtw.mli: Dphls_core Dphls_util

@@ -1,0 +1,1 @@
+lib/kernels/k10_viterbi.ml: Array Dphls_core Dphls_fixed Dphls_seqgen Dphls_util Kdefs Kernel Pe Traceback Traits Workload

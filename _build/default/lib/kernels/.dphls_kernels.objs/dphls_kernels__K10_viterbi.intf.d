@@ -1,0 +1,1 @@
+lib/kernels/k10_viterbi.mli: Dphls_core Dphls_fixed Dphls_util

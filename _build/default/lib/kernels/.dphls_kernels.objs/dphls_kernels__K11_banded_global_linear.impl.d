@@ -1,0 +1,1 @@
+lib/kernels/k11_banded_global_linear.ml: Array Banding Dphls_alphabet Dphls_core Dphls_seqgen Dphls_util Kdefs Kernel Pe Traceback Traits Workload

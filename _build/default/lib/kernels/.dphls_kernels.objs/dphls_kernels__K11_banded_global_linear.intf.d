@@ -1,0 +1,1 @@
+lib/kernels/k11_banded_global_linear.mli: Dphls_core Dphls_util

@@ -1,0 +1,1 @@
+lib/kernels/k12_banded_local_affine.ml: Affine_rec Banding Dphls_core Dphls_util K11_banded_global_linear Kdefs Kernel Pe Traceback Traits

@@ -1,0 +1,1 @@
+lib/kernels/k12_banded_local_affine.mli: Dphls_core Dphls_util

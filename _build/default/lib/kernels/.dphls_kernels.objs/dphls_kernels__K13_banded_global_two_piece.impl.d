@@ -1,0 +1,1 @@
+lib/kernels/k13_banded_global_two_piece.ml: Banding Dphls_core Dphls_util K11_banded_global_linear Kdefs Kernel Pe Traceback Traits Two_piece_rec

@@ -1,0 +1,1 @@
+lib/kernels/k14_sdtw.ml: Array Dphls_alphabet Dphls_core Dphls_seqgen Dphls_util Kdefs Kernel Pe Traceback Traits Workload

@@ -1,0 +1,1 @@
+lib/kernels/k14_sdtw.mli: Dphls_core Dphls_util

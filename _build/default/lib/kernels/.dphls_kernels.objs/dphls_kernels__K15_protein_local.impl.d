@@ -1,0 +1,1 @@
+lib/kernels/k15_protein_local.ml: Array Dphls_alphabet Dphls_core Dphls_seqgen Dphls_util Kdefs Kernel Pe Traceback Traits Workload

@@ -1,0 +1,1 @@
+lib/kernels/k15_protein_local.mli: Dphls_core Dphls_util

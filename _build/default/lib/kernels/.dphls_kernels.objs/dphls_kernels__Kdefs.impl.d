@@ -1,0 +1,1 @@
+lib/kernels/kdefs.ml: Array Dphls_alphabet Dphls_core Dphls_util List Traceback

@@ -1,0 +1,1 @@
+lib/kernels/kdefs.mli: Dphls_core Dphls_util Traceback Types

@@ -1,0 +1,1 @@
+lib/kernels/two_piece_rec.ml: Array Dphls_core Dphls_util Kdefs Pe

@@ -1,0 +1,1 @@
+lib/kernels/two_piece_rec.mli: Dphls_core

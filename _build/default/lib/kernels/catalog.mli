@@ -1,0 +1,30 @@
+(** The Table 1 catalog: all 15 kernels with their metadata, workload
+    generators and the optimal (N_PE, N_B, N_K) configurations the paper
+    reports in Table 2. *)
+
+type parallelism = {
+  n_pe : int;
+  n_b : int;
+  n_k : int;
+}
+
+type entry = {
+  packed : Dphls_core.Registry.packed;
+  alphabet : string;       (** Table 1 "Alphabet" column *)
+  tools : string;          (** representative state-of-the-art tools *)
+  application : string;    (** example application *)
+  modifications : string;  (** changes relative to kernel #1 *)
+  optimal : parallelism;   (** Table 2's best configuration *)
+  default_len : int;       (** workload sequence length used in §6.1 *)
+  gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t;
+}
+
+val all : entry list
+(** The 15 kernels in Table 1 order. *)
+
+val find : int -> entry
+(** Lookup by Table 1 kernel number; raises [Not_found]. *)
+
+val find_by_name : string -> entry
+
+val ids : int list

@@ -1,0 +1,18 @@
+(** Symbolic datapath descriptions for all 15 kernels.
+
+    Each description is the single-source-of-truth form that the RTL
+    emitter compiles; its {!Dphls_core.Datapath.eval} closure is verified
+    bit-identical to the hand-written PE closures by the test suite (the
+    reproduction's analog of C-simulation vs RTL co-simulation), and its
+    operator counts cross-check the kernels' declared resource traits. *)
+
+val cell_for : int -> Dphls_core.Datapath.cell * Dphls_core.Datapath.bindings
+(** Datapath and default-parameter bindings for a Table 1 kernel id.
+    Raises [Not_found] for unknown ids. *)
+
+val select_first_best :
+  objective:Dphls_util.Score.objective ->
+  (Dphls_core.Datapath.expr * int) list ->
+  Dphls_core.Datapath.expr
+(** Expression computing the tag of the first candidate attaining the
+    optimum — the exact tie-break of [Kdefs.best_of]. *)

@@ -1,0 +1,19 @@
+(** Kernel #1 — Global Linear Alignment (Needleman-Wunsch).
+
+    The baseline kernel of Table 1: DNA alphabet, one scoring layer,
+    linear gap penalty, global traceback from the bottom-right corner.
+    Used by similarity search (BLAST, EMBOSS Stretcher). *)
+
+type params = {
+  match_ : int;    (** reward for equal bases (>= 0) *)
+  mismatch : int;  (** penalty for differing bases (<= 0) *)
+  gap : int;       (** linear per-base gap penalty (<= 0) *)
+}
+
+val default : params
+
+val kernel : params Dphls_core.Kernel.t
+
+val gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t
+(** A simulated-read pair: genome window vs. error-corrupted copy,
+    truncated to [len] (the paper's PBSIM2 protocol). *)

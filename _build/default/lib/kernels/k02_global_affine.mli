@@ -1,0 +1,17 @@
+(** Kernel #2 — Global Affine Alignment (Gotoh).
+
+    Three scoring layers (H, I, D), 4-bit traceback pointers, 3-state
+    traceback FSM (the paper's Listing 3 left). Used for accurate
+    similarity search (BLAST, EMBOSS Needle); the kernel compared against
+    the hand-written GACT RTL accelerator (Fig 4A/5) and the tiling demo. *)
+
+type params = {
+  match_ : int;
+  mismatch : int;
+  gap_open : int;    (** one-time gap opening penalty (<= 0) *)
+  gap_extend : int;  (** per-base gap extension penalty (<= 0) *)
+}
+
+val default : params
+val kernel : params Dphls_core.Kernel.t
+val gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t

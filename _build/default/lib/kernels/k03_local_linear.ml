@@ -1,0 +1,52 @@
+open Dphls_core
+module Score = Dphls_util.Score
+
+type params = { match_ : int; mismatch : int; gap : int }
+
+let default = { match_ = 2; mismatch = -2; gap = -2 }
+
+(* Paper Listing 6: candidates are compared and the result floors at 0
+   with an END pointer marking the traceback stop. *)
+let pe p (i : Pe.input) =
+  let s = Kdefs.dna_sub ~match_:p.match_ ~mismatch:p.mismatch i.Pe.qry i.Pe.rf in
+  let best, ptr =
+    Kdefs.best_of Score.Maximize
+      [
+        (Score.add i.Pe.diag.(0) s, Kdefs.Linear.ptr_diag);
+        (Score.add i.Pe.up.(0) p.gap, Kdefs.Linear.ptr_up);
+        (Score.add i.Pe.left.(0) p.gap, Kdefs.Linear.ptr_left);
+      ]
+  in
+  if best <= 0 then { Pe.scores = [| 0 |]; tb = Kdefs.Linear.ptr_end }
+  else { Pe.scores = [| best |]; tb = ptr }
+
+let kernel =
+  {
+    Kernel.id = 3;
+    name = "local-linear";
+    description = "Local linear alignment (Smith-Waterman)";
+    objective = Score.Maximize;
+    n_layers = 1;
+    score_bits = 16;
+    tb_bits = 2;
+    init_row = (fun _ ~ref_len:_ ~layer:_ ~col:_ -> 0);
+    init_col = (fun _ ~qry_len:_ ~layer:_ ~row:_ -> 0);
+    origin = (fun _ ~layer:_ -> 0);
+    pe;
+    score_site = Traceback.Global_best;
+    traceback =
+      (fun _ -> Some { Traceback.fsm = Kdefs.Linear.fsm; stop = Traceback.On_stop_move });
+    banding = None;
+    traits =
+      {
+        Traits.adds_per_pe = 3;
+        muls_per_pe = 0;
+        cmps_per_pe = 4;
+        ii = 1;
+        logic_depth = 5;
+        char_bits = Kdefs.dna_char_bits;
+        param_bits = 48;
+      };
+  }
+
+let gen = K01_global_linear.gen

@@ -1,0 +1,12 @@
+(** Kernel #3 — Local Linear Alignment (Smith-Waterman).
+
+    Relative to kernel #1 it changes initialization (zero borders) and
+    traceback (start at the best-scoring cell, stop at an END pointer).
+    Used for homology search (BLAST, FASTA, BLAT); also the kernel the
+    paper compares against the AMD Vitis Genomics HLS baseline (§7.5). *)
+
+type params = { match_ : int; mismatch : int; gap : int }
+
+val default : params
+val kernel : params Dphls_core.Kernel.t
+val gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t

@@ -1,0 +1,15 @@
+(** Kernel #4 — Local Affine Alignment (Smith-Waterman-Gotoh).
+
+    Combines kernel #2's scoring layers with kernel #3's local
+    initialization and traceback (whole-genome alignment, LASTZ). *)
+
+type params = {
+  match_ : int;
+  mismatch : int;
+  gap_open : int;
+  gap_extend : int;
+}
+
+val default : params
+val kernel : params Dphls_core.Kernel.t
+val gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t

@@ -1,0 +1,16 @@
+(** Kernel #5 — Global Two-piece Affine Alignment.
+
+    Minimap2's long-read gap model: five scoring layers, 7-bit traceback
+    pointers, 5-state FSM (the paper's Listing 3 right). One of the two
+    compute-heavy kernels where DP-HLS shows the largest CPU speedups
+    (12x vs Minimap2, Fig 6). *)
+
+type params = {
+  match_ : int;
+  mismatch : int;
+  gaps : Two_piece_rec.gaps;
+}
+
+val default : params
+val kernel : params Dphls_core.Kernel.t
+val gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t

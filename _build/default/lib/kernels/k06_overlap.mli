@@ -1,0 +1,14 @@
+(** Kernel #6 — Overlap Alignment.
+
+    Matches a suffix of one sequence with a prefix of the other (genome
+    assembly overlaps, CANU/Flye): free leading gaps on both borders,
+    traceback starts at the best cell of the bottom row or rightmost
+    column and stops at the top row or leftmost column. *)
+
+type params = { match_ : int; mismatch : int; gap : int }
+
+val default : params
+val kernel : params Dphls_core.Kernel.t
+
+val gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t
+(** Two reads sharing an error-corrupted overlap of roughly [len/2]. *)

@@ -1,0 +1,15 @@
+(** Kernel #7 — Semi-global Alignment.
+
+    Aligns the query end-to-end against a subsequence of the reference
+    (short-read alignment, BWA-MEM): reference-side leading/trailing gaps
+    are free, traceback starts at the best cell of the bottom row and
+    stops at the top row. *)
+
+type params = { match_ : int; mismatch : int; gap : int }
+
+val default : params
+val kernel : params Dphls_core.Kernel.t
+
+val gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t
+(** Short corrupted read (length ~len/2) vs. a reference window of
+    length [len] containing its origin. *)

@@ -1,0 +1,24 @@
+(** Kernel #8 — Profile Alignment.
+
+    Aligns two sequence profiles (multiple sequence alignment step,
+    CLUSTALW/MUSCLE): each character is a 5-tuple of nucleotide/gap
+    counts, substitution scores are computed dynamically with
+    sum-of-pairs scoring (two matrix-vector multiplications per cell),
+    which makes this the most DSP-hungry kernel of Table 2 and forces an
+    initiation interval of 4. *)
+
+type params = {
+  match_ : int;
+  mismatch : int;
+  gap_symbol : int;  (** score of pairing a base with a gap symbol *)
+  gap_column : int;  (** per-pair gap penalty when a whole column is gapped
+                         against the other profile *)
+  depth : int;       (** member sequences per profile (border gap scale) *)
+}
+
+val default : params
+val kernel : params Dphls_core.Kernel.t
+
+val gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t
+(** Two profiles descended from a common ancestor (the Drosophila
+    melanogaster/simulans protocol of §6.1). *)

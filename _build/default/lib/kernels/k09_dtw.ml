@@ -1,0 +1,56 @@
+open Dphls_core
+module Score = Dphls_util.Score
+module Signal = Dphls_alphabet.Signal
+
+type params = unit
+
+let default = ()
+
+let pe () (i : Pe.input) =
+  let cost = Signal.manhattan_complex i.Pe.qry i.Pe.rf in
+  let best, ptr =
+    Kdefs.best_of Score.Minimize
+      [
+        (i.Pe.diag.(0), Kdefs.Linear.ptr_diag);
+        (i.Pe.up.(0), Kdefs.Linear.ptr_up);
+        (i.Pe.left.(0), Kdefs.Linear.ptr_left);
+      ]
+  in
+  { Pe.scores = [| Score.add best cost |]; tb = ptr }
+
+let kernel =
+  {
+    Kernel.id = 9;
+    name = "dtw";
+    description = "Dynamic time warping of complex signals (min objective)";
+    objective = Score.Minimize;
+    n_layers = 1;
+    score_bits = 32;
+    tb_bits = 2;
+    init_row = (fun () ~ref_len:_ ~layer:_ ~col:_ -> Score.pos_inf);
+    init_col = (fun () ~qry_len:_ ~layer:_ ~row:_ -> Score.pos_inf);
+    origin = (fun () ~layer:_ -> 0);
+    pe;
+    score_site = Traceback.Bottom_right;
+    traceback =
+      (fun () -> Some { Traceback.fsm = Kdefs.Linear.fsm; stop = Traceback.At_origin });
+    banding = None;
+    traits =
+      {
+        Traits.adds_per_pe = 4;
+        muls_per_pe = 3;
+        cmps_per_pe = 4;
+        ii = 2;
+        logic_depth = 7;
+        char_bits = 64;
+        param_bits = 0;
+      };
+  }
+
+let gen rng ~len =
+  let reference = Dphls_seqgen.Signal_gen.complex_sequence rng len in
+  let warped = Dphls_seqgen.Signal_gen.warped_copy rng reference ~noise:0.05 in
+  let query =
+    if Array.length warped > len then Array.sub warped 0 len else warped
+  in
+  Workload.of_seqs ~query ~reference

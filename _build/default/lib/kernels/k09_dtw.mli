@@ -1,0 +1,16 @@
+(** Kernel #9 — Dynamic Time Warping over complex-number signals.
+
+    Compares two temporal signals of complex samples (basecalling,
+    SquiggleKit): the substitution cost is the Manhattan distance between
+    fixed-point complex samples, the objective is MINIMIZED, and the
+    warping path is recovered by a global traceback. The per-cell
+    distance arithmetic keeps DSPs busy in every PE (Fig 3E). *)
+
+type params = unit
+(** DTW has no scoring parameters: the metric is fixed. *)
+
+val default : params
+val kernel : params Dphls_core.Kernel.t
+
+val gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t
+(** A random complex signal vs. its warped, noise-perturbed copy. *)

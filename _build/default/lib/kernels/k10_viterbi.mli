@@ -1,0 +1,27 @@
+(** Kernel #10 — Viterbi algorithm over a pair-HMM.
+
+    Remote homology search / gene prediction (HMMER, AUGUSTUS): three
+    hidden states (M, I, D) with log-space fixed-point probabilities, a
+    5x5 emission matrix over (A, C, G, T, -) pairs and transition
+    parameters derived from mu/lambda (27 scoring parameters total, the
+    paper's Listing 2 right). Computes the best path probability only —
+    no traceback. *)
+
+type params = {
+  trans_mm : int;   (** log P(M->M), fixed point *)
+  trans_gap_open : int;  (** log P(M->I) = log P(M->D) *)
+  trans_gap_extend : int;  (** log P(I->I) = log P(D->D) *)
+  trans_gap_close : int;   (** log P(I->M) = log P(D->M) *)
+  emission : int array array;  (** 5x5 log emission, indexed by base (4 = gap) *)
+  gap_emission : int;  (** log emission of a base against a gap state *)
+}
+
+val fixed_spec : Dphls_fixed.Ap_fixed.spec
+(** Fixed-point format of the log-space parameters (width 24, frac 12). *)
+
+val default : params
+(** Derived from mu = 0.05 (gap open), lambda = 0.4 (gap extend) and a
+    90 %-identity match emission model, quantized to {!fixed_spec}. *)
+
+val kernel : params Dphls_core.Kernel.t
+val gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t

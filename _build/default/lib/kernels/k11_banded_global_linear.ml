@@ -1,0 +1,55 @@
+open Dphls_core
+module Score = Dphls_util.Score
+
+type params = { match_ : int; mismatch : int; gap : int }
+
+let default = { match_ = 2; mismatch = -2; gap = -2 }
+let default_bandwidth = 32
+
+let pe p (i : Pe.input) =
+  let s = Kdefs.dna_sub ~match_:p.match_ ~mismatch:p.mismatch i.Pe.qry i.Pe.rf in
+  let best, ptr =
+    Kdefs.best_of Score.Maximize
+      [
+        (Score.add i.Pe.diag.(0) s, Kdefs.Linear.ptr_diag);
+        (Score.add i.Pe.up.(0) p.gap, Kdefs.Linear.ptr_up);
+        (Score.add i.Pe.left.(0) p.gap, Kdefs.Linear.ptr_left);
+      ]
+  in
+  { Pe.scores = [| best |]; tb = ptr }
+
+let kernel_with ~bandwidth =
+  {
+    Kernel.id = 11;
+    name = "banded-global-linear";
+    description = "Banded global linear alignment";
+    objective = Score.Maximize;
+    n_layers = 1;
+    score_bits = 16;
+    tb_bits = 2;
+    init_row = (fun p ~ref_len:_ ~layer:_ ~col -> p.gap * (col + 1));
+    init_col = (fun p ~qry_len:_ ~layer:_ ~row -> p.gap * (row + 1));
+    origin = (fun _ ~layer:_ -> 0);
+    pe;
+    score_site = Traceback.Bottom_right;
+    traceback =
+      (fun _ -> Some { Traceback.fsm = Kdefs.Linear.fsm; stop = Traceback.At_origin });
+    banding = Some (Banding.fixed bandwidth);
+    traits =
+      {
+        Traits.adds_per_pe = 3;
+        muls_per_pe = 0;
+        cmps_per_pe = 5;
+        ii = 1;
+        logic_depth = 8;
+        char_bits = Kdefs.dna_char_bits;
+        param_bits = 48;
+      };
+  }
+
+let kernel = kernel_with ~bandwidth:default_bandwidth
+
+let gen rng ~len =
+  let reference = Dphls_alphabet.Dna.random rng len in
+  let query = Dphls_seqgen.Dna_gen.mutate_point rng reference ~rate:0.08 in
+  Workload.of_bases ~query ~reference

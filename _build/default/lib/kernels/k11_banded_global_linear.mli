@@ -1,0 +1,18 @@
+(** Kernel #11 — Banded Global Linear Alignment.
+
+    Kernel #1 restricted to a fixed band around the main diagonal (the
+    paper's [BANDING]/[BANDWIDTH] macros): fast similarity search when
+    alignments are known to stay near the diagonal (BLAST, Bowtie). *)
+
+type params = { match_ : int; mismatch : int; gap : int }
+
+val default : params
+val default_bandwidth : int
+
+val kernel : params Dphls_core.Kernel.t
+(** Band width {!default_bandwidth}. *)
+
+val kernel_with : bandwidth:int -> params Dphls_core.Kernel.t
+
+val gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t
+(** Equal-length, low-error pair so the optimal path stays in band. *)

@@ -1,0 +1,43 @@
+open Dphls_core
+module Score = Dphls_util.Score
+
+type params = { match_ : int; mismatch : int; gap_open : int; gap_extend : int }
+
+let default = { match_ = 2; mismatch = -2; gap_open = -3; gap_extend = -1 }
+let default_bandwidth = 32
+
+let pe p (i : Pe.input) =
+  let sub = Kdefs.dna_sub ~match_:p.match_ ~mismatch:p.mismatch i.Pe.qry i.Pe.rf in
+  Affine_rec.pe ~local:true ~sub ~gap_open:p.gap_open ~gap_extend:p.gap_extend i
+
+let kernel_with ~bandwidth =
+  {
+    Kernel.id = 12;
+    name = "banded-local-affine";
+    description = "Banded local affine alignment, score only";
+    objective = Score.Maximize;
+    n_layers = 3;
+    score_bits = 16;
+    tb_bits = 0;
+    init_row = (fun _ ~ref_len:_ ~layer ~col:_ -> Affine_rec.init_zero ~layer);
+    init_col = (fun _ ~qry_len:_ ~layer ~row:_ -> Affine_rec.init_zero ~layer);
+    origin = (fun _ ~layer -> Affine_rec.init_zero ~layer);
+    pe;
+    score_site = Traceback.Global_best;
+    traceback = (fun _ -> None);
+    banding = Some (Banding.fixed bandwidth);
+    traits =
+      {
+        Traits.adds_per_pe = 6;
+        muls_per_pe = 0;
+        cmps_per_pe = 8;
+        ii = 1;
+        logic_depth = 7;
+        char_bits = Kdefs.dna_char_bits;
+        param_bits = 64;
+      };
+  }
+
+let kernel = kernel_with ~bandwidth:default_bandwidth
+
+let gen = K11_banded_global_linear.gen

@@ -1,0 +1,20 @@
+(** Kernel #12 — Banded Local Affine Alignment (score only).
+
+    Kernel #4 restricted to a fixed band and with traceback disabled —
+    the configuration Minimap2 uses during long-read assembly, and the
+    kernel compared against the BSW (Darwin-WGA) RTL accelerator
+    (Fig 4B/E). Returning only the best score makes its BRAM usage
+    minimal (Table 2). *)
+
+type params = {
+  match_ : int;
+  mismatch : int;
+  gap_open : int;
+  gap_extend : int;
+}
+
+val default : params
+val default_bandwidth : int
+val kernel : params Dphls_core.Kernel.t
+val kernel_with : bandwidth:int -> params Dphls_core.Kernel.t
+val gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t

@@ -1,0 +1,52 @@
+open Dphls_core
+module Score = Dphls_util.Score
+
+type params = { match_ : int; mismatch : int; gaps : Two_piece_rec.gaps }
+
+let default =
+  {
+    match_ = 2;
+    mismatch = -4;
+    gaps = { Two_piece_rec.open1 = -4; extend1 = -2; open2 = -24; extend2 = -1 };
+  }
+
+let default_bandwidth = 32
+
+let pe p (i : Pe.input) =
+  let sub = Kdefs.dna_sub ~match_:p.match_ ~mismatch:p.mismatch i.Pe.qry i.Pe.rf in
+  Two_piece_rec.pe ~sub p.gaps i
+
+let kernel_with ~bandwidth =
+  {
+    Kernel.id = 13;
+    name = "banded-global-two-piece";
+    description = "Banded global two-piece affine alignment";
+    objective = Score.Maximize;
+    n_layers = 5;
+    score_bits = 16;
+    tb_bits = 7;
+    init_row =
+      (fun p ~ref_len:_ ~layer ~col -> Two_piece_rec.init_border p.gaps ~layer ~index:col);
+    init_col =
+      (fun p ~qry_len:_ ~layer ~row -> Two_piece_rec.init_border p.gaps ~layer ~index:row);
+    origin = (fun _ ~layer -> Two_piece_rec.origin ~layer);
+    pe;
+    score_site = Traceback.Bottom_right;
+    traceback =
+      (fun _ -> Some { Traceback.fsm = Kdefs.Two_piece.fsm; stop = Traceback.At_origin });
+    banding = Some (Banding.fixed bandwidth);
+    traits =
+      {
+        Traits.adds_per_pe = 12;
+        muls_per_pe = 0;
+        cmps_per_pe = 14;
+        ii = 1;
+        logic_depth = 10;
+        char_bits = Kdefs.dna_char_bits;
+        param_bits = 96;
+      };
+  }
+
+let kernel = kernel_with ~bandwidth:default_bandwidth
+
+let gen = K11_banded_global_linear.gen

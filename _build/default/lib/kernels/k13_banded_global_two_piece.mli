@@ -1,0 +1,17 @@
+(** Kernel #13 — Banded Global Two-piece Affine Alignment.
+
+    Kernel #5 under a fixed band, with full traceback — the most
+    modification-heavy kernel of Table 1 (scoring, initialization and
+    traceback all change), used in long-read assembly (Minimap2). *)
+
+type params = {
+  match_ : int;
+  mismatch : int;
+  gaps : Two_piece_rec.gaps;
+}
+
+val default : params
+val default_bandwidth : int
+val kernel : params Dphls_core.Kernel.t
+val kernel_with : bandwidth:int -> params Dphls_core.Kernel.t
+val gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t

@@ -1,0 +1,21 @@
+(** Kernel #14 — Semi-global DTW (sDTW, SquiggleFilter).
+
+    Basecalling-free virus detection: a raw nanopore squiggle (query,
+    integer current levels) is matched against a reference's expected
+    level sequence, free to start and end anywhere along the reference.
+    Minimizes total |q - r| cost; returns the score only (the classifier
+    thresholds it), so there is no traceback — matching the paper's
+    comparison with the SquiggleFilter RTL (match-bonus removed). *)
+
+type params = unit
+
+val default : params
+val kernel : params Dphls_core.Kernel.t
+
+val gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t
+(** Synthesized squiggle of a fragment of the reference DNA vs. the
+    reference's pore-model levels. *)
+
+val gen_negative : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t
+(** Squiggle from unrelated DNA (a non-target sample for classification
+    experiments). *)

@@ -1,0 +1,20 @@
+(** Kernel #15 — Local Linear Alignment of protein sequences.
+
+    Smith-Waterman over the 20-letter amino-acid alphabet with a full
+    BLOSUM62 substitution matrix stored in ScoringParams (the reason for
+    this kernel's elevated BRAM in Table 2). Baselines in the paper:
+    EMBOSS Water (CPU) and CUDASW++ 4.0 (GPU), where DP-HLS shows its
+    largest speedup (32x / 1.41x). *)
+
+type params = {
+  matrix : int array array;  (** 20x20 substitution scores *)
+  gap : int;
+}
+
+val default : params
+(** BLOSUM62 with linear gap -4. *)
+
+val kernel : params Dphls_core.Kernel.t
+
+val gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t
+(** A Swiss-Prot-like sequence vs. a 60 %-identity homolog. *)

@@ -1,0 +1,1 @@
+lib/reference/ref_engine.ml: Array Banding Dphls_core Dphls_util Grid Kernel Pe Result Score_site Traceback Types Walker Workload

@@ -1,0 +1,1 @@
+lib/reference/ref_engine.mli: Dphls_core

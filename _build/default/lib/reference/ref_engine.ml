@@ -1,0 +1,76 @@
+open Dphls_core
+module Score = Dphls_util.Score
+
+type matrices = {
+  scores : Types.score array array array;
+  pointers : int array array;
+}
+
+let fill kernel params (w : Workload.t) =
+  let qry_len = Array.length w.query and ref_len = Array.length w.reference in
+  if qry_len < 1 || ref_len < 1 then invalid_arg "Ref_engine: empty sequence";
+  let worst = Score.worst_value kernel.Kernel.objective in
+  let scores =
+    Array.init kernel.Kernel.n_layers (fun _ ->
+        Array.make_matrix qry_len ref_len worst)
+  in
+  let pointers = Array.make_matrix qry_len ref_len 0 in
+  let read ~row ~col ~layer = scores.(layer).(row).(col) in
+  let grid = Grid.create kernel params ~qry_len ~ref_len ~read in
+  let pe = kernel.Kernel.pe params in
+  let cells = ref 0 in
+  for row = 0 to qry_len - 1 do
+    for col = 0 to ref_len - 1 do
+      if Banding.in_band kernel.Kernel.banding ~row ~col then begin
+        let input = Grid.pe_input grid ~query:w.query ~reference:w.reference ~row ~col in
+        let out = pe input in
+        if Array.length out.Pe.scores <> kernel.Kernel.n_layers then
+          invalid_arg "Ref_engine: PE returned wrong layer count";
+        for layer = 0 to kernel.Kernel.n_layers - 1 do
+          scores.(layer).(row).(col) <- out.Pe.scores.(layer)
+        done;
+        pointers.(row).(col) <- out.Pe.tb;
+        incr cells
+      end
+    done
+  done;
+  (scores, pointers, !cells, qry_len, ref_len)
+
+let result_of kernel params (w : Workload.t) scores pointers cells qry_len ref_len =
+  let score_at ~row ~col = scores.(0).(row).(col) in
+  let start_cell, score =
+    Score_site.find ~objective:kernel.Kernel.objective ~rule:kernel.Kernel.score_site
+      ~banding:kernel.Kernel.banding ~score_at ~qry_len ~ref_len
+  in
+  match kernel.Kernel.traceback params with
+  | None ->
+    {
+      Result.score;
+      start_cell = None;
+      end_cell = None;
+      path = [];
+      cells_computed = cells;
+    }
+  | Some spec ->
+    let ptr_at ~row ~col = pointers.(row).(col) in
+    let outcome =
+      Walker.walk ~fsm:spec.Traceback.fsm ~stop:spec.Traceback.stop ~ptr_at
+        ~start:start_cell ~qry_len ~ref_len
+    in
+    ignore w;
+    {
+      Result.score;
+      start_cell = Some start_cell;
+      end_cell = Some outcome.Walker.end_cell;
+      path = outcome.Walker.path;
+      cells_computed = cells;
+    }
+
+let run_full kernel params w =
+  let scores, pointers, cells, qry_len, ref_len = fill kernel params w in
+  let result = result_of kernel params w scores pointers cells qry_len ref_len in
+  (result, { scores; pointers })
+
+let run kernel params w = fst (run_full kernel params w)
+
+let score_only kernel params w = (run kernel params w).Result.score

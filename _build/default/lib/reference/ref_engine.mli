@@ -1,0 +1,26 @@
+(** Golden full-matrix DP engine.
+
+    Fills the whole DP matrix in row-major order with O(q*r) memory and
+    runs the kernel's traceback FSM over the stored pointers. This is the
+    correctness oracle for the systolic engine (the paper's C-simulation
+    verification step) and the computational body of the SeqAn3-like CPU
+    baseline. *)
+
+type matrices = {
+  scores : Dphls_core.Types.score array array array;
+      (** [scores.(layer).(row).(col)] *)
+  pointers : int array array;  (** [pointers.(row).(col)], 0 when pruned *)
+}
+
+val run :
+  'p Dphls_core.Kernel.t -> 'p -> Dphls_core.Workload.t -> Dphls_core.Result.t
+(** Align one pair. Raises [Invalid_argument] on empty sequences. *)
+
+val run_full :
+  'p Dphls_core.Kernel.t -> 'p -> Dphls_core.Workload.t ->
+  Dphls_core.Result.t * matrices
+(** Same, also exposing the filled matrices (debugging, tests). *)
+
+val score_only :
+  'p Dphls_core.Kernel.t -> 'p -> Dphls_core.Workload.t -> Dphls_core.Types.score
+(** Objective value without materializing a result record. *)

@@ -1,0 +1,1 @@
+lib/resource/device.ml:

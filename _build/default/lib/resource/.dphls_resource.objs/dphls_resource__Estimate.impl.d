@@ -1,0 +1,1 @@
+lib/resource/estimate.ml: Device Dphls_core Dphls_util Freq Fun Kernel List Memory_cost Pe_cost Registry Traits

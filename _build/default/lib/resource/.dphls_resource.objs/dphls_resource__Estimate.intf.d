@@ -1,0 +1,1 @@
+lib/resource/estimate.mli: Device Dphls_core

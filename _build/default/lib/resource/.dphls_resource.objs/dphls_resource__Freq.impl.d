@@ -1,0 +1,1 @@
+lib/resource/freq.ml: Dphls_core

@@ -1,0 +1,1 @@
+lib/resource/freq.mli: Dphls_core

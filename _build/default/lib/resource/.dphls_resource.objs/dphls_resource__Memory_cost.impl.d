@@ -1,0 +1,1 @@
+lib/resource/memory_cost.ml:

@@ -1,0 +1,1 @@
+lib/resource/pe_cost.ml: Dphls_core Dphls_util Float Kernel Option Registry Traceback Traits

@@ -1,0 +1,1 @@
+lib/resource/pe_cost.mli: Dphls_core

@@ -1,0 +1,35 @@
+type t = {
+  name : string;
+  luts : int;
+  ffs : int;
+  bram36 : int;
+  dsps : int;
+}
+
+let xcvu9p =
+  { name = "XCVU9P-FLGB2104-2-I"; luts = 1_182_240; ffs = 2_364_480; bram36 = 2_160; dsps = 6_840 }
+
+type utilization = { lut : float; ff : float; bram : float; dsp : float }
+
+let zero = { lut = 0.0; ff = 0.0; bram = 0.0; dsp = 0.0 }
+
+let add a b =
+  { lut = a.lut +. b.lut; ff = a.ff +. b.ff; bram = a.bram +. b.bram; dsp = a.dsp +. b.dsp }
+
+let scale k u = { lut = k *. u.lut; ff = k *. u.ff; bram = k *. u.bram; dsp = k *. u.dsp }
+
+type percentages = { lut_pct : float; ff_pct : float; bram_pct : float; dsp_pct : float }
+
+let percent_of d u =
+  {
+    lut_pct = u.lut /. float_of_int d.luts;
+    ff_pct = u.ff /. float_of_int d.ffs;
+    bram_pct = u.bram /. float_of_int d.bram36;
+    dsp_pct = u.dsp /. float_of_int d.dsps;
+  }
+
+let fits d u =
+  u.lut <= float_of_int d.luts
+  && u.ff <= float_of_int d.ffs
+  && u.bram <= float_of_int d.bram36
+  && u.dsp <= float_of_int d.dsps

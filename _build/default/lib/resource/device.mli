@@ -1,0 +1,30 @@
+(** FPGA device model: the AWS EC2 F1 part (XCVU9P-FLGB2104-2-I) whose
+    totals all Table 2 utilization percentages are relative to. *)
+
+type t = {
+  name : string;
+  luts : int;
+  ffs : int;
+  bram36 : int;  (** 36-kbit block RAM tiles *)
+  dsps : int;    (** DSP48E2 slices *)
+}
+
+val xcvu9p : t
+
+type utilization = {
+  lut : float;
+  ff : float;
+  bram : float;  (** in BRAM36-tile equivalents (halves from 18k blocks) *)
+  dsp : float;
+}
+
+val zero : utilization
+val add : utilization -> utilization -> utilization
+val scale : float -> utilization -> utilization
+
+type percentages = { lut_pct : float; ff_pct : float; bram_pct : float; dsp_pct : float }
+
+val percent_of : t -> utilization -> percentages
+(** Fractions in [0, 1] (multiply by 100 for display). *)
+
+val fits : t -> utilization -> bool

@@ -1,0 +1,93 @@
+open Dphls_core
+
+type block_config = { n_pe : int; max_qry : int; max_ref : int }
+
+(* An init border is "trivial" (synthesizable as constants, no buffer)
+   when every sampled value is zero or an infinity. *)
+let trivial_init packed cfg =
+  let (Registry.Packed (k, p)) = packed in
+  let module S = Dphls_util.Score in
+  let trivial v = v = 0 || S.is_neg_inf v || S.is_pos_inf v in
+  let probe = [ 0; 1; cfg.max_ref / 2; cfg.max_ref - 1 ] in
+  let row_trivial =
+    List.for_all
+      (fun col ->
+        List.for_all
+          (fun layer ->
+            trivial (k.Kernel.init_row p ~ref_len:cfg.max_ref ~layer ~col))
+          (List.init k.Kernel.n_layers Fun.id))
+      probe
+  in
+  let col_trivial =
+    List.for_all
+      (fun row ->
+        List.for_all
+          (fun layer ->
+            trivial (k.Kernel.init_col p ~qry_len:cfg.max_qry ~layer ~row))
+          (List.init k.Kernel.n_layers Fun.id))
+      (List.map (fun c -> min c (cfg.max_qry - 1)) probe)
+  in
+  (row_trivial, col_trivial)
+
+let block packed cfg =
+  let (Registry.Packed (k, _)) = packed in
+  let info = Pe_cost.of_packed packed ~max_len:(max cfg.max_qry cfg.max_ref) in
+  let n_pe = cfg.n_pe in
+  let fpe = float_of_int n_pe in
+  let n_layers = k.Kernel.n_layers in
+  let score_bits = k.Kernel.score_bits in
+  let traits = k.Kernel.traits in
+  (* Traceback memory: banked, depth = chunks x wavefronts. *)
+  let n_chunks = (cfg.max_qry + n_pe - 1) / n_pe in
+  let tb_depth = n_chunks * (cfg.max_ref + n_pe - 1) in
+  let tb =
+    Memory_cost.tb_memory ~n_pe ~depth:tb_depth ~width:k.Kernel.tb_bits
+      ~allow_lutram:(n_pe >= 64)
+  in
+  let cell_width = n_layers * score_bits in
+  let preserved = Memory_cost.simple ~depth:cfg.max_ref ~width:cell_width in
+  let seq_buffers =
+    Memory_cost.simple ~depth:cfg.max_qry ~width:traits.Traits.char_bits
+    + Memory_cost.simple ~depth:cfg.max_ref ~width:traits.Traits.char_bits
+  in
+  let row_trivial, col_trivial = trivial_init packed cfg in
+  let init_buffers =
+    (if row_trivial then 0 else Memory_cost.simple ~depth:cfg.max_ref ~width:cell_width)
+    + if col_trivial then 0 else Memory_cost.simple ~depth:cfg.max_qry ~width:cell_width
+  in
+  let param_bram =
+    if traits.Traits.param_bits > 1024 then
+      (* Large tables (substitution matrices) replicated per PE. *)
+      n_pe * Memory_cost.simple ~depth:(traits.Traits.param_bits / 8) ~width:8
+    else 0
+  in
+  let bram18 =
+    tb.Memory_cost.bram18 + preserved + seq_buffers + init_buffers + param_bram
+    + Memory_cost.fixed_block_bram18
+  in
+  (* Per-block control logic outside the PE array. *)
+  let control_lut = 1500.0 and control_ff = 2000.0 in
+  {
+    Device.lut =
+      (fpe *. Pe_cost.lut_per_pe info) +. control_lut +. tb.Memory_cost.lutram_luts;
+    ff = (fpe *. Pe_cost.ff_per_pe info) +. control_ff;
+    bram = float_of_int bram18 /. 2.0;
+    dsp = (fpe *. Pe_cost.dsp_per_pe info) +. Pe_cost.fixed_dsp info;
+  }
+
+(* AXI/DMA interface per independent host channel. *)
+let channel_overhead =
+  { Device.lut = 4_000.0; ff = 6_000.0; bram = 8.0; dsp = 0.0 }
+
+let full packed cfg ~n_b ~n_k =
+  let one = block packed cfg in
+  Device.add
+    (Device.scale (float_of_int (n_b * n_k)) one)
+    (Device.scale (float_of_int n_k) channel_overhead)
+
+let block_percent packed cfg = Device.percent_of Device.xcvu9p (block packed cfg)
+
+let max_frequency_mhz packed = Freq.max_mhz (Registry.traits packed)
+
+let fits_device packed cfg ~n_b ~n_k =
+  Device.fits Device.xcvu9p (full packed cfg ~n_b ~n_k)

@@ -1,0 +1,27 @@
+(** Full-design resource estimation: one block, or the whole
+    N_B x N_K configuration, for any kernel in the catalog. *)
+
+type block_config = {
+  n_pe : int;
+  max_qry : int;  (** MAX_QUERY_LENGTH *)
+  max_ref : int;  (** MAX_REFERENCE_LENGTH *)
+}
+
+val block : Dphls_core.Registry.packed -> block_config -> Device.utilization
+(** One block: the PE array, its buffers and traceback memory — the unit
+    Table 2 reports (for a 32-PE block). *)
+
+val full :
+  Dphls_core.Registry.packed -> block_config -> n_b:int -> n_k:int ->
+  Device.utilization
+(** N_B blocks per kernel instance times N_K instances, plus per-channel
+    host-interface overhead. *)
+
+val block_percent :
+  Dphls_core.Registry.packed -> block_config -> Device.percentages
+(** Convenience: {!block} as fractions of the F1 device. *)
+
+val max_frequency_mhz : Dphls_core.Registry.packed -> float
+
+val fits_device :
+  Dphls_core.Registry.packed -> block_config -> n_b:int -> n_k:int -> bool

@@ -1,0 +1,11 @@
+(** Achieved-clock model.
+
+    DP-HLS targets 250 MHz; after place-and-route, kernels with deeper PE
+    combinational logic close timing at the lower discrete frequencies
+    the paper reports (250 / 200 / 166.7 / 150 / 125 MHz, Table 2). The
+    model maps the declared PE logic depth onto those tiers. *)
+
+val max_mhz : Dphls_core.Traits.t -> float
+
+val tiers : float list
+(** The achievable frequencies, descending. *)

@@ -1,0 +1,34 @@
+let cap_for_width width =
+  if width <= 1 then 16384
+  else if width <= 2 then 8192
+  else if width <= 4 then 4096
+  else if width <= 9 then 2048
+  else 1024
+
+let bram18_for ~depth ~width =
+  if depth = 0 || width = 0 then 0
+  else
+    let columns = (width + 17) / 18 in
+    let col_width = min width 18 in
+    let rows = (depth + cap_for_width col_width - 1) / cap_for_width col_width in
+    columns * rows
+
+type mem_report = { bram18 : int; lutram_luts : float }
+
+let lutram_threshold_bits = 4096
+
+(* Distributed RAM spends roughly one LUT per 4 stored bits (64-bit
+   SLICEM LUTs with addressing overhead). *)
+let lutram_luts_for bits = float_of_int bits /. 4.0
+
+let tb_memory ~n_pe ~depth ~width ~allow_lutram =
+  if width = 0 then { bram18 = 0; lutram_luts = 0.0 }
+  else
+    let bank_bits = depth * width in
+    if allow_lutram && bank_bits <= lutram_threshold_bits then
+      { bram18 = 0; lutram_luts = float_of_int n_pe *. lutram_luts_for bank_bits }
+    else { bram18 = n_pe * bram18_for ~depth ~width; lutram_luts = 0.0 }
+
+let simple ~depth ~width = bram18_for ~depth ~width
+
+let fixed_block_bram18 = 20

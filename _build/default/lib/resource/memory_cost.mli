@@ -1,0 +1,29 @@
+(** Block-RAM cost model.
+
+    Memories are mapped onto Xilinx BRAM18 primitives using the real
+    width/depth configuration table (a 18-kbit block holds 16K x 1,
+    8K x 2, 4K x 4, 2K x 9 or 1K x 18 elements), which is what produces
+    Table 2's pattern: 2- and 4-bit traceback pointers cost one BRAM18
+    per bank while 7-bit two-piece pointers cost two (kernels #5/#13).
+    Shallow banks are converted to LUTRAM at high N_PE, reproducing the
+    BRAM dip the paper observes at N_PE = 64 (§7.2). *)
+
+val bram18_for : depth:int -> width:int -> int
+(** BRAM18 primitives for one memory; 0 when either dimension is 0. *)
+
+type mem_report = {
+  bram18 : int;
+  lutram_luts : float;  (** LUTs consumed by LUTRAM-converted memories *)
+}
+
+val tb_memory :
+  n_pe:int -> depth:int -> width:int -> allow_lutram:bool -> mem_report
+(** The banked traceback store: [n_pe] independent banks. Banks whose
+    contents fit the LUTRAM threshold are converted when
+    [allow_lutram] (the HLS compiler does this at high N_PE). *)
+
+val simple : depth:int -> width:int -> int
+(** BRAM18s of a single-port buffer (sequence, init, preserved row). *)
+
+val fixed_block_bram18 : int
+(** Host-interface FIFOs and control buffers per block. *)

@@ -1,0 +1,83 @@
+open Dphls_core
+
+type kernel_info = {
+  traits : Traits.t;
+  n_layers : int;
+  score_bits : int;
+  tb_bits : int;
+  banded : bool;
+  tracks_best : bool;
+  global_traceback : bool;
+  max_len : int;
+}
+
+let of_packed packed ~max_len =
+  let (Registry.Packed (k, p)) = packed in
+  let global_traceback =
+    match k.Kernel.traceback p with
+    | Some { Traceback.stop = Traceback.At_origin; _ } -> true
+    | Some _ | None -> false
+  in
+  {
+    traits = k.Kernel.traits;
+    n_layers = k.Kernel.n_layers;
+    score_bits = k.Kernel.score_bits;
+    tb_bits = k.Kernel.tb_bits;
+    banded = Option.is_some k.Kernel.banding;
+    tracks_best = k.Kernel.score_site <> Traceback.Bottom_right;
+    global_traceback;
+    max_len;
+  }
+
+(* Calibration constants (fit once against Table 2, 32-PE blocks). *)
+let lut_per_adder_bit = 2.2
+let lut_per_cmp_bit = 1.1
+let lut_per_char_bit = 4.0
+let lut_per_param_lut_bit = 1.0
+let lut_banding_extra = 140.0
+let ff_scale = 1.8
+let dsp_per_mul_bit = 1.0 /. 16.0
+
+(* Parameters up to this size live in LUTRAM; larger tables (e.g. the
+   20x20 BLOSUM62 of kernel #15) are replicated in block RAM per PE. *)
+let param_lutram_threshold = 1024
+
+let coord_bits info = Dphls_util.Bits.clog2 (max 2 info.max_len)
+
+let lut_per_pe info =
+  let t = info.traits in
+  let fb = float_of_int in
+  let param_lut =
+    if t.Traits.param_bits <= param_lutram_threshold then
+      lut_per_param_lut_bit *. fb t.Traits.param_bits
+    else 0.0
+  in
+  (lut_per_adder_bit *. fb (t.Traits.adds_per_pe * info.score_bits))
+  +. (lut_per_cmp_bit *. fb (t.Traits.cmps_per_pe * info.score_bits))
+  +. (lut_per_char_bit *. fb t.Traits.char_bits)
+  +. param_lut
+  +. (if info.banded then lut_banding_extra else 0.0)
+  +. if info.tracks_best then fb (info.score_bits + (2 * coord_bits info)) else 0.0
+
+let ff_per_pe info =
+  let t = info.traits in
+  let fb = float_of_int in
+  let datapath =
+    (* w1/w2 wavefront registers plus the output register, per layer,
+       plus DSP pipeline registers for multiplier-bearing kernels *)
+    (3 * info.n_layers * info.score_bits)
+    + (t.Traits.muls_per_pe * info.score_bits / 2)
+  in
+  let pipeline = t.Traits.logic_depth * info.score_bits in
+  let tracker =
+    if info.tracks_best then info.score_bits + (2 * coord_bits info) + 1 else 0
+  in
+  ff_scale
+  *. fb (datapath + pipeline + (2 * t.Traits.char_bits) + info.tb_bits + tracker)
+
+let dsp_per_pe info =
+  let t = info.traits in
+  float_of_int t.Traits.muls_per_pe
+  *. Float.max 1.0 (dsp_per_mul_bit *. float_of_int info.score_bits)
+
+let fixed_dsp info = if info.global_traceback then 2.0 else 1.0

@@ -1,0 +1,29 @@
+(** Per-PE logic cost model.
+
+    Costs are structural functions of the kernel's datapath traits,
+    with coefficients calibrated once against the 32-PE-block column of
+    Table 2 (see DESIGN.md §5). Multipliers map to DSP slices, not LUTs;
+    kernels whose score site is not the bottom-right corner pay for a
+    per-PE local best tracker (score + coordinates), and kernels with
+    global traceback need two DSPs of fixed traceback-address precompute
+    logic outside the PEs (one otherwise) — reproducing the 0.029 % vs
+    0.014 % DSP split in Table 2. *)
+
+type kernel_info = {
+  traits : Dphls_core.Traits.t;
+  n_layers : int;
+  score_bits : int;
+  tb_bits : int;
+  banded : bool;
+  tracks_best : bool;     (** score site other than bottom-right *)
+  global_traceback : bool;
+  max_len : int;          (** max sequence length (coordinate widths) *)
+}
+
+val of_packed : Dphls_core.Registry.packed -> max_len:int -> kernel_info
+
+val lut_per_pe : kernel_info -> float
+val ff_per_pe : kernel_info -> float
+val dsp_per_pe : kernel_info -> float
+val fixed_dsp : kernel_info -> float
+(** Traceback-address precompute DSPs per block (outside the PE array). *)

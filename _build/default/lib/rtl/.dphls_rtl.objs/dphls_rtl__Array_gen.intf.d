@@ -1,0 +1,1 @@
+lib/rtl/array_gen.mli:

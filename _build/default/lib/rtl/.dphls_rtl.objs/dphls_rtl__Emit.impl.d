@@ -1,0 +1,1 @@
+lib/rtl/emit.ml: Array_gen Dphls_core Pe_gen Printf String Verilog

@@ -1,0 +1,1 @@
+lib/rtl/lint.ml: Buffer Emit Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/rtl/pe_gen.ml: Array Buffer Dphls_core Fun Hashtbl List Printf String Verilog

@@ -1,0 +1,1 @@
+lib/rtl/pe_gen.mli: Dphls_core

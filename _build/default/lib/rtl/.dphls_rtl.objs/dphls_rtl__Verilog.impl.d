@@ -1,0 +1,1 @@
+lib/rtl/verilog.ml: List Printf String

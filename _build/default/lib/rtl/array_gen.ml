@@ -1,0 +1,205 @@
+type config = {
+  n_pe : int;
+  max_qry : int;
+  max_ref : int;
+  n_layers : int;
+  score_bits : int;
+  tb_bits : int;
+  char_bits : int;
+  char_elems : int;
+}
+
+let tb_depth cfg =
+  let chunks = (cfg.max_qry + cfg.n_pe - 1) / cfg.n_pe in
+  chunks * (cfg.max_ref + cfg.n_pe - 1)
+
+(* Explicit PE port bindings (the PE module has scalar per-layer and
+   per-element ports, so the hookup is emitted once per layer/element
+   inside the generate loop). *)
+let pe_port_bindings cfg =
+  let layer_ports kind source =
+    List.init cfg.n_layers (fun l -> Printf.sprintf ".%s_%d(%s" kind l (source l))
+  in
+  let char_ports kind source =
+    List.init cfg.char_elems (fun e -> Printf.sprintf ".%s_%d(%s" kind e (source e))
+  in
+  let bindings =
+    layer_ports "up" (fun l -> Printf.sprintf "up_in[g][%d])" l)
+    @ layer_ports "diag" (fun l -> Printf.sprintf "diag_in[g][%d])" l)
+    @ layer_ports "left" (fun l -> Printf.sprintf "left_in[g][%d])" l)
+    @ char_ports "qry" (fun e -> Printf.sprintf "qry_reg[g][%d])" e)
+    @ char_ports "ref" (fun e -> Printf.sprintf "ref_pipe[g][%d])" e)
+    @ List.init cfg.n_layers (fun l ->
+          Printf.sprintf ".score_%d(pe_score[g][%d])" l l)
+    @ (if cfg.tb_bits > 0 then [ ".tb(pe_tb[g])" ] else [])
+  in
+  String.concat ",\n        " bindings
+
+let layer_loop cfg body =
+  String.concat "\n"
+    (List.init cfg.n_layers (fun l -> body l))
+
+let emit ~name ~pe_module cfg =
+  let m =
+    Verilog.create ~name
+      ~ports:
+        [
+          Verilog.port Verilog.Input "clk" 1;
+          Verilog.port Verilog.Input "rst" 1;
+          Verilog.port Verilog.Input "start" 1;
+          Verilog.port Verilog.Input "qry_wr_en" 1;
+          Verilog.port Verilog.Input "qry_wr_data" (cfg.char_bits * cfg.char_elems);
+          Verilog.port Verilog.Input "ref_wr_en" 1;
+          Verilog.port Verilog.Input "ref_wr_data" (cfg.char_bits * cfg.char_elems);
+          Verilog.port ~signed:true Verilog.Output "best_score" cfg.score_bits;
+          Verilog.port Verilog.Output "tb_rd_data" (max 1 cfg.tb_bits);
+          Verilog.port Verilog.Output "done" 1;
+        ]
+  in
+  Verilog.comment m "auto-generated DP-HLS systolic block";
+  Verilog.localparam m "N_PE" cfg.n_pe;
+  Verilog.localparam m "MAX_QRY" cfg.max_qry;
+  Verilog.localparam m "MAX_REF" cfg.max_ref;
+  Verilog.localparam m "N_LAYERS" cfg.n_layers;
+  Verilog.localparam m "SCORE_W" cfg.score_bits;
+  Verilog.localparam m "TB_W" (max 1 cfg.tb_bits);
+  Verilog.localparam m "TB_DEPTH" (tb_depth cfg);
+  Verilog.localparam m "CHAR_W" cfg.char_bits;
+  Verilog.localparam m "CHAR_E" cfg.char_elems;
+  Verilog.raw m
+    {|
+  // controller FSM (the back-end's sequential stages: the query load and
+  // init stages run before COMPUTE, which is the prologue the paper's
+  // hand-written RTL baselines overlap away)
+  localparam S_IDLE = 0, S_LOAD = 1, S_INIT = 2, S_COMPUTE = 3,
+             S_REDUCE = 4, S_TRACEBACK = 5, S_DRAIN = 6;
+  reg [2:0] state;
+  reg [31:0] wavefront;
+  reg [31:0] chunk;
+|};
+  Verilog.raw m
+    {|
+  // sequence buffers
+  reg [CHAR_W*CHAR_E-1:0] qry_mem [0:MAX_QRY-1];
+  reg [CHAR_W*CHAR_E-1:0] ref_mem [0:MAX_REF-1];
+
+  // init row/column score buffers (written during S_INIT)
+  reg signed [N_LAYERS*SCORE_W-1:0] init_row [0:MAX_REF-1];
+  reg signed [N_LAYERS*SCORE_W-1:0] init_col [0:MAX_QRY-1];
+
+  // Preserved Row Score Buffer: last PE's outputs feed the next chunk
+  reg signed [N_LAYERS*SCORE_W-1:0] preserved_row [0:MAX_REF-1];
+
+  // two-deep wavefront registers between neighbouring PEs
+  reg signed [SCORE_W-1:0] w1 [0:N_PE-1][0:N_LAYERS-1];
+  reg signed [SCORE_W-1:0] w2 [0:N_PE-1][0:N_LAYERS-1];
+
+  // per-PE character registers: the chunk's query bases stay resident,
+  // the reference character pipeline shifts one PE per cycle
+  reg [CHAR_W-1:0] qry_reg [0:N_PE-1][0:CHAR_E-1];
+  reg [CHAR_W-1:0] ref_pipe [0:N_PE-1][0:CHAR_E-1];
+|};
+  Verilog.raw m
+    (Printf.sprintf
+       {|
+  // PE input/output buses
+  wire signed [SCORE_W-1:0] up_in   [0:N_PE-1][0:N_LAYERS-1];
+  wire signed [SCORE_W-1:0] diag_in [0:N_PE-1][0:N_LAYERS-1];
+  wire signed [SCORE_W-1:0] left_in [0:N_PE-1][0:N_LAYERS-1];
+  wire signed [SCORE_W-1:0] pe_score [0:N_PE-1][0:N_LAYERS-1];
+  wire [TB_W-1:0] pe_tb [0:N_PE-1];
+
+  // PE 0's diag source: its previous up-read (border muxes elided)
+  reg signed [SCORE_W-1:0] pe0_prev_up [0:N_LAYERS-1];
+
+  genvar g;
+  generate
+    for (g = 0; g < N_PE; g = g + 1) begin : pe_array
+      // inter-PE dataflow: left = own w1, up = neighbour w1, diag =
+      // neighbour w2; PE 0 reads the preserved row / init borders
+      if (g == 0) begin : head
+%s
+      end else begin : chain
+%s
+      end
+      %s pe_i (
+        %s
+      );
+    end
+  endgenerate
+
+  // fully unrolled inner loop: every PE registers its outputs into the
+  // wavefront registers each II cycles
+  integer li;
+  always @(posedge clk) begin
+    if (state == S_COMPUTE) begin : shift
+      integer gi;
+      for (gi = 0; gi < N_PE; gi = gi + 1)
+        for (li = 0; li < N_LAYERS; li = li + 1) begin
+          w2[gi][li] <= w1[gi][li];
+          w1[gi][li] <= pe_score[gi][li];
+        end
+      for (li = 0; li < N_LAYERS; li = li + 1)
+        pe0_prev_up[li] <= up_in[0][li];
+    end
+  end
+|}
+       (layer_loop cfg (fun l ->
+            Printf.sprintf
+              "        assign up_in[0][%d] = preserved_row[wavefront][%d*SCORE_W +: SCORE_W];\n\
+              \        assign diag_in[0][%d] = pe0_prev_up[%d];\n\
+              \        assign left_in[0][%d] = w1[0][%d];" l l l l l l))
+       (layer_loop cfg (fun l ->
+            Printf.sprintf
+              "        assign up_in[g][%d] = w1[g-1][%d];\n\
+              \        assign diag_in[g][%d] = w2[g-1][%d];\n\
+              \        assign left_in[g][%d] = w1[g][%d];" l l l l l l))
+       pe_module (pe_port_bindings cfg));
+  Verilog.raw m
+    {|
+  // banked, address-coalesced traceback memory: one bank per PE, all
+  // PEs write the same address (chunk*W + wavefront) each cycle
+  generate
+    for (g = 0; g < N_PE; g = g + 1) begin : tb_banks
+      reg [TB_W-1:0] tb_mem [0:TB_DEPTH-1];
+      always @(posedge clk) begin
+        if (state == S_COMPUTE)
+          tb_mem[chunk * (MAX_REF + N_PE - 1) + wavefront] <= pe_tb[g];
+      end
+    end
+  endgenerate
+
+  // per-PE local best trackers + log2(N_PE) reduction tree
+  reg signed [SCORE_W-1:0] local_best [0:N_PE-1];
+  reg [31:0] local_best_row [0:N_PE-1];
+  reg [31:0] local_best_col [0:N_PE-1];
+|};
+  Verilog.raw m
+    {|
+  always @(posedge clk) begin
+    if (rst) begin
+      state <= S_IDLE; wavefront <= 0; chunk <= 0;
+    end else begin
+      case (state)
+        S_IDLE:      if (start) state <= S_LOAD;
+        S_LOAD:      state <= S_INIT;       // qry_len cycles
+        S_INIT:      state <= S_COMPUTE;    // max(qry,ref) cycles
+        S_COMPUTE: begin                    // chunks x wavefronts x II
+          wavefront <= wavefront + 1;
+          if (wavefront == MAX_REF + N_PE - 2) begin
+            wavefront <= 0;
+            chunk <= chunk + 1;
+            if (chunk == (MAX_QRY + N_PE - 1)/N_PE - 1) state <= S_REDUCE;
+          end
+        end
+        S_REDUCE:    state <= S_TRACEBACK;  // clog2(N_PE)+2 cycles
+        S_TRACEBACK: state <= S_DRAIN;      // path-length cycles
+        S_DRAIN:     state <= S_IDLE;
+        default:     state <= S_IDLE;
+      endcase
+    end
+  end
+
+  assign done = (state == S_DRAIN);
+|};
+  Verilog.render m

@@ -1,0 +1,25 @@
+(** Systolic-array block RTL generation: the structural skeleton the
+    DP-HLS back-end's pragmas coax out of the HLS compiler — N_PE chained
+    PE instances, the two-deep wavefront registers, the preserved-row
+    score buffer, banked address-coalesced traceback RAM, the per-PE
+    best-cell trackers with a reduction tree, and the block controller
+    FSM (LOAD / INIT / COMPUTE / REDUCE / TRACEBACK / DRAIN). *)
+
+type config = {
+  n_pe : int;
+  max_qry : int;
+  max_ref : int;
+  n_layers : int;
+  score_bits : int;
+  tb_bits : int;
+  char_bits : int;
+  char_elems : int;
+}
+
+val emit : name:string -> pe_module:string -> config -> string
+(** [name] is the block module's name, [pe_module] the PE module to
+    instantiate. *)
+
+val tb_depth : config -> int
+(** Traceback words per bank (chunks x wavefronts), as in
+    {!Dphls_systolic.Schedule.tb_depth}. *)

@@ -1,0 +1,79 @@
+type design = {
+  pe : string;
+  block : string;
+  top : string;
+  ops : Dphls_core.Datapath.op_count;
+  tb_depth : int;
+}
+
+let sanitize name =
+  String.map (fun c -> if c = '-' then '_' else c) name
+
+let top_module ~name ~block_module ~n_b ~n_k =
+  let m =
+    Verilog.create ~name
+      ~ports:
+        [
+          Verilog.port Verilog.Input "clk" 1;
+          Verilog.port Verilog.Input "rst" 1;
+          Verilog.port Verilog.Input "axi_in_valid" 1;
+          Verilog.port Verilog.Input "axi_in_data" 512;
+          Verilog.port Verilog.Output "axi_out_valid" 1;
+          Verilog.port Verilog.Output "axi_out_data" 512;
+        ]
+  in
+  Verilog.comment m "auto-generated DP-HLS top: N_K channels x N_B blocks";
+  Verilog.localparam m "N_B" n_b;
+  Verilog.localparam m "N_K" n_k;
+  Verilog.raw m
+    (Printf.sprintf
+       {|
+  genvar k, b;
+  generate
+    for (k = 0; k < N_K; k = k + 1) begin : channel
+      // one arbiter per channel serializes block transfers (Fig 2B)
+      for (b = 0; b < N_B; b = b + 1) begin : block
+        %s block_i (
+          .clk(clk), .rst(rst), .start(1'b0),
+          .qry_wr_en(1'b0), .qry_wr_data('0),
+          .ref_wr_en(1'b0), .ref_wr_data('0),
+          .best_score(), .tb_rd_data(), .done()
+        );
+      end
+    end
+  endgenerate
+|}
+       block_module);
+  Verilog.render m
+
+let emit ~kernel_name ~cell ~bindings ~n_layers ~score_bits ~tb_bits ~char_bits
+    ~n_pe ~n_b ~n_k ~max_qry ~max_ref =
+  let base = sanitize kernel_name in
+  let pe_name = base ^ "_pe" in
+  let pe_result =
+    Pe_gen.emit ~name:pe_name ~cell ~bindings ~score_bits ~char_bits ~tb_bits
+  in
+  let cfg =
+    {
+      Array_gen.n_pe;
+      max_qry;
+      max_ref;
+      n_layers;
+      score_bits;
+      tb_bits;
+      char_bits;
+      char_elems = pe_result.Pe_gen.char_elems;
+    }
+  in
+  let block_name = base ^ "_block" in
+  let block = Array_gen.emit ~name:block_name ~pe_module:pe_name cfg in
+  let top = top_module ~name:(base ^ "_top") ~block_module:block_name ~n_b ~n_k in
+  {
+    pe = pe_result.Pe_gen.text;
+    block;
+    top;
+    ops = pe_result.Pe_gen.ops;
+    tb_depth = Array_gen.tb_depth cfg;
+  }
+
+let to_text d = String.concat "\n" [ d.pe; d.block; d.top ]

@@ -1,0 +1,29 @@
+(** Whole-design RTL emission for a kernel: PE module, systolic block and
+    an N_B x N_K top level — the textual counterpart of what the DP-HLS
+    back-end's HLS flow produces before bitstream generation. *)
+
+type design = {
+  pe : string;
+  block : string;
+  top : string;
+  ops : Dphls_core.Datapath.op_count;
+  tb_depth : int;
+}
+
+val emit :
+  kernel_name:string ->
+  cell:Dphls_core.Datapath.cell ->
+  bindings:Dphls_core.Datapath.bindings ->
+  n_layers:int ->
+  score_bits:int ->
+  tb_bits:int ->
+  char_bits:int ->
+  n_pe:int ->
+  n_b:int ->
+  n_k:int ->
+  max_qry:int ->
+  max_ref:int ->
+  design
+
+val to_text : design -> string
+(** Concatenated Verilog source (PE + block + top). *)

@@ -1,0 +1,150 @@
+type issue = { line : int; message : string }
+
+let tokenize_line line =
+  (* split on whitespace and punctuation we care about, keeping it *)
+  let buf = Buffer.create 16 in
+  let out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | ',' | ';' -> flush ()
+      | '(' | ')' | '[' | ']' | '{' | '}' ->
+        flush ();
+        out := String.make 1 c :: !out
+      | _ -> Buffer.add_char buf c)
+    line;
+  flush ();
+  List.rev !out
+
+let strip_comment line =
+  match String.index_opt line '/' with
+  | Some i
+    when i + 1 < String.length line && line.[i + 1] = '/' ->
+    String.sub line 0 i
+  | _ -> line
+
+let check source =
+  let issues = ref [] in
+  let problem line message = issues := { line; message } :: !issues in
+  let lines = String.split_on_char '\n' source in
+  (* 1. pairing of structural keywords and brackets *)
+  let pairs =
+    [ ("module", "endmodule"); ("begin", "end"); ("case", "endcase");
+      ("function", "endfunction"); ("generate", "endgenerate") ]
+  in
+  let counts = Hashtbl.create 8 in
+  let bump key delta =
+    Hashtbl.replace counts key (delta + Option.value ~default:0 (Hashtbl.find_opt counts key))
+  in
+  let declared_wires = Hashtbl.create 64 in
+  let paren = ref 0 and bracket = ref 0 and brace = ref 0 in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = strip_comment raw in
+      let tokens = tokenize_line line in
+      List.iter
+        (fun tok ->
+          (match tok with
+          | "(" -> incr paren
+          | ")" -> decr paren
+          | "[" -> incr bracket
+          | "]" -> decr bracket
+          | "{" -> incr brace
+          | "}" -> decr brace
+          | _ -> ());
+          List.iter
+            (fun (op, cl) ->
+              if tok = op then bump op 1 else if tok = cl then bump op (-1))
+            pairs)
+        tokens;
+      (* 2. wire declaration and use discipline *)
+      match tokens with
+      | "wire" :: rest | "reg" :: rest ->
+        (* last identifier-ish token is the name (skip signed/[ranges]) *)
+        let name =
+          List.fold_left
+            (fun acc t ->
+              if t = "signed" || t = "[" || t = "]" || t = "(" || t = ")" then acc
+              else if String.length t > 0 && (t.[0] = '[' || String.contains t ':') then acc
+              else t)
+            "" rest
+        in
+        if name <> "" then begin
+          if Hashtbl.mem declared_wires name then
+            problem lineno (Printf.sprintf "duplicate declaration of %s" name);
+          Hashtbl.replace declared_wires name lineno
+        end
+      | "assign" :: name :: "=" :: rhs ->
+        List.iter
+          (fun t ->
+            (* bare nN SSA names must be declared before use *)
+            if
+              String.length t > 1
+              && t.[0] = 'n'
+              && String.for_all
+                   (fun c -> c >= '0' && c <= '9')
+                   (String.sub t 1 (String.length t - 1))
+              && not (Hashtbl.mem declared_wires t)
+            then problem lineno (Printf.sprintf "use of undeclared wire %s" t))
+          (name :: rhs)
+      | _ -> ())
+    lines;
+  List.iter
+    (fun (op, _) ->
+      match Hashtbl.find_opt counts op with
+      | Some 0 | None -> ()
+      | Some n -> problem 0 (Printf.sprintf "%+d unbalanced %s blocks" n op))
+    pairs;
+  if !paren <> 0 then problem 0 (Printf.sprintf "%+d unbalanced parentheses" !paren);
+  if !bracket <> 0 then problem 0 (Printf.sprintf "%+d unbalanced brackets" !bracket);
+  if !brace <> 0 then problem 0 (Printf.sprintf "%+d unbalanced braces" !brace);
+  List.rev !issues
+
+let module_names source =
+  let names = ref [] in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if String.length line > 7 && String.sub line 0 7 = "module " then begin
+        let rest = String.sub line 7 (String.length line - 7) in
+        let stop =
+          match String.index_opt rest ' ' with
+          | Some i -> i
+          | None -> (
+            match String.index_opt rest '(' with
+            | Some i -> i
+            | None -> String.length rest)
+        in
+        names := String.sub rest 0 stop :: !names
+      end)
+    (String.split_on_char '\n' source);
+  !names
+
+let check_design (d : Emit.design) =
+  let source = Emit.to_text d in
+  let issues = check source in
+  (* every instantiated module must be defined in the same source *)
+  let defined = module_names source in
+  let inst_issues = ref [] in
+  (* instantiations follow the pattern "<name> <inst> (" on one line *)
+  List.iteri
+    (fun idx raw ->
+      let line = String.trim (strip_comment raw) in
+      let tokens = tokenize_line line in
+      match tokens with
+      | [ m; inst; "(" ]
+        when inst = "pe_i" || inst = "block_i" ->
+        if not (List.mem m defined) then
+          inst_issues :=
+            { line = idx + 1; message = Printf.sprintf "instantiates undefined module %s" m }
+            :: !inst_issues
+      | _ -> ())
+    (String.split_on_char '\n' source);
+  issues @ List.rev !inst_issues

@@ -1,0 +1,19 @@
+(** Structural linter for the emitted Verilog.
+
+    Not a full parser — a token-level checker for the properties the
+    emitter must uphold: balanced module/endmodule, begin/end, case/
+    endcase, function/endfunction and generate/endgenerate pairs;
+    balanced parentheses/brackets/braces; wires declared before use in
+    `assign` right-hand sides; no duplicate wire declarations; and
+    every instantiated module defined somewhere in the same source. *)
+
+type issue = {
+  line : int;     (** 1-based, 0 when the issue is not line-specific *)
+  message : string;
+}
+
+val check : string -> issue list
+(** Empty list = clean. *)
+
+val check_design : Emit.design -> issue list
+(** Lint the concatenated PE + block + top source. *)

@@ -1,0 +1,29 @@
+(** Processing-element RTL generation: compiles a symbolic datapath
+    ({!Dphls_core.Datapath.cell}) into a structural Verilog module.
+
+    Expressions are lowered to single-assignment wires with common
+    subexpressions shared (mirroring what the HLS compiler's scheduler
+    does), parameters become localparams and lookup tables become case
+    functions (ROMs). *)
+
+type result = {
+  text : string;                          (** the [module ... endmodule] *)
+  ops : Dphls_core.Datapath.op_count;     (** emitted operator census *)
+  char_elems : int;                       (** character tuple arity used *)
+}
+
+val emit :
+  name:string ->
+  cell:Dphls_core.Datapath.cell ->
+  bindings:Dphls_core.Datapath.bindings ->
+  score_bits:int ->
+  char_bits:int ->
+  tb_bits:int ->
+  result
+(** [name] is the module name. Ports: per-layer [up_i]/[diag_i]/[left_i]
+    and [score_i] buses of [score_bits], character element inputs
+    [qry_i]/[ref_i] of [char_bits] each, and a [tb] output when
+    [tb_bits > 0]. *)
+
+val char_arity : Dphls_core.Datapath.cell -> int
+(** Highest character element index used, plus one. *)

@@ -1,0 +1,48 @@
+type dir = Input | Output
+
+type port = { dir : dir; name : string; width : int; signed : bool }
+
+let port ?(signed = false) dir name width = { dir; name; width; signed }
+
+type item =
+  | Localparam of string * int
+  | Wire of bool * string * int
+  | Reg of bool * string * int
+  | Assign of string * string
+  | Comment of string
+  | Raw of string
+
+type t = { name : string; ports : port list; mutable rev_items : item list }
+
+let create ~name ~ports = { name; ports; rev_items = [] }
+
+let push t item = t.rev_items <- item :: t.rev_items
+
+let localparam t name value = push t (Localparam (name, value))
+let wire t ?(signed = false) name width = push t (Wire (signed, name, width))
+let reg t ?(signed = false) name width = push t (Reg (signed, name, width))
+let assign t lhs rhs = push t (Assign (lhs, rhs))
+let comment t text = push t (Comment text)
+let raw t text = push t (Raw text)
+
+let range width = if width <= 1 then "" else Printf.sprintf "[%d:0] " (width - 1)
+
+let render_port p =
+  let dir = match p.dir with Input -> "input" | Output -> "output" in
+  let signed = if p.signed then "signed " else "" in
+  Printf.sprintf "  %s %s%s%s" dir signed (range p.width) p.name
+
+let render_item = function
+  | Localparam (n, v) -> Printf.sprintf "  localparam %s = %d;" n v
+  | Wire (s, n, w) ->
+    Printf.sprintf "  wire %s%s%s;" (if s then "signed " else "") (range w) n
+  | Reg (s, n, w) ->
+    Printf.sprintf "  reg %s%s%s;" (if s then "signed " else "") (range w) n
+  | Assign (lhs, rhs) -> Printf.sprintf "  assign %s = %s;" lhs rhs
+  | Comment text -> Printf.sprintf "  // %s" text
+  | Raw text -> text
+
+let render t =
+  let ports = String.concat ",\n" (List.map render_port t.ports) in
+  let body = String.concat "\n" (List.rev_map render_item t.rev_items) in
+  Printf.sprintf "module %s (\n%s\n);\n%s\nendmodule\n" t.name ports body

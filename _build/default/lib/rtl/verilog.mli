@@ -1,0 +1,28 @@
+(** Minimal structural-Verilog text builder used by the RTL emitter. *)
+
+type dir = Input | Output
+
+type port = { dir : dir; name : string; width : int; signed : bool }
+
+val port : ?signed:bool -> dir -> string -> int -> port
+
+type t
+(** A module under construction. *)
+
+val create : name:string -> ports:port list -> t
+
+val localparam : t -> string -> int -> unit
+val wire : t -> ?signed:bool -> string -> int -> unit
+val reg : t -> ?signed:bool -> string -> int -> unit
+val assign : t -> string -> string -> unit
+(** [assign b lhs rhs] emits [assign lhs = rhs;]. *)
+
+val comment : t -> string -> unit
+val raw : t -> string -> unit
+(** Verbatim body text (generate blocks, always blocks). *)
+
+val render : t -> string
+(** The complete [module ... endmodule] text. *)
+
+val range : int -> string
+(** ["[W-1:0]"] or [""] for width 1. *)

@@ -1,0 +1,1 @@
+lib/seqgen/dna_gen.ml: Array Dphls_util

@@ -1,0 +1,1 @@
+lib/seqgen/dna_gen.mli: Dphls_util

@@ -1,0 +1,1 @@
+lib/seqgen/profile_gen.mli: Dphls_util

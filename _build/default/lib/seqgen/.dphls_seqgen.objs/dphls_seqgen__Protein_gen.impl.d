@@ -1,0 +1,1 @@
+lib/seqgen/protein_gen.ml: Array Dphls_alphabet Dphls_util List

@@ -1,0 +1,1 @@
+lib/seqgen/protein_gen.mli: Dphls_util

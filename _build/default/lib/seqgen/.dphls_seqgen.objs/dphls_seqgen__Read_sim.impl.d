@@ -1,0 +1,1 @@
+lib/seqgen/read_sim.ml: Array Buffer Char Dphls_util List String

@@ -1,0 +1,1 @@
+lib/seqgen/read_sim.mli: Dphls_util

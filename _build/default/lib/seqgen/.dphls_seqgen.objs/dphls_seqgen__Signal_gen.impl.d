@@ -1,0 +1,1 @@
+lib/seqgen/signal_gen.ml: Array Dphls_alphabet Dphls_util Float List

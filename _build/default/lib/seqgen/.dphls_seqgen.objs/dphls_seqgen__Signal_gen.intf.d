@@ -1,0 +1,1 @@
+lib/seqgen/signal_gen.mli: Dphls_util

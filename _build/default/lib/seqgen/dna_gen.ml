@@ -1,0 +1,12 @@
+module Rng = Dphls_util.Rng
+
+let genome rng ?(gc = 0.41) n =
+  let at = (1.0 -. gc) /. 2.0 and cg = gc /. 2.0 in
+  let weights = [| at; cg; cg; at |] in
+  Array.init n (fun _ -> Rng.weighted_index rng weights)
+
+let mutate_point rng seq ~rate =
+  Array.map
+    (fun b ->
+      if Rng.bernoulli rng rate then (b + 1 + Rng.int rng 3) mod 4 else b)
+    seq

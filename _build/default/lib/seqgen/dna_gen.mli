@@ -1,0 +1,8 @@
+(** Random genome generation — the GRCh38 stand-in for read simulation. *)
+
+val genome : Dphls_util.Rng.t -> ?gc:float -> int -> int array
+(** [genome rng ~gc n] draws [n] bases with the given GC content
+    (default 0.41, human-like). *)
+
+val mutate_point : Dphls_util.Rng.t -> int array -> rate:float -> int array
+(** Copy with point substitutions at the given per-base rate. *)

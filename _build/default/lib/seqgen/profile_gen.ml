@@ -1,0 +1,28 @@
+module Rng = Dphls_util.Rng
+module Profile = Dphls_alphabet.Profile
+
+let family_profile rng ~ancestor ~members ~divergence =
+  let len = Array.length ancestor in
+  let columns = Array.init len (fun _ -> Array.make Profile.arity 0) in
+  for _ = 1 to members do
+    Array.iteri
+      (fun j base ->
+        let col = columns.(j) in
+        if Rng.bernoulli rng (divergence *. 0.2) then
+          (* deletion in this descendant: counts as a gap at column j *)
+          col.(Profile.gap_index) <- col.(Profile.gap_index) + 1
+        else
+          let b =
+            if Rng.bernoulli rng (divergence *. 0.8) then (base + 1 + Rng.int rng 3) mod 4
+            else base
+          in
+          col.(b) <- col.(b) + 1)
+      ancestor
+  done;
+  columns
+
+let related_pair rng ~length ~members ~divergence =
+  let ancestor = Array.init length (fun _ -> Rng.int rng 4) in
+  let p1 = family_profile rng ~ancestor ~members ~divergence in
+  let p2 = family_profile rng ~ancestor ~members ~divergence in
+  (p1, p2)

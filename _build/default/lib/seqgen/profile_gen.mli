@@ -1,0 +1,25 @@
+(** Profile workload generation for kernel #8.
+
+    The paper builds profiles from 256-bp regions of two Drosophila
+    genomes; offline we build two related sequence families from a common
+    synthetic ancestor (mimicking the melanogaster/simulans divergence),
+    align family members trivially by their known indel positions, and
+    emit profile column sequences. *)
+
+val family_profile :
+  Dphls_util.Rng.t ->
+  ancestor:int array ->
+  members:int ->
+  divergence:float ->
+  int array array
+(** Profile (one 5-tuple column per ancestor base) built from [members]
+    descendants at the given per-base divergence; indels in descendants
+    register as gap counts in the column. *)
+
+val related_pair :
+  Dphls_util.Rng.t ->
+  length:int ->
+  members:int ->
+  divergence:float ->
+  int array array * int array array
+(** Two profiles descended from one ancestor — the alignment inputs. *)

@@ -1,0 +1,38 @@
+module Rng = Dphls_util.Rng
+module Protein = Dphls_alphabet.Protein
+
+let sample rng n = Protein.random rng n
+
+let sample_database rng ~count ~mean_length =
+  Array.init count (fun _ ->
+      (* Sum of two uniforms approximates the unimodal length spread of
+         curated protein databases well enough for workload purposes. *)
+      let len =
+        max 16 (Rng.int_in rng (mean_length / 2) mean_length
+                + Rng.int rng (mean_length / 2))
+      in
+      sample rng len)
+
+(* For a residue a, replacement weights proportional to exp(blosum62(a,b)),
+   which favours conservative substitutions. *)
+let replacement_weights =
+  Array.init Protein.cardinality (fun a ->
+      Array.init Protein.cardinality (fun b ->
+          if a = b then 0.0 else exp (float_of_int (Protein.blosum62_score a b))))
+
+let homolog rng seq ~identity =
+  let mutation_rate = 1.0 -. identity in
+  let buf = ref [] in
+  Array.iter
+    (fun a ->
+      if Rng.bernoulli rng (mutation_rate *. 0.1) then ()
+        (* deletion *)
+      else begin
+        if Rng.bernoulli rng (mutation_rate *. 0.1) then
+          buf := Rng.int rng Protein.cardinality :: !buf;
+        if Rng.bernoulli rng (mutation_rate *. 0.8) then
+          buf := Rng.weighted_index rng replacement_weights.(a) :: !buf
+        else buf := a :: !buf
+      end)
+    seq;
+  Array.of_list (List.rev !buf)

@@ -1,0 +1,17 @@
+(** Protein sequence sampling — the Swiss-Prot stand-in for kernel #15.
+
+    The paper samples protein sequences from UniProtKB/Swiss-Prot; offline
+    we sample from the Swiss-Prot amino-acid background distribution with
+    a realistic length model, and derive homologous pairs by BLOSUM-biased
+    mutation so local alignments have signal to find. *)
+
+val sample : Dphls_util.Rng.t -> int -> int array
+(** Length-[n] sequence from the background distribution. *)
+
+val sample_database : Dphls_util.Rng.t -> count:int -> mean_length:int -> int array array
+(** A database of sequences with gamma-ish length dispersion. *)
+
+val homolog : Dphls_util.Rng.t -> int array -> identity:float -> int array
+(** Derive a homolog keeping roughly [identity] fraction of residues;
+    substitutions are biased toward high-BLOSUM62 replacements, plus rare
+    short indels. *)

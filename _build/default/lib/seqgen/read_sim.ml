@@ -1,0 +1,62 @@
+module Rng = Dphls_util.Rng
+
+type error_profile = {
+  substitution : float;
+  insertion : float;
+  deletion : float;
+}
+
+let pacbio_30 = { substitution = 0.10; insertion = 0.12; deletion = 0.08 }
+
+let total p = p.substitution +. p.insertion +. p.deletion
+
+let scaled p rate =
+  let f = rate /. total p in
+  {
+    substitution = p.substitution *. f;
+    insertion = p.insertion *. f;
+    deletion = p.deletion *. f;
+  }
+
+type read = {
+  id : int;
+  sequence : int array;
+  origin : int;
+  template : int array;
+}
+
+let corrupt rng profile template =
+  let buf = Buffer.create (Array.length template * 2) in
+  let emit b = Buffer.add_char buf (Char.chr b) in
+  Array.iter
+    (fun b ->
+      (* Insertions may precede any template base. *)
+      while Rng.bernoulli rng profile.insertion do
+        emit (Rng.int rng 4)
+      done;
+      if Rng.bernoulli rng profile.deletion then ()
+      else if Rng.bernoulli rng profile.substitution then
+        emit ((b + 1 + Rng.int rng 3) mod 4)
+      else emit b)
+    template;
+  let s = Buffer.contents buf in
+  Array.init (String.length s) (fun i -> Char.code s.[i])
+
+let simulate rng ~genome ~profile ~read_length ~count =
+  let glen = Array.length genome in
+  if glen < read_length then invalid_arg "Read_sim.simulate: genome too short";
+  List.init count (fun id ->
+      let origin = Rng.int rng (glen - read_length + 1) in
+      let template = Array.sub genome origin read_length in
+      let sequence = corrupt rng profile template in
+      let sequence = if Array.length sequence = 0 then [| genome.(origin) |] else sequence in
+      { id; sequence; origin; template })
+
+let truncate r n =
+  {
+    r with
+    sequence = Array.sub r.sequence 0 (min n (Array.length r.sequence));
+    template = Array.sub r.template 0 (min n (Array.length r.template));
+  }
+
+let pair_for_alignment r = (r.sequence, r.template)

@@ -1,0 +1,43 @@
+(** PBSIM2-like long-read simulator.
+
+    The paper simulates 1,000 PacBio reads of 10,000 bases at a 30 % error
+    rate from GRCh38 (§6.1); short-alignment kernels use 256-base
+    truncations. We reproduce that protocol against a synthetic genome:
+    a read is a genome window corrupted by substitutions, insertions and
+    deletions in PacBio-like proportions. *)
+
+type error_profile = {
+  substitution : float;
+  insertion : float;
+  deletion : float;
+}
+
+val pacbio_30 : error_profile
+(** Total error 30 %, split roughly PacBio-CLR-like
+    (sub 10 %, ins 12 %, del 8 %). *)
+
+val scaled : error_profile -> float -> error_profile
+(** [scaled p total] rescales the profile to the given total error rate. *)
+
+type read = {
+  id : int;
+  sequence : int array;     (** corrupted read bases *)
+  origin : int;             (** start offset of the source window *)
+  template : int array;     (** the uncorrupted genome window *)
+}
+
+val simulate :
+  Dphls_util.Rng.t ->
+  genome:int array ->
+  profile:error_profile ->
+  read_length:int ->
+  count:int ->
+  read list
+(** Sample [count] reads of approximately [read_length] bases. *)
+
+val truncate : read -> int -> read
+(** Clip read and template to the first [n] bases (the paper's 256-base
+    truncation for short kernels). *)
+
+val pair_for_alignment : read -> int array * int array
+(** (query, reference) = (read sequence, genome template window). *)

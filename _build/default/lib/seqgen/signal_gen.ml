@@ -1,0 +1,58 @@
+module Rng = Dphls_util.Rng
+module Signal = Dphls_alphabet.Signal
+
+let complex_sequence rng n =
+  Array.init n (fun _ ->
+      let re = Rng.float rng 2.0 -. 1.0 in
+      let im = Rng.float rng 2.0 -. 1.0 in
+      Signal.complex_of_floats ~re ~im)
+
+let warped_copy rng signal ~noise =
+  let out = ref [] in
+  Array.iter
+    (fun ch ->
+      let re, im = Signal.complex_to_floats ch in
+      let emit () =
+        let re = re +. Rng.gaussian rng ~mean:0.0 ~stddev:noise in
+        let im = im +. Rng.gaussian rng ~mean:0.0 ~stddev:noise in
+        out := Signal.complex_of_floats ~re ~im :: !out
+      in
+      (* Dwell 0..2 repeats: drops ~1/6 of samples, doubles ~1/6. *)
+      let repeats =
+        match Rng.int rng 6 with 0 -> 0 | 5 -> 2 | _ -> 1
+      in
+      for _ = 1 to repeats do emit () done)
+    signal;
+  let arr = Array.of_list (List.rev !out) in
+  if Array.length arr = 0 then [| signal.(0) |] else arr
+
+(* A 6-mer hash mapped into the level range stands in for a measured pore
+   model table; it is deterministic, so query and reference squiggles from
+   the same DNA agree. *)
+let pore_level kmer =
+  let h = Array.fold_left (fun acc b -> (acc * 4) + b) 0 kmer in
+  let mixed = (h * 2654435761) land 0x3FFFFFFF in
+  mixed mod Signal.sdtw_levels
+
+let kmer_at dna i =
+  let n = Array.length dna in
+  Array.init 6 (fun k -> dna.((i + k) mod n))
+
+let squiggle rng ~dna ~noise =
+  let out = ref [] in
+  Array.iteri
+    (fun i _ ->
+      let level = float_of_int (pore_level (kmer_at dna i)) in
+      let dwell = 1 + Rng.int rng 3 in
+      for _ = 1 to dwell do
+        let sample = level +. Rng.gaussian rng ~mean:0.0 ~stddev:noise in
+        let v =
+          max 0 (min (Signal.sdtw_levels - 1) (int_of_float (Float.round sample)))
+        in
+        out := Signal.int_sample v :: !out
+      done)
+    dna;
+  Array.of_list (List.rev !out)
+
+let reference_levels dna =
+  Array.init (Array.length dna) (fun i -> Signal.int_sample (pore_level (kmer_at dna i)))

@@ -1,0 +1,27 @@
+(** Signal generators for the DTW kernels.
+
+    Kernel #9 uses randomly generated complex-number sequences (the paper
+    simulates its own, §6.1). Kernel #14 (sDTW / SquiggleFilter) uses
+    nanopore current traces; offline we synthesize squiggles from DNA with
+    a deterministic k-mer pore model plus Gaussian noise and random dwell,
+    which is the standard squiggle-simulation recipe. *)
+
+val complex_sequence : Dphls_util.Rng.t -> int -> int array array
+(** Random complex characters (fixed-point re/im in [-1, 1]). *)
+
+val warped_copy : Dphls_util.Rng.t -> int array array -> noise:float -> int array array
+(** Time-warped, noise-perturbed copy of a complex signal: stretches or
+    compresses segments so DTW has genuine warping to recover. *)
+
+val pore_level : int array -> int
+(** Deterministic model current level for a DNA 6-mer context (array of
+    6 bases), in [0, Signal.sdtw_levels). *)
+
+val squiggle : Dphls_util.Rng.t -> dna:int array -> noise:float -> int array array
+(** Synthesize an sDTW integer-sample squiggle from a DNA sequence:
+    per-base pore-model level with Gaussian noise and dwell-time jitter
+    (1-3 samples per base). *)
+
+val reference_levels : int array -> int array array
+(** Noise-free expected levels for a DNA reference (one sample per base) —
+    the sDTW reference sequence. *)

@@ -1,0 +1,1 @@
+lib/systolic/config.ml:

@@ -1,0 +1,1 @@
+lib/systolic/engine.ml: Array Banding Config Dphls_core Dphls_util Grid Kernel Option Pe Result Schedule Tb_memory Trace Traceback Traits Types Walker Workload

@@ -1,0 +1,1 @@
+lib/systolic/engine.mli: Config Dphls_core Trace

@@ -1,0 +1,1 @@
+lib/systolic/schedule.ml: Banding Dphls_core Dphls_util Types

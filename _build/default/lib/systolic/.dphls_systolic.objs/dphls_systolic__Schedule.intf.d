@@ -1,0 +1,1 @@
+lib/systolic/schedule.mli: Dphls_core

@@ -1,0 +1,1 @@
+lib/systolic/tb_memory.ml: Array Schedule

@@ -1,0 +1,1 @@
+lib/systolic/trace.ml: Array Dphls_core Hashtbl List

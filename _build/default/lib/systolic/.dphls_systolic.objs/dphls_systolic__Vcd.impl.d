@@ -1,0 +1,1 @@
+lib/systolic/vcd.ml: Array Buffer Bytes Dphls_core Hashtbl List Printf Trace

@@ -1,0 +1,1 @@
+lib/systolic/vcd.mli: Trace

@@ -1,0 +1,5 @@
+type t = { n_pe : int }
+
+let create ~n_pe =
+  if n_pe < 1 || n_pe > 1024 then invalid_arg "Systolic.Config: n_pe out of [1,1024]";
+  { n_pe }

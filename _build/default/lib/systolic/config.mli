@@ -1,0 +1,8 @@
+(** Back-end configuration: the paper's inner-loop parallelism knob. *)
+
+type t = {
+  n_pe : int;  (** [N_PE]: processing elements in the linear array *)
+}
+
+val create : n_pe:int -> t
+(** Raises [Invalid_argument] unless 1 <= n_pe <= 1024. *)

@@ -1,0 +1,228 @@
+open Dphls_core
+module Score = Dphls_util.Score
+
+type cycles = {
+  prologue : int;
+  compute : int;
+  reduction : int;
+  traceback : int;
+  fill : int;
+  total : int;
+}
+
+type stats = {
+  cycles : cycles;
+  pe_fires : int;
+  pe_slots : int;
+  utilization : float;
+  tb_words : int;
+}
+
+let assemble_cycles ~prologue ~compute ~reduction ~traceback ~fill =
+  {
+    prologue;
+    compute;
+    reduction;
+    traceback;
+    fill;
+    total = prologue + compute + reduction + traceback + fill;
+  }
+
+let cycles_estimate config kernel _params ~qry_len ~ref_len ~tb_steps =
+  let schedule = Schedule.create ~n_pe:config.Config.n_pe ~qry_len ~ref_len in
+  let banding = kernel.Kernel.banding in
+  assemble_cycles
+    ~prologue:(Schedule.prologue_cycles schedule)
+    ~compute:(Schedule.compute_cycles schedule ~banding ~ii:kernel.Kernel.traits.Traits.ii)
+    ~reduction:(Schedule.reduction_cycles schedule)
+    ~traceback:tb_steps
+    ~fill:(Schedule.pipeline_fill_cycles schedule)
+
+(* Whether a cell's layer-0 score participates in the score-site search. *)
+let observes rule ~qry_len ~ref_len ~row ~col =
+  match (rule : Traceback.start_rule) with
+  | Bottom_right -> row = qry_len - 1 && col = ref_len - 1
+  | Global_best -> true
+  | Last_row_best -> row = qry_len - 1
+  | Last_row_or_col_best -> row = qry_len - 1 || col = ref_len - 1
+
+let run ?(trace = Trace.create ~enabled:false) config kernel params (w : Workload.t) =
+  Kernel.validate kernel params;
+  let qry_len = Array.length w.query and ref_len = Array.length w.reference in
+  if qry_len < 1 || ref_len < 1 then invalid_arg "Systolic.Engine: empty sequence";
+  let n_pe = config.Config.n_pe in
+  let n_layers = kernel.Kernel.n_layers in
+  let banding = kernel.Kernel.banding in
+  let objective = kernel.Kernel.objective in
+  let worst = Score.worst_value objective in
+  let worst_layers = Array.make n_layers worst in
+  let schedule = Schedule.create ~n_pe ~qry_len ~ref_len in
+  let tb_spec = kernel.Kernel.traceback params in
+  let tb_mem = Tb_memory.create schedule in
+  (* Border (virtual row/column -1) values come from the kernel's init
+     functions via the shared Grid logic; the [read] callback is never
+     reached because we only query virtual coordinates. *)
+  let grid =
+    Grid.create kernel params ~qry_len ~ref_len ~read:(fun ~row:_ ~col:_ ~layer:_ ->
+        assert false)
+  in
+  let border ~row ~col =
+    Array.init n_layers (fun layer -> Grid.neighbor grid ~row ~col ~layer)
+  in
+  let in_band ~row ~col = Banding.in_band banding ~row ~col in
+  (* Preserved Row Score Buffer: outputs of each chunk's last row, tagged
+     with the chunk that wrote them so stale entries are never consumed. *)
+  let preserved = Array.make ref_len worst_layers in
+  let preserved_tag = Array.make ref_len (-1) in
+  let read_prev_row ~chunk ~col ~row =
+    (* row = chunk*n_pe - 1, the previous chunk's last row *)
+    if not (in_band ~row ~col) then worst_layers
+    else begin
+      assert (preserved_tag.(col) = chunk - 1);
+      preserved.(col)
+    end
+  in
+  let pe_func = kernel.Kernel.pe params in
+  let trackers =
+    Array.init n_pe (fun _ -> Traceback.Best_cell.create objective)
+  in
+  let fires = ref 0 in
+  let slots = ref 0 in
+  (* Wavefront registers: each PE's outputs at the previous one and two
+     wavefronts, and PE 0's remembered up-input (its diag source). *)
+  let w1 = Array.make n_pe None in
+  let w2 = Array.make n_pe None in
+  let pe0_prev_up = ref None in
+  let reg_value reg ~row ~col =
+    if not (in_band ~row ~col) then worst_layers
+    else
+      match reg with
+      | Some scores -> scores
+      | None -> assert false (* in-band cells are always computed *)
+  in
+  for chunk = 0 to schedule.Schedule.n_chunks - 1 do
+    Array.fill w1 0 n_pe None;
+    Array.fill w2 0 n_pe None;
+    pe0_prev_up := None;
+    match Schedule.active_wavefronts schedule ~banding ~chunk with
+    | None -> ()
+    | Some (wf_lo, wf_hi) ->
+      for wavefront = wf_lo to wf_hi do
+        let new_out = Array.make n_pe None in
+        let pe0_up_now = ref None in
+        for pe = 0 to n_pe - 1 do
+          incr slots;
+          match Schedule.cell_of schedule ~chunk ~pe ~wavefront with
+          | None -> ()
+          | Some { Types.row; col } when in_band ~row ~col ->
+            let up =
+              if pe = 0 then
+                if row = 0 then border ~row:(-1) ~col
+                else read_prev_row ~chunk ~col ~row:(row - 1)
+              else reg_value w1.(pe - 1) ~row:(row - 1) ~col
+            in
+            let diag =
+              if col = 0 then border ~row:(row - 1) ~col:(-1)
+              else if pe = 0 then
+                if row = 0 then border ~row:(-1) ~col:(col - 1)
+                else if not (in_band ~row:(row - 1) ~col:(col - 1)) then worst_layers
+                else begin
+                  match !pe0_prev_up with
+                  | Some scores -> scores
+                  | None ->
+                    (* PE 0 skipped (row, col-1) as out-of-band, so its
+                       up-read there never happened; the previous row's
+                       value is still live in the preserved buffer. *)
+                    read_prev_row ~chunk ~col:(col - 1) ~row:(row - 1)
+                end
+              else reg_value w2.(pe - 1) ~row:(row - 1) ~col:(col - 1)
+            in
+            let left =
+              if col = 0 then border ~row ~col:(-1)
+              else reg_value w1.(pe) ~row ~col:(col - 1)
+            in
+            let input =
+              { Pe.up; diag; left; qry = w.query.(row); rf = w.reference.(col); row; col }
+            in
+            let out = pe_func input in
+            if Array.length out.Pe.scores <> n_layers then
+              invalid_arg "Systolic.Engine: PE returned wrong layer count";
+            new_out.(pe) <- Some out.Pe.scores;
+            if pe = 0 then pe0_up_now := Some up;
+            if Option.is_some tb_spec then Tb_memory.write tb_mem ~row ~col out.Pe.tb;
+            if row = (chunk * n_pe) + n_pe - 1 || row = qry_len - 1 then begin
+              (* last row of the chunk feeds the next chunk's PE 0 *)
+              if row = (chunk * n_pe) + n_pe - 1 then begin
+                preserved.(col) <- out.Pe.scores;
+                preserved_tag.(col) <- chunk
+              end
+            end;
+            if observes kernel.Kernel.score_site ~qry_len ~ref_len ~row ~col then
+              Traceback.Best_cell.observe trackers.(pe) { Types.row; col }
+                out.Pe.scores.(0);
+            incr fires;
+            Trace.record trace { Trace.chunk; wavefront; pe; cell = { Types.row; col } }
+          | Some _pruned -> ()
+        done;
+        Array.blit w1 0 w2 0 n_pe;
+        Array.blit new_out 0 w1 0 n_pe;
+        (match !pe0_up_now with Some _ as v -> pe0_prev_up := v | None -> ())
+      done
+  done;
+  (* Reduction over per-PE local bests (§5.2). *)
+  let merged =
+    Array.fold_left Traceback.Best_cell.merge
+      (Traceback.Best_cell.create objective)
+      trackers
+  in
+  let start_cell, score =
+    match Traceback.Best_cell.get merged with
+    | Some (cell, score) -> (cell, score)
+    | None -> ({ Types.row = qry_len - 1; col = ref_len - 1 }, worst)
+  in
+  let result, tb_steps =
+    match tb_spec with
+    | None ->
+      ( {
+          Result.score;
+          start_cell = None;
+          end_cell = None;
+          path = [];
+          cells_computed = !fires;
+        },
+        0 )
+    | Some spec ->
+      let ptr_at ~row ~col = Tb_memory.read tb_mem ~row ~col in
+      let outcome =
+        Walker.walk ~fsm:spec.Traceback.fsm ~stop:spec.Traceback.stop ~ptr_at
+          ~start:start_cell ~qry_len ~ref_len
+      in
+      ( {
+          Result.score;
+          start_cell = Some start_cell;
+          end_cell = Some outcome.Walker.end_cell;
+          path = outcome.Walker.path;
+          cells_computed = !fires;
+        },
+        outcome.Walker.steps )
+  in
+  let cycles =
+    assemble_cycles
+      ~prologue:(Schedule.prologue_cycles schedule)
+      ~compute:
+        (Schedule.compute_cycles schedule ~banding ~ii:kernel.Kernel.traits.Traits.ii)
+      ~reduction:(Schedule.reduction_cycles schedule)
+      ~traceback:tb_steps
+      ~fill:(Schedule.pipeline_fill_cycles schedule)
+  in
+  let stats =
+    {
+      cycles;
+      pe_fires = !fires;
+      pe_slots = !slots;
+      utilization =
+        (if !slots = 0 then 0.0 else float_of_int !fires /. float_of_int !slots);
+      tb_words = Tb_memory.words_written tb_mem;
+    }
+  in
+  (result, stats)

@@ -1,0 +1,46 @@
+(** Cycle-level simulator of the DP-HLS back-end (§5).
+
+    Executes a kernel on a linear systolic array of [N_PE] PEs exactly as
+    the generated RTL would: rows chunked across PEs, one wavefront per II
+    cycles, inter-PE values flowing through the two-deep wavefront
+    registers, chunk-to-chunk rows through the Preserved Row Score Buffer,
+    traceback pointers into banked, address-coalesced memory, and the
+    alignment's best cell found by per-PE local tracking plus a final
+    reduction. Alignment results are bit-identical to {!Dphls_reference}
+    (enforced by the differential test suite); in addition the simulator
+    reports the cycle breakdown that drives every throughput number in
+    the reproduction. *)
+
+type cycles = {
+  prologue : int;   (** sequential query load + init-buffer writes *)
+  compute : int;    (** wavefront pipeline (band-aware) x II *)
+  reduction : int;  (** best-cell reduction over PEs *)
+  traceback : int;  (** FSM steps reading pointer memory *)
+  fill : int;       (** pipeline fill/drain allowance *)
+  total : int;
+}
+
+type stats = {
+  cycles : cycles;
+  pe_fires : int;          (** cells computed *)
+  pe_slots : int;          (** N_PE x executed wavefronts *)
+  utilization : float;     (** fires / slots *)
+  tb_words : int;          (** traceback pointers stored *)
+}
+
+val run :
+  ?trace:Trace.t ->
+  Config.t ->
+  'p Dphls_core.Kernel.t ->
+  'p ->
+  Dphls_core.Workload.t ->
+  Dphls_core.Result.t * stats
+(** Raises [Invalid_argument] on empty sequences or malformed kernels. *)
+
+val cycles_estimate :
+  Config.t -> 'p Dphls_core.Kernel.t -> 'p ->
+  qry_len:int -> ref_len:int -> tb_steps:int -> cycles
+(** Closed-form cycle count for the given problem shape without running
+    the array — used by scaling sweeps after the formula is validated
+    against [run] in the test suite. [tb_steps] is the expected traceback
+    length (0 for kernels without traceback). *)

@@ -1,0 +1,75 @@
+open Dphls_core
+
+type t = {
+  n_pe : int;
+  qry_len : int;
+  ref_len : int;
+  n_chunks : int;
+  wavefronts_per_chunk : int;
+}
+
+let create ~n_pe ~qry_len ~ref_len =
+  if qry_len < 1 || ref_len < 1 then invalid_arg "Schedule.create: empty sequence";
+  {
+    n_pe;
+    qry_len;
+    ref_len;
+    n_chunks = (qry_len + n_pe - 1) / n_pe;
+    wavefronts_per_chunk = ref_len + n_pe - 1;
+  }
+
+let chunk_of_row t row = row / t.n_pe
+let pe_of_row t row = row mod t.n_pe
+
+let cell_of t ~chunk ~pe ~wavefront =
+  let row = (chunk * t.n_pe) + pe in
+  let col = wavefront - pe in
+  if row >= t.qry_len || col < 0 || col >= t.ref_len then None
+  else Some { Types.row; col }
+
+let tb_address t ~row ~col =
+  let chunk = chunk_of_row t row in
+  let pe = pe_of_row t row in
+  let wavefront = pe + col in
+  (pe, (chunk * t.wavefronts_per_chunk) + wavefront)
+
+let tb_depth t = t.n_chunks * t.wavefronts_per_chunk
+
+let active_wavefronts t ~banding ~chunk =
+  let r0 = chunk * t.n_pe in
+  let r1 = min (r0 + t.n_pe - 1) (t.qry_len - 1) in
+  match banding with
+  | None -> Some (0, r1 - r0 + t.ref_len - 1)
+  | Some { Banding.width } ->
+    let lo = ref max_int and hi = ref min_int in
+    for row = r0 to r1 do
+      let col_lo = max 0 (row - width) in
+      let col_hi = min (t.ref_len - 1) (row + width) in
+      if col_lo <= col_hi then begin
+        let k = row - r0 in
+        lo := min !lo (k + col_lo);
+        hi := max !hi (k + col_hi)
+      end
+    done;
+    if !lo > !hi then None else Some (!lo, !hi)
+
+let compute_cycles t ~banding ~ii =
+  let total = ref 0 in
+  for chunk = 0 to t.n_chunks - 1 do
+    match active_wavefronts t ~banding ~chunk with
+    | None -> ()
+    | Some (lo, hi) -> total := !total + ((hi - lo + 1) * ii)
+  done;
+  !total
+
+let prologue_cycles t =
+  (* Init-row and init-col buffers are written concurrently (one element
+     per cycle each), and the query streams in packed 8 characters per
+     word; these stages still run before — not overlapped with — the
+     wavefront pipeline, which is the throughput gap vs hand-written RTL
+     the paper discusses in §7.3. *)
+  max t.qry_len t.ref_len + (t.qry_len / 8) + 4
+
+let reduction_cycles t = Dphls_util.Bits.clog2 (max 2 t.n_pe) + 2
+
+let pipeline_fill_cycles t = 8 + (t.n_chunks * 2)

@@ -1,0 +1,26 @@
+type t = {
+  schedule : Schedule.t;
+  banks : int array array;
+  mutable words : int;
+}
+
+let create schedule =
+  let depth = Schedule.tb_depth schedule in
+  {
+    schedule;
+    banks = Array.init schedule.Schedule.n_pe (fun _ -> Array.make depth 0);
+    words = 0;
+  }
+
+let write t ~row ~col ptr =
+  let bank, addr = Schedule.tb_address t.schedule ~row ~col in
+  t.banks.(bank).(addr) <- ptr;
+  t.words <- t.words + 1
+
+let read t ~row ~col =
+  let bank, addr = Schedule.tb_address t.schedule ~row ~col in
+  t.banks.(bank).(addr)
+
+let words_written t = t.words
+let bank_count t = Array.length t.banks
+let depth t = Schedule.tb_depth t.schedule

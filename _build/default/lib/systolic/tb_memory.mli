@@ -1,0 +1,18 @@
+(** Banked traceback-pointer memory with address coalescing (§5.2).
+
+    One bank per PE so every PE can store its pointer each cycle;
+    consecutive wavefronts map to consecutive addresses so all PEs write
+    the same address in their own bank at a given wavefront. *)
+
+type t
+
+val create : Schedule.t -> t
+
+val write : t -> row:int -> col:int -> int -> unit
+val read : t -> row:int -> col:int -> int
+
+val words_written : t -> int
+(** Number of pointer words stored (a BRAM-traffic statistic). *)
+
+val bank_count : t -> int
+val depth : t -> int

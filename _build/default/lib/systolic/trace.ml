@@ -1,0 +1,24 @@
+type event = {
+  chunk : int;
+  wavefront : int;
+  pe : int;
+  cell : Dphls_core.Types.cell;
+}
+
+type t = { enabled : bool; mutable rev_events : event list }
+
+let create ~enabled = { enabled; rev_events = [] }
+
+let record t e = if t.enabled then t.rev_events <- e :: t.rev_events
+
+let events t = List.rev t.rev_events
+
+let fires_per_pe t ~n_pe =
+  let counts = Array.make n_pe 0 in
+  List.iter (fun e -> counts.(e.pe) <- counts.(e.pe) + 1) t.rev_events;
+  counts
+
+let busy_wavefronts t =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace tbl (e.chunk, e.wavefront) ()) t.rev_events;
+  Hashtbl.length tbl

@@ -1,0 +1,27 @@
+(** PE-activity tracing, used to verify that the simulated design behaves
+    as a linear systolic array (the paper's §7.2 check: throughput and
+    resources must scale like N_B independent 1-D arrays of N_PE PEs).
+
+    The trace records, per executed wavefront, which PEs fired and on
+    which cells, so tests can assert the systolic invariants:
+    - PE k only ever computes rows congruent to k modulo N_PE;
+    - within a chunk, PE k fires at wavefront w iff cell (k, w-k) exists;
+    - at most one cell per PE per wavefront. *)
+
+type event = {
+  chunk : int;
+  wavefront : int;
+  pe : int;
+  cell : Dphls_core.Types.cell;
+}
+
+type t
+
+val create : enabled:bool -> t
+val record : t -> event -> unit
+val events : t -> event list
+(** In execution order; empty when disabled. *)
+
+val fires_per_pe : t -> n_pe:int -> int array
+val busy_wavefronts : t -> int
+(** Distinct (chunk, wavefront) slots with at least one firing. *)

@@ -1,0 +1,75 @@
+(* Identifier codes: VCD allows any printable ASCII; use '!'+n style
+   short codes. *)
+let code n = Printf.sprintf "<%d" n
+
+let binary width v =
+  let buf = Bytes.make width '0' in
+  for i = 0 to width - 1 do
+    if (v lsr i) land 1 = 1 then Bytes.set buf (width - 1 - i) '1'
+  done;
+  Bytes.to_string buf
+
+let of_trace trace ~n_pe =
+  let events = Trace.events trace in
+  if events = [] then invalid_arg "Vcd.of_trace: empty trace (tracing disabled?)";
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "$date dphls systolic run $end\n";
+  out "$version dphls_systolic.Vcd $end\n";
+  out "$timescale 1ns $end\n";
+  out "$scope module systolic_block $end\n";
+  let chunk_code = code 0 and wavefront_code = code 1 in
+  out "$var wire 16 %s chunk $end\n" chunk_code;
+  out "$var wire 16 %s wavefront $end\n" wavefront_code;
+  let active_code pe = code (2 + (3 * pe)) in
+  let row_code pe = code (3 + (3 * pe)) in
+  let col_code pe = code (4 + (3 * pe)) in
+  for pe = 0 to n_pe - 1 do
+    out "$var wire 1 %s pe%d_active $end\n" (active_code pe) pe;
+    out "$var wire 16 %s pe%d_row $end\n" (row_code pe) pe;
+    out "$var wire 16 %s pe%d_col $end\n" (col_code pe) pe
+  done;
+  out "$upscope $end\n$enddefinitions $end\n";
+  (* group events by (chunk, wavefront) in execution order *)
+  let slots = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      let key = (e.Trace.chunk, e.Trace.wavefront) in
+      (match Hashtbl.find_opt slots key with
+      | Some es -> Hashtbl.replace slots key (e :: es)
+      | None ->
+        Hashtbl.add slots key [ e ];
+        order := key :: !order))
+    events;
+  let order = List.rev !order in
+  let prev_active = Array.make n_pe false in
+  List.iteri
+    (fun t (chunk, wavefront) ->
+      out "#%d\n" t;
+      out "b%s %s\n" (binary 16 chunk) chunk_code;
+      out "b%s %s\n" (binary 16 wavefront) wavefront_code;
+      let es = List.rev (Hashtbl.find slots (chunk, wavefront)) in
+      let fired = Array.make n_pe false in
+      List.iter
+        (fun e ->
+          fired.(e.Trace.pe) <- true;
+          out "1%s\n" (active_code e.Trace.pe);
+          out "b%s %s\n" (binary 16 e.Trace.cell.Dphls_core.Types.row) (row_code e.Trace.pe);
+          out "b%s %s\n" (binary 16 e.Trace.cell.Dphls_core.Types.col) (col_code e.Trace.pe))
+        es;
+      for pe = 0 to n_pe - 1 do
+        if prev_active.(pe) && not fired.(pe) then out "0%s\n" (active_code pe);
+        prev_active.(pe) <- fired.(pe)
+      done)
+    order;
+  out "#%d\n" (List.length order);
+  for pe = 0 to n_pe - 1 do
+    if prev_active.(pe) then out "0%s\n" (active_code pe)
+  done;
+  Buffer.contents buf
+
+let write_file path trace ~n_pe =
+  let oc = open_out path in
+  output_string oc (of_trace trace ~n_pe);
+  close_out oc

@@ -1,0 +1,13 @@
+(** VCD (Value Change Dump) export of a systolic run's PE activity.
+
+    The paper's baselines are measured from Icarus/Vivado waveform
+    simulations; this writer produces the equivalent artifact for the
+    simulated array so a run can be inspected in GTKWave: one timestep
+    per executed wavefront, per-PE activity bits and the row/column each
+    PE is computing, plus chunk/wavefront counters. *)
+
+val of_trace : Trace.t -> n_pe:int -> string
+(** Render a standard VCD document from a recorded trace. Raises
+    [Invalid_argument] if the trace is empty (tracing was disabled). *)
+
+val write_file : string -> Trace.t -> n_pe:int -> unit

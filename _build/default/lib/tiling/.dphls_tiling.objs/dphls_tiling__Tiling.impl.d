@@ -1,0 +1,1 @@
+lib/tiling/tiling.ml: Array Dphls_core List Result Traceback Workload

@@ -1,0 +1,62 @@
+open Dphls_core
+
+type config = { tile : int; overlap : int }
+
+let default = { tile = 256; overlap = 32 }
+
+type outcome = {
+  path : Traceback.op list;
+  tiles : int;
+  tile_stats : (int * int * int) list;
+}
+
+(* Longest path prefix consuming at most [limit] characters on each side;
+   returns (ops in order, query consumed, reference consumed). *)
+let commit_prefix path ~limit =
+  let rec go acc q r = function
+    | [] -> (List.rev acc, q, r)
+    | op :: rest ->
+      let q', r' =
+        match (op : Traceback.op) with
+        | Mmi -> (q + 1, r + 1)
+        | Ins -> (q, r + 1)
+        | Del -> (q + 1, r)
+      in
+      if q' > limit || r' > limit then (List.rev acc, q, r)
+      else go (op :: acc) q' r' rest
+  in
+  go [] 0 0 path
+
+let align config ~run ~query ~reference =
+  if config.overlap <= 0 || config.overlap >= config.tile then
+    invalid_arg "Tiling.align: need 0 < overlap < tile";
+  let qlen = Array.length query and rlen = Array.length reference in
+  let rec go qi ri acc tiles stats =
+    if qi >= qlen && ri >= rlen then
+      { path = List.concat (List.rev acc); tiles; tile_stats = List.rev stats }
+    else if qi >= qlen then
+      (* only reference remains: pure insertions *)
+      go qi rlen (List.init (rlen - ri) (fun _ -> Traceback.Ins) :: acc) tiles stats
+    else if ri >= rlen then
+      go qlen ri (List.init (qlen - qi) (fun _ -> Traceback.Del) :: acc) tiles stats
+    else
+      let tq = min config.tile (qlen - qi) and tr = min config.tile (rlen - ri) in
+      let w =
+        Workload.of_seqs ~query:(Array.sub query qi tq)
+          ~reference:(Array.sub reference ri tr)
+      in
+      let result, cost = run w in
+      let final = qi + tq >= qlen && ri + tr >= rlen in
+      if final then
+        go (qi + tq) (ri + tr)
+          (result.Result.path :: acc)
+          (tiles + 1) ((tq, tr, cost) :: stats)
+      else
+        let prefix, dq, dr =
+          commit_prefix result.Result.path ~limit:(config.tile - config.overlap)
+        in
+        if dq = 0 && dr = 0 then
+          failwith "Tiling.align: tile committed no progress (empty path?)"
+        else go (qi + dq) (ri + dr) (prefix :: acc) (tiles + 1) ((tq, tr, cost) :: stats)
+  in
+  go 0 0 [] 0 []

@@ -1,0 +1,22 @@
+let clog2 n =
+  if n <= 0 then invalid_arg "Bits.clog2";
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  go 0 1
+
+let bits_unsigned n =
+  assert (n >= 0);
+  if n = 0 then 1 else clog2 (n + 1)
+
+let pow2 n =
+  assert (n >= 0 && n <= 62);
+  1 lsl n
+
+let bits_signed_range lo hi =
+  assert (hi >= lo);
+  let rec fit w =
+    if w >= 63 then 63
+    else
+      let half = pow2 (w - 1) in
+      if lo >= -half && hi <= half - 1 then w else fit (w + 1)
+  in
+  fit 1

@@ -1,0 +1,16 @@
+(** Bit-width arithmetic used by the resource model and the fixed-point
+    substrate. *)
+
+val clog2 : int -> int
+(** Ceiling of log2; [clog2 1 = 0], [clog2 2 = 1], [clog2 5 = 3].
+    Raises [Invalid_argument] on non-positive input. *)
+
+val bits_unsigned : int -> int
+(** Bits needed to represent the unsigned value [n >= 0]; at least 1. *)
+
+val bits_signed_range : int -> int -> int
+(** [bits_signed_range lo hi] is the width of the smallest two's-complement
+    integer that can hold every value in [lo, hi]. *)
+
+val pow2 : int -> int
+(** [pow2 n] is 2^n; [n] must be in [0, 62]. *)

@@ -1,0 +1,46 @@
+let sci x =
+  if x = 0.0 then "0"
+  else
+    let e = int_of_float (floor (log10 (abs_float x))) in
+    let m = x /. (10.0 ** float_of_int e) in
+    Printf.sprintf "%.2fe%d" m e
+
+let fixed digits x = Printf.sprintf "%.*f" digits x
+
+let percent x = Printf.sprintf "%.2f%%" (x *. 100.0)
+
+let ratio x = Printf.sprintf "%.2fx" x
+
+let table ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun c w ->
+          let cell = Option.value ~default:"" (List.nth_opt row c) in
+          cell ^ String.make (w - String.length cell) ' ')
+        widths
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let rule =
+    "|-" ^ String.concat "-|-" (List.map (fun w -> String.make w '-') widths) ^ "-|"
+  in
+  String.concat "\n" (render_row header :: rule :: List.map render_row rows)
+
+let print_table ~title ~header rows =
+  Printf.printf "\n%s\n%s\n" title (table ~header rows)
+
+let section name =
+  let bar = String.make (String.length name + 4) '=' in
+  Printf.printf "\n%s\n= %s =\n%s\n" bar name bar

@@ -1,0 +1,23 @@
+(** Aligned plain-text tables and number formatting for experiment output,
+    mirroring the layout of the paper's tables. *)
+
+val sci : float -> string
+(** Scientific notation with two decimals, e.g. ["3.51e6"]. *)
+
+val fixed : int -> float -> string
+(** [fixed digits x] with a fixed number of decimals. *)
+
+val percent : float -> string
+(** [percent 0.0172] is ["1.72%"] (input is a fraction). *)
+
+val ratio : float -> string
+(** ["2.71x"] style multiplier. *)
+
+val table : header:string list -> string list list -> string
+(** Render rows under a header with column alignment and a rule line. *)
+
+val print_table : title:string -> header:string list -> string list list -> unit
+(** Print a titled table to stdout. *)
+
+val section : string -> unit
+(** Print a section banner. *)

@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    All stochastic components of the reproduction (dataset generators,
+    property tests, workload sampling) draw from this generator so that
+    every experiment is reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Box-Muller normal deviate. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val weighted_index : t -> float array -> int
+(** [weighted_index t w] samples index [i] with probability
+    [w.(i) / sum w]. Weights must be non-negative with a positive sum. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,36 @@
+(** Saturating score arithmetic for DP matrices.
+
+    Scores are plain OCaml [int]s with symmetric saturation bounds far from
+    machine limits, so that "minus infinity" initialization values survive
+    additions without wrapping — the software analog of the clamping
+    behaviour of the fixed-width datapaths DP-HLS synthesizes. *)
+
+type t = int
+
+val neg_inf : t
+(** Acts as -inf: adding any in-range value keeps it below any real score. *)
+
+val pos_inf : t
+(** Acts as +inf for min-objective kernels (DTW). *)
+
+val is_neg_inf : t -> bool
+val is_pos_inf : t -> bool
+
+val add : t -> t -> t
+(** Saturating addition: results are clamped to [neg_inf, pos_inf] and
+    infinities are absorbing. *)
+
+val max2 : t -> t -> t
+val min2 : t -> t -> t
+
+type objective = Maximize | Minimize
+
+val better : objective -> t -> t -> bool
+(** [better obj a b] is true when [a] is strictly better than [b]. *)
+
+val best : objective -> t -> t -> t
+val worst_value : objective -> t
+(** Identity element for [best]: [neg_inf] when maximizing, [pos_inf]
+    when minimizing. *)
+
+val to_string : t -> string

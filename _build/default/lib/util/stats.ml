@@ -1,0 +1,53 @@
+let check_nonempty xs = if Array.length xs = 0 then invalid_arg "Stats: empty"
+
+let mean xs =
+  check_nonempty xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  check_nonempty xs;
+  let m = mean xs in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+    /. float_of_int (Array.length xs)
+  in
+  sqrt var
+
+let sorted xs =
+  let c = Array.copy xs in
+  Array.sort compare c;
+  c
+
+let percentile xs p =
+  check_nonempty xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile";
+  let s = sorted xs in
+  let n = Array.length s in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then s.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    s.(lo) +. (frac *. (s.(hi) -. s.(lo)))
+
+let median xs = percentile xs 50.0
+
+let geomean xs =
+  check_nonempty xs;
+  let acc =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive";
+        acc +. log x)
+      0.0 xs
+  in
+  exp (acc /. float_of_int (Array.length xs))
+
+let min_of xs =
+  check_nonempty xs;
+  Array.fold_left min xs.(0) xs
+
+let max_of xs =
+  check_nonempty xs;
+  Array.fold_left max xs.(0) xs

@@ -1,0 +1,13 @@
+(** Small statistics helpers for the experiment harness. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+val median : float array -> float
+val geomean : float array -> float
+(** Geometric mean of positive values. *)
+
+val min_of : float array -> float
+val max_of : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0, 100], linear interpolation. *)

@@ -1,0 +1,1 @@
+test/t_align_api.ml: Alcotest Dphls Dphls_core Dphls_kernels Dphls_systolic Dphls_util List Registry String

@@ -1,0 +1,1 @@
+test/t_alphabet.ml: Alcotest Array Dphls_alphabet Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/t_core.ml: Alcotest Array Banding Dphls_core Dphls_kernels Dphls_util Kernel List QCheck QCheck_alcotest Registry Rescore Result Score_site Traceback Types Walker

@@ -1,0 +1,1 @@
+test/t_datapath.ml: Alcotest Dphls_core Dphls_kernels Dphls_reference Dphls_util Kernel List Pe Printf QCheck QCheck_alcotest Registry Result Traits

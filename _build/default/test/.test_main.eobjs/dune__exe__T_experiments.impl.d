@@ -1,0 +1,1 @@
+test/t_experiments.ml: Alcotest Dphls_experiments Dphls_resource List Printf

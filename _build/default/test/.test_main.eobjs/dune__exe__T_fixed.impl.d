@@ -1,0 +1,1 @@
+test/t_fixed.ml: Alcotest Dphls_fixed List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/t_host.ml: Alcotest Dphls_host List

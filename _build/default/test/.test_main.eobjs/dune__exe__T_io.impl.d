@@ -1,0 +1,1 @@
+test/t_io.ml: Alcotest Alignment_view Array Datapath Dphls_core Dphls_cosim Dphls_io Dphls_kernels Dphls_reference Dphls_util Filename List Pe Registry Result String Sys Workload

@@ -1,0 +1,1 @@
+test/t_oracles.ml: Alcotest Array Dphls_alphabet Dphls_baselines Dphls_core Dphls_kernels Dphls_reference Dphls_util Printf Result Workload

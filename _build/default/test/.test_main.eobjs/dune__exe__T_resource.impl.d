@@ -1,0 +1,1 @@
+test/t_resource.ml: Alcotest Dphls_experiments Dphls_kernels Dphls_resource List Printf

@@ -1,0 +1,1 @@
+test/t_rtl.ml: Alcotest Datapath Dphls_core Dphls_kernels Dphls_rtl Dphls_systolic Kernel List Printf Registry String

@@ -1,0 +1,1 @@
+test/t_seqgen.ml: Alcotest Array Dphls_alphabet Dphls_baselines Dphls_seqgen Dphls_util List String

@@ -1,0 +1,1 @@
+test/t_tiling.ml: Alcotest Array Dphls_alphabet Dphls_baselines Dphls_core Dphls_kernels Dphls_seqgen Dphls_systolic Dphls_tiling Dphls_util List Printf Rescore Traceback Types

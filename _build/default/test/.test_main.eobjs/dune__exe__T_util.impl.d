@@ -1,0 +1,1 @@
+test/t_util.ml: Alcotest Array Dphls_util Fun List String

@@ -1,0 +1,30 @@
+(* Differential smoke check over the full catalog: reference vs systolic. *)
+open Dphls_core
+
+let () =
+  let fails = ref 0 in
+  List.iter
+    (fun (e : Dphls_kernels.Catalog.entry) ->
+      let (Registry.Packed (k, p)) = e.Dphls_kernels.Catalog.packed in
+      let rng = Dphls_util.Rng.create (Registry.id e.packed * 7919) in
+      for trial = 1 to 25 do
+        let len = 8 + Dphls_util.Rng.int rng 56 in
+        let w = e.Dphls_kernels.Catalog.gen rng ~len in
+        let ref_res = Dphls_reference.Ref_engine.run k p w in
+        let n_pe = 1 + Dphls_util.Rng.int rng 16 in
+        let cfg = Dphls_systolic.Config.create ~n_pe in
+        let sys_res, _ = Dphls_systolic.Engine.run cfg k p w in
+        if not (Result.equal_alignment ref_res sys_res) then begin
+          incr fails;
+          if !fails < 8 then
+            Printf.printf "MISMATCH kernel=%s trial=%d len=%d npe=%d\n ref: %s\n sys: %s\n"
+              (Registry.name e.packed) trial len n_pe
+              (Format.asprintf "%a" Result.pp ref_res)
+              (Format.asprintf "%a" Result.pp sys_res)
+        end
+      done;
+      Printf.printf "kernel %-26s done (fails so far: %d)\n%!" (Registry.name e.packed)
+        !fails)
+    Dphls_kernels.Catalog.all;
+  Printf.printf "smoke: %d failures\n" !fails;
+  exit (if !fails = 0 then 0 else 1)

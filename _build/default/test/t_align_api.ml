@@ -1,0 +1,88 @@
+(* Tests for the high-level Align API and the VCD writer. *)
+module Align = Dphls.Align
+
+let test_global () =
+  let a = Align.global ~query:"ACGT" ~reference:"ACGT" () in
+  Alcotest.(check int) "score" 8 a.Align.score;
+  Alcotest.(check string) "cigar" "4M" a.Align.cigar;
+  Alcotest.(check (float 1e-9)) "identity" 1.0 a.Align.identity;
+  Alcotest.(check bool) "no cycles on golden engine" true
+    (a.Align.device_cycles = None)
+
+let test_global_systolic_cycles () =
+  let a =
+    Align.global ~engine:(Align.Systolic 4) ~query:"ACGTACGT" ~reference:"ACGTTACGT" ()
+  in
+  (match a.Align.device_cycles with
+  | Some c -> Alcotest.(check bool) "cycles reported" true (c > 0)
+  | None -> Alcotest.fail "expected device cycles");
+  let golden = Align.global ~query:"ACGTACGT" ~reference:"ACGTTACGT" () in
+  Alcotest.(check int) "engines agree" golden.Align.score a.Align.score;
+  Alcotest.(check string) "cigars agree" golden.Align.cigar a.Align.cigar
+
+let test_local_spans () =
+  let a = Align.local ~query:"TTTACGTTT" ~reference:"GGGACGTGG" () in
+  Alcotest.(check int) "score" 8 a.Align.score;
+  Alcotest.(check (pair int int)) "query span" (3, 7) a.Align.query_span;
+  Alcotest.(check (pair int int)) "reference span" (3, 7) a.Align.reference_span
+
+let test_semi_global () =
+  let a = Align.semi_global ~query:"ACGT" ~reference:"TTACGTTT" () in
+  Alcotest.(check int) "embedded query" 8 a.Align.score;
+  Alcotest.(check (pair int int)) "query fully consumed" (0, 4) a.Align.query_span
+
+let test_protein () =
+  let a = Align.protein_local ~query:"WWWW" ~reference:"WWWW" () in
+  Alcotest.(check int) "blosum score" 44 a.Align.score
+
+let test_affine_gap_preference () =
+  let a = Align.global_affine ~query:"ACGTACGT" ~reference:"ACGTGGACGT" () in
+  Alcotest.(check int) "gotoh score" 11 a.Align.score;
+  (* one run of two insertions, not two separate ones *)
+  Alcotest.(check string) "cigar" "4M2I4M" a.Align.cigar
+
+let test_view_rendering () =
+  let a = Align.global ~query:"ACGT" ~reference:"AGT" () in
+  Alcotest.(check bool) "view is three lines" true
+    (List.length (String.split_on_char '\n' (String.trim a.Align.view)) = 3)
+
+let test_vcd_structure () =
+  let open Dphls_core in
+  let e = Dphls_kernels.Catalog.find 1 in
+  let (Registry.Packed (k, p)) = e.packed in
+  let rng = Dphls_util.Rng.create 5 in
+  let w = e.Dphls_kernels.Catalog.gen rng ~len:16 in
+  let trace = Dphls_systolic.Trace.create ~enabled:true in
+  let _ = Dphls_systolic.Engine.run ~trace (Dphls_systolic.Config.create ~n_pe:4) k p w in
+  let vcd = Dphls_systolic.Vcd.of_trace trace ~n_pe:4 in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true
+        (let n = String.length needle in
+         let rec find i =
+           i + n <= String.length vcd
+           && (String.sub vcd i n = needle || find (i + 1))
+         in
+         find 0))
+    [ "$timescale"; "$enddefinitions"; "pe0_active"; "pe3_row"; "#0"; "#1" ]
+
+let test_vcd_empty_trace_rejected () =
+  let trace = Dphls_systolic.Trace.create ~enabled:false in
+  Alcotest.(check bool) "empty trace rejected" true
+    (try
+       ignore (Dphls_systolic.Vcd.of_trace trace ~n_pe:4);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "global" `Quick test_global;
+    Alcotest.test_case "global systolic cycles" `Quick test_global_systolic_cycles;
+    Alcotest.test_case "local spans" `Quick test_local_spans;
+    Alcotest.test_case "semi-global" `Quick test_semi_global;
+    Alcotest.test_case "protein" `Quick test_protein;
+    Alcotest.test_case "affine gap preference" `Quick test_affine_gap_preference;
+    Alcotest.test_case "view rendering" `Quick test_view_rendering;
+    Alcotest.test_case "vcd structure" `Quick test_vcd_structure;
+    Alcotest.test_case "vcd empty trace" `Quick test_vcd_empty_trace_rejected;
+  ]

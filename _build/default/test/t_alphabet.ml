@@ -1,0 +1,132 @@
+(* Tests for the alphabet substrate: DNA, protein/BLOSUM62, profiles,
+   signals. *)
+module Dna = Dphls_alphabet.Dna
+module Protein = Dphls_alphabet.Protein
+module Profile = Dphls_alphabet.Profile
+module Signal = Dphls_alphabet.Signal
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_dna_roundtrip () =
+  let s = "ACGTACGT" in
+  Alcotest.(check string) "roundtrip" s (Dna.to_string (Dna.of_string s));
+  Alcotest.(check string) "lowercase" "ACGT" (Dna.to_string (Dna.of_string "acgt"))
+
+let test_dna_invalid () =
+  Alcotest.check_raises "N rejected" (Invalid_argument "Dna.encode: 'N'") (fun () ->
+      ignore (Dna.encode 'N'))
+
+let test_dna_revcomp () =
+  let s = Dna.of_string "AACGT" in
+  Alcotest.(check string) "revcomp" "ACGTT" (Dna.to_string (Dna.revcomp s))
+
+let prop_revcomp_involution =
+  QCheck.Test.make ~name:"revcomp involution" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 64) (int_range 0 3))
+    (fun l ->
+      let s = Array.of_list l in
+      Dna.revcomp (Dna.revcomp s) = s)
+
+let test_protein_roundtrip () =
+  let s = "ARNDCQEGHILKMFPSTWYV" in
+  Alcotest.(check string) "roundtrip" s (Protein.to_string (Protein.of_string s))
+
+let test_blosum62_properties () =
+  for a = 0 to 19 do
+    Alcotest.(check bool) "diagonal positive" true (Protein.blosum62_score a a > 0);
+    for b = 0 to 19 do
+      Alcotest.(check int) "symmetric"
+        (Protein.blosum62_score a b)
+        (Protein.blosum62_score b a)
+    done
+  done;
+  (* spot values from the published matrix *)
+  Alcotest.(check int) "W-W" 11 (Protein.blosum62_score (Protein.encode 'W') (Protein.encode 'W'));
+  Alcotest.(check int) "A-R" (-1) (Protein.blosum62_score (Protein.encode 'A') (Protein.encode 'R'));
+  Alcotest.(check int) "I-V" 3 (Protein.blosum62_score (Protein.encode 'I') (Protein.encode 'V'))
+
+let test_background_frequency () =
+  let total = Array.fold_left ( +. ) 0.0 Protein.background_frequency in
+  Alcotest.(check (float 1e-9)) "sums to 1" 1.0 total;
+  Alcotest.(check bool) "leucine most common" true
+    (Protein.background_frequency.(Protein.encode 'L')
+    = Array.fold_left max 0.0 Protein.background_frequency)
+
+let test_profile_of_alignment () =
+  let p = Profile.of_alignment [ "AC-T"; "ACGT"; "AC-A" ] in
+  Alcotest.(check int) "length" 4 (Array.length p);
+  Alcotest.(check int) "col0 A count" 3 p.(0).(0);
+  Alcotest.(check int) "col2 gaps" 2 p.(2).(Profile.gap_index);
+  Alcotest.(check int) "col2 G" 1 p.(2).(2);
+  Alcotest.(check int) "depth" 3 (Profile.depth p.(1));
+  Alcotest.(check string) "consensus" "AC-T" (Profile.consensus p)
+
+let test_profile_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Profile.of_alignment: ragged")
+    (fun () -> ignore (Profile.of_alignment [ "AC"; "A" ]))
+
+let test_sum_of_pairs () =
+  let sigma = Profile.sum_of_pairs_matrix ~match_:2 ~mismatch:(-1) ~gap:(-2) in
+  Alcotest.(check int) "gap-gap 0" 0 sigma.(4).(4);
+  Alcotest.(check int) "base-gap" (-2) sigma.(0).(4);
+  (* single-sequence columns reduce to the plain pair score *)
+  let x = [| 1; 0; 0; 0; 0 |] and y = [| 1; 0; 0; 0; 0 |] in
+  Alcotest.(check int) "match col" 2 (Profile.sum_of_pairs_score sigma x y);
+  let z = [| 0; 1; 0; 0; 0 |] in
+  Alcotest.(check int) "mismatch col" (-1) (Profile.sum_of_pairs_score sigma x z)
+
+let prop_sum_of_pairs_symmetric =
+  QCheck.Test.make ~name:"sum-of-pairs symmetric for symmetric sigma" ~count:200
+    QCheck.(
+      pair
+        (array_of_size (Gen.return 5) (int_range 0 5))
+        (array_of_size (Gen.return 5) (int_range 0 5)))
+    (fun (x, y) ->
+      let sigma = Profile.sum_of_pairs_matrix ~match_:3 ~mismatch:(-2) ~gap:(-1) in
+      Profile.sum_of_pairs_score sigma x y = Profile.sum_of_pairs_score sigma y x)
+
+let test_signal_complex () =
+  let c = Signal.complex_of_floats ~re:0.5 ~im:(-0.25) in
+  let re, im = Signal.complex_to_floats c in
+  Alcotest.(check (float 1e-4)) "re" 0.5 re;
+  Alcotest.(check (float 1e-4)) "im" (-0.25) im;
+  Alcotest.(check int) "self distance 0" 0 (Signal.manhattan_complex c c)
+
+let prop_manhattan_symmetric =
+  QCheck.Test.make ~name:"complex manhattan symmetric, zero iff equal" ~count:200
+    QCheck.(
+      quad (float_range (-1.0) 1.0) (float_range (-1.0) 1.0) (float_range (-1.0) 1.0)
+        (float_range (-1.0) 1.0))
+    (fun (a, b, c, d) ->
+      let x = Signal.complex_of_floats ~re:a ~im:b in
+      let y = Signal.complex_of_floats ~re:c ~im:d in
+      let dxy = Signal.manhattan_complex x y in
+      dxy = Signal.manhattan_complex y x && dxy >= 0 && (dxy > 0 || x = y))
+
+let test_quantize_current () =
+  Alcotest.(check bool) "bounds" true
+    (List.for_all
+       (fun x ->
+         let q = Signal.quantize_current x in
+         q >= 0 && q < Signal.sdtw_levels)
+       [ -100.0; -4.0; 0.0; 1.5; 4.0; 100.0 ]);
+  Alcotest.(check bool) "monotone" true
+    (Signal.quantize_current (-1.0) < Signal.quantize_current 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "dna roundtrip" `Quick test_dna_roundtrip;
+    Alcotest.test_case "dna invalid" `Quick test_dna_invalid;
+    Alcotest.test_case "dna revcomp" `Quick test_dna_revcomp;
+    qtest prop_revcomp_involution;
+    Alcotest.test_case "protein roundtrip" `Quick test_protein_roundtrip;
+    Alcotest.test_case "blosum62 properties" `Quick test_blosum62_properties;
+    Alcotest.test_case "background frequency" `Quick test_background_frequency;
+    Alcotest.test_case "profile of_alignment" `Quick test_profile_of_alignment;
+    Alcotest.test_case "profile ragged" `Quick test_profile_ragged;
+    Alcotest.test_case "sum-of-pairs" `Quick test_sum_of_pairs;
+    qtest prop_sum_of_pairs_symmetric;
+    Alcotest.test_case "complex signal" `Quick test_signal_complex;
+    qtest prop_manhattan_symmetric;
+    Alcotest.test_case "quantize current" `Quick test_quantize_current;
+  ]

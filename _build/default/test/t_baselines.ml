@@ -1,0 +1,124 @@
+(* Tests for the baseline models: AWS pricing, GPU reconstructions, RTL
+   cycle/resource models and the Vitis HLS model. *)
+module B = Dphls_baselines
+
+let test_aws_iso_cost_factors () =
+  Alcotest.(check (float 1e-6)) "f1 reference" 1.0
+    (B.Aws.iso_cost_factor B.Aws.f1_2xlarge);
+  Alcotest.(check bool) "gpu factor < 1" true
+    (B.Aws.iso_cost_factor B.Aws.p3_2xlarge < 1.0);
+  Alcotest.(check bool) "cpu factor ~1" true
+    (abs_float (B.Aws.iso_cost_factor B.Aws.c4_8xlarge -. 1.037) < 0.01)
+
+let test_gpu_models () =
+  List.iter
+    (fun (b : B.Gpu_models.gpu_baseline) ->
+      Alcotest.(check bool) "positive rate" true (b.raw_alignments_per_sec > 0.0);
+      Alcotest.(check bool) "iso-cost lowers V100 rate" true
+        (B.Gpu_models.iso_cost_throughput b < b.raw_alignments_per_sec))
+    B.Gpu_models.all;
+  Alcotest.(check int) "four baselines" 4 (List.length B.Gpu_models.all)
+
+let test_rtl_cycles_structure () =
+  let m =
+    B.Rtl_model.cycles ~n_pe:32 ~qry_len:256 ~ref_len:256 ~banding:None ~ii:1
+      ~tb_steps:300
+  in
+  (* 8 chunks x 287 wavefronts *)
+  Alcotest.(check int) "compute" (8 * 287) m.B.Rtl_model.compute;
+  Alcotest.(check int) "total" (m.B.Rtl_model.compute + 300 + m.B.Rtl_model.fill)
+    m.B.Rtl_model.total
+
+let test_rtl_resource_discount () =
+  let packed = (Dphls_kernels.Catalog.find 2).Dphls_kernels.Catalog.packed in
+  let cfg = { Dphls_resource.Estimate.n_pe = 32; max_qry = 256; max_ref = 256 } in
+  let dphls = Dphls_resource.Estimate.block packed cfg in
+  let rtl = B.Rtl_model.utilization packed ~n_pe:32 ~max_qry:256 ~max_ref:256 in
+  Alcotest.(check bool) "rtl LUT leaner" true
+    (rtl.Dphls_resource.Device.lut < dphls.Dphls_resource.Device.lut);
+  Alcotest.(check bool) "rtl FF leaner" true
+    (rtl.Dphls_resource.Device.ff < dphls.Dphls_resource.Device.ff);
+  Alcotest.(check bool) "rtl saves fixed DSPs" true
+    (rtl.Dphls_resource.Device.dsp < dphls.Dphls_resource.Device.dsp);
+  Alcotest.(check (float 1e-9)) "same BRAM" dphls.Dphls_resource.Device.bram
+    rtl.Dphls_resource.Device.bram
+
+let test_vitis_model_slower_than_dphls () =
+  let e = Dphls_kernels.Catalog.find 3 in
+  let (Dphls_core.Registry.Packed (k, p)) = e.Dphls_kernels.Catalog.packed in
+  let rng = Dphls_util.Rng.create 61 in
+  let w = e.Dphls_kernels.Catalog.gen rng ~len:128 in
+  let _, stats =
+    Dphls_systolic.Engine.run (Dphls_systolic.Config.create ~n_pe:32) k p w
+  in
+  let dphls_cycles = stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total in
+  let hls_cycles =
+    B.Vitis_hls_model.cycles_per_alignment ~n_pe:32
+      ~qry_len:(Array.length w.Dphls_core.Workload.query)
+      ~ref_len:(Array.length w.Dphls_core.Workload.reference)
+      ~tb_steps:stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.traceback
+  in
+  Alcotest.(check bool) "hls baseline slower" true (hls_cycles > dphls_cycles)
+
+let test_seqan_mode_inequalities () =
+  (* local >= 0 and local >= global for the same scoring *)
+  let rng = Dphls_util.Rng.create 62 in
+  for _ = 1 to 30 do
+    let q = Dphls_alphabet.Dna.random rng 30 in
+    let r = Dphls_alphabet.Dna.random rng 30 in
+    let score mode =
+      B.Seqan_like.score
+        (B.Seqan_like.dna_scoring ~match_:2 ~mismatch:(-2)
+           ~gap:(B.Seqan_like.Linear (-2)) ~mode)
+        ~query:q ~reference:r
+    in
+    let local = score B.Seqan_like.Local
+    and global = score B.Seqan_like.Global
+    and semi = score B.Seqan_like.Semi_global
+    and overlap = score B.Seqan_like.Overlap in
+    Alcotest.(check bool) "local >= 0" true (local >= 0);
+    Alcotest.(check bool) "local >= global" true (local >= global);
+    Alcotest.(check bool) "overlap >= semi >= global" true
+      (overlap >= semi && semi >= global)
+  done
+
+let test_squigglefilter_classify () =
+  let reference = Array.init 50 (fun i -> (i * 11) mod 100) in
+  let query = Array.sub reference 10 20 in
+  Alcotest.(check bool) "perfect subsequence accepted" true
+    (B.Squigglefilter_rtl.classify ~threshold:1 ~query ~reference);
+  let junk = Array.map (fun v -> (v + 50) mod 100) query in
+  Alcotest.(check bool) "shifted signal rejected" false
+    (B.Squigglefilter_rtl.classify ~threshold:1 ~query:junk ~reference)
+
+let test_gpu_reconstruction_ratios () =
+  (* reconstructed V100 rates x paper ratio x iso-cost gives back the
+     paper's DP-HLS throughput (round-trip of the documented formula) *)
+  let check (b : B.Gpu_models.gpu_baseline) paper_ratio =
+    let paper_row = Dphls_experiments.Paper_data.table2_find b.kernel_id in
+    let reconstructed =
+      B.Gpu_models.iso_cost_throughput b *. paper_ratio
+    in
+    let rel =
+      reconstructed /. paper_row.Dphls_experiments.Paper_data.alignments_per_sec
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s roundtrip" b.tool)
+      true
+      (rel > 0.9 && rel < 1.1)
+  in
+  check B.Gpu_models.gasal2_global 17.72;
+  check B.Gpu_models.gasal2_local 5.83;
+  check B.Gpu_models.cudasw_protein 1.41
+
+let suite =
+  [
+    Alcotest.test_case "aws iso-cost factors" `Quick test_aws_iso_cost_factors;
+    Alcotest.test_case "gpu models" `Quick test_gpu_models;
+    Alcotest.test_case "rtl cycle structure" `Quick test_rtl_cycles_structure;
+    Alcotest.test_case "rtl resource discount" `Quick test_rtl_resource_discount;
+    Alcotest.test_case "vitis model slower" `Quick test_vitis_model_slower_than_dphls;
+    Alcotest.test_case "seqan mode inequalities" `Quick test_seqan_mode_inequalities;
+    Alcotest.test_case "squigglefilter classify" `Quick test_squigglefilter_classify;
+    Alcotest.test_case "gpu reconstruction roundtrip" `Quick test_gpu_reconstruction_ratios;
+  ]

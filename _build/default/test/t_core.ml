@@ -1,0 +1,264 @@
+(* Tests for the front-end core: banding, best-cell tracking, the
+   traceback walker, rescoring and the kernel registry. *)
+open Dphls_core
+module Score = Dphls_util.Score
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_banding () =
+  let b = Some (Banding.fixed 2) in
+  Alcotest.(check bool) "on diagonal" true (Banding.in_band b ~row:5 ~col:5);
+  Alcotest.(check bool) "edge in" true (Banding.in_band b ~row:5 ~col:7);
+  Alcotest.(check bool) "outside" false (Banding.in_band b ~row:5 ~col:8);
+  Alcotest.(check bool) "virtual border follows rule" true
+    (Banding.in_band b ~row:(-1) ~col:1);
+  Alcotest.(check bool) "unbanded" true (Banding.in_band None ~row:0 ~col:999);
+  Alcotest.(check int) "cells 3x3 band1"
+    (3 * 3 - 2)
+    (Banding.cells_in_band (Some (Banding.fixed 1)) ~qry_len:3 ~ref_len:3);
+  Alcotest.check_raises "width 0 invalid"
+    (Invalid_argument "Banding.fixed: width must be >= 1") (fun () ->
+      ignore (Banding.fixed 0))
+
+let test_best_cell_tie_break () =
+  let t = Traceback.Best_cell.create Score.Maximize in
+  Traceback.Best_cell.observe t { Types.row = 3; col = 1 } 10;
+  Traceback.Best_cell.observe t { Types.row = 1; col = 5 } 10;
+  Traceback.Best_cell.observe t { Types.row = 1; col = 2 } 10;
+  (match Traceback.Best_cell.get t with
+  | Some (c, s) ->
+    Alcotest.(check int) "score" 10 s;
+    Alcotest.(check bool) "lowest (row,col) wins ties" true
+      (c.Types.row = 1 && c.Types.col = 2)
+  | None -> Alcotest.fail "no best cell");
+  Traceback.Best_cell.observe t { Types.row = 9; col = 9 } 11;
+  match Traceback.Best_cell.get t with
+  | Some (c, s) ->
+    Alcotest.(check int) "better score replaces" 11 s;
+    Alcotest.(check int) "row" 9 c.Types.row
+  | None -> Alcotest.fail "no best cell"
+
+let test_best_cell_merge_order_independent () =
+  let mk obs =
+    let t = Traceback.Best_cell.create Score.Maximize in
+    List.iter (fun (r, c, s) -> Traceback.Best_cell.observe t { Types.row = r; col = c } s) obs;
+    t
+  in
+  let a = mk [ (0, 3, 5); (2, 2, 7) ] and b = mk [ (1, 1, 7) ] in
+  let m1 = Traceback.Best_cell.merge a b and m2 = Traceback.Best_cell.merge b a in
+  Alcotest.(check bool) "merge commutes" true
+    (Traceback.Best_cell.get m1 = Traceback.Best_cell.get m2);
+  match Traceback.Best_cell.get m1 with
+  | Some (c, 7) -> Alcotest.(check bool) "tie to (1,1)" true (c.Types.row = 1 && c.Types.col = 1)
+  | _ -> Alcotest.fail "unexpected merge result"
+
+let test_best_cell_minimize () =
+  let t = Traceback.Best_cell.create Score.Minimize in
+  Traceback.Best_cell.observe t { Types.row = 0; col = 0 } 5;
+  Traceback.Best_cell.observe t { Types.row = 1; col = 1 } 2;
+  match Traceback.Best_cell.get t with
+  | Some (_, s) -> Alcotest.(check int) "min kept" 2 s
+  | None -> Alcotest.fail "no best cell"
+
+(* A toy FSM that always walks diagonally. *)
+let diag_fsm =
+  {
+    Traceback.n_states = 1;
+    start_state = 0;
+    transition = (fun _ ~ptr:_ -> (0, Traceback.Diag));
+  }
+
+let test_walker_global_completion () =
+  (* from (1,3), two Diags reach (-1,1): At_origin must complete with
+     2 insertions for the remaining reference prefix *)
+  let outcome =
+    Walker.walk ~fsm:diag_fsm ~stop:Traceback.At_origin
+      ~ptr_at:(fun ~row:_ ~col:_ -> 0)
+      ~start:{ Types.row = 1; col = 3 } ~qry_len:2 ~ref_len:4
+  in
+  Alcotest.(check int) "path length" 4 (List.length outcome.Walker.path);
+  Alcotest.(check bool) "prefix insertions" true
+    (match outcome.Walker.path with
+    | [ Traceback.Ins; Traceback.Ins; Traceback.Mmi; Traceback.Mmi ] -> true
+    | _ -> false)
+
+let test_walker_semi_global_stops_at_top () =
+  let outcome =
+    Walker.walk ~fsm:diag_fsm ~stop:Traceback.At_top_row
+      ~ptr_at:(fun ~row:_ ~col:_ -> 0)
+      ~start:{ Types.row = 1; col = 3 } ~qry_len:2 ~ref_len:4
+  in
+  (* no completion: reference prefix is clipped *)
+  Alcotest.(check int) "only consuming moves" 2 (List.length outcome.Walker.path)
+
+let test_walker_stop_move () =
+  let fsm =
+    {
+      Traceback.n_states = 1;
+      start_state = 0;
+      transition =
+        (fun _ ~ptr -> if ptr = 3 then (0, Traceback.Stop) else (0, Traceback.Diag));
+    }
+  in
+  let outcome =
+    Walker.walk ~fsm ~stop:Traceback.On_stop_move
+      ~ptr_at:(fun ~row ~col -> if row = 1 && col = 1 then 3 else 0)
+      ~start:{ Types.row = 3; col = 3 } ~qry_len:4 ~ref_len:4
+  in
+  Alcotest.(check int) "stopped after 2 diags" 2 (List.length outcome.Walker.path);
+  Alcotest.(check bool) "end at stop cell" true
+    (outcome.Walker.end_cell = { Types.row = 1; col = 1 })
+
+let test_walker_stay_loop_detected () =
+  let fsm =
+    {
+      Traceback.n_states = 1;
+      start_state = 0;
+      transition = (fun _ ~ptr:_ -> (0, Traceback.Stay));
+    }
+  in
+  Alcotest.(check bool) "raises on stay loop" true
+    (try
+       ignore
+         (Walker.walk ~fsm ~stop:Traceback.At_origin
+            ~ptr_at:(fun ~row:_ ~col:_ -> 0)
+            ~start:{ Types.row = 3; col = 3 } ~qry_len:4 ~ref_len:4);
+       false
+     with Failure _ -> true)
+
+let test_rescore_linear () =
+  let query = Types.seq_of_bases [| 0; 1; 2 |] in
+  let reference = Types.seq_of_bases [| 0; 1; 3 |] in
+  let sub q r = if Types.equal_ch q r then 2 else -1 in
+  let score =
+    Rescore.linear ~sub ~gap:(-2) ~query ~reference ~start_row:0 ~start_col:0
+      [ Traceback.Mmi; Traceback.Mmi; Traceback.Mmi ]
+  in
+  Alcotest.(check int) "2+2-1" 3 score
+
+let test_rescore_affine_gap_runs () =
+  let query = Types.seq_of_bases [| 0; 0; 0 |] in
+  let reference = Types.seq_of_bases [| 0; 0; 0; 0; 0 |] in
+  let sub _ _ = 1 in
+  (* M I I M M : one insertion run of length 2 *)
+  let score =
+    Rescore.affine ~sub ~gap_open:(-5) ~gap_extend:(-1) ~query ~reference
+      ~start_row:0 ~start_col:0
+      [ Traceback.Mmi; Traceback.Ins; Traceback.Ins; Traceback.Mmi; Traceback.Mmi ]
+  in
+  Alcotest.(check int) "3 matches - (5+2)" (-4) score;
+  (* two separate runs cost two opens *)
+  let score2 =
+    Rescore.affine ~sub ~gap_open:(-5) ~gap_extend:(-1) ~query ~reference
+      ~start_row:0 ~start_col:0
+      [ Traceback.Mmi; Traceback.Ins; Traceback.Mmi; Traceback.Ins; Traceback.Mmi ]
+  in
+  Alcotest.(check int) "3 matches - 2*(5+1)" (-9) score2
+
+let test_rescore_two_piece_picks_best () =
+  let query = Types.seq_of_bases [| 0 |] in
+  let reference = Types.seq_of_bases (Array.make 11 0) in
+  let sub _ _ = 0 in
+  let path = Traceback.Mmi :: List.init 10 (fun _ -> Traceback.Ins) in
+  let score =
+    Rescore.two_piece ~sub ~open1:(-4) ~extend1:(-2) ~open2:(-24) ~extend2:(-1)
+      ~query ~reference ~start_row:0 ~start_col:0 path
+  in
+  (* gap of 10: piece1 = -24, piece2 = -34 -> -24 *)
+  Alcotest.(check int) "best piece" (-24) score
+
+let test_rescore_overrun () =
+  let query = Types.seq_of_bases [| 0 |] in
+  let reference = Types.seq_of_bases [| 0 |] in
+  Alcotest.(check bool) "overrun raises" true
+    (try
+       ignore
+         (Rescore.linear
+            ~sub:(fun _ _ -> 0)
+            ~gap:(-1) ~query ~reference ~start_row:0 ~start_col:0
+            [ Traceback.Mmi; Traceback.Mmi ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_result_cigar () =
+  let r =
+    {
+      Result.score = 5;
+      start_cell = None;
+      end_cell = None;
+      path = [ Traceback.Mmi; Traceback.Mmi; Traceback.Ins; Traceback.Mmi; Traceback.Del ];
+      cells_computed = 0;
+    }
+  in
+  Alcotest.(check string) "cigar" "2M1I1M1D" (Result.cigar r);
+  Alcotest.(check bool) "consumes" true (Result.path_consumes r = (4, 4))
+
+let test_registry_all_valid () =
+  List.iter
+    (fun (e : Dphls_kernels.Catalog.entry) -> Registry.validate e.packed)
+    Dphls_kernels.Catalog.all;
+  Alcotest.(check int) "15 kernels" 15 (List.length Dphls_kernels.Catalog.all);
+  Alcotest.(check (list int)) "ids 1..15" (List.init 15 (fun i -> i + 1))
+    Dphls_kernels.Catalog.ids
+
+let test_registry_lookup () =
+  let e = Dphls_kernels.Catalog.find_by_name "dtw" in
+  Alcotest.(check int) "dtw is #9" 9 (Registry.id e.packed);
+  Alcotest.(check bool) "find raises" true
+    (try
+       ignore (Dphls_kernels.Catalog.find 99);
+       false
+     with Not_found -> true)
+
+let test_kernel_validation_guards () =
+  let k = Dphls_kernels.K01_global_linear.kernel in
+  let bad = { k with Kernel.n_layers = 0 } in
+  Alcotest.(check bool) "n_layers 0 invalid" true
+    (try
+       Kernel.validate bad Dphls_kernels.K01_global_linear.default;
+       false
+     with Invalid_argument _ -> true);
+  let bad2 = { k with Kernel.tb_bits = 0 } in
+  Alcotest.(check bool) "tb enabled but 0 bits invalid" true
+    (try
+       Kernel.validate bad2 Dphls_kernels.K01_global_linear.default;
+       false
+     with Invalid_argument _ -> true)
+
+let prop_score_site_matches_exhaustive =
+  QCheck.Test.make ~name:"score_site find equals exhaustive scan" ~count:200
+    QCheck.(pair (int_range 1 12) (int_range 1 12))
+    (fun (q, r) ->
+      let rng = Dphls_util.Rng.create (q * 100 + r) in
+      let scores =
+        Array.init q (fun _ -> Array.init r (fun _ -> Dphls_util.Rng.int rng 20))
+      in
+      let score_at ~row ~col = scores.(row).(col) in
+      let cell, best =
+        Score_site.find ~objective:Score.Maximize ~rule:Traceback.Global_best
+          ~banding:None ~score_at ~qry_len:q ~ref_len:r
+      in
+      let manual_best = ref min_int in
+      Array.iter (Array.iter (fun v -> if v > !manual_best then manual_best := v)) scores;
+      best = !manual_best && scores.(cell.Types.row).(cell.Types.col) = best)
+
+let suite =
+  [
+    Alcotest.test_case "banding" `Quick test_banding;
+    Alcotest.test_case "best cell tie break" `Quick test_best_cell_tie_break;
+    Alcotest.test_case "best cell merge" `Quick test_best_cell_merge_order_independent;
+    Alcotest.test_case "best cell minimize" `Quick test_best_cell_minimize;
+    Alcotest.test_case "walker global completion" `Quick test_walker_global_completion;
+    Alcotest.test_case "walker semi-global stop" `Quick test_walker_semi_global_stops_at_top;
+    Alcotest.test_case "walker stop move" `Quick test_walker_stop_move;
+    Alcotest.test_case "walker stay loop" `Quick test_walker_stay_loop_detected;
+    Alcotest.test_case "rescore linear" `Quick test_rescore_linear;
+    Alcotest.test_case "rescore affine runs" `Quick test_rescore_affine_gap_runs;
+    Alcotest.test_case "rescore two-piece" `Quick test_rescore_two_piece_picks_best;
+    Alcotest.test_case "rescore overrun" `Quick test_rescore_overrun;
+    Alcotest.test_case "result cigar" `Quick test_result_cigar;
+    Alcotest.test_case "registry valid" `Quick test_registry_all_valid;
+    Alcotest.test_case "registry lookup" `Quick test_registry_lookup;
+    Alcotest.test_case "kernel validation" `Quick test_kernel_validation_guards;
+    qtest prop_score_site_matches_exhaustive;
+  ]

@@ -1,0 +1,177 @@
+(* Integration tests over the experiment harness: every table/figure
+   computation runs and exhibits the paper's qualitative shape. *)
+module E = Dphls_experiments
+
+let test_table2_rows () =
+  let rows = E.Table2.compute ~samples:1 () in
+  Alcotest.(check int) "15 rows" 15 (List.length rows);
+  List.iter
+    (fun (r : E.Table2.result_row) ->
+      Alcotest.(check bool) "throughput positive" true (r.alignments_per_sec > 0.0);
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "#%d frequency matches paper tier" r.id)
+        r.paper.E.Paper_data.freq_mhz r.freq_mhz;
+      (* within our documented optimism band vs the paper's numbers *)
+      let ratio = r.alignments_per_sec /. r.paper.E.Paper_data.alignments_per_sec in
+      Alcotest.(check bool)
+        (Printf.sprintf "#%d throughput within 0.5-6x of paper" r.id)
+        true
+        (ratio > 0.5 && ratio < 6.0))
+    rows
+
+let test_table2_kernel_ordering () =
+  (* compute-heavy kernels are the slowest, as in the paper *)
+  let rows = E.Table2.compute ~samples:1 () in
+  let tp id =
+    (List.find (fun (r : E.Table2.result_row) -> r.id = id) rows).alignments_per_sec
+  in
+  Alcotest.(check bool) "profile slowest" true
+    (List.for_all (fun id -> tp 8 <= tp id) [ 1; 2; 3; 4; 6; 7; 11; 12; 14 ]);
+  Alcotest.(check bool) "dtw slow" true (tp 9 < tp 1)
+
+let test_fig3_npe_scaling_saturates () =
+  let pts = E.Fig3.npe_sweep ~samples:1 ~id:1 () in
+  let tp x = (List.find (fun (p : E.Fig3.point) -> p.x = x) pts).throughput in
+  Alcotest.(check bool) "throughput increases" true (tp 4 < tp 32 && tp 32 < tp 128);
+  (* saturation: going 4->128 gains less than the ideal 32x *)
+  Alcotest.(check bool) "sub-linear at high N_PE" true (tp 128 /. tp 4 < 32.0);
+  (* near-linear at the low end *)
+  Alcotest.(check bool) "near-linear at low N_PE" true (tp 8 /. tp 4 > 1.7)
+
+let test_fig3_nb_scaling_linear () =
+  let pts = E.Fig3.nb_sweep ~samples:1 ~id:1 () in
+  let tp x =
+    match List.find_opt (fun (p : E.Fig3.point) -> p.x = x) pts with
+    | Some p -> p.throughput
+    | None -> Alcotest.fail "missing point"
+  in
+  Alcotest.(check (float 0.01)) "perfect N_B scaling" 8.0 (tp 8 /. tp 1)
+
+let test_fig3_dtw_dsp_cap () =
+  (* DTW's N_B is capped by DSP availability (paper: 24; model: same
+     order of magnitude) *)
+  let cap = E.Fig3.dsp_cap_nb ~id:9 ~n_pe:32 in
+  Alcotest.(check bool) "cap exists" true (cap >= 12 && cap <= 48);
+  let cap_linear = E.Fig3.dsp_cap_nb ~id:1 ~n_pe:32 in
+  Alcotest.(check bool) "linear kernel caps later" true (cap_linear > cap)
+
+let test_fig4_gaps () =
+  let rows = E.Fig4.compute ~samples:1 () in
+  Alcotest.(check int) "three baselines" 3 (List.length rows);
+  List.iter
+    (fun (c : E.Fig4.comparison) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: RTL ahead" c.baseline)
+        true (c.gap_pct > 0.0);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: gap under 40%%" c.baseline)
+        true (c.gap_pct < 40.0);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: resources comparable" c.baseline)
+        true
+        (c.rtl_util.Dphls_resource.Device.lut_pct
+         < c.dphls_util.Dphls_resource.Device.lut_pct))
+    rows;
+  (* BSW shows the largest overhead (no traceback to amortize the
+     prologue), as in the paper *)
+  let gap b = (List.find (fun (c : E.Fig4.comparison) -> c.baseline = b) rows).gap_pct in
+  Alcotest.(check bool) "BSW gap largest" true
+    (gap "BSW" > gap "GACT" && gap "BSW" > gap "SquiggleFilter")
+
+let test_fig5_constant_resource_gap () =
+  let pts = E.Fig5.compute ~samples:1 () in
+  List.iter
+    (fun (p : E.Fig5.point) ->
+      Alcotest.(check bool) "throughput close to GACT" true
+        (p.dphls_throughput /. p.gact_throughput > 0.6);
+      Alcotest.(check bool) "FF ratio stable" true
+        (p.dphls_ff /. p.gact_ff > 1.0 && p.dphls_ff /. p.gact_ff < 1.3))
+    pts
+
+let test_fig6_fpga_wins () =
+  let cpu = E.Fig6.compute_cpu ~samples:1 ~min_seconds:0.02 () in
+  Alcotest.(check int) "ten kernels" 10 (List.length cpu);
+  List.iter
+    (fun (r : E.Fig6.cpu_row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "#%d dphls beats cpu" r.kernel_id)
+        true (r.speedup > 1.0))
+    cpu;
+  let sp id = (List.find (fun (r : E.Fig6.cpu_row) -> r.kernel_id = id) cpu).speedup in
+  (* the paper's shape: compute-heavy kernels (#5, #15) gain more than
+     the SeqAn3 family *)
+  Alcotest.(check bool) "two-piece gains more than NW" true (sp 5 > sp 1 *. 0.9);
+  let gpu = E.Fig6.compute_gpu ~samples:1 () in
+  List.iter
+    (fun (r : E.Fig6.gpu_row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "#%d dphls beats gpu" r.kernel_id)
+        true (r.speedup > 1.0))
+    gpu
+
+let test_sec7_5_gain_band () =
+  let r = E.Sec7_5.compute ~samples:1 () in
+  Alcotest.(check bool) "dphls faster than hls baseline" true (r.gain_pct > 10.0);
+  Alcotest.(check bool) "gain plausible" true (r.gain_pct < 60.0)
+
+let test_tiling_experiment () =
+  let r = E.Tiling_exp.compute ~read_length:768 () in
+  Alcotest.(check bool) "several tiles" true (r.tiles >= 3);
+  Alcotest.(check bool) "score recovery" true (r.score_recovery >= 0.98);
+  Alcotest.(check bool) "relative throughput near fig4" true
+    (r.relative_throughput > 0.6 && r.relative_throughput <= 1.05)
+
+let test_systolic_check () =
+  let c = E.Systolic_check.compute ~n_pe:8 ~len:48 ~kernel_id:1 () in
+  Alcotest.(check bool) "all invariants" true
+    (c.row_ownership && c.single_fire && c.full_coverage);
+  Alcotest.(check bool) "utilization sane" true
+    (c.utilization > 0.3 && c.utilization <= 1.0)
+
+let test_linking () =
+  let r = E.Linking.compute ~samples:1 () in
+  Alcotest.(check int) "three channels" 3 (List.length r.E.Linking.channels);
+  Alcotest.(check bool) "fits device" true r.E.Linking.fits;
+  Alcotest.(check bool) "aggregate is the sum" true
+    (let sum =
+       List.fold_left (fun a (c : E.Linking.channel) -> a +. c.throughput) 0.0
+         r.E.Linking.channels
+     in
+     abs_float (sum -. r.E.Linking.total_throughput) /. sum < 0.01)
+
+let test_gendp () =
+  let rows = E.Gendp.compute ~samples:1 () in
+  List.iter
+    (fun (r : E.Gendp.row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "#%d circuit PEs win" r.kernel_id)
+        true (r.throughput_ratio > 1.5);
+      Alcotest.(check bool)
+        (Printf.sprintf "#%d programmability costs LUTs" r.kernel_id)
+        true (r.lut_overhead > 1.0);
+      Alcotest.(check bool)
+        (Printf.sprintf "#%d II at least 2" r.kernel_id)
+        true (r.gendp_ii >= 2))
+    rows
+
+let test_runner_names () =
+  Alcotest.(check bool) "has table2" true (List.mem "table2" E.Runner.names);
+  Alcotest.(check int) "twelve experiments" 12 (List.length E.Runner.names)
+
+let suite =
+  [
+    Alcotest.test_case "table2 rows" `Slow test_table2_rows;
+    Alcotest.test_case "table2 ordering" `Slow test_table2_kernel_ordering;
+    Alcotest.test_case "fig3 N_PE saturation" `Slow test_fig3_npe_scaling_saturates;
+    Alcotest.test_case "fig3 N_B linear" `Slow test_fig3_nb_scaling_linear;
+    Alcotest.test_case "fig3 dtw dsp cap" `Quick test_fig3_dtw_dsp_cap;
+    Alcotest.test_case "fig4 gaps" `Slow test_fig4_gaps;
+    Alcotest.test_case "fig5 constant gap" `Slow test_fig5_constant_resource_gap;
+    Alcotest.test_case "fig6 fpga wins" `Slow test_fig6_fpga_wins;
+    Alcotest.test_case "sec7.5 gain band" `Slow test_sec7_5_gain_band;
+    Alcotest.test_case "tiling experiment" `Slow test_tiling_experiment;
+    Alcotest.test_case "systolic check" `Quick test_systolic_check;
+    Alcotest.test_case "linking" `Slow test_linking;
+    Alcotest.test_case "gendp overhead" `Slow test_gendp;
+    Alcotest.test_case "runner names" `Quick test_runner_names;
+  ]

@@ -1,0 +1,101 @@
+(* Tests for the fixed-point substrate (ap_int / ap_fixed analogs),
+   including QCheck property tests on saturation and quantization. *)
+module Ap_int = Dphls_fixed.Ap_int
+module Ap_fixed = Dphls_fixed.Ap_fixed
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_ap_int_range () =
+  let s = Ap_int.spec 8 in
+  Alcotest.(check int) "min" (-128) (Ap_int.min_value s);
+  Alcotest.(check int) "max" 127 (Ap_int.max_value s);
+  Alcotest.(check int) "clamp above" 127 (Ap_int.clamp s 1000);
+  Alcotest.(check int) "clamp below" (-128) (Ap_int.clamp s (-1000));
+  Alcotest.(check int) "sat add" 127 (Ap_int.add s 100 100);
+  Alcotest.(check int) "sat sub" (-128) (Ap_int.sub s (-100) 100);
+  Alcotest.(check int) "sat mul" 127 (Ap_int.mul s 16 16);
+  Alcotest.(check int) "neg of min saturates" 127 (Ap_int.neg s (-128))
+
+let test_ap_int_invalid () =
+  Alcotest.check_raises "width 0" (Invalid_argument "Ap_int.spec: width out of [1,62]")
+    (fun () -> ignore (Ap_int.spec 0));
+  Alcotest.check_raises "width 63" (Invalid_argument "Ap_int.spec: width out of [1,62]")
+    (fun () -> ignore (Ap_int.spec 63))
+
+let test_bits_for () =
+  Alcotest.(check int) "fits [-8,7] in 4" 4 (Ap_int.bits_for ~lo:(-8) ~hi:7).Ap_int.width;
+  Alcotest.(check int) "[-9,7] needs 5" 5 (Ap_int.bits_for ~lo:(-9) ~hi:7).Ap_int.width
+
+let prop_ap_int_always_in_range =
+  QCheck.Test.make ~name:"ap_int ops stay in range" ~count:500
+    QCheck.(triple (int_range 2 20) (int_range (-100000) 100000) (int_range (-100000) 100000))
+    (fun (w, a, b) ->
+      let s = Ap_int.spec w in
+      let a = Ap_int.clamp s a and b = Ap_int.clamp s b in
+      List.for_all (Ap_int.in_range s)
+        [ Ap_int.add s a b; Ap_int.sub s a b; Ap_int.mul s a b; Ap_int.neg s a ])
+
+let prop_ap_int_add_monotone =
+  QCheck.Test.make ~name:"ap_int saturating add is monotone" ~count:500
+    QCheck.(triple (int_range (-200) 200) (int_range (-200) 200) (int_range (-200) 200))
+    (fun (a, b, c) ->
+      let s = Ap_int.spec 8 in
+      let b', c' = (min b c, max b c) in
+      Ap_int.add s a b' <= Ap_int.add s a c')
+
+let test_ap_fixed_roundtrip () =
+  let s = Ap_fixed.spec ~width:16 ~frac:8 in
+  Alcotest.(check (float 1e-9)) "1.5 exact" 1.5
+    (Ap_fixed.to_float s (Ap_fixed.of_float s 1.5));
+  Alcotest.(check (float 1e-9)) "-2.25 exact" (-2.25)
+    (Ap_fixed.to_float s (Ap_fixed.of_float s (-2.25)));
+  Alcotest.(check int) "one raw" 256 (Ap_fixed.one s);
+  Alcotest.(check (float 1e-12)) "epsilon" (1.0 /. 256.0) (Ap_fixed.epsilon s)
+
+let prop_ap_fixed_quantization_error =
+  QCheck.Test.make ~name:"ap_fixed quantization error < epsilon" ~count:500
+    QCheck.(float_range (-60.0) 60.0)
+    (fun x ->
+      let s = Ap_fixed.spec ~width:24 ~frac:10 in
+      Ap_fixed.resolution_error s x <= Ap_fixed.epsilon s /. 2.0 +. 1e-12)
+
+let prop_ap_fixed_add_exact =
+  QCheck.Test.make ~name:"ap_fixed add is exact on raw values" ~count:500
+    QCheck.(pair (float_range (-10.0) 10.0) (float_range (-10.0) 10.0))
+    (fun (x, y) ->
+      let s = Ap_fixed.spec ~width:32 ~frac:12 in
+      let rx = Ap_fixed.of_float s x and ry = Ap_fixed.of_float s y in
+      Ap_fixed.add s rx ry = rx + ry)
+
+let prop_ap_fixed_mul_close =
+  QCheck.Test.make ~name:"ap_fixed mul within 2 eps of real product" ~count:500
+    QCheck.(pair (float_range (-8.0) 8.0) (float_range (-8.0) 8.0))
+    (fun (x, y) ->
+      let s = Ap_fixed.spec ~width:40 ~frac:12 in
+      let rx = Ap_fixed.of_float s x and ry = Ap_fixed.of_float s y in
+      let got = Ap_fixed.to_float s (Ap_fixed.mul s rx ry) in
+      let want = Ap_fixed.to_float s rx *. Ap_fixed.to_float s ry in
+      abs_float (got -. want) <= 2.0 *. Ap_fixed.epsilon s)
+
+let prop_abs_diff =
+  QCheck.Test.make ~name:"ap_fixed abs_diff symmetric and nonnegative" ~count:500
+    QCheck.(pair (float_range (-100.0) 100.0) (float_range (-100.0) 100.0))
+    (fun (x, y) ->
+      let s = Ap_fixed.spec ~width:32 ~frac:8 in
+      let rx = Ap_fixed.of_float s x and ry = Ap_fixed.of_float s y in
+      let d1 = Ap_fixed.abs_diff s rx ry and d2 = Ap_fixed.abs_diff s ry rx in
+      d1 = d2 && d1 >= 0)
+
+let suite =
+  [
+    Alcotest.test_case "ap_int range" `Quick test_ap_int_range;
+    Alcotest.test_case "ap_int invalid specs" `Quick test_ap_int_invalid;
+    Alcotest.test_case "ap_int bits_for" `Quick test_bits_for;
+    qtest prop_ap_int_always_in_range;
+    qtest prop_ap_int_add_monotone;
+    Alcotest.test_case "ap_fixed roundtrip" `Quick test_ap_fixed_roundtrip;
+    qtest prop_ap_fixed_quantization_error;
+    qtest prop_ap_fixed_add_exact;
+    qtest prop_ap_fixed_mul_close;
+    qtest prop_abs_diff;
+  ]

@@ -1,0 +1,241 @@
+(* Deeper fuzzing: known-answer vectors, random scoring parameters (not
+   just the defaults) driven through both engines and the independent
+   baselines, and degenerate input shapes. *)
+open Dphls_core
+module Score = Dphls_util.Score
+module B = Dphls_baselines
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* SplitMix64 reference vectors (Steele et al.; seed 0 is the canonical
+   published sequence). Pins the generator: every workload in the
+   repository depends on this stream. *)
+let test_splitmix64_vectors () =
+  let rng = Dphls_util.Rng.create 0 in
+  List.iter
+    (fun expect -> Alcotest.(check int64) "seed 0 stream" expect (Dphls_util.Rng.int64 rng))
+    [ 0xe220a8397b1dcdafL; 0x6e789e6aa1b965f4L; 0x06c45d188009454fL; 0xf88bb8a8724c81ecL ];
+  let rng2 = Dphls_util.Rng.create 12345 in
+  List.iter
+    (fun expect -> Alcotest.(check int64) "seed 12345 stream" expect (Dphls_util.Rng.int64 rng2))
+    [ 0x22118258a9d111a0L; 0x346edce5f713f8edL; 0x1e9a57bc80e6721dL; 0x2d160e7e5c3f42caL ]
+
+let random_pair rng =
+  let q = Dphls_alphabet.Dna.random rng (1 + Dphls_util.Rng.int rng 36) in
+  let r = Dphls_alphabet.Dna.random rng (1 + Dphls_util.Rng.int rng 36) in
+  (q, r)
+
+(* Random linear parameters: engines and the independent baseline must
+   agree for ANY (sane) scoring, not just the defaults. *)
+let prop_k01_random_params =
+  QCheck.Test.make ~name:"#1 random params: engines == baseline" ~count:80
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Dphls_util.Rng.create seed in
+      let match_ = Dphls_util.Rng.int_in rng 1 5 in
+      let mismatch = -Dphls_util.Rng.int_in rng 1 5 in
+      let gap = -Dphls_util.Rng.int_in rng 1 5 in
+      let p = { Dphls_kernels.K01_global_linear.match_; mismatch; gap } in
+      let q, r = random_pair rng in
+      let w = Workload.of_bases ~query:q ~reference:r in
+      let k = Dphls_kernels.K01_global_linear.kernel in
+      let gold = Dphls_reference.Ref_engine.run k p w in
+      let sys, _ =
+        Dphls_systolic.Engine.run
+          (Dphls_systolic.Config.create ~n_pe:(1 + Dphls_util.Rng.int rng 12))
+          k p w
+      in
+      let base =
+        B.Seqan_like.score
+          (B.Seqan_like.dna_scoring ~match_ ~mismatch ~gap:(B.Seqan_like.Linear gap)
+             ~mode:B.Seqan_like.Global)
+          ~query:q ~reference:r
+      in
+      Result.equal_alignment gold sys && gold.Result.score = base)
+
+let prop_k02_random_params =
+  QCheck.Test.make ~name:"#2 random affine params: engines == baseline" ~count:80
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Dphls_util.Rng.create (seed + 7) in
+      let match_ = Dphls_util.Rng.int_in rng 1 4 in
+      let mismatch = -Dphls_util.Rng.int_in rng 1 6 in
+      let gap_open = -Dphls_util.Rng.int_in rng 0 8 in
+      let gap_extend = -Dphls_util.Rng.int_in rng 1 4 in
+      let p = { Dphls_kernels.K02_global_affine.match_; mismatch; gap_open; gap_extend } in
+      let q, r = random_pair rng in
+      let w = Workload.of_bases ~query:q ~reference:r in
+      let k = Dphls_kernels.K02_global_affine.kernel in
+      let gold = Dphls_reference.Ref_engine.run k p w in
+      let sys, _ =
+        Dphls_systolic.Engine.run (Dphls_systolic.Config.create ~n_pe:8) k p w
+      in
+      let base =
+        B.Seqan_like.score
+          (B.Seqan_like.dna_scoring ~match_ ~mismatch
+             ~gap:(B.Seqan_like.Affine { open_ = gap_open; extend = gap_extend })
+             ~mode:B.Seqan_like.Global)
+          ~query:q ~reference:r
+      in
+      Result.equal_alignment gold sys && gold.Result.score = base)
+
+let prop_k05_random_params =
+  QCheck.Test.make ~name:"#5 random two-piece params: engines == baseline" ~count:60
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Dphls_util.Rng.create (seed + 13) in
+      let match_ = 2 and mismatch = -Dphls_util.Rng.int_in rng 2 6 in
+      let open1 = -Dphls_util.Rng.int_in rng 2 8 in
+      let extend1 = -Dphls_util.Rng.int_in rng 2 4 in
+      let open2 = -Dphls_util.Rng.int_in rng 10 30 in
+      let extend2 = -1 in
+      let p =
+        {
+          Dphls_kernels.K05_global_two_piece.match_;
+          mismatch;
+          gaps = { Dphls_kernels.Two_piece_rec.open1; extend1; open2; extend2 };
+        }
+      in
+      let q, r = random_pair rng in
+      let w = Workload.of_bases ~query:q ~reference:r in
+      let k = Dphls_kernels.K05_global_two_piece.kernel in
+      let gold = Dphls_reference.Ref_engine.run k p w in
+      let sys, _ =
+        Dphls_systolic.Engine.run (Dphls_systolic.Config.create ~n_pe:8) k p w
+      in
+      let base =
+        B.Minimap2_like.score
+          { B.Minimap2_like.match_; mismatch; open1; extend1; open2; extend2 }
+          ~query:q ~reference:r
+      in
+      Result.equal_alignment gold sys && gold.Result.score = base)
+
+(* Degenerate shapes: single characters and extreme aspect ratios. *)
+let test_degenerate_shapes () =
+  List.iter
+    (fun id ->
+      let e = Dphls_kernels.Catalog.find id in
+      let (Registry.Packed (k, p)) = e.packed in
+      List.iter
+        (fun (qlen, rlen) ->
+          let rng = Dphls_util.Rng.create (id + qlen + rlen) in
+          let w =
+            Workload.of_bases
+              ~query:(Dphls_alphabet.Dna.random rng qlen)
+              ~reference:(Dphls_alphabet.Dna.random rng rlen)
+          in
+          let gold = Dphls_reference.Ref_engine.run k p w in
+          let sys, _ =
+            Dphls_systolic.Engine.run (Dphls_systolic.Config.create ~n_pe:4) k p w
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "#%d %dx%d" id qlen rlen)
+            true
+            (Result.equal_alignment gold sys))
+        [ (1, 1); (1, 30); (30, 1); (2, 29); (64, 3) ])
+    [ 1; 2; 3; 4; 5; 6; 7 ]
+
+(* All-identical and fully-disjoint sequences have closed-form optima. *)
+let test_closed_form_extremes () =
+  let k = Dphls_kernels.K01_global_linear.kernel in
+  let p = Dphls_kernels.K01_global_linear.default in
+  let same = Array.make 20 0 in
+  let w = Workload.of_bases ~query:same ~reference:same in
+  Alcotest.(check int) "identical: n*match" (20 * 2)
+    (Dphls_reference.Ref_engine.run k p w).Result.score;
+  let a = Array.make 15 0 and c = Array.make 15 1 in
+  let w2 = Workload.of_bases ~query:a ~reference:c in
+  (* mismatch (-2) == 2 gaps; mismatching straight through is optimal *)
+  Alcotest.(check int) "disjoint: n*mismatch" (15 * -2)
+    (Dphls_reference.Ref_engine.run k p w2).Result.score
+
+(* Affine FSM transition table, exhaustively over all 16 pointers. *)
+let test_affine_fsm_table () =
+  let fsm = Dphls_kernels.Kdefs.Affine.fsm in
+  (* state H: source bits decide *)
+  for ext_bits = 0 to 3 do
+    let base = ext_bits lsl 2 in
+    Alcotest.(check bool) "H + diag" true
+      (fsm.Traceback.transition 0 ~ptr:(base lor 0) = (0, Traceback.Diag));
+    Alcotest.(check bool) "H + del -> Stay into D" true
+      (fsm.Traceback.transition 0 ~ptr:(base lor 1) = (1, Traceback.Stay));
+    Alcotest.(check bool) "H + ins -> Stay into I" true
+      (fsm.Traceback.transition 0 ~ptr:(base lor 2) = (2, Traceback.Stay));
+    Alcotest.(check bool) "H + end -> Stop" true
+      (snd (fsm.Traceback.transition 0 ~ptr:(base lor 3)) = Traceback.Stop)
+  done;
+  (* state D: extension bit decides; always moves Up *)
+  for ptr = 0 to 15 do
+    let st, mv = fsm.Traceback.transition 1 ~ptr in
+    Alcotest.(check bool) "D moves up" true (mv = Traceback.Up);
+    Alcotest.(check int) "D next state" (if ptr land 4 <> 0 then 1 else 0) st;
+    let st_i, mv_i = fsm.Traceback.transition 2 ~ptr in
+    Alcotest.(check bool) "I moves left" true (mv_i = Traceback.Left);
+    Alcotest.(check int) "I next state" (if ptr land 8 <> 0 then 2 else 0) st_i
+  done
+
+(* Two-piece FSM: all five states behave per the encoding. *)
+let test_two_piece_fsm_table () =
+  let fsm = Dphls_kernels.Kdefs.Two_piece.fsm in
+  List.iter
+    (fun (src, expect_state, expect_move) ->
+      let st, mv = fsm.Traceback.transition 0 ~ptr:src in
+      Alcotest.(check int) "H source state" expect_state st;
+      Alcotest.(check bool) "H source move" true (mv = expect_move))
+    [
+      (0, 0, Traceback.Diag); (1, 1, Traceback.Stay); (2, 2, Traceback.Stay);
+      (3, 3, Traceback.Stay); (4, 4, Traceback.Stay);
+    ];
+  List.iter
+    (fun (state, ext_bit, move) ->
+      let extending = fsm.Traceback.transition state ~ptr:(1 lsl ext_bit) in
+      let opening = fsm.Traceback.transition state ~ptr:0 in
+      Alcotest.(check bool) "extension keeps state" true (extending = (state, move));
+      Alcotest.(check bool) "open returns to H" true (opening = (0, move)))
+    [
+      (1, 3, Traceback.Up); (2, 4, Traceback.Left); (3, 5, Traceback.Up);
+      (4, 6, Traceback.Left);
+    ]
+
+(* Scheduler lower bounds as properties. *)
+let prop_scheduler_bounds =
+  QCheck.Test.make ~name:"scheduler makespan respects lower bounds" ~count:100
+    QCheck.(
+      pair (int_range 1 8)
+        (list_of_size (Gen.int_range 1 20)
+           (triple (int_range 0 20) (int_range 1 200) (int_range 0 20))))
+    (fun (n_b, jobs) ->
+      let jobs =
+        List.map
+          (fun (i, c, o) ->
+            { Dphls_host.Scheduler.transfer_in = i; compute = c; transfer_out = o })
+          jobs
+      in
+      let r = Dphls_host.Scheduler.run_channel ~n_b jobs in
+      let total_compute =
+        List.fold_left (fun a j -> a + j.Dphls_host.Scheduler.compute) 0 jobs
+      in
+      let total_transfer =
+        List.fold_left
+          (fun a j ->
+            a + j.Dphls_host.Scheduler.transfer_in + j.Dphls_host.Scheduler.transfer_out)
+          0 jobs
+      in
+      (* arbiter serialization and per-block compute are both hard floors *)
+      r.Dphls_host.Scheduler.makespan >= total_transfer
+      && r.Dphls_host.Scheduler.makespan >= (total_compute + n_b - 1) / n_b
+      && r.Dphls_host.Scheduler.arbiter_busy = total_transfer
+      && r.Dphls_host.Scheduler.block_busy = total_compute)
+
+let suite =
+  [
+    Alcotest.test_case "splitmix64 reference vectors" `Quick test_splitmix64_vectors;
+    qtest prop_k01_random_params;
+    qtest prop_k02_random_params;
+    qtest prop_k05_random_params;
+    Alcotest.test_case "degenerate shapes" `Quick test_degenerate_shapes;
+    Alcotest.test_case "closed-form extremes" `Quick test_closed_form_extremes;
+    Alcotest.test_case "affine FSM table" `Quick test_affine_fsm_table;
+    Alcotest.test_case "two-piece FSM table" `Quick test_two_piece_fsm_table;
+    qtest prop_scheduler_bounds;
+  ]

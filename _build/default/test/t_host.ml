@@ -1,0 +1,110 @@
+(* Tests for the host runtime: throughput arithmetic and the channel
+   scheduler (N_B blocks behind one arbiter). *)
+module Throughput = Dphls_host.Throughput
+module Scheduler = Dphls_host.Scheduler
+
+let test_throughput_arithmetic () =
+  (* 1000 cycles at 250 MHz with 4 parallel units: 1e6 aligns/s *)
+  Alcotest.(check (float 1.0)) "alignments/s" 1.0e6
+    (Throughput.alignments_per_sec ~cycles_per_alignment:1000.0 ~freq_mhz:250.0
+       ~n_b:2 ~n_k:2);
+  Alcotest.(check (float 1.0)) "cells/s" 6.5536e10
+    (Throughput.cells_per_sec ~cycles_per_alignment:1000.0 ~freq_mhz:250.0 ~n_b:2
+       ~n_k:2 ~cells:65536)
+
+let test_iso_cost () =
+  (* a $3.06/h instance scaled to the $1.65/h reference loses ~46% *)
+  let scaled =
+    Throughput.iso_cost ~throughput:100.0 ~cost_per_hour:3.06
+      ~reference_cost_per_hour:1.65
+  in
+  Alcotest.(check (float 0.1)) "iso-cost" 53.9 scaled
+
+let test_job_for_rounding () =
+  let j = Scheduler.job_for ~qry_len:10 ~ref_len:10 ~compute:100 ~path_len:5 ~bytes_per_cycle:8 in
+  Alcotest.(check int) "transfer in" 3 j.Scheduler.transfer_in;
+  Alcotest.(check int) "transfer out" 2 j.Scheduler.transfer_out;
+  Alcotest.(check int) "compute" 100 j.Scheduler.compute
+
+let job ~t_in ~comp ~t_out =
+  { Scheduler.transfer_in = t_in; compute = comp; transfer_out = t_out }
+
+let test_single_job () =
+  let r = Scheduler.run_channel ~n_b:1 [ job ~t_in:10 ~comp:100 ~t_out:5 ] in
+  Alcotest.(check int) "makespan" 115 r.Scheduler.makespan;
+  Alcotest.(check int) "arbiter busy" 15 r.Scheduler.arbiter_busy;
+  Alcotest.(check int) "block busy" 100 r.Scheduler.block_busy
+
+let test_one_block_serializes () =
+  let jobs = List.init 4 (fun _ -> job ~t_in:10 ~comp:100 ~t_out:5) in
+  let r = Scheduler.run_channel ~n_b:1 jobs in
+  (* with one block, jobs can't overlap compute *)
+  Alcotest.(check bool) "makespan at least serial compute" true
+    (r.Scheduler.makespan >= 4 * 100)
+
+let test_blocks_overlap_compute () =
+  let jobs = List.init 4 (fun _ -> job ~t_in:10 ~comp:100 ~t_out:5) in
+  let serial = Scheduler.run_channel ~n_b:1 jobs in
+  let parallel = Scheduler.run_channel ~n_b:4 jobs in
+  Alcotest.(check bool) "4 blocks beat 1" true
+    (parallel.Scheduler.makespan < serial.Scheduler.makespan);
+  (* dominated by the pipeline of transfers + one compute *)
+  Alcotest.(check bool) "near-ideal overlap" true
+    (parallel.Scheduler.makespan <= (4 * 15) + 100 + 5)
+
+let test_bandwidth_bound_flag () =
+  (* transfers dominate: arbiter saturates *)
+  let jobs = List.init 20 (fun _ -> job ~t_in:100 ~comp:10 ~t_out:100) in
+  let r = Scheduler.run_channel ~n_b:8 jobs in
+  Alcotest.(check bool) "bandwidth bound" true r.Scheduler.bandwidth_bound;
+  (* compute dominates: arbiter mostly idle *)
+  let jobs2 = List.init 20 (fun _ -> job ~t_in:1 ~comp:1000 ~t_out:1) in
+  let r2 = Scheduler.run_channel ~n_b:2 jobs2 in
+  Alcotest.(check bool) "compute bound" false r2.Scheduler.bandwidth_bound
+
+let test_nb_scaling_near_linear () =
+  (* the Fig 3 claim: throughput scales almost perfectly with N_B while
+     the arbiter is under-utilized *)
+  let mk n = List.init (n * 8) (fun _ -> job ~t_in:4 ~comp:400 ~t_out:2) in
+  let t n_b =
+    Scheduler.device_throughput ~n_k:1 ~n_b ~freq_mhz:250.0 (mk n_b)
+  in
+  let t1 = t 1 and t4 = t 4 and t8 = t 8 in
+  Alcotest.(check bool) "4x within 15%" true (t4 /. t1 > 3.4);
+  Alcotest.(check bool) "8x within 20%" true (t8 /. t1 > 6.4)
+
+let test_utilizations_bounded () =
+  let jobs = List.init 10 (fun _ -> job ~t_in:5 ~comp:50 ~t_out:5) in
+  let r = Scheduler.run_channel ~n_b:3 jobs in
+  Alcotest.(check bool) "arbiter util in [0,1]" true
+    (r.Scheduler.arbiter_utilization >= 0.0 && r.Scheduler.arbiter_utilization <= 1.0);
+  Alcotest.(check bool) "block util in [0,1]" true
+    (r.Scheduler.block_utilization >= 0.0 && r.Scheduler.block_utilization <= 1.0)
+
+let test_invalid_args () =
+  Alcotest.(check bool) "n_b 0 rejected" true
+    (try
+       ignore (Scheduler.run_channel ~n_b:0 []);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "non-positive cycles rejected" true
+    (try
+       ignore
+         (Throughput.alignments_per_sec ~cycles_per_alignment:0.0 ~freq_mhz:250.0
+            ~n_b:1 ~n_k:1);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "throughput arithmetic" `Quick test_throughput_arithmetic;
+    Alcotest.test_case "iso cost" `Quick test_iso_cost;
+    Alcotest.test_case "job rounding" `Quick test_job_for_rounding;
+    Alcotest.test_case "single job" `Quick test_single_job;
+    Alcotest.test_case "one block serializes" `Quick test_one_block_serializes;
+    Alcotest.test_case "blocks overlap" `Quick test_blocks_overlap_compute;
+    Alcotest.test_case "bandwidth bound flag" `Quick test_bandwidth_bound_flag;
+    Alcotest.test_case "N_B scaling near linear" `Quick test_nb_scaling_near_linear;
+    Alcotest.test_case "utilizations bounded" `Quick test_utilizations_bounded;
+    Alcotest.test_case "invalid args" `Quick test_invalid_args;
+  ]

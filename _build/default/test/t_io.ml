@@ -1,0 +1,175 @@
+(* Tests for the sequence-I/O substrate (FASTA/FASTQ/PAF) and the
+   co-simulation API. *)
+module Fasta = Dphls_io.Fasta
+module Fastq = Dphls_io.Fastq
+module Paf = Dphls_io.Paf
+
+let test_fasta_parse () =
+  let text = ">seq1 first record\nACGT\nACGT\n\n; a comment\n>seq2\nTTTT\n" in
+  match Fasta.parse_string text with
+  | [ a; b ] ->
+    Alcotest.(check string) "id 1" "seq1" a.Fasta.id;
+    Alcotest.(check string) "description" "first record" a.Fasta.description;
+    Alcotest.(check string) "joined sequence" "ACGTACGT" a.Fasta.sequence;
+    Alcotest.(check string) "id 2" "seq2" b.Fasta.id;
+    Alcotest.(check string) "seq 2" "TTTT" b.Fasta.sequence
+  | records -> Alcotest.failf "expected 2 records, got %d" (List.length records)
+
+let test_fasta_roundtrip () =
+  let records =
+    [
+      { Fasta.id = "a"; description = "desc"; sequence = String.make 130 'A' };
+      { Fasta.id = "b"; description = ""; sequence = "ACGT" };
+    ]
+  in
+  let parsed = Fasta.parse_string (Fasta.to_string records) in
+  Alcotest.(check int) "count" 2 (List.length parsed);
+  List.iter2
+    (fun (orig : Fasta.record) (got : Fasta.record) ->
+      Alcotest.(check string) "id" orig.id got.id;
+      Alcotest.(check string) "sequence" orig.sequence got.sequence)
+    records parsed
+
+let test_fasta_file_roundtrip () =
+  let path = Filename.temp_file "dphls" ".fa" in
+  let records = [ { Fasta.id = "x"; description = ""; sequence = "ACGTACGTAC" } ] in
+  Fasta.write_file path records;
+  let back = Fasta.read_file path in
+  Sys.remove path;
+  Alcotest.(check int) "one record" 1 (List.length back);
+  Alcotest.(check string) "sequence" "ACGTACGTAC" (List.hd back).Fasta.sequence
+
+let test_fasta_errors () =
+  Alcotest.(check bool) "sequence before header" true
+    (try
+       ignore (Fasta.parse_string "ACGT\n");
+       false
+     with Failure _ -> true)
+
+let test_fasta_encoding () =
+  let r = { Fasta.id = "x"; description = ""; sequence = "ACGT" } in
+  Alcotest.(check bool) "dna encoding" true (Fasta.dna_of_record r = [| 0; 1; 2; 3 |])
+
+let test_fastq_parse () =
+  let text = "@r1 extra\nACGT\n+\nIIII\n@r2\nTT\n+r2\nAB\n" in
+  match Fastq.parse_string text with
+  | [ a; b ] ->
+    Alcotest.(check string) "id" "r1" a.Fastq.id;
+    Alcotest.(check string) "sequence" "ACGT" a.Fastq.sequence;
+    Alcotest.(check (float 0.01)) "quality I = 40" 40.0 (Fastq.mean_quality a);
+    Alcotest.(check string) "second" "r2" b.Fastq.id
+  | records -> Alcotest.failf "expected 2 records, got %d" (List.length records)
+
+let test_fastq_errors () =
+  let bad = [ "ACGT\nACGT\n+\nIIII\n"; "@r\nACGT\n+\nIII\n"; "@r\nACGT\n+\n" ] in
+  List.iter
+    (fun text ->
+      Alcotest.(check bool) "malformed rejected" true
+        (try
+           ignore (Fastq.parse_string text);
+           false
+         with Failure _ -> true))
+    bad
+
+let test_fastq_to_fasta () =
+  let r = { Fastq.id = "r"; sequence = "ACGT"; quality = "IIII" } in
+  Alcotest.(check string) "conversion" "ACGT" (Fastq.to_fasta r).Fasta.sequence
+
+let sample_paf =
+  {
+    Paf.query_name = "read1";
+    query_length = 100;
+    query_start = 0;
+    query_end = 100;
+    strand = Paf.Forward;
+    target_name = "chr1";
+    target_length = 1000;
+    target_start = 50;
+    target_end = 151;
+    matches = 95;
+    alignment_length = 101;
+    mapq = 60;
+    tags = [ ("cg", "50M1I50M") ];
+  }
+
+let test_paf_roundtrip () =
+  let line = Paf.to_line sample_paf in
+  let parsed = Paf.parse_line line in
+  Alcotest.(check string) "query" sample_paf.Paf.query_name parsed.Paf.query_name;
+  Alcotest.(check int) "target start" 50 parsed.Paf.target_start;
+  Alcotest.(check int) "matches" 95 parsed.Paf.matches;
+  Alcotest.(check (list (pair string string))) "tags" sample_paf.Paf.tags
+    parsed.Paf.tags
+
+let test_paf_of_alignment () =
+  let open Dphls_core in
+  let e = Dphls_kernels.Catalog.find 7 in
+  let (Registry.Packed (k, p)) = e.packed in
+  let rng = Dphls_util.Rng.create 55 in
+  let w = e.Dphls_kernels.Catalog.gen rng ~len:80 in
+  let result = Dphls_reference.Ref_engine.run k p w in
+  match Alignment_view.first_consumed result with
+  | None -> Alcotest.fail "expected a path"
+  | Some (row0, col0) ->
+    let stats =
+      Alignment_view.stats ~query:w.Workload.query ~reference:w.Workload.reference
+        ~start_row:row0 ~start_col:col0 result.Result.path
+    in
+    let r =
+      Paf.of_alignment ~query_name:"q" ~query_length:(Array.length w.Workload.query)
+        ~target_name:"t" ~target_length:(Array.length w.Workload.reference) ~result
+        ~stats ~mapq:60
+    in
+    (* semi-global: whole query consumed *)
+    Alcotest.(check int) "query start" 0 r.Paf.query_start;
+    Alcotest.(check int) "query end" (Array.length w.Workload.query) r.Paf.query_end;
+    Alcotest.(check bool) "target span within bounds" true
+      (r.Paf.target_start >= 0
+      && r.Paf.target_end <= Array.length w.Workload.reference);
+    Alcotest.(check bool) "cigar tag" true (List.mem_assoc "cg" r.Paf.tags)
+
+let test_cosim_passes () =
+  let open Dphls_core in
+  let e = Dphls_kernels.Catalog.find 2 in
+  let (Registry.Packed (k, p)) = e.packed in
+  let rng = Dphls_util.Rng.create 99 in
+  let workloads = List.init 8 (fun _ -> e.Dphls_kernels.Catalog.gen rng ~len:48) in
+  let cell, bindings = Dphls_kernels.Datapaths.cell_for 2 in
+  let report =
+    Dphls_cosim.Cosim.verify ~n_pe:8
+      ~alt_pe:(Datapath.eval cell bindings)
+      k p workloads
+  in
+  Alcotest.(check bool) "passed" true (Dphls_cosim.Cosim.passed report);
+  Alcotest.(check int) "all agreed" 8 report.Dphls_cosim.Cosim.agreed;
+  Alcotest.(check bool) "cycle stats collected" true
+    (report.Dphls_cosim.Cosim.mean_cycles > 0.0)
+
+let test_cosim_detects_bugs () =
+  let open Dphls_core in
+  let e = Dphls_kernels.Catalog.find 1 in
+  let (Registry.Packed (k, p)) = e.packed in
+  let rng = Dphls_util.Rng.create 100 in
+  let workloads = List.init 4 (fun _ -> e.Dphls_kernels.Catalog.gen rng ~len:32) in
+  (* an intentionally wrong alternate PE must be caught *)
+  let broken (input : Pe.input) =
+    { Pe.scores = Array.map (fun s -> s + 1) input.Pe.up; tb = 0 }
+  in
+  let report = Dphls_cosim.Cosim.verify ~n_pe:8 ~alt_pe:broken k p workloads in
+  Alcotest.(check bool) "failure detected" false (Dphls_cosim.Cosim.passed report)
+
+let suite =
+  [
+    Alcotest.test_case "fasta parse" `Quick test_fasta_parse;
+    Alcotest.test_case "fasta roundtrip" `Quick test_fasta_roundtrip;
+    Alcotest.test_case "fasta file roundtrip" `Quick test_fasta_file_roundtrip;
+    Alcotest.test_case "fasta errors" `Quick test_fasta_errors;
+    Alcotest.test_case "fasta encoding" `Quick test_fasta_encoding;
+    Alcotest.test_case "fastq parse" `Quick test_fastq_parse;
+    Alcotest.test_case "fastq errors" `Quick test_fastq_errors;
+    Alcotest.test_case "fastq to fasta" `Quick test_fastq_to_fasta;
+    Alcotest.test_case "paf roundtrip" `Quick test_paf_roundtrip;
+    Alcotest.test_case "paf of alignment" `Quick test_paf_of_alignment;
+    Alcotest.test_case "cosim passes" `Quick test_cosim_passes;
+    Alcotest.test_case "cosim detects bugs" `Quick test_cosim_detects_bugs;
+  ]

@@ -1,0 +1,442 @@
+(* Kernel correctness: differential tests (systolic vs golden engine),
+   semantic equivalence against independent baseline implementations,
+   hand-computed known answers, and path-validity properties. *)
+open Dphls_core
+module Score = Dphls_util.Score
+module Engine = Dphls_systolic.Engine
+module Ref_engine = Dphls_reference.Ref_engine
+module B = Dphls_baselines
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let run_both ?(n_pe = 8) packed w =
+  let (Registry.Packed (k, p)) = packed in
+  let gold = Ref_engine.run k p w in
+  let sys, _ = Engine.run (Dphls_systolic.Config.create ~n_pe) k p w in
+  (gold, sys)
+
+(* ---------- differential: systolic == golden for every kernel ---------- *)
+
+let differential_prop id =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "kernel #%d systolic == golden" id)
+    ~count:40
+    QCheck.(pair (int_range 4 60) (int_range 1 16))
+    (fun (len, n_pe) ->
+      let e = Dphls_kernels.Catalog.find id in
+      let rng = Dphls_util.Rng.create ((id * 1000) + len + n_pe) in
+      let w = e.Dphls_kernels.Catalog.gen rng ~len in
+      let gold, sys = run_both ~n_pe e.packed w in
+      Result.equal_alignment gold sys)
+
+let differential_tests = List.map (fun id -> qtest (differential_prop id)) Dphls_kernels.Catalog.ids
+
+(* ---------- known answers ---------- *)
+
+let score_of packed ~query ~reference =
+  let (Registry.Packed (k, p)) = packed in
+  (Ref_engine.run k p (Workload.of_bases ~query ~reference)).Result.score
+
+let dna = Dphls_alphabet.Dna.of_string
+
+let test_nw_known () =
+  let packed = (Dphls_kernels.Catalog.find 1).packed in
+  (* identical sequences: all matches *)
+  Alcotest.(check int) "identical" 8 (score_of packed ~query:(dna "ACGT") ~reference:(dna "ACGT"));
+  (* one mismatch: 3*2 - 2 *)
+  Alcotest.(check int) "one mismatch" 4 (score_of packed ~query:(dna "ACGT") ~reference:(dna "ACTT"));
+  (* single-base vs two bases: match + gap *)
+  Alcotest.(check int) "one gap" 0 (score_of packed ~query:(dna "A") ~reference:(dna "AC"));
+  (* all gaps when aligned to empty-ish: 1 vs 1 mismatch = -2 vs 2 gaps = -4 *)
+  Alcotest.(check int) "mismatch beats two gaps" (-2)
+    (score_of packed ~query:(dna "A") ~reference:(dna "C"))
+
+let test_sw_known () =
+  let packed = (Dphls_kernels.Catalog.find 3).packed in
+  (* local finds the embedded exact match *)
+  Alcotest.(check int) "embedded match" 8
+    (score_of packed ~query:(dna "TTACGTTT") ~reference:(dna "GGACGTGG"));
+  Alcotest.(check int) "no similarity floors at 0" 0
+    (score_of packed ~query:(dna "AAAA") ~reference:(dna "CCCC"))
+
+let test_gotoh_prefers_one_long_gap () =
+  (* open=-3 extend=-1: a length-2 gap in one run costs -5, two runs -8 *)
+  let packed = (Dphls_kernels.Catalog.find 2).packed in
+  let score = score_of packed ~query:(dna "ACGTACGT") ~reference:(dna "ACGTGGACGT") in
+  (* 8 matches + one gap of 2: 16 - (3 + 2) = 11 *)
+  Alcotest.(check int) "affine long gap" 11 score
+
+let test_semi_global_free_reference_ends () =
+  let packed = (Dphls_kernels.Catalog.find 7).packed in
+  (* query embedded mid-reference: full match, no end penalties *)
+  Alcotest.(check int) "free flanks" 8
+    (score_of packed ~query:(dna "ACGT") ~reference:(dna "TTTTACGTTTTT"))
+
+let test_overlap_suffix_prefix () =
+  let packed = (Dphls_kernels.Catalog.find 6).packed in
+  (* suffix of query overlaps prefix of reference *)
+  Alcotest.(check int) "suffix-prefix overlap" 8
+    (score_of packed ~query:(dna "GGGGACGT") ~reference:(dna "ACGTCCCC"))
+
+let test_dtw_identity_zero () =
+  let e = Dphls_kernels.Catalog.find 9 in
+  let rng = Dphls_util.Rng.create 31 in
+  let s = Dphls_seqgen.Signal_gen.complex_sequence rng 24 in
+  let w = Workload.of_seqs ~query:s ~reference:s in
+  let (Registry.Packed (k, p)) = e.packed in
+  Alcotest.(check int) "dtw(x,x)=0" 0 (Ref_engine.run k p w).Result.score
+
+let test_sdtw_subsequence_zero () =
+  let e = Dphls_kernels.Catalog.find 14 in
+  let (Registry.Packed (k, p)) = e.packed in
+  let reference = Array.init 20 (fun i -> [| (i * 7) mod 50 |]) in
+  let query = Array.sub reference 5 8 in
+  let w = Workload.of_seqs ~query ~reference in
+  Alcotest.(check int) "exact subsequence costs 0" 0 (Ref_engine.run k p w).Result.score
+
+let test_viterbi_prefers_identity () =
+  let e = Dphls_kernels.Catalog.find 10 in
+  let (Registry.Packed (k, p)) = e.packed in
+  let a = dna "ACGTACGTAC" in
+  let b = dna "ACGTTCGTAC" in
+  let same = (Ref_engine.run k p (Workload.of_bases ~query:a ~reference:a)).Result.score in
+  let diff = (Ref_engine.run k p (Workload.of_bases ~query:a ~reference:b)).Result.score in
+  Alcotest.(check bool) "identity more probable" true (same > diff)
+
+let test_protein_known () =
+  let packed = (Dphls_kernels.Catalog.find 15).packed in
+  let q = Dphls_alphabet.Protein.of_string "WWWW" in
+  (* W-W scores 11 in BLOSUM62 *)
+  Alcotest.(check int) "4x tryptophan" 44 (score_of packed ~query:q ~reference:q)
+
+(* ---------- equivalence with independent baselines ---------- *)
+
+let gen_dna_pair seed len_bound =
+  let rng = Dphls_util.Rng.create seed in
+  let q = Dphls_alphabet.Dna.random rng (1 + Dphls_util.Rng.int rng len_bound) in
+  let r = Dphls_alphabet.Dna.random rng (1 + Dphls_util.Rng.int rng len_bound) in
+  (q, r)
+
+let equiv_prop ~name ~kernel_id ~baseline =
+  QCheck.Test.make ~name ~count:60
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let q, r = gen_dna_pair seed 40 in
+      let packed = (Dphls_kernels.Catalog.find kernel_id).packed in
+      score_of packed ~query:q ~reference:r = baseline ~query:q ~reference:r)
+
+let seqan mode gap = B.Seqan_like.dna_scoring ~match_:2 ~mismatch:(-2) ~gap ~mode
+
+let linear = B.Seqan_like.Linear (-2)
+let affine = B.Seqan_like.Affine { open_ = -3; extend = -1 }
+
+let equivalence_tests =
+  [
+    qtest
+      (equiv_prop ~name:"#1 == seqan global linear" ~kernel_id:1
+         ~baseline:(fun ~query ~reference ->
+           B.Seqan_like.score (seqan B.Seqan_like.Global linear) ~query ~reference));
+    qtest
+      (equiv_prop ~name:"#2 == seqan global affine == gact" ~kernel_id:2
+         ~baseline:(fun ~query ~reference ->
+           let s1 =
+             B.Seqan_like.score (seqan B.Seqan_like.Global affine) ~query ~reference
+           in
+           let s2 =
+             B.Gact_rtl.score ~match_:2 ~mismatch:(-2) ~gap_open:(-3)
+               ~gap_extend:(-1) ~query ~reference
+           in
+           assert (s1 = s2);
+           s1));
+    qtest
+      (equiv_prop ~name:"#3 == seqan local linear" ~kernel_id:3
+         ~baseline:(fun ~query ~reference ->
+           B.Seqan_like.score (seqan B.Seqan_like.Local linear) ~query ~reference));
+    qtest
+      (equiv_prop ~name:"#4 == seqan local affine" ~kernel_id:4
+         ~baseline:(fun ~query ~reference ->
+           B.Seqan_like.score (seqan B.Seqan_like.Local affine) ~query ~reference));
+    qtest
+      (equiv_prop ~name:"#5 == minimap2-like two-piece" ~kernel_id:5
+         ~baseline:(fun ~query ~reference ->
+           B.Minimap2_like.score
+             { B.Minimap2_like.default with match_ = 2; mismatch = -4 }
+             ~query ~reference));
+    qtest
+      (equiv_prop ~name:"#6 == seqan overlap" ~kernel_id:6
+         ~baseline:(fun ~query ~reference ->
+           B.Seqan_like.score (seqan B.Seqan_like.Overlap linear) ~query ~reference));
+    qtest
+      (equiv_prop ~name:"#7 == seqan semi-global" ~kernel_id:7
+         ~baseline:(fun ~query ~reference ->
+           B.Seqan_like.score (seqan B.Seqan_like.Semi_global linear) ~query ~reference));
+  ]
+
+let test_k12_matches_bsw () =
+  let packed = (Dphls_kernels.Catalog.find 12).packed in
+  for seed = 1 to 30 do
+    let rng = Dphls_util.Rng.create seed in
+    let r = Dphls_alphabet.Dna.random rng 40 in
+    let q = Dphls_seqgen.Dna_gen.mutate_point rng r ~rate:0.1 in
+    let s1 = score_of packed ~query:q ~reference:r in
+    let s2 =
+      B.Bsw_rtl.score ~match_:2 ~mismatch:(-2) ~gap_open:(-3) ~gap_extend:(-1)
+        ~bandwidth:Dphls_kernels.K12_banded_local_affine.default_bandwidth ~query:q
+        ~reference:r
+    in
+    Alcotest.(check int) (Printf.sprintf "seed %d" seed) s2 s1
+  done
+
+let test_k14_matches_squigglefilter () =
+  let e = Dphls_kernels.Catalog.find 14 in
+  let (Registry.Packed (k, p)) = e.packed in
+  for seed = 1 to 30 do
+    let rng = Dphls_util.Rng.create (seed * 3) in
+    let w = e.Dphls_kernels.Catalog.gen rng ~len:40 in
+    let s1 = (Ref_engine.run k p w).Result.score in
+    let q = Array.map (fun c -> c.(0)) w.Workload.query in
+    let r = Array.map (fun c -> c.(0)) w.Workload.reference in
+    let s2 = B.Squigglefilter_rtl.score ~query:q ~reference:r in
+    Alcotest.(check int) (Printf.sprintf "seed %d" seed) s2 s1
+  done
+
+let test_k15_matches_emboss () =
+  let packed = (Dphls_kernels.Catalog.find 15).packed in
+  for seed = 1 to 30 do
+    let rng = Dphls_util.Rng.create (seed * 7) in
+    let q = Dphls_alphabet.Protein.random rng (10 + Dphls_util.Rng.int rng 40) in
+    let r = Dphls_alphabet.Protein.random rng (10 + Dphls_util.Rng.int rng 40) in
+    let s1 = score_of packed ~query:q ~reference:r in
+    let s2 = B.Emboss_like.blosum62_score ~query:q ~reference:r in
+    Alcotest.(check int) (Printf.sprintf "seed %d" seed) s2 s1
+  done
+
+(* Profile kernel on depth-1, gap-free profiles reduces to plain pairwise
+   global alignment with the same match/mismatch/gap. *)
+let test_k08_depth1_reduction () =
+  let k = Dphls_kernels.K08_profile.kernel in
+  (* gap_column applies per residue per other-column depth = 1 *)
+  let params =
+    {
+      Dphls_kernels.K08_profile.default with
+      gap_column = -2;
+      match_ = 2;
+      mismatch = -2;
+      depth = 1;
+    }
+  in
+  for seed = 1 to 20 do
+    let rng = Dphls_util.Rng.create (seed * 13) in
+    let qb = Dphls_alphabet.Dna.random rng (4 + Dphls_util.Rng.int rng 20) in
+    let rb = Dphls_alphabet.Dna.random rng (4 + Dphls_util.Rng.int rng 20) in
+    let col b = Array.init 5 (fun i -> if i = b then 1 else 0) in
+    let w =
+      Workload.of_seqs ~query:(Array.map col qb) ~reference:(Array.map col rb)
+    in
+    let profile_score = (Ref_engine.run k params w).Result.score in
+    (* depth-1 border gap: -2 per step, same as linear gap -2 *)
+    let plain =
+      B.Seqan_like.score
+        (seqan B.Seqan_like.Global (B.Seqan_like.Linear (-2)))
+        ~query:qb ~reference:rb
+    in
+    Alcotest.(check int) (Printf.sprintf "seed %d" seed) plain profile_score
+  done
+
+(* DTW against an independent float implementation. *)
+let test_k09_matches_float_dtw () =
+  let e = Dphls_kernels.Catalog.find 9 in
+  let (Registry.Packed (k, p)) = e.packed in
+  for seed = 1 to 15 do
+    let rng = Dphls_util.Rng.create (seed * 17) in
+    let q = Dphls_seqgen.Signal_gen.complex_sequence rng (4 + Dphls_util.Rng.int rng 16) in
+    let r = Dphls_seqgen.Signal_gen.complex_sequence rng (4 + Dphls_util.Rng.int rng 16) in
+    let w = Workload.of_seqs ~query:q ~reference:r in
+    let got = (Ref_engine.run k p w).Result.score in
+    (* independent integer DTW on the same quantized samples *)
+    let n = Array.length q and m = Array.length r in
+    let inf = Score.pos_inf in
+    let d = Array.make_matrix (n + 1) (m + 1) inf in
+    d.(0).(0) <- 0;
+    for i = 1 to n do
+      for j = 1 to m do
+        let cost = Dphls_alphabet.Signal.manhattan_complex q.(i - 1) r.(j - 1) in
+        let best = min d.(i - 1).(j) (min d.(i).(j - 1) d.(i - 1).(j - 1)) in
+        if best < inf then d.(i).(j) <- best + cost
+      done
+    done;
+    Alcotest.(check int) (Printf.sprintf "seed %d" seed) d.(n).(m) got
+  done
+
+(* ---------- path validity properties ---------- *)
+
+let rescore_for id (w : Workload.t) (res : Result.t) =
+  let sub_dna q r = if q.(0) = r.(0) then 2 else -2 in
+  let start_of () =
+    match res.Result.start_cell with
+    | None -> None
+    | Some start ->
+      let qc, rc = Result.path_consumes res in
+      Some (start.Types.row - qc + 1, start.Types.col - rc + 1)
+  in
+  match start_of () with
+  | None -> None
+  | Some (row0, col0) -> (
+    let query = w.Workload.query and reference = w.Workload.reference in
+    match id with
+    | 1 | 6 | 7 | 11 ->
+      Some (Rescore.linear ~sub:sub_dna ~gap:(-2) ~query ~reference ~start_row:row0 ~start_col:col0 res.Result.path)
+    | 3 ->
+      Some (Rescore.linear ~sub:sub_dna ~gap:(-2) ~query ~reference ~start_row:row0 ~start_col:col0 res.Result.path)
+    | 2 | 4 ->
+      Some (Rescore.affine ~sub:sub_dna ~gap_open:(-3) ~gap_extend:(-1) ~query ~reference ~start_row:row0 ~start_col:col0 res.Result.path)
+    | 5 | 13 ->
+      let sub q r = if q.(0) = r.(0) then 2 else -4 in
+      Some (Rescore.two_piece ~sub ~open1:(-4) ~extend1:(-2) ~open2:(-24) ~extend2:(-1) ~query ~reference ~start_row:row0 ~start_col:col0 res.Result.path)
+    | 15 ->
+      let sub q r = Dphls_alphabet.Protein.blosum62_score q.(0) r.(0) in
+      Some (Rescore.linear ~sub ~gap:(-4) ~query ~reference ~start_row:row0 ~start_col:col0 res.Result.path)
+    | _ -> None)
+
+(* For global kernels, the reported score must equal the path's score.
+   For free-end kernels the path covers only the aligned region, whose
+   score is exactly the reported score as well (free ends cost 0). *)
+let path_score_prop id =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "kernel #%d path rescored == reported score" id)
+    ~count:40
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let e = Dphls_kernels.Catalog.find id in
+      let rng = Dphls_util.Rng.create seed in
+      let w = e.Dphls_kernels.Catalog.gen rng ~len:(8 + (seed mod 40)) in
+      let (Registry.Packed (k, p)) = e.packed in
+      let res = Ref_engine.run k p w in
+      match rescore_for id w res with
+      | None -> true
+      | Some rescored -> rescored = res.Result.score)
+
+let path_score_tests =
+  List.map (fun id -> qtest (path_score_prop id)) [ 1; 2; 3; 4; 5; 6; 7; 11; 13; 15 ]
+
+(* Path consumption matches the strategy's start/end conventions. *)
+let consumption_prop id =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "kernel #%d path consumption consistent" id)
+    ~count:40
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let e = Dphls_kernels.Catalog.find id in
+      let rng = Dphls_util.Rng.create (seed + 1) in
+      let w = e.Dphls_kernels.Catalog.gen rng ~len:(8 + (seed mod 32)) in
+      let (Registry.Packed (k, p)) = e.packed in
+      let res = Ref_engine.run k p w in
+      let qlen = Array.length w.Workload.query
+      and rlen = Array.length w.Workload.reference in
+      let qc, rc = Result.path_consumes res in
+      match id with
+      | 1 | 2 | 5 ->
+        (* global: both sequences fully consumed *)
+        qc = qlen && rc = rlen
+      | 7 ->
+        (* semi-global: query fully consumed, reference partially *)
+        qc = qlen && rc <= rlen
+      | 3 | 4 | 15 ->
+        (* local: consumption within bounds *)
+        qc <= qlen && rc <= rlen
+      | 6 -> qc <= qlen && rc <= rlen
+      | _ -> true)
+
+let consumption_tests = List.map (fun id -> qtest (consumption_prop id)) [ 1; 2; 3; 4; 5; 6; 7; 15 ]
+
+(* Gotoh with open = 0 degenerates to linear scoring. *)
+let test_affine_degenerates_to_linear () =
+  for seed = 1 to 25 do
+    let q, r = gen_dna_pair (seed * 31) 30 in
+    let k2 = Dphls_kernels.K02_global_affine.kernel in
+    let p2 =
+      { Dphls_kernels.K02_global_affine.default with gap_open = 0; gap_extend = -2 }
+    in
+    let s_affine =
+      (Ref_engine.run k2 p2 (Workload.of_bases ~query:q ~reference:r)).Result.score
+    in
+    let s_linear = score_of (Dphls_kernels.Catalog.find 1).packed ~query:q ~reference:r in
+    Alcotest.(check int) (Printf.sprintf "seed %d" seed) s_linear s_affine
+  done
+
+(* Two-piece with identical pieces degenerates to plain affine. *)
+let test_two_piece_degenerates_to_affine () =
+  for seed = 1 to 25 do
+    let q, r = gen_dna_pair (seed * 37) 30 in
+    let k5 = Dphls_kernels.K05_global_two_piece.kernel in
+    let p5 =
+      {
+        Dphls_kernels.K05_global_two_piece.match_ = 2;
+        mismatch = -2;
+        gaps = { Dphls_kernels.Two_piece_rec.open1 = -3; extend1 = -1; open2 = -3; extend2 = -1 };
+      }
+    in
+    let s5 = (Ref_engine.run k5 p5 (Workload.of_bases ~query:q ~reference:r)).Result.score in
+    let s2 = score_of (Dphls_kernels.Catalog.find 2).packed ~query:q ~reference:r in
+    Alcotest.(check int) (Printf.sprintf "seed %d" seed) s2 s5
+  done
+
+(* Banded kernels equal unbanded ones when the band covers the matrix. *)
+let test_wide_band_equals_unbanded () =
+  for seed = 1 to 20 do
+    let q, r = gen_dna_pair (seed * 41) 24 in
+    let wide = Dphls_kernels.K11_banded_global_linear.kernel_with ~bandwidth:64 in
+    let s_banded =
+      (Ref_engine.run wide Dphls_kernels.K11_banded_global_linear.default
+         (Workload.of_bases ~query:q ~reference:r))
+        .Result.score
+    in
+    let s_full = score_of (Dphls_kernels.Catalog.find 1).packed ~query:q ~reference:r in
+    Alcotest.(check int) (Printf.sprintf "seed %d" seed) s_full s_banded
+  done
+
+(* Narrow bands can only lower a maximum score. *)
+let prop_band_monotone =
+  QCheck.Test.make ~name:"narrower band never increases global score" ~count:40
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let rng = Dphls_util.Rng.create seed in
+      let r = Dphls_alphabet.Dna.random rng 30 in
+      let q = Dphls_seqgen.Dna_gen.mutate_point rng r ~rate:0.15 in
+      let w = Workload.of_bases ~query:q ~reference:r in
+      let score bw =
+        (Ref_engine.run
+           (Dphls_kernels.K11_banded_global_linear.kernel_with ~bandwidth:bw)
+           Dphls_kernels.K11_banded_global_linear.default w)
+          .Result.score
+      in
+      score 4 <= score 8 && score 8 <= score 32)
+
+let suite =
+  differential_tests
+  @ [
+      Alcotest.test_case "NW known answers" `Quick test_nw_known;
+      Alcotest.test_case "SW known answers" `Quick test_sw_known;
+      Alcotest.test_case "Gotoh long gap" `Quick test_gotoh_prefers_one_long_gap;
+      Alcotest.test_case "semi-global free ends" `Quick test_semi_global_free_reference_ends;
+      Alcotest.test_case "overlap suffix-prefix" `Quick test_overlap_suffix_prefix;
+      Alcotest.test_case "DTW identity" `Quick test_dtw_identity_zero;
+      Alcotest.test_case "sDTW subsequence" `Quick test_sdtw_subsequence_zero;
+      Alcotest.test_case "Viterbi identity" `Quick test_viterbi_prefers_identity;
+      Alcotest.test_case "protein known" `Quick test_protein_known;
+    ]
+  @ equivalence_tests
+  @ [
+      Alcotest.test_case "#12 == BSW RTL" `Quick test_k12_matches_bsw;
+      Alcotest.test_case "#14 == SquiggleFilter RTL" `Quick test_k14_matches_squigglefilter;
+      Alcotest.test_case "#15 == EMBOSS-like" `Quick test_k15_matches_emboss;
+      Alcotest.test_case "#8 depth-1 reduction" `Quick test_k08_depth1_reduction;
+      Alcotest.test_case "#9 == independent DTW" `Quick test_k09_matches_float_dtw;
+    ]
+  @ path_score_tests @ consumption_tests
+  @ [
+      Alcotest.test_case "affine degenerates to linear" `Quick test_affine_degenerates_to_linear;
+      Alcotest.test_case "two-piece degenerates to affine" `Quick test_two_piece_degenerates_to_affine;
+      Alcotest.test_case "wide band equals unbanded" `Quick test_wide_band_equals_unbanded;
+      qtest prop_band_monotone;
+    ]

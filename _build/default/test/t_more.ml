@@ -1,0 +1,175 @@
+(* Additional behavioural and regression tests: strategy-specific path
+   semantics, cycle-model monotonicity, traceback memory accounting and
+   resource-model boundaries. *)
+open Dphls_core
+module Engine = Dphls_systolic.Engine
+module Ref_engine = Dphls_reference.Ref_engine
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let run_ref id w =
+  let e = Dphls_kernels.Catalog.find id in
+  let (Registry.Packed (k, p)) = e.packed in
+  Ref_engine.run k p w
+
+let gen_for id seed len =
+  let e = Dphls_kernels.Catalog.find id in
+  let rng = Dphls_util.Rng.create seed in
+  e.Dphls_kernels.Catalog.gen rng ~len
+
+(* Overlap alignments must end on a top/left edge and start on a
+   bottom/right edge. *)
+let prop_overlap_edge_semantics =
+  QCheck.Test.make ~name:"overlap paths touch the correct edges" ~count:40
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let w = gen_for 6 seed (8 + (seed mod 24)) in
+      let res = run_ref 6 w in
+      let qlen = Array.length w.Workload.query
+      and rlen = Array.length w.Workload.reference in
+      match (res.Result.start_cell, res.Result.end_cell) with
+      | Some start, Some _ ->
+        (* start on the bottom row or rightmost column *)
+        start.Types.row = qlen - 1 || start.Types.col = rlen - 1
+      | _ -> false)
+
+(* Semi-global: start on the bottom row. *)
+let prop_semiglobal_starts_bottom =
+  QCheck.Test.make ~name:"semi-global starts on the bottom row" ~count:40
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let w = gen_for 7 seed (8 + (seed mod 24)) in
+      let res = run_ref 7 w in
+      match res.Result.start_cell with
+      | Some start -> start.Types.row = Array.length w.Workload.query - 1
+      | None -> false)
+
+(* Viterbi: log-probability decreases as more substitutions pile on. *)
+let test_viterbi_monotone_in_errors () =
+  let e = Dphls_kernels.Catalog.find 10 in
+  let (Registry.Packed (k, p)) = e.packed in
+  let rng = Dphls_util.Rng.create 31337 in
+  let reference = Dphls_alphabet.Dna.random rng 60 in
+  let score rate =
+    let rng2 = Dphls_util.Rng.create 7 in
+    let query = Dphls_seqgen.Dna_gen.mutate_point rng2 reference ~rate in
+    (Ref_engine.run k p (Workload.of_bases ~query ~reference)).Result.score
+  in
+  let s0 = score 0.0 and s1 = score 0.15 and s2 = score 0.5 in
+  Alcotest.(check bool) "identity best" true (s0 > s1);
+  Alcotest.(check bool) "more errors worse" true (s1 > s2)
+
+(* sDTW: score grows with signal noise. *)
+let test_sdtw_noise_monotone () =
+  let e = Dphls_kernels.Catalog.find 14 in
+  let (Registry.Packed (k, p)) = e.packed in
+  let rng = Dphls_util.Rng.create 17 in
+  let dna = Dphls_alphabet.Dna.random rng 100 in
+  let reference = Dphls_seqgen.Signal_gen.reference_levels dna in
+  let score noise =
+    let rng2 = Dphls_util.Rng.create 23 in
+    let fragment = Array.sub dna 10 40 in
+    let query = Dphls_seqgen.Signal_gen.squiggle rng2 ~dna:fragment ~noise in
+    (Ref_engine.run k p (Workload.of_seqs ~query ~reference)).Result.score
+  in
+  Alcotest.(check bool) "clean squiggle scores lower (better)" true
+    (score 0.5 < score 20.0)
+
+(* Total cycles fall as PEs are added (until saturation). *)
+let test_cycles_monotone_in_npe () =
+  let e = Dphls_kernels.Catalog.find 1 in
+  let (Registry.Packed (k, p)) = e.packed in
+  let rng = Dphls_util.Rng.create 3 in
+  let w = e.Dphls_kernels.Catalog.gen rng ~len:128 in
+  let total n_pe =
+    let _, stats = Engine.run (Dphls_systolic.Config.create ~n_pe) k p w in
+    stats.Engine.cycles.Engine.total
+  in
+  let t4 = total 4 and t16 = total 16 and t64 = total 64 in
+  Alcotest.(check bool) "4 -> 16 PEs faster" true (t16 < t4);
+  Alcotest.(check bool) "16 -> 64 PEs faster" true (t64 < t16)
+
+(* Traceback memory traffic equals one word per in-band cell. *)
+let test_tb_words_equal_cells () =
+  List.iter
+    (fun id ->
+      let e = Dphls_kernels.Catalog.find id in
+      let (Registry.Packed (k, p)) = e.packed in
+      let rng = Dphls_util.Rng.create (id * 3) in
+      let w = e.Dphls_kernels.Catalog.gen rng ~len:48 in
+      let _, stats = Engine.run (Dphls_systolic.Config.create ~n_pe:8) k p w in
+      let expect = if Registry.has_traceback e.packed then stats.Engine.pe_fires else 0 in
+      Alcotest.(check int)
+        (Printf.sprintf "kernel #%d tb words" id)
+        expect stats.Engine.tb_words)
+    [ 1; 2; 11; 12; 14 ]
+
+(* Banding cuts both cycles and cell count in the simulator. *)
+let test_banding_cuts_simulated_work () =
+  let rng = Dphls_util.Rng.create 41 in
+  let r = Dphls_alphabet.Dna.random rng 96 in
+  let q = Dphls_seqgen.Dna_gen.mutate_point rng r ~rate:0.05 in
+  let w = Workload.of_bases ~query:q ~reference:r in
+  let narrow = Dphls_kernels.K11_banded_global_linear.kernel_with ~bandwidth:8 in
+  let wide = Dphls_kernels.K11_banded_global_linear.kernel_with ~bandwidth:64 in
+  let p = Dphls_kernels.K11_banded_global_linear.default in
+  let run k = snd (Engine.run (Dphls_systolic.Config.create ~n_pe:8) k p w) in
+  let sn = run narrow and sw = run wide in
+  Alcotest.(check bool) "fewer fires" true (sn.Engine.pe_fires < sw.Engine.pe_fires);
+  Alcotest.(check bool) "fewer cycles" true
+    (sn.Engine.cycles.Engine.compute < sw.Engine.cycles.Engine.compute)
+
+(* Resource model: parameter tables cross the LUTRAM threshold. *)
+let test_param_lutram_threshold () =
+  let base = Dphls_kernels.K01_global_linear.kernel in
+  let small = { base with Kernel.traits = { base.Kernel.traits with Traits.param_bits = 512 } } in
+  let large = { base with Kernel.traits = { base.Kernel.traits with Traits.param_bits = 4096 } } in
+  let p = Dphls_kernels.K01_global_linear.default in
+  let cfg = { Dphls_resource.Estimate.n_pe = 32; max_qry = 256; max_ref = 256 } in
+  let bram k = (Dphls_resource.Estimate.block (Registry.Packed (k, p)) cfg).Dphls_resource.Device.bram in
+  Alcotest.(check bool) "large params cost BRAM" true (bram large > bram small)
+
+(* Utilization improves with longer references (less edge waste). *)
+let test_utilization_improves_with_length () =
+  let e = Dphls_kernels.Catalog.find 1 in
+  let (Registry.Packed (k, p)) = e.packed in
+  let util len =
+    let rng = Dphls_util.Rng.create 5 in
+    let w = e.Dphls_kernels.Catalog.gen rng ~len in
+    (snd (Engine.run (Dphls_systolic.Config.create ~n_pe:16) k p w)).Engine.utilization
+  in
+  Alcotest.(check bool) "longer is denser" true (util 32 < util 256)
+
+(* The closed-form estimate agrees with the simulator for banded kernels
+   and different N_PE values, not just the default shape. *)
+let prop_estimate_matches_banded =
+  QCheck.Test.make ~name:"cycles_estimate matches run (banded, any N_PE)" ~count:30
+    QCheck.(pair (int_range 1 16) (int_range 8 64))
+    (fun (n_pe, len) ->
+      let e = Dphls_kernels.Catalog.find 13 in
+      let (Registry.Packed (k, p)) = e.packed in
+      let rng = Dphls_util.Rng.create (n_pe + len) in
+      let w = e.Dphls_kernels.Catalog.gen rng ~len in
+      let cfg = Dphls_systolic.Config.create ~n_pe in
+      let _, stats = Engine.run cfg k p w in
+      let est =
+        Engine.cycles_estimate cfg k p
+          ~qry_len:(Array.length w.Workload.query)
+          ~ref_len:(Array.length w.Workload.reference)
+          ~tb_steps:stats.Engine.cycles.Engine.traceback
+      in
+      est.Engine.total = stats.Engine.cycles.Engine.total)
+
+let suite =
+  [
+    qtest prop_overlap_edge_semantics;
+    qtest prop_semiglobal_starts_bottom;
+    Alcotest.test_case "viterbi error monotonicity" `Quick test_viterbi_monotone_in_errors;
+    Alcotest.test_case "sdtw noise monotonicity" `Quick test_sdtw_noise_monotone;
+    Alcotest.test_case "cycles monotone in N_PE" `Quick test_cycles_monotone_in_npe;
+    Alcotest.test_case "tb words equal cells" `Quick test_tb_words_equal_cells;
+    Alcotest.test_case "banding cuts work" `Quick test_banding_cuts_simulated_work;
+    Alcotest.test_case "param lutram threshold" `Quick test_param_lutram_threshold;
+    Alcotest.test_case "utilization vs length" `Quick test_utilization_improves_with_length;
+    qtest prop_estimate_matches_banded;
+  ]

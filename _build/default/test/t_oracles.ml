@@ -1,0 +1,125 @@
+(* Independent-oracle tests closing the remaining gaps: brute-force
+   pair-HMM Viterbi by path enumeration, and the banded two-piece
+   kernel's degeneracy to the unbanded one. *)
+open Dphls_core
+module Score = Dphls_util.Score
+module K10 = Dphls_kernels.K10_viterbi
+
+(* Enumerate every monotone alignment path from the virtual origin to
+   (qn-1, rn-1) through the three-state pair-HMM, scoring transitions
+   and emissions exactly as the kernel's recurrence does, and return the
+   best score over paths ending in the M state (the kernel's layer 0 at
+   the bottom-right). Exponential — test sizes stay tiny. *)
+let brute_force_viterbi (p : K10.params) ~query ~reference =
+  let qn = Array.length query and rn = Array.length reference in
+  let best = ref Score.neg_inf in
+  (* state encoding: 0 = M, 1 = I (consumes query), 2 = D (consumes ref) *)
+  let rec go i j state score =
+    if Score.is_neg_inf score then ()
+    else if i = qn && j = rn then begin
+      if state = 0 && score > !best then best := score
+    end
+    else begin
+      (* M move *)
+      if i < qn && j < rn then begin
+        let trans =
+          match state with
+          | 0 -> p.K10.trans_mm
+          | _ -> p.K10.trans_gap_close
+        in
+        let emit = p.K10.emission.(query.(i)).(reference.(j)) in
+        go (i + 1) (j + 1) 0 (Score.add score (Score.add trans emit))
+      end;
+      (* I move: consumes a query character *)
+      if i < qn then begin
+        let trans =
+          match state with
+          | 0 -> p.K10.trans_gap_open
+          | 1 -> p.K10.trans_gap_extend
+          | _ -> Score.neg_inf
+        in
+        go (i + 1) j 1 (Score.add score (Score.add trans p.K10.gap_emission))
+      end;
+      (* D move: consumes a reference character *)
+      if j < rn then begin
+        let trans =
+          match state with
+          | 0 -> p.K10.trans_gap_open
+          | 2 -> p.K10.trans_gap_extend
+          | _ -> Score.neg_inf
+        in
+        go i (j + 1) 2 (Score.add score (Score.add trans p.K10.gap_emission))
+      end
+    end
+  in
+  go 0 0 0 0;
+  !best
+
+let test_viterbi_brute_force () =
+  let p = K10.default in
+  for seed = 1 to 40 do
+    let rng = Dphls_util.Rng.create (seed * 131) in
+    let qn = 1 + Dphls_util.Rng.int rng 4 and rn = 1 + Dphls_util.Rng.int rng 4 in
+    let query = Dphls_alphabet.Dna.random rng qn in
+    let reference = Dphls_alphabet.Dna.random rng rn in
+    let dp =
+      (Dphls_reference.Ref_engine.run K10.kernel p
+         (Workload.of_bases ~query ~reference))
+        .Result.score
+    in
+    let brute = brute_force_viterbi p ~query ~reference in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d (%dx%d)" seed qn rn)
+      brute dp
+  done
+
+let test_k13_wide_band_equals_k5 () =
+  let wide = Dphls_kernels.K13_banded_global_two_piece.kernel_with ~bandwidth:128 in
+  let p13 = Dphls_kernels.K13_banded_global_two_piece.default in
+  let p5 = Dphls_kernels.K05_global_two_piece.default in
+  for seed = 1 to 25 do
+    let rng = Dphls_util.Rng.create (seed * 211) in
+    let q = Dphls_alphabet.Dna.random rng (1 + Dphls_util.Rng.int rng 30) in
+    let r = Dphls_alphabet.Dna.random rng (1 + Dphls_util.Rng.int rng 30) in
+    let w = Workload.of_bases ~query:q ~reference:r in
+    let banded = Dphls_reference.Ref_engine.run wide p13 w in
+    let full =
+      Dphls_reference.Ref_engine.run Dphls_kernels.K05_global_two_piece.kernel p5 w
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d" seed)
+      full.Result.score banded.Result.score;
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d paths" seed)
+      true
+      (banded.Result.path = full.Result.path)
+  done
+
+(* Banded local affine (#12) degenerates to plain SWG under a covering
+   band — score-only comparison against the independent SeqAn-like. *)
+let test_k12_wide_band_equals_swg () =
+  let wide = Dphls_kernels.K12_banded_local_affine.kernel_with ~bandwidth:128 in
+  let p = Dphls_kernels.K12_banded_local_affine.default in
+  for seed = 1 to 25 do
+    let rng = Dphls_util.Rng.create (seed * 223) in
+    let q = Dphls_alphabet.Dna.random rng (1 + Dphls_util.Rng.int rng 30) in
+    let r = Dphls_alphabet.Dna.random rng (1 + Dphls_util.Rng.int rng 30) in
+    let w = Workload.of_bases ~query:q ~reference:r in
+    let banded = (Dphls_reference.Ref_engine.run wide p w).Result.score in
+    let full =
+      Dphls_baselines.Seqan_like.score
+        (Dphls_baselines.Seqan_like.dna_scoring ~match_:2 ~mismatch:(-2)
+           ~gap:(Dphls_baselines.Seqan_like.Affine { open_ = -3; extend = -1 })
+           ~mode:Dphls_baselines.Seqan_like.Local)
+        ~query:q ~reference:r
+    in
+    Alcotest.(check int) (Printf.sprintf "seed %d" seed) full banded
+  done
+
+let suite =
+  [
+    Alcotest.test_case "viterbi == brute-force path enumeration" `Quick
+      test_viterbi_brute_force;
+    Alcotest.test_case "#13 wide band == #5" `Quick test_k13_wide_band_equals_k5;
+    Alcotest.test_case "#12 wide band == SWG" `Quick test_k12_wide_band_equals_swg;
+  ]

@@ -1,0 +1,127 @@
+(* Tests for the resource/frequency models. *)
+module Device = Dphls_resource.Device
+module Estimate = Dphls_resource.Estimate
+module Memory_cost = Dphls_resource.Memory_cost
+module Freq = Dphls_resource.Freq
+
+let packed id = (Dphls_kernels.Catalog.find id).Dphls_kernels.Catalog.packed
+
+let cfg ?(n_pe = 32) () = { Estimate.n_pe; max_qry = 256; max_ref = 256 }
+
+let test_bram18_config_table () =
+  (* one 18k block per configuration row *)
+  Alcotest.(check int) "2296x2b -> 1" 1 (Memory_cost.bram18_for ~depth:2296 ~width:2);
+  Alcotest.(check int) "2296x4b -> 1" 1 (Memory_cost.bram18_for ~depth:2296 ~width:4);
+  Alcotest.(check int) "2296x7b -> 2" 2 (Memory_cost.bram18_for ~depth:2296 ~width:7);
+  Alcotest.(check int) "256x16b -> 1" 1 (Memory_cost.bram18_for ~depth:256 ~width:16);
+  Alcotest.(check int) "wide column split" 3 (Memory_cost.bram18_for ~depth:512 ~width:48);
+  Alcotest.(check int) "zero width" 0 (Memory_cost.bram18_for ~depth:100 ~width:0)
+
+let test_tb_memory_lutram_conversion () =
+  (* small banks convert to LUTRAM when allowed (the N_PE=64 effect) *)
+  let bram = Memory_cost.tb_memory ~n_pe:64 ~depth:1276 ~width:2 ~allow_lutram:true in
+  Alcotest.(check int) "no brams" 0 bram.Memory_cost.bram18;
+  Alcotest.(check bool) "lut cost instead" true (bram.Memory_cost.lutram_luts > 0.0);
+  let kept = Memory_cost.tb_memory ~n_pe:64 ~depth:1276 ~width:2 ~allow_lutram:false in
+  Alcotest.(check int) "brams kept" 64 kept.Memory_cost.bram18
+
+let test_paper_pointer_width_pattern () =
+  (* Table 2: #5 (7-bit pointers) needs more TB BRAM than #1/#2 (2/4-bit) *)
+  let bram id = (Estimate.block (packed id) (cfg ())).Device.bram in
+  Alcotest.(check bool) "two-piece > linear" true (bram 5 > bram 1);
+  Alcotest.(check bool) "no-traceback minimal" true (bram 12 < bram 1);
+  Alcotest.(check bool) "protein params add BRAM" true (bram 15 > bram 3)
+
+let test_dsp_rule () =
+  let dsp id = (Estimate.block (packed id) (cfg ())).Device.dsp in
+  (* global traceback -> 2 fixed DSPs; others 1 (Table 2's 0.029 vs 0.014) *)
+  Alcotest.(check (float 0.01)) "#1 two DSPs" 2.0 (dsp 1);
+  Alcotest.(check (float 0.01)) "#3 one DSP" 1.0 (dsp 3);
+  Alcotest.(check bool) "#8 DSP heavy" true (dsp 8 > 1000.0);
+  Alcotest.(check bool) "#9 per-PE DSPs" true (dsp 9 > 100.0 && dsp 9 < 400.0)
+
+let test_scaling_monotone () =
+  let lut n_pe = (Estimate.block (packed 2) (cfg ~n_pe ())).Device.lut in
+  Alcotest.(check bool) "LUT grows with n_pe" true (lut 8 < lut 16 && lut 16 < lut 32);
+  let u1 = Estimate.full (packed 2) (cfg ()) ~n_b:1 ~n_k:1 in
+  let u4 = Estimate.full (packed 2) (cfg ()) ~n_b:4 ~n_k:1 in
+  (* per-block growth is exactly linear; the per-channel overhead is
+     charged once *)
+  let block = (Estimate.block (packed 2) (cfg ())).Device.lut in
+  Alcotest.(check (float 1e-6)) "blocks scale linearly" (3.0 *. block)
+    (u4.Device.lut -. u1.Device.lut)
+
+let test_bram_dip_at_64 () =
+  (* LUTRAM conversion: BRAM at N_PE=64 not larger than at 32 (Fig 3) *)
+  let bram n_pe = (Estimate.block (packed 1) (cfg ~n_pe ())).Device.bram in
+  Alcotest.(check bool) "dip at 64" true (bram 64 <= bram 32)
+
+let test_freq_tiers () =
+  let expect =
+    [ (1, 250.0); (5, 150.0); (8, 166.7); (9, 200.0); (10, 125.0); (11, 166.7);
+      (12, 200.0); (13, 125.0); (14, 250.0); (15, 200.0) ]
+  in
+  List.iter
+    (fun (id, mhz) ->
+      Alcotest.(check (float 0.01))
+        (Printf.sprintf "kernel %d" id)
+        mhz
+        (Estimate.max_frequency_mhz (packed id)))
+    expect;
+  Alcotest.(check bool) "tiers sorted" true
+    (List.sort (fun a b -> compare b a) Freq.tiers = Freq.tiers)
+
+let test_calibration_against_table2 () =
+  (* Model within a factor band of the published Table 2 values. *)
+  List.iter
+    (fun (r : Dphls_experiments.Paper_data.table2_row) ->
+      let p = Estimate.block_percent (packed r.Dphls_experiments.Paper_data.id) (cfg ()) in
+      let within lo hi got want =
+        let ratio = 100.0 *. got /. want in
+        ratio >= lo && ratio <= hi
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "#%d LUT within band" r.id)
+        true
+        (within 0.3 3.0 p.Device.lut_pct r.lut_pct);
+      Alcotest.(check bool)
+        (Printf.sprintf "#%d FF within band" r.id)
+        true
+        (within 0.3 3.0 p.Device.ff_pct r.ff_pct);
+      Alcotest.(check bool)
+        (Printf.sprintf "#%d BRAM within band" r.id)
+        true
+        (within 0.3 3.0 p.Device.bram_pct r.bram_pct);
+      Alcotest.(check bool)
+        (Printf.sprintf "#%d DSP within band" r.id)
+        true
+        (within 0.5 1.5 p.Device.dsp_pct r.dsp_pct))
+    Dphls_experiments.Paper_data.table2
+
+let test_fits_device () =
+  Alcotest.(check bool) "modest config fits" true
+    (Estimate.fits_device (packed 1) (cfg ()) ~n_b:16 ~n_k:4);
+  Alcotest.(check bool) "absurd config rejected" false
+    (Estimate.fits_device (packed 8) (cfg ()) ~n_b:64 ~n_k:8)
+
+let test_device_math () =
+  let u = { Device.lut = 100.0; ff = 200.0; bram = 3.0; dsp = 4.0 } in
+  let s = Device.scale 2.0 u in
+  Alcotest.(check (float 1e-9)) "scale" 200.0 s.Device.lut;
+  let a = Device.add u s in
+  Alcotest.(check (float 1e-9)) "add" 300.0 a.Device.lut;
+  Alcotest.(check bool) "fits" true (Device.fits Device.xcvu9p a)
+
+let suite =
+  [
+    Alcotest.test_case "bram18 config table" `Quick test_bram18_config_table;
+    Alcotest.test_case "lutram conversion" `Quick test_tb_memory_lutram_conversion;
+    Alcotest.test_case "pointer width pattern" `Quick test_paper_pointer_width_pattern;
+    Alcotest.test_case "dsp rule" `Quick test_dsp_rule;
+    Alcotest.test_case "scaling monotone" `Quick test_scaling_monotone;
+    Alcotest.test_case "bram dip at 64" `Quick test_bram_dip_at_64;
+    Alcotest.test_case "frequency tiers" `Quick test_freq_tiers;
+    Alcotest.test_case "calibration vs Table 2" `Quick test_calibration_against_table2;
+    Alcotest.test_case "fits device" `Quick test_fits_device;
+    Alcotest.test_case "device math" `Quick test_device_math;
+  ]

@@ -1,0 +1,158 @@
+(* Tests for the dataset generators (the §6.1 protocol substitutes). *)
+module Rng = Dphls_util.Rng
+module Dna_gen = Dphls_seqgen.Dna_gen
+module Read_sim = Dphls_seqgen.Read_sim
+module Protein_gen = Dphls_seqgen.Protein_gen
+module Signal_gen = Dphls_seqgen.Signal_gen
+module Profile_gen = Dphls_seqgen.Profile_gen
+
+let test_genome_gc () =
+  let rng = Rng.create 101 in
+  let g = Dna_gen.genome rng ~gc:0.6 50_000 in
+  let gc = Array.fold_left (fun a b -> if b = 1 || b = 2 then a + 1 else a) 0 g in
+  let frac = float_of_int gc /. 50_000.0 in
+  Alcotest.(check bool) "gc ~0.6" true (abs_float (frac -. 0.6) < 0.02)
+
+let test_mutate_point_rate () =
+  let rng = Rng.create 102 in
+  let g = Dna_gen.genome rng 20_000 in
+  let m = Dna_gen.mutate_point rng g ~rate:0.1 in
+  let diffs = ref 0 in
+  Array.iteri (fun i b -> if m.(i) <> b then incr diffs) g;
+  let frac = float_of_int !diffs /. 20_000.0 in
+  Alcotest.(check bool) "about 10% substituted" true (abs_float (frac -. 0.1) < 0.02);
+  Alcotest.(check int) "length preserved" (Array.length g) (Array.length m)
+
+let test_error_profile_scaling () =
+  let p = Read_sim.scaled Read_sim.pacbio_30 0.10 in
+  let total = p.Read_sim.substitution +. p.Read_sim.insertion +. p.Read_sim.deletion in
+  Alcotest.(check (float 1e-9)) "total 10%" 0.10 total
+
+let test_read_sim_counts () =
+  let rng = Rng.create 103 in
+  let genome = Dna_gen.genome rng 8192 in
+  let reads =
+    Read_sim.simulate rng ~genome ~profile:Read_sim.pacbio_30 ~read_length:1000
+      ~count:50
+  in
+  Alcotest.(check int) "50 reads" 50 (List.length reads);
+  List.iter
+    (fun (r : Read_sim.read) ->
+      Alcotest.(check int) "template length" 1000 (Array.length r.template);
+      Alcotest.(check bool) "origin in range" true
+        (r.origin >= 0 && r.origin + 1000 <= 8192);
+      (* 30% error with indel balance: length within a generous band *)
+      let l = Array.length r.sequence in
+      Alcotest.(check bool) "read length plausible" true (l > 800 && l < 1250))
+    reads
+
+let test_read_sim_substitution_rate () =
+  let rng = Rng.create 104 in
+  let genome = Dna_gen.genome rng 4096 in
+  let profile = { Read_sim.substitution = 0.1; insertion = 0.0; deletion = 0.0 } in
+  let reads = Read_sim.simulate rng ~genome ~profile ~read_length:2000 ~count:5 in
+  List.iter
+    (fun (r : Read_sim.read) ->
+      Alcotest.(check int) "sub-only preserves length" 2000 (Array.length r.sequence);
+      let diffs = ref 0 in
+      Array.iteri (fun i b -> if r.template.(i) <> b then incr diffs) r.sequence;
+      let frac = float_of_int !diffs /. 2000.0 in
+      Alcotest.(check bool) "sub rate ~10%" true (abs_float (frac -. 0.1) < 0.04))
+    reads
+
+let test_truncate () =
+  let rng = Rng.create 105 in
+  let genome = Dna_gen.genome rng 2048 in
+  let r =
+    List.hd
+      (Read_sim.simulate rng ~genome ~profile:Read_sim.pacbio_30 ~read_length:1000
+         ~count:1)
+  in
+  let t = Read_sim.truncate r 256 in
+  Alcotest.(check int) "sequence truncated" 256 (Array.length t.Read_sim.sequence);
+  Alcotest.(check int) "template truncated" 256 (Array.length t.Read_sim.template)
+
+let test_protein_homolog_identity () =
+  (* a homolog must align far better than an unrelated sequence *)
+  let rng = Rng.create 106 in
+  let seq = Protein_gen.sample rng 300 in
+  let hom = Protein_gen.homolog rng seq ~identity:0.9 in
+  let unrelated = Protein_gen.sample rng 300 in
+  let score q = Dphls_baselines.Emboss_like.blosum62_score ~query:q ~reference:seq in
+  Alcotest.(check bool) "homolog scores much higher" true
+    (score hom > 3 * max 1 (score unrelated));
+  Alcotest.(check bool) "homolog length similar" true
+    (abs (Array.length hom - 300) < 60)
+
+let test_protein_database () =
+  let rng = Rng.create 107 in
+  let db = Protein_gen.sample_database rng ~count:30 ~mean_length:200 in
+  Alcotest.(check int) "count" 30 (Array.length db);
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "length sane" true
+        (Array.length s >= 16 && Array.length s <= 400);
+      Array.iter (fun a -> Alcotest.(check bool) "aa range" true (a >= 0 && a < 20)) s)
+    db
+
+let test_reference_levels_deterministic () =
+  let dna = Dphls_alphabet.Dna.of_string "ACGTACGTACGTACGT" in
+  let a = Signal_gen.reference_levels dna and b = Signal_gen.reference_levels dna in
+  Alcotest.(check bool) "deterministic" true (a = b);
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "level range" true
+        (s.(0) >= 0 && s.(0) < Dphls_alphabet.Signal.sdtw_levels))
+    a
+
+let test_squiggle_dwell () =
+  let rng = Rng.create 108 in
+  let dna = Dphls_alphabet.Dna.random rng 200 in
+  let sq = Signal_gen.squiggle rng ~dna ~noise:1.0 in
+  let n = Array.length sq in
+  (* dwell 1-3 per base -> length in [200, 600] *)
+  Alcotest.(check bool) "dwell expansion" true (n >= 200 && n <= 600)
+
+let test_warped_copy () =
+  let rng = Rng.create 109 in
+  let s = Signal_gen.complex_sequence rng 100 in
+  let w = Signal_gen.warped_copy rng s ~noise:0.01 in
+  let n = Array.length w in
+  Alcotest.(check bool) "warped length near original" true (n > 60 && n < 150)
+
+let test_profile_depth_constant () =
+  let rng = Rng.create 110 in
+  let p1, p2 = Profile_gen.related_pair rng ~length:64 ~members:5 ~divergence:0.2 in
+  Array.iter
+    (fun col ->
+      Alcotest.(check int) "depth = members" 5 (Dphls_alphabet.Profile.depth col))
+    p1;
+  Alcotest.(check int) "second profile same length" 64 (Array.length p2)
+
+let test_profiles_related () =
+  let rng = Rng.create 111 in
+  let p1, p2 = Profile_gen.related_pair rng ~length:256 ~members:6 ~divergence:0.05 in
+  (* low divergence: consensus sequences should mostly agree *)
+  let c1 = Dphls_alphabet.Profile.consensus p1
+  and c2 = Dphls_alphabet.Profile.consensus p2 in
+  let same = ref 0 in
+  String.iteri (fun i c -> if c = c2.[i] then incr same) c1;
+  Alcotest.(check bool) "consensus mostly equal" true (!same > 220)
+
+let suite =
+  [
+    Alcotest.test_case "genome gc content" `Quick test_genome_gc;
+    Alcotest.test_case "mutate point rate" `Quick test_mutate_point_rate;
+    Alcotest.test_case "error profile scaling" `Quick test_error_profile_scaling;
+    Alcotest.test_case "read sim counts" `Quick test_read_sim_counts;
+    Alcotest.test_case "read sim sub rate" `Quick test_read_sim_substitution_rate;
+    Alcotest.test_case "read truncate" `Quick test_truncate;
+    Alcotest.test_case "protein homolog identity" `Quick test_protein_homolog_identity;
+    Alcotest.test_case "protein database" `Quick test_protein_database;
+    Alcotest.test_case "reference levels deterministic" `Quick
+      test_reference_levels_deterministic;
+    Alcotest.test_case "squiggle dwell" `Quick test_squiggle_dwell;
+    Alcotest.test_case "warped copy" `Quick test_warped_copy;
+    Alcotest.test_case "profile depth constant" `Quick test_profile_depth_constant;
+    Alcotest.test_case "profiles related" `Quick test_profiles_related;
+  ]

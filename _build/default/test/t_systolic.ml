@@ -1,0 +1,201 @@
+(* Tests for the systolic back-end: schedule arithmetic, traceback memory
+   addressing, activity-trace invariants and cycle accounting. *)
+open Dphls_core
+module Schedule = Dphls_systolic.Schedule
+module Tb_memory = Dphls_systolic.Tb_memory
+module Engine = Dphls_systolic.Engine
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_schedule_shape () =
+  let s = Schedule.create ~n_pe:8 ~qry_len:20 ~ref_len:30 in
+  Alcotest.(check int) "chunks" 3 s.Schedule.n_chunks;
+  Alcotest.(check int) "wavefronts" 37 s.Schedule.wavefronts_per_chunk;
+  Alcotest.(check int) "chunk of row 15" 1 (Schedule.chunk_of_row s 15);
+  Alcotest.(check int) "pe of row 15" 7 (Schedule.pe_of_row s 15)
+
+let test_cell_of () =
+  let s = Schedule.create ~n_pe:4 ~qry_len:10 ~ref_len:6 in
+  (match Schedule.cell_of s ~chunk:1 ~pe:2 ~wavefront:5 with
+  | Some c ->
+    Alcotest.(check int) "row" 6 c.Types.row;
+    Alcotest.(check int) "col" 3 c.Types.col
+  | None -> Alcotest.fail "expected a cell");
+  Alcotest.(check bool) "idle before diagonal" true
+    (Schedule.cell_of s ~chunk:0 ~pe:3 ~wavefront:1 = None);
+  Alcotest.(check bool) "row beyond query" true
+    (Schedule.cell_of s ~chunk:2 ~pe:3 ~wavefront:4 = None)
+
+let prop_cell_of_tb_address_consistent =
+  QCheck.Test.make ~name:"every cell maps to a unique (bank,address)" ~count:100
+    QCheck.(triple (int_range 1 16) (int_range 1 40) (int_range 1 40))
+    (fun (n_pe, q, r) ->
+      let s = Schedule.create ~n_pe ~qry_len:q ~ref_len:r in
+      let seen = Hashtbl.create 97 in
+      let ok = ref true in
+      for row = 0 to q - 1 do
+        for col = 0 to r - 1 do
+          let bank, addr = Schedule.tb_address s ~row ~col in
+          if bank <> row mod n_pe then ok := false;
+          if addr < 0 || addr >= Schedule.tb_depth s then ok := false;
+          if Hashtbl.mem seen (bank, addr) then ok := false;
+          Hashtbl.add seen (bank, addr) ()
+        done
+      done;
+      !ok)
+
+let test_address_coalescing () =
+  (* All PEs of a wavefront write the same address in their banks. *)
+  let s = Schedule.create ~n_pe:4 ~qry_len:8 ~ref_len:8 in
+  let _, a0 = Schedule.tb_address s ~row:0 ~col:3 in
+  let _, a1 = Schedule.tb_address s ~row:1 ~col:2 in
+  let _, a2 = Schedule.tb_address s ~row:2 ~col:1 in
+  let _, a3 = Schedule.tb_address s ~row:3 ~col:0 in
+  Alcotest.(check bool) "same wavefront, same address" true
+    (a0 = a1 && a1 = a2 && a2 = a3)
+
+let test_tb_memory_roundtrip () =
+  let s = Schedule.create ~n_pe:4 ~qry_len:12 ~ref_len:9 in
+  let mem = Tb_memory.create s in
+  for row = 0 to 11 do
+    for col = 0 to 8 do
+      Tb_memory.write mem ~row ~col ((row * 13) + col)
+    done
+  done;
+  let ok = ref true in
+  for row = 0 to 11 do
+    for col = 0 to 8 do
+      if Tb_memory.read mem ~row ~col <> (row * 13) + col then ok := false
+    done
+  done;
+  Alcotest.(check bool) "all pointers recovered" true !ok;
+  Alcotest.(check int) "words" (12 * 9) (Tb_memory.words_written mem);
+  Alcotest.(check int) "banks" 4 (Tb_memory.bank_count mem)
+
+let test_active_wavefronts_banded () =
+  let s = Schedule.create ~n_pe:4 ~qry_len:16 ~ref_len:16 in
+  let banding = Some (Banding.fixed 2) in
+  (* chunk 3 covers rows 12..15; band cols 10..15 (clipped) *)
+  match Schedule.active_wavefronts s ~banding ~chunk:3 with
+  | Some (lo, hi) ->
+    Alcotest.(check int) "lo" 10 lo;
+    (* row 15 (k=3), col <= 15 -> wavefront 18 *)
+    Alcotest.(check int) "hi" 18 hi
+  | None -> Alcotest.fail "expected active range"
+
+let test_compute_cycles_banding_reduces () =
+  let s = Schedule.create ~n_pe:8 ~qry_len:64 ~ref_len:64 in
+  let full = Schedule.compute_cycles s ~banding:None ~ii:1 in
+  let banded = Schedule.compute_cycles s ~banding:(Some (Banding.fixed 4)) ~ii:1 in
+  Alcotest.(check bool) "banding cheaper" true (banded < full);
+  Alcotest.(check int) "ii scales" (2 * full) (Schedule.compute_cycles s ~banding:None ~ii:2)
+
+let test_cycles_estimate_matches_run () =
+  let e = Dphls_kernels.Catalog.find 1 in
+  let (Registry.Packed (k, p)) = e.packed in
+  let rng = Dphls_util.Rng.create 99 in
+  let w = e.Dphls_kernels.Catalog.gen rng ~len:48 in
+  let cfg = Dphls_systolic.Config.create ~n_pe:8 in
+  let result, stats = Engine.run cfg k p w in
+  ignore result;
+  let q = Array.length w.Workload.query and r = Array.length w.Workload.reference in
+  let est =
+    Engine.cycles_estimate cfg k p ~qry_len:q ~ref_len:r
+      ~tb_steps:stats.Engine.cycles.Engine.traceback
+  in
+  Alcotest.(check int) "closed-form total equals simulated" est.Engine.total
+    stats.Engine.cycles.Engine.total
+
+let test_trace_invariants_all_kernels () =
+  List.iter
+    (fun id ->
+      let c = Dphls_experiments.Systolic_check.compute ~n_pe:8 ~len:40 ~kernel_id:id () in
+      Alcotest.(check bool)
+        (Printf.sprintf "kernel %d row ownership" id)
+        true c.Dphls_experiments.Systolic_check.row_ownership;
+      Alcotest.(check bool)
+        (Printf.sprintf "kernel %d single fire" id)
+        true c.Dphls_experiments.Systolic_check.single_fire;
+      Alcotest.(check bool)
+        (Printf.sprintf "kernel %d full coverage" id)
+        true c.Dphls_experiments.Systolic_check.full_coverage)
+    Dphls_kernels.Catalog.ids
+
+let test_utilization_bounds () =
+  let e = Dphls_kernels.Catalog.find 3 in
+  let (Registry.Packed (k, p)) = e.packed in
+  let rng = Dphls_util.Rng.create 77 in
+  let w = e.Dphls_kernels.Catalog.gen rng ~len:64 in
+  let _, stats = Engine.run (Dphls_systolic.Config.create ~n_pe:16) k p w in
+  Alcotest.(check bool) "utilization in (0,1]" true
+    (stats.Engine.utilization > 0.0 && stats.Engine.utilization <= 1.0);
+  Alcotest.(check int) "fires equal cells" stats.Engine.pe_fires
+    (Workload.cells w)
+
+let test_n_pe_one_works () =
+  (* Degenerate single-PE array must still be exact. *)
+  let e = Dphls_kernels.Catalog.find 2 in
+  let (Registry.Packed (k, p)) = e.packed in
+  let rng = Dphls_util.Rng.create 55 in
+  let w = e.Dphls_kernels.Catalog.gen rng ~len:20 in
+  let sys, _ = Engine.run (Dphls_systolic.Config.create ~n_pe:1) k p w in
+  let gold = Dphls_reference.Ref_engine.run k p w in
+  Alcotest.(check bool) "n_pe=1 exact" true (Result.equal_alignment sys gold)
+
+let test_n_pe_larger_than_query () =
+  let e = Dphls_kernels.Catalog.find 1 in
+  let (Registry.Packed (k, p)) = e.packed in
+  let rng = Dphls_util.Rng.create 56 in
+  let w = e.Dphls_kernels.Catalog.gen rng ~len:10 in
+  let sys, _ = Engine.run (Dphls_systolic.Config.create ~n_pe:64) k p w in
+  let gold = Dphls_reference.Ref_engine.run k p w in
+  Alcotest.(check bool) "n_pe > qlen exact" true (Result.equal_alignment sys gold)
+
+let test_empty_rejected () =
+  let e = Dphls_kernels.Catalog.find 1 in
+  let (Registry.Packed (k, p)) = e.packed in
+  let w = Workload.of_bases ~query:[||] ~reference:[| 0 |] in
+  Alcotest.(check bool) "empty raises" true
+    (try
+       ignore (Engine.run (Dphls_systolic.Config.create ~n_pe:4) k p w);
+       false
+     with Invalid_argument _ -> true)
+
+let test_rtl_cycles_beat_dphls () =
+  (* The overlapped-prologue RTL model is always at least as fast. *)
+  List.iter
+    (fun n_pe ->
+      let e = Dphls_kernels.Catalog.find 2 in
+      let (Registry.Packed (k, p)) = e.packed in
+      let rng = Dphls_util.Rng.create 70 in
+      let w = e.Dphls_kernels.Catalog.gen rng ~len:96 in
+      let _, stats = Engine.run (Dphls_systolic.Config.create ~n_pe) k p w in
+      let rtl =
+        Dphls_baselines.Gact_rtl.cycles ~n_pe
+          ~qry_len:(Array.length w.Workload.query)
+          ~ref_len:(Array.length w.Workload.reference)
+          ~tb_steps:stats.Engine.cycles.Engine.traceback
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "rtl faster at n_pe=%d" n_pe)
+        true
+        (rtl.Dphls_baselines.Rtl_model.total < stats.Engine.cycles.Engine.total))
+    [ 4; 16; 64 ]
+
+let suite =
+  [
+    Alcotest.test_case "schedule shape" `Quick test_schedule_shape;
+    Alcotest.test_case "cell_of" `Quick test_cell_of;
+    qtest prop_cell_of_tb_address_consistent;
+    Alcotest.test_case "address coalescing" `Quick test_address_coalescing;
+    Alcotest.test_case "tb memory roundtrip" `Quick test_tb_memory_roundtrip;
+    Alcotest.test_case "banded active wavefronts" `Quick test_active_wavefronts_banded;
+    Alcotest.test_case "banding reduces cycles" `Quick test_compute_cycles_banding_reduces;
+    Alcotest.test_case "cycles estimate matches run" `Quick test_cycles_estimate_matches_run;
+    Alcotest.test_case "trace invariants (15 kernels)" `Slow test_trace_invariants_all_kernels;
+    Alcotest.test_case "utilization bounds" `Quick test_utilization_bounds;
+    Alcotest.test_case "n_pe=1 exact" `Quick test_n_pe_one_works;
+    Alcotest.test_case "n_pe>qlen exact" `Quick test_n_pe_larger_than_query;
+    Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+    Alcotest.test_case "rtl cycle model faster" `Quick test_rtl_cycles_beat_dphls;
+  ]

@@ -1,0 +1,151 @@
+(* Unit and property tests for Dphls_util. *)
+module Rng = Dphls_util.Rng
+module Score = Dphls_util.Score
+module Bits = Dphls_util.Bits
+module Stats = Dphls_util.Stats
+module Pretty = Dphls_util.Pretty
+
+let test_rng_deterministic () =
+  let a = Rng.create 1 and b = Rng.create 1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let distinct = ref false in
+  for _ = 1 to 10 do
+    if Rng.int64 a <> Rng.int64 b then distinct := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !distinct
+
+let test_rng_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 7 in
+    Alcotest.(check bool) "in [0,7)" true (v >= 0 && v < 7);
+    let f = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0,2.5)" true (f >= 0.0 && f < 2.5);
+    let x = Rng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (x >= -5 && x <= 5)
+  done
+
+let test_rng_uniformity () =
+  let rng = Rng.create 4 in
+  let counts = Array.make 4 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 4 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "roughly uniform" true (frac > 0.22 && frac < 0.28))
+    counts
+
+let test_rng_weighted () =
+  let rng = Rng.create 5 in
+  let w = [| 1.0; 3.0; 0.0; 6.0 |] in
+  let counts = Array.make 4 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let i = Rng.weighted_index rng w in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero-weight never drawn" 0 counts.(2);
+  let frac i = float_of_int counts.(i) /. float_of_int n in
+  Alcotest.(check bool) "weight 0.1" true (abs_float (frac 0 -. 0.1) < 0.02);
+  Alcotest.(check bool) "weight 0.3" true (abs_float (frac 1 -. 0.3) < 0.02);
+  Alcotest.(check bool) "weight 0.6" true (abs_float (frac 3 -. 0.6) < 0.02)
+
+let test_rng_gaussian () =
+  let rng = Rng.create 6 in
+  let n = 20_000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian rng ~mean:3.0 ~stddev:2.0) in
+  Alcotest.(check bool) "mean" true (abs_float (Stats.mean xs -. 3.0) < 0.1);
+  Alcotest.(check bool) "stddev" true (abs_float (Stats.stddev xs -. 2.0) < 0.1)
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 7 in
+  let arr = Array.init 20 Fun.id in
+  let copy = Array.copy arr in
+  Rng.shuffle rng copy;
+  Array.sort compare copy;
+  Alcotest.(check bool) "same multiset" true (copy = arr)
+
+let test_rng_split_independent () =
+  let a = Rng.create 8 in
+  let b = Rng.split a in
+  let va = Rng.int64 a and vb = Rng.int64 b in
+  Alcotest.(check bool) "split streams differ" true (va <> vb)
+
+let test_score_saturation () =
+  Alcotest.(check bool) "neg_inf absorbs" true
+    (Score.is_neg_inf (Score.add Score.neg_inf 1000));
+  Alcotest.(check bool) "pos_inf absorbs" true
+    (Score.is_pos_inf (Score.add Score.pos_inf (-1000)));
+  Alcotest.(check int) "plain add" 7 (Score.add 3 4);
+  Alcotest.(check bool) "no wraparound" true
+    (Score.add Score.pos_inf Score.pos_inf > 0)
+
+let test_score_objective () =
+  Alcotest.(check bool) "max better" true (Score.better Score.Maximize 3 2);
+  Alcotest.(check bool) "min better" true (Score.better Score.Minimize 2 3);
+  Alcotest.(check bool) "strict" false (Score.better Score.Maximize 2 2);
+  Alcotest.(check int) "worst max" Score.neg_inf (Score.worst_value Score.Maximize);
+  Alcotest.(check int) "worst min" Score.pos_inf (Score.worst_value Score.Minimize)
+
+let test_bits () =
+  Alcotest.(check int) "clog2 1" 0 (Bits.clog2 1);
+  Alcotest.(check int) "clog2 2" 1 (Bits.clog2 2);
+  Alcotest.(check int) "clog2 5" 3 (Bits.clog2 5);
+  Alcotest.(check int) "clog2 256" 8 (Bits.clog2 256);
+  Alcotest.(check int) "bits_unsigned 0" 1 (Bits.bits_unsigned 0);
+  Alcotest.(check int) "bits_unsigned 255" 8 (Bits.bits_unsigned 255);
+  Alcotest.(check int) "signed [-2,1]" 2 (Bits.bits_signed_range (-2) 1);
+  Alcotest.(check int) "signed [-3,1]" 3 (Bits.bits_signed_range (-3) 1)
+
+let test_bits_clog2_invalid () =
+  Alcotest.check_raises "clog2 0" (Invalid_argument "Bits.clog2") (fun () ->
+      ignore (Bits.clog2 0))
+
+let test_stats () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean xs);
+  Alcotest.(check (float 1e-9)) "median" 2.5 (Stats.median xs);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min_of xs);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.max_of xs);
+  Alcotest.(check (float 1e-6)) "geomean of 2,8" 4.0 (Stats.geomean [| 2.0; 8.0 |]);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 4.0 (Stats.percentile xs 100.0)
+
+let test_pretty () =
+  Alcotest.(check string) "sci" "3.51e6" (Pretty.sci 3.51e6);
+  Alcotest.(check string) "percent" "1.72%" (Pretty.percent 0.0172);
+  Alcotest.(check string) "ratio" "2.43x" (Pretty.ratio 2.43);
+  let t = Pretty.table ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  Alcotest.(check bool) "table has rule" true (String.length t > 0);
+  (* All lines of a table are equally wide. *)
+  let lines = String.split_on_char '\n' t in
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng seed sensitivity" `Quick test_rng_seed_sensitivity;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng uniformity" `Quick test_rng_uniformity;
+    Alcotest.test_case "rng weighted" `Quick test_rng_weighted;
+    Alcotest.test_case "rng gaussian" `Quick test_rng_gaussian;
+    Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutes;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "score saturation" `Quick test_score_saturation;
+    Alcotest.test_case "score objective" `Quick test_score_objective;
+    Alcotest.test_case "bits widths" `Quick test_bits;
+    Alcotest.test_case "bits clog2 invalid" `Quick test_bits_clog2_invalid;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "pretty" `Quick test_pretty;
+  ]

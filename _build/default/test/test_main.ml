@@ -1,0 +1,25 @@
+(* Test entry point: all suites of the DP-HLS reproduction. *)
+let () =
+  Alcotest.run "dphls"
+    [
+      ("util", T_util.suite);
+      ("fixed", T_fixed.suite);
+      ("alphabet", T_alphabet.suite);
+      ("seqgen", T_seqgen.suite);
+      ("core", T_core.suite);
+      ("datapath", T_datapath.suite);
+      ("rtl", T_rtl.suite);
+      ("systolic", T_systolic.suite);
+      ("kernels", T_kernels.suite);
+      ("resource", T_resource.suite);
+      ("host", T_host.suite);
+      ("tiling", T_tiling.suite);
+      ("baselines", T_baselines.suite);
+      ("experiments", T_experiments.suite);
+      ("extensions", T_extensions.suite);
+      ("io", T_io.suite);
+      ("fuzz", T_fuzz.suite);
+      ("align_api", T_align_api.suite);
+      ("more", T_more.suite);
+      ("oracles", T_oracles.suite);
+    ]
