@@ -120,6 +120,28 @@ let test_trace =
          let cfg = Dphls_systolic.Config.create ~n_pe:8 in
          ignore (Dphls_systolic.Engine.run ~trace cfg k p w)))
 
+(* Batch runtime: the same pair batch through the multicore pool at one
+   worker and at the machine's N_K analog, so the report shows what the
+   real (not modeled) N_K parallelism buys on this host. *)
+let test_batch =
+  let rng = Dphls_util.Rng.create seed in
+  let pairs =
+    Array.init 16 (fun _ ->
+        ( Dphls_alphabet.Dna.to_string (Dphls_alphabet.Dna.random rng 48),
+          Dphls_alphabet.Dna.to_string (Dphls_alphabet.Dna.random rng 48) ))
+  in
+  let n_workers = max 2 (Domain.recommended_domain_count ()) in
+  Test.make_grouped ~name:"batch:workers-1-vs-N"
+    [
+      Test.make ~name:"workers-1"
+        (Staged.stage (fun () ->
+             ignore (Dphls.Batch.align_all ~workers:1 pairs)));
+      Test.make
+        ~name:(Printf.sprintf "workers-%d" n_workers)
+        (Staged.stage (fun () ->
+             ignore (Dphls.Batch.align_all ~workers:n_workers pairs)));
+    ]
+
 (* RTL emission: generate and lint one full design. *)
 let test_rtl =
   let e = Dphls_kernels.Catalog.find 2 in
@@ -139,7 +161,7 @@ let tests =
   Test.make_grouped ~name:"dphls"
     [
       test_table2; test_fig3; test_fig4; test_fig5; test_fig6; test_hls;
-      test_tiling; test_trace; test_rtl;
+      test_tiling; test_trace; test_batch; test_rtl;
     ]
 
 let run_benchmarks () =

@@ -232,6 +232,119 @@ let map_cmd =
     (Cmd.info "map" ~doc:"Map FASTA reads semi-globally and emit PAF records")
     Term.(const map_run $ reads $ reference $ n_pe)
 
+(* ---- batch ---- *)
+
+let batch_run pairs_path kind_s workers n_pe chunk compare =
+  let kind =
+    try Dphls.Batch.kind_of_string kind_s
+    with Invalid_argument _ ->
+      Printf.eprintf
+        "unknown kind %S (global | global-affine | local | semi-global | \
+         protein-local)\n"
+        kind_s;
+      exit 2
+  in
+  let engine =
+    match n_pe with None -> Dphls.Align.Golden | Some n -> Dphls.Align.Systolic n
+  in
+  let workers =
+    (* default to real parallelism even on boxes that report one core *)
+    if workers > 0 then workers
+    else max 2 (Domain.recommended_domain_count ())
+  in
+  print_endline "#idx\tquery\treference\tscore\tcigar\tidentity\tcycles";
+  Dphls.Batch.iter_fasta_file ~engine ~kind ~workers ~chunk ~path:pairs_path
+    ~f:(fun idx q r (a : Dphls.Align.alignment) ->
+      Printf.printf "%d\t%s\t%s\t%d\t%s\t%.4f\t%s\n" idx q.Dphls_io.Fasta.id
+        r.Dphls_io.Fasta.id a.Dphls.Align.score a.Dphls.Align.cigar
+        a.Dphls.Align.identity
+        (match a.Dphls.Align.device_cycles with
+        | Some c -> string_of_int c
+        | None -> "-"))
+    ();
+  if compare then begin
+    (* re-run the whole batch at 1 and [workers] domains to line the
+       measured wall clock up against the analytical N_K model *)
+    let pairs =
+      Array.of_list
+        (List.map
+           (fun (q, r) ->
+             (q.Dphls_io.Fasta.sequence, r.Dphls_io.Fasta.sequence))
+           (let records = Dphls_io.Fasta.read_file pairs_path in
+            let rec pair_up = function
+              | [] -> []
+              | [ q ] ->
+                Printf.eprintf "odd record count (unpaired %s)\n"
+                  q.Dphls_io.Fasta.id;
+                exit 2
+              | q :: r :: rest -> (q, r) :: pair_up rest
+            in
+            pair_up records))
+    in
+    let results, stats =
+      Dphls.Batch.align_all_report ~engine ~kind ~workers pairs
+    in
+    ignore results;
+    let report = stats.Dphls_host.Pool.report in
+    Printf.eprintf "workers      : %d\n" workers;
+    Printf.eprintf "alignments   : %d\n" report.Dphls_host.Scheduler.jobs;
+    Printf.eprintf "makespan     : %.3f ms\n"
+      (float_of_int report.Dphls_host.Scheduler.makespan /. 1e6);
+    Array.iteri
+      (fun i busy ->
+        Printf.eprintf "worker %d busy: %.3f ms\n" i (float_of_int busy /. 1e6))
+      stats.Dphls_host.Pool.worker_busy_ns;
+    List.iter
+      (fun (p : Dphls_host.Throughput.scaling_point) ->
+        Printf.eprintf
+          "scaling      : %d workers, measured %.2fx vs N_K model %.2fx \
+           (efficiency %.2f)\n"
+          p.Dphls_host.Throughput.workers
+          p.Dphls_host.Throughput.measured_speedup
+          p.Dphls_host.Throughput.modeled_speedup
+          p.Dphls_host.Throughput.efficiency)
+      (Dphls.Batch.scaling ~engine ~kind ~workers:[ workers ] pairs)
+  end
+
+let batch_cmd =
+  let pairs =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "pairs" ] ~doc:"FASTA pair file: records 2i and 2i+1 align")
+  in
+  let kind =
+    Arg.(
+      value & opt string "global"
+      & info [ "kind" ]
+          ~doc:"global | global-affine | local | semi-global | protein-local")
+  in
+  let workers =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~doc:"Worker domains (0 = auto, at least 2)")
+  in
+  let n_pe =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n-pe" ] ~doc:"Run on the systolic engine with this many PEs")
+  in
+  let chunk =
+    Arg.(value & opt int 256 & info [ "chunk" ] ~doc:"Pairs per work chunk")
+  in
+  let compare =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:"Also report measured vs modeled N_K scaling on stderr")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Align a FASTA pair file in parallel across CPU domains")
+    Term.(
+      const batch_run $ pairs $ kind $ workers $ n_pe $ chunk $ compare)
+
 (* ---- cosim ---- *)
 
 let cosim_run kernel_spec n_pe trials len =
@@ -334,5 +447,5 @@ let () =
       ~doc:"OCaml reproduction of the DP-HLS framework (HPCA 2026)"
   in
   exit (Cmd.eval (Cmd.group info
-       [ list_cmd; align_cmd; gen_cmd; map_cmd; cosim_cmd; resources_cmd; rtl_cmd;
-         experiment_cmd ]))
+       [ list_cmd; align_cmd; batch_cmd; gen_cmd; map_cmd; cosim_cmd;
+         resources_cmd; rtl_cmd; experiment_cmd ]))

@@ -1,0 +1,111 @@
+module Pool = Dphls_host.Pool
+module Throughput = Dphls_host.Throughput
+
+type kind = Global | Global_affine | Local | Semi_global | Protein_local
+
+let kind_of_string = function
+  | "global" -> Global
+  | "global-affine" -> Global_affine
+  | "local" -> Local
+  | "semi-global" -> Semi_global
+  | "protein-local" -> Protein_local
+  | s -> invalid_arg (Printf.sprintf "Batch.kind_of_string: %S" s)
+
+let align_one ?engine kind ~query ~reference =
+  match kind with
+  | Global -> Align.global ?engine ~query ~reference ()
+  | Global_affine -> Align.global_affine ?engine ~query ~reference ()
+  | Local -> Align.local ?engine ~query ~reference ()
+  | Semi_global -> Align.semi_global ?engine ~query ~reference ()
+  | Protein_local -> Align.protein_local ?engine ~query ~reference ()
+
+let run_in_pool ?engine ~kind pool pairs =
+  Pool.run pool
+    (fun i ->
+      let query, reference = pairs.(i) in
+      align_one ?engine kind ~query ~reference)
+    (Array.length pairs)
+
+let align_all_report ?engine ?(kind = Global) ?workers pairs =
+  Pool.with_pool ?workers (fun pool -> run_in_pool ?engine ~kind pool pairs)
+
+let align_all ?engine ?kind ?workers pairs =
+  fst (align_all_report ?engine ?kind ?workers pairs)
+
+let iter ?engine ?(kind = Global) ?workers ?(chunk = 256) ~f seq =
+  if chunk < 1 then invalid_arg "Batch.iter: chunk < 1";
+  Pool.with_pool ?workers (fun pool ->
+      let emit base pairs =
+        let results, _ = run_in_pool ?engine ~kind pool pairs in
+        Array.iteri
+          (fun i a ->
+            let query, reference = pairs.(i) in
+            f (base + i) ~query ~reference a)
+          results
+      in
+      let rec go base seq =
+        let buf = ref [] and taken = ref 0 and rest = ref seq in
+        (* pull up to [chunk] pairs without forcing the rest *)
+        let continue = ref true in
+        while !continue && !taken < chunk do
+          match Seq.uncons !rest with
+          | None -> continue := false
+          | Some (p, tl) ->
+            buf := p :: !buf;
+            incr taken;
+            rest := tl
+        done;
+        if !taken > 0 then begin
+          emit base (Array.of_list (List.rev !buf));
+          if !continue then go (base + !taken) !rest
+        end
+      in
+      go 0 seq)
+
+let iter_fasta_file ?engine ?(kind = Global) ?workers ?(chunk = 256) ~path ~f
+    () =
+  if chunk < 1 then invalid_arg "Batch.iter_fasta_file: chunk < 1";
+  Pool.with_pool ?workers (fun pool ->
+      let emit base records =
+        let pairs =
+          Array.map
+            (fun (q, r) ->
+              (q.Dphls_io.Fasta.sequence, r.Dphls_io.Fasta.sequence))
+            records
+        in
+        let results, _ = run_in_pool ?engine ~kind pool pairs in
+        Array.iteri
+          (fun i a ->
+            let q, r = records.(i) in
+            f (base + i) q r a)
+          results
+      in
+      (* fold the file record by record, flushing a chunk of pairs at a
+         time so only [chunk] pairs are ever resident *)
+      let base, pending_pair, buffered =
+        Dphls_io.Fasta.fold_file path ~init:(0, None, [])
+          ~f:(fun (base, pending, buf) record ->
+            match pending with
+            | None -> (base, Some record, buf)
+            | Some q ->
+              let buf = (q, record) :: buf in
+              if List.length buf >= chunk then begin
+                emit base (Array.of_list (List.rev buf));
+                (base + List.length buf, None, [])
+              end
+              else (base, None, buf))
+      in
+      (match pending_pair with
+      | Some q ->
+        failwith
+          (Printf.sprintf
+             "Batch.iter_fasta_file: odd record count in %s (unpaired %S)" path
+             q.Dphls_io.Fasta.id)
+      | None -> ());
+      if buffered <> [] then emit base (Array.of_list (List.rev buffered)))
+
+let scaling ?engine ?kind ~workers pairs =
+  let report w = snd (align_all_report ?engine ?kind ~workers:w pairs) in
+  let baseline = (report 1).Pool.report in
+  Throughput.scaling ~baseline
+    (List.map (fun w -> (w, (report w).Pool.report)) workers)

@@ -1,0 +1,66 @@
+(** Fixed-size domain pool: the host-side realization of the paper's
+    N_K parallelism (§4 step 6, Fig 2B).
+
+    Where [Scheduler] *models* N_K/N_B concurrency in cycle counts, this
+    pool actually executes independent alignments on OCaml 5 domains.
+    Work is dispatched as contiguous index chunks through a shared queue
+    (the software analogue of the channel arbiter); results land in an
+    array slot per input index, so output order is always input order no
+    matter which worker finishes first.
+
+    Determinism: chunking and worker count never influence results —
+    each task is a pure function of its index, and [map_seeded] derives
+    one [Dphls_util.Rng] stream per task index (not per worker), so a
+    run with 1 worker is byte-identical to a run with 8.
+
+    A pool is not reentrant: do not call [map]/[run] on the same pool
+    from inside a task, and do not share one pool between concurrently
+    mapping client domains. *)
+
+type t
+
+val create : ?workers:int -> unit -> t
+(** [create ~workers ()] starts [workers] persistent domains (default
+    [Domain.recommended_domain_count ()]). Raises [Invalid_argument] if
+    [workers < 1]. *)
+
+val workers : t -> int
+
+val shutdown : t -> unit
+(** Join all worker domains. Idempotent; the pool is unusable after. *)
+
+val with_pool : ?workers:int -> (t -> 'a) -> 'a
+(** Create, apply, and always shut down (also on exceptions). *)
+
+(** Wall-clock execution statistics of one [run]. [report] reuses the
+    {!Scheduler.report} shape with nanoseconds in place of device
+    cycles, so measured scaling can be compared against the analytical
+    N_K model side by side ({!Throughput.scaling}):
+    - [makespan]: wall ns from dispatch to last result;
+    - [arbiter_busy]: ns spent inside the shared queue's critical
+      section (the dispatch arbiter);
+    - [block_busy]: total ns workers spent executing tasks (clamped to
+      [workers * makespan] against clock skew);
+    - [bandwidth_bound]: dispatch overhead ≥ 95 % of the wall clock. *)
+type stats = {
+  report : Scheduler.report;
+  worker_busy_ns : int array;  (** per-worker task-execution ns *)
+}
+
+val run : ?chunk:int -> t -> (int -> 'a) -> int -> 'a array * stats
+(** [run pool f n] evaluates [| f 0; …; f (n-1) |] in parallel. [chunk]
+    is the number of consecutive indices per queue entry (default
+    [max 1 (n / (4 * workers))]). If any task raises, the exception of
+    the lowest-indexed failing chunk is re-raised in the caller after
+    the batch drains; the pool remains usable. *)
+
+val map : ?chunk:int -> t -> (int -> 'a) -> int -> 'a array
+(** [run] without the stats. *)
+
+val map_seeded :
+  ?chunk:int -> t -> seed:int -> (Dphls_util.Rng.t -> int -> 'a) -> int
+  -> 'a array
+(** [map_seeded pool ~seed f n] gives task [i] its own generator,
+    derived deterministically from [(seed, i)] by repeated
+    [Rng.split] — results are independent of worker count and
+    chunking. *)

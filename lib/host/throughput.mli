@@ -14,3 +14,24 @@ val iso_cost :
   throughput:float -> cost_per_hour:float -> reference_cost_per_hour:float -> float
 (** Normalize a baseline's throughput to the reference instance's price
     (the paper's iso-cost comparison: F1 at $1.65/h). *)
+
+(** Measured-vs-modeled N_K scaling: how the wall-clock speedups that
+    {!Pool} actually achieves line up against the paper's analytical
+    model, in which N_K channels scale throughput linearly. *)
+type scaling_point = {
+  workers : int;
+  measured_speedup : float;  (** baseline makespan / parallel makespan *)
+  modeled_speedup : float;   (** linear N_K model at [workers] channels *)
+  efficiency : float;        (** measured / modeled, 1.0 = ideal *)
+}
+
+val measured_speedup :
+  baseline:Scheduler.report -> parallel:Scheduler.report -> float
+(** Makespan ratio of two runs of the same batch ({!Pool.run} reports
+    or {!Scheduler.run_channel} reports alike). *)
+
+val scaling :
+  baseline:Scheduler.report -> (int * Scheduler.report) list -> scaling_point list
+(** [scaling ~baseline points] compares each [(workers, report)]
+    measurement against the analytical model. [baseline] is the
+    single-worker run of the same batch. *)

@@ -42,6 +42,44 @@ let read_file path =
   close_in ic;
   parse_string text
 
+(* Streaming reader: same line semantics as [parse_string], but records
+   are handed to [f] one at a time so file-scale inputs never have to be
+   resident in full. *)
+let fold_file path ~init ~f =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let flush header buf acc =
+        match header with
+        | None -> acc
+        | Some (id, description) ->
+          f acc { id; description; sequence = Buffer.contents buf }
+      in
+      let rec go header buf acc =
+        match In_channel.input_line ic with
+        | None -> flush header buf acc
+        | Some line ->
+          let line = String.trim line in
+          if line = "" || line.[0] = ';' then go header buf acc
+          else if line.[0] = '>' then begin
+            let acc = flush header buf acc in
+            let header' =
+              split_header (String.sub line 1 (String.length line - 1))
+            in
+            go (Some header') (Buffer.create 64) acc
+          end
+          else begin
+            if header = None then
+              failwith "Fasta.fold_file: sequence before header";
+            Buffer.add_string buf line;
+            go header buf acc
+          end
+      in
+      go None (Buffer.create 64) init)
+
+let iter_file path ~f = fold_file path ~init:() ~f:(fun () r -> f r)
+
 let wrap width s =
   let buf = Buffer.create (String.length s + (String.length s / width) + 1) in
   String.iteri

@@ -13,6 +13,13 @@ val parse_string : string -> record list
 
 val read_file : string -> record list
 
+val fold_file : string -> init:'a -> f:('a -> record -> 'a) -> 'a
+(** Streaming variant of [read_file]: records are parsed one at a time
+    and folded through [f], so only one record is in memory at once.
+    Same line handling as [parse_string]. *)
+
+val iter_file : string -> f:(record -> unit) -> unit
+
 val to_string : record list -> string
 (** 60-column wrapped FASTA text. *)
 

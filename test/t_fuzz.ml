@@ -197,6 +197,64 @@ let test_two_piece_fsm_table () =
       (4, 6, Traceback.Left);
     ]
 
+(* Random-parameter differential fuzzing routed through the batch API:
+   the parallel path must inherit every oracle the single-call path
+   already satisfies — batched results equal per-pair single calls on a
+   random engine/kind/worker-count, and for the global kind the score
+   also equals the independent SeqAn-like baseline at the kernel #1
+   default parameters. *)
+let prop_batch_differential =
+  QCheck.Test.make ~name:"batch API: parallel path == single-call oracle"
+    ~count:30
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Dphls_util.Rng.create (seed + 31) in
+      let n = 1 + Dphls_util.Rng.int rng 12 in
+      let raw = Array.init n (fun _ -> random_pair rng) in
+      let pairs =
+        Array.map
+          (fun (q, r) ->
+            (Dphls_alphabet.Dna.to_string q, Dphls_alphabet.Dna.to_string r))
+          raw
+      in
+      let workers = 1 + Dphls_util.Rng.int rng 5 in
+      let kind =
+        Dphls_util.Rng.choice rng
+          [|
+            Dphls.Batch.Global; Dphls.Batch.Global_affine; Dphls.Batch.Local;
+            Dphls.Batch.Semi_global;
+          |]
+      in
+      let engine =
+        if Dphls_util.Rng.bool rng then Dphls.Align.Golden
+        else Dphls.Align.Systolic (1 + Dphls_util.Rng.int rng 12)
+      in
+      let batched = Dphls.Batch.align_all ~engine ~kind ~workers pairs in
+      let solo_ok =
+        Array.for_all
+          (fun i ->
+            let query, reference = pairs.(i) in
+            batched.(i) = Dphls.Batch.align_one ~engine kind ~query ~reference)
+          (Array.init n (fun i -> i))
+      in
+      let baseline_ok =
+        kind <> Dphls.Batch.Global
+        || Array.for_all
+             (fun i ->
+               let q, r = raw.(i) in
+               let d = Dphls_kernels.K01_global_linear.default in
+               batched.(i).Dphls.Align.score
+               = B.Seqan_like.score
+                   (B.Seqan_like.dna_scoring
+                      ~match_:d.Dphls_kernels.K01_global_linear.match_
+                      ~mismatch:d.Dphls_kernels.K01_global_linear.mismatch
+                      ~gap:(B.Seqan_like.Linear d.Dphls_kernels.K01_global_linear.gap)
+                      ~mode:B.Seqan_like.Global)
+                   ~query:q ~reference:r)
+             (Array.init n (fun i -> i))
+      in
+      solo_ok && baseline_ok)
+
 (* Scheduler lower bounds as properties. *)
 let prop_scheduler_bounds =
   QCheck.Test.make ~name:"scheduler makespan respects lower bounds" ~count:100
@@ -238,4 +296,5 @@ let suite =
     Alcotest.test_case "affine FSM table" `Quick test_affine_fsm_table;
     Alcotest.test_case "two-piece FSM table" `Quick test_two_piece_fsm_table;
     qtest prop_scheduler_bounds;
+    qtest prop_batch_differential;
   ]

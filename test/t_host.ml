@@ -1,7 +1,9 @@
-(* Tests for the host runtime: throughput arithmetic and the channel
-   scheduler (N_B blocks behind one arbiter). *)
+(* Tests for the host runtime: throughput arithmetic, the channel
+   scheduler (N_B blocks behind one arbiter), and the domain pool that
+   realizes N_K parallelism for real. *)
 module Throughput = Dphls_host.Throughput
 module Scheduler = Dphls_host.Scheduler
+module Pool = Dphls_host.Pool
 
 let test_throughput_arithmetic () =
   (* 1000 cycles at 250 MHz with 4 parallel units: 1e6 aligns/s *)
@@ -95,9 +97,128 @@ let test_invalid_args () =
        false
      with Invalid_argument _ -> true)
 
+(* ---- Pool ---- *)
+
+let test_pool_empty_batch () =
+  Pool.with_pool ~workers:3 (fun p ->
+      let results, stats = Pool.run p (fun _ -> assert false) 0 in
+      Alcotest.(check int) "no results" 0 (Array.length results);
+      Alcotest.(check int) "no jobs" 0
+        stats.Pool.report.Scheduler.jobs;
+      Alcotest.(check int) "zero makespan" 0
+        stats.Pool.report.Scheduler.makespan)
+
+let test_pool_batch_smaller_than_workers () =
+  Pool.with_pool ~workers:8 (fun p ->
+      let results = Pool.map p (fun i -> i * i) 3 in
+      Alcotest.(check (array int)) "squares" [| 0; 1; 4 |] results)
+
+let test_pool_exception_propagates () =
+  let p = Pool.create ~workers:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      Alcotest.(check bool) "exception re-raised, no deadlock" true
+        (try
+           ignore (Pool.map ~chunk:1 p (fun i -> if i = 5 then failwith "boom" else i) 10);
+           false
+         with Failure msg -> msg = "boom");
+      (* the pool must survive a failing batch *)
+      let again = Pool.map p (fun i -> i + 1) 6 in
+      Alcotest.(check (array int)) "pool usable after failure"
+        [| 1; 2; 3; 4; 5; 6 |] again)
+
+let test_pool_report_invariants () =
+  Pool.with_pool ~workers:4 (fun p ->
+      (* enough work per task for the timers to register *)
+      let busy_work i =
+        let acc = ref i in
+        for k = 1 to 20_000 do
+          acc := (!acc * 31 + k) land 0xFFFF
+        done;
+        !acc
+      in
+      let n = 50 in
+      let results, stats = Pool.run ~chunk:3 p busy_work n in
+      Alcotest.(check int) "all results" n (Array.length results);
+      let r = stats.Pool.report in
+      Alcotest.(check int) "jobs" n r.Scheduler.jobs;
+      Alcotest.(check int) "one busy slot per worker" 4
+        (Array.length stats.Pool.worker_busy_ns);
+      Alcotest.(check bool) "block_busy <= workers * makespan" true
+        (r.Scheduler.block_busy <= 4 * r.Scheduler.makespan);
+      Array.iter
+        (fun busy ->
+          Alcotest.(check bool) "worker busy <= makespan" true
+            (busy <= r.Scheduler.makespan))
+        stats.Pool.worker_busy_ns;
+      Alcotest.(check int) "block_busy is the per-worker sum"
+        (Array.fold_left ( + ) 0 stats.Pool.worker_busy_ns)
+        r.Scheduler.block_busy;
+      Alcotest.(check bool) "utilizations in [0,1]" true
+        (r.Scheduler.arbiter_utilization >= 0.0
+        && r.Scheduler.arbiter_utilization <= 1.0
+        && r.Scheduler.block_utilization >= 0.0
+        && r.Scheduler.block_utilization <= 1.0))
+
+let test_pool_map_seeded_deterministic () =
+  let draw rng _i = Dphls_util.Rng.int rng 1_000_000 in
+  let a =
+    Pool.with_pool ~workers:1 (fun p -> Pool.map_seeded p ~seed:7 draw 40)
+  in
+  let b =
+    Pool.with_pool ~workers:5 (fun p ->
+        Pool.map_seeded ~chunk:1 p ~seed:7 draw 40)
+  in
+  let c =
+    Pool.with_pool ~workers:3 (fun p ->
+        Pool.map_seeded ~chunk:16 p ~seed:7 draw 40)
+  in
+  Alcotest.(check (array int)) "1 worker == 5 workers chunk 1" a b;
+  Alcotest.(check (array int)) "1 worker == 3 workers chunk 16" a c;
+  let other =
+    Pool.with_pool ~workers:1 (fun p -> Pool.map_seeded p ~seed:8 draw 40)
+  in
+  Alcotest.(check bool) "different seed differs" true (a <> other)
+
+let test_pool_invalid_args () =
+  Alcotest.(check bool) "workers 0 rejected" true
+    (try
+       ignore (Pool.create ~workers:0 ());
+       false
+     with Invalid_argument _ -> true);
+  let p = Pool.create ~workers:2 () in
+  Pool.shutdown p;
+  Pool.shutdown p;  (* idempotent *)
+  Alcotest.(check bool) "run after shutdown rejected" true
+    (try
+       ignore (Pool.map p (fun i -> i) 3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_pool_large_batch_ordering () =
+  Pool.with_pool ~workers:6 (fun p ->
+      let n = 500 in
+      let results = Pool.map ~chunk:7 p (fun i -> 3 * i) n in
+      Alcotest.(check bool) "all slots in input order" true
+        (Array.for_all (fun x -> x >= 0) results
+        && Array.to_list results = List.init n (fun i -> 3 * i)))
+
 let suite =
   [
     Alcotest.test_case "throughput arithmetic" `Quick test_throughput_arithmetic;
+    Alcotest.test_case "pool empty batch" `Quick test_pool_empty_batch;
+    Alcotest.test_case "pool small batch" `Quick
+      test_pool_batch_smaller_than_workers;
+    Alcotest.test_case "pool exception propagates" `Quick
+      test_pool_exception_propagates;
+    Alcotest.test_case "pool report invariants" `Quick
+      test_pool_report_invariants;
+    Alcotest.test_case "pool seeded determinism" `Quick
+      test_pool_map_seeded_deterministic;
+    Alcotest.test_case "pool invalid args" `Quick test_pool_invalid_args;
+    Alcotest.test_case "pool large batch ordering" `Quick
+      test_pool_large_batch_ordering;
     Alcotest.test_case "iso cost" `Quick test_iso_cost;
     Alcotest.test_case "job rounding" `Quick test_job_for_rounding;
     Alcotest.test_case "single job" `Quick test_single_job;

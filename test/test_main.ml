@@ -20,6 +20,7 @@ let () =
       ("io", T_io.suite);
       ("fuzz", T_fuzz.suite);
       ("align_api", T_align_api.suite);
+      ("batch", T_batch.suite);
       ("more", T_more.suite);
       ("oracles", T_oracles.suite);
     ]
