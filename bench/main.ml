@@ -97,10 +97,14 @@ let test_tiling =
   let query = Types.seq_of_bases qb and reference = Types.seq_of_bases rb in
   let p = Dphls_kernels.K02_global_affine.default in
   let cfg = Dphls_systolic.Config.create ~n_pe:16 in
-  let run_tile w =
-    let result, stats =
-      Dphls_systolic.Engine.run cfg Dphls_kernels.K02_global_affine.kernel p w
+  let run_tile ~band w =
+    let k0 = Dphls_kernels.K02_global_affine.kernel in
+    let kernel =
+      match band with
+      | Some b -> { k0 with Kernel.banding = Some b }
+      | None -> k0
     in
+    let result, stats = Dphls_systolic.Engine.run cfg kernel p w in
     (result, stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total)
   in
   Test.make ~name:"tiling:512b-read"
@@ -189,7 +193,106 @@ let run_benchmarks () =
     (fun (name, est) -> Printf.printf "%-42s %14s ns/run\n" name est)
     (List.sort compare !rows)
 
+(* ---- banding comparison: none vs fixed vs adaptive (BENCH_2.json) ----
+
+   A long-read-style workload (simulated noisy read vs its source
+   window) on kernel #11's recurrence under the three band modes at
+   equal half-width, reporting cells computed, device cycles and host
+   wall-clock per mode. *)
+let banding_bench ?(len = 512) () =
+  let module K11 = Dphls_kernels.K11_banded_global_linear in
+  let width = 32 and n_pe = 32 in
+  let rng = Dphls_util.Rng.create seed in
+  let w = K11.gen_drift rng ~len in
+  let total_cells =
+    Array.length w.Workload.query * Array.length w.Workload.reference
+  in
+  let cfg = Dphls_systolic.Config.create ~n_pe in
+  let p = K11.default in
+  let run_mode mode kernel ~width ~threshold =
+    let result, stats = Dphls_systolic.Engine.run cfg kernel p w in
+    let reps = 3 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (Dphls_systolic.Engine.run cfg kernel p w)
+    done;
+    let wall_ns = (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e9 in
+    {
+      Dphls_host.Throughput.mode;
+      width;
+      threshold;
+      score = result.Result.score;
+      cells_computed = stats.Dphls_systolic.Engine.pe_fires;
+      total_cells;
+      device_cycles = stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total;
+      wall_ns;
+    }
+  in
+  let runs =
+    [
+      run_mode "none"
+        { K11.kernel with Kernel.banding = None }
+        ~width:None ~threshold:None;
+      run_mode "fixed" (K11.kernel_with ~bandwidth:width) ~width:(Some width)
+        ~threshold:None;
+      run_mode "adaptive"
+        (K11.adaptive_with ~bandwidth:width ~threshold:Banding.default_threshold)
+        ~width:(Some width)
+        ~threshold:(Some Banding.default_threshold);
+    ]
+  in
+  Dphls_util.Pretty.print_table
+    ~title:
+      (Printf.sprintf
+         "Banding modes on a %d-base noisy read (kernel #11, N_PE=%d, W=%d)"
+         len n_pe width)
+    ~header:[ "mode"; "score"; "cells"; "of full"; "cycles"; "wall us" ]
+    (List.map
+       (fun (r : Dphls_host.Throughput.band_run) ->
+         [
+           r.mode;
+           string_of_int r.score;
+           string_of_int r.cells_computed;
+           Printf.sprintf "%.1f%%"
+             (100.0 *. Dphls_host.Throughput.cells_fraction r);
+           string_of_int r.device_cycles;
+           Printf.sprintf "%.1f" (r.wall_ns /. 1e3);
+         ])
+       runs);
+  (match runs with
+  | [ _; fixed; adaptive ] ->
+    Printf.printf
+      "adaptive computes %d of the fixed band's %d cells (%.1f%% saved)\n"
+      adaptive.cells_computed fixed.cells_computed
+      (100.0
+      *. (1.0
+         -. float_of_int adaptive.cells_computed
+            /. float_of_int (max 1 fixed.cells_computed)))
+  | _ -> ());
+  let oc = open_out "BENCH_2.json" in
+  output_string oc (Dphls_host.Throughput.band_json runs);
+  close_out oc;
+  Printf.printf "wrote BENCH_2.json\n%!"
+
 let () =
-  run_benchmarks ();
-  Dphls_util.Pretty.section "Experiment tables (paper artifacts)";
-  Dphls_experiments.Runner.run_all ()
+  let argv = Sys.argv in
+  let banding_only = Array.exists (( = ) "--banding-only") argv in
+  let len =
+    let r = ref 512 in
+    Array.iteri
+      (fun i a ->
+        if a = "--len" && i + 1 < Array.length argv then
+          match int_of_string_opt argv.(i + 1) with
+          | Some v when v > 0 -> r := v
+          | Some _ | None -> ())
+      argv;
+    !r
+  in
+  if banding_only then banding_bench ~len ()
+  else begin
+    run_benchmarks ();
+    Dphls_util.Pretty.section "Experiment tables (paper artifacts)";
+    Dphls_experiments.Runner.run_all ();
+    Dphls_util.Pretty.section "Banding comparison";
+    banding_bench ~len ()
+  end

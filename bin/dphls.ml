@@ -42,7 +42,23 @@ let parse_sequence (e : Dphls_kernels.Catalog.entry) s =
   if id = 15 then Types.seq_of_bases (Dphls_alphabet.Protein.of_string s)
   else Types.seq_of_bases (Dphls_alphabet.Dna.of_string s)
 
-let align_run kernel_spec query reference n_pe vcd_path =
+(* --band none|fixed|adaptive overrides the kernel's own banding;
+   "kernel" (the default) keeps it. Returns None for "keep". *)
+let band_override ~mode ~width ~threshold =
+  match mode with
+  | "kernel" -> None
+  | "none" -> Some None
+  | "fixed" -> Some (Some (Banding.fixed width))
+  | "adaptive" -> Some (Some (Banding.adaptive ~threshold width))
+  | other ->
+    Printf.eprintf "unknown band mode %S (kernel | none | fixed | adaptive)\n"
+      other;
+    exit 2
+
+let band_doc = "Band override: kernel (keep), none, fixed or adaptive"
+
+let align_run kernel_spec query reference n_pe vcd_path band_mode band_width
+    band_threshold =
   let e = find_kernel kernel_spec in
   let id = Registry.id e.packed in
   if List.mem id [ 8; 9; 14 ] then begin
@@ -57,10 +73,17 @@ let align_run kernel_spec query reference n_pe vcd_path =
       ~reference:(parse_sequence e reference)
   in
   let (Registry.Packed (k, p)) = e.packed in
+  let k =
+    match
+      band_override ~mode:band_mode ~width:band_width ~threshold:band_threshold
+    with
+    | None -> k
+    | Some banding -> { k with Kernel.banding }
+  in
   let cfg = Dphls_systolic.Config.create ~n_pe in
   let trace = Dphls_systolic.Trace.create ~enabled:(vcd_path <> None) in
   let result, stats = Dphls_systolic.Engine.run ~trace cfg k p w in
-  let golden = Dphls_reference.Ref_engine.run k p w in
+  let golden = Dphls_reference.Ref_engine.run ~band_pe:n_pe k p w in
   (match vcd_path with
   | Some path ->
     Dphls_systolic.Vcd.write_file path trace ~n_pe;
@@ -95,9 +118,21 @@ let align_cmd =
   let vcd =
     Arg.(value & opt (some string) None & info [ "vcd" ] ~doc:"Write a VCD waveform")
   in
+  let band = Arg.(value & opt string "kernel" & info [ "band" ] ~doc:band_doc) in
+  let band_width =
+    Arg.(value & opt int 32 & info [ "band-width" ] ~doc:"Band half-width W")
+  in
+  let band_threshold =
+    Arg.(
+      value
+      & opt int Banding.default_threshold
+      & info [ "band-threshold" ] ~doc:"Adaptive-band score drop threshold")
+  in
   Cmd.v
     (Cmd.info "align" ~doc:"Align two sequences on the systolic simulator")
-    Term.(const align_run $ kernel $ query $ reference $ n_pe $ vcd)
+    Term.(
+      const align_run $ kernel $ query $ reference $ n_pe $ vcd $ band
+      $ band_width $ band_threshold)
 
 (* ---- resources ---- *)
 
@@ -234,7 +269,15 @@ let map_cmd =
 
 (* ---- batch ---- *)
 
-let batch_run pairs_path kind_s workers n_pe chunk compare =
+let batch_run pairs_path kind_s workers n_pe chunk compare band_mode band_width
+    band_threshold =
+  let band =
+    match
+      band_override ~mode:band_mode ~width:band_width ~threshold:band_threshold
+    with
+    | None | Some None -> None
+    | Some (Some b) -> Some b
+  in
   let kind =
     try Dphls.Batch.kind_of_string kind_s
     with Invalid_argument _ ->
@@ -253,7 +296,7 @@ let batch_run pairs_path kind_s workers n_pe chunk compare =
     else max 2 (Domain.recommended_domain_count ())
   in
   print_endline "#idx\tquery\treference\tscore\tcigar\tidentity\tcycles";
-  Dphls.Batch.iter_fasta_file ~engine ~kind ~workers ~chunk ~path:pairs_path
+  Dphls.Batch.iter_fasta_file ?band ~engine ~kind ~workers ~chunk ~path:pairs_path
     ~f:(fun idx q r (a : Dphls.Align.alignment) ->
       Printf.printf "%d\t%s\t%s\t%d\t%s\t%.4f\t%s\n" idx q.Dphls_io.Fasta.id
         r.Dphls_io.Fasta.id a.Dphls.Align.score a.Dphls.Align.cigar
@@ -282,7 +325,7 @@ let batch_run pairs_path kind_s workers n_pe chunk compare =
             pair_up records))
     in
     let results, stats =
-      Dphls.Batch.align_all_report ~engine ~kind ~workers pairs
+      Dphls.Batch.align_all_report ?band ~engine ~kind ~workers pairs
     in
     ignore results;
     let report = stats.Dphls_host.Pool.report in
@@ -303,7 +346,7 @@ let batch_run pairs_path kind_s workers n_pe chunk compare =
           p.Dphls_host.Throughput.measured_speedup
           p.Dphls_host.Throughput.modeled_speedup
           p.Dphls_host.Throughput.efficiency)
-      (Dphls.Batch.scaling ~engine ~kind ~workers:[ workers ] pairs)
+      (Dphls.Batch.scaling ?band ~engine ~kind ~workers:[ workers ] pairs)
   end
 
 let batch_cmd =
@@ -339,11 +382,22 @@ let batch_cmd =
       & info [ "compare" ]
           ~doc:"Also report measured vs modeled N_K scaling on stderr")
   in
+  let band = Arg.(value & opt string "kernel" & info [ "band" ] ~doc:band_doc) in
+  let band_width =
+    Arg.(value & opt int 32 & info [ "band-width" ] ~doc:"Band half-width W")
+  in
+  let band_threshold =
+    Arg.(
+      value
+      & opt int Dphls_core.Banding.default_threshold
+      & info [ "band-threshold" ] ~doc:"Adaptive-band score drop threshold")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Align a FASTA pair file in parallel across CPU domains")
     Term.(
-      const batch_run $ pairs $ kind $ workers $ n_pe $ chunk $ compare)
+      const batch_run $ pairs $ kind $ workers $ n_pe $ chunk $ compare $ band
+      $ band_width $ band_threshold)
 
 (* ---- cosim ---- *)
 

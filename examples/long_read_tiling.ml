@@ -27,8 +27,13 @@ let () =
 
   let p = K2.default in
   let config = Dphls_systolic.Config.create ~n_pe:32 in
-  let run_tile w =
-    let result, stats = Dphls_systolic.Engine.run config K2.kernel p w in
+  let run_tile ~band w =
+    let kernel =
+      match band with
+      | Some b -> { K2.kernel with Kernel.banding = Some b }
+      | None -> K2.kernel
+    in
+    let result, stats = Dphls_systolic.Engine.run config kernel p w in
     (result, stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total)
   in
   let query = Types.seq_of_bases query_b in

@@ -6,22 +6,29 @@ type 'p t = {
   qry_len : int;
   ref_len : int;
   read : row:int -> col:int -> layer:int -> Types.score;
+  in_band : row:int -> col:int -> bool;
   worst : Types.score;
 }
 
-let create kernel params ~qry_len ~ref_len ~read =
+let create ?in_band kernel params ~qry_len ~ref_len ~read =
+  let in_band =
+    match in_band with
+    | Some f -> f
+    | None -> fun ~row ~col -> Banding.in_band kernel.Kernel.banding ~row ~col
+  in
   {
     kernel;
     params;
     qry_len;
     ref_len;
     read;
+    in_band;
     worst = Score.worst_value kernel.Kernel.objective;
   }
 
 let neighbor t ~row ~col ~layer =
   let k = t.kernel in
-  if not (Banding.in_band k.Kernel.banding ~row ~col) then t.worst
+  if not (t.in_band ~row ~col) then t.worst
   else if row = -1 && col = -1 then k.Kernel.origin t.params ~layer
   else if row = -1 then k.Kernel.init_row t.params ~ref_len:t.ref_len ~layer ~col
   else if col = -1 then k.Kernel.init_col t.params ~qry_len:t.qry_len ~layer ~row

@@ -8,11 +8,16 @@
 type 'p t
 
 val create :
+  ?in_band:(row:int -> col:int -> bool) ->
   'p Kernel.t -> 'p -> qry_len:int -> ref_len:int ->
   read:(row:int -> col:int -> layer:int -> Types.score) ->
   'p t
 (** [read] must return the stored score of an in-matrix, in-band cell;
-    it is never called for border or pruned coordinates. *)
+    it is never called for border or pruned coordinates. [in_band]
+    overrides band membership (defaults to the kernel's static
+    {!Banding.in_band}); engines running an [Adaptive] band must inject
+    their {!Banding.Tracker} membership here, since adaptive membership
+    is not a static predicate. *)
 
 val neighbor : 'p t -> row:int -> col:int -> layer:int -> Types.score
 (** Score of any coordinate in [-1, len): border, pruned or stored. *)

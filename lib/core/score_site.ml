@@ -1,8 +1,8 @@
-let find ~objective ~rule ~banding ~score_at ~qry_len ~ref_len =
+let find ~objective ~rule ~in_band ~score_at ~qry_len ~ref_len =
   if qry_len < 1 || ref_len < 1 then invalid_arg "Score_site.find: empty matrix";
   let best = Traceback.Best_cell.create objective in
   let observe row col =
-    if Banding.in_band banding ~row ~col then
+    if in_band ~row ~col then
       Traceback.Best_cell.observe best { Types.row; col } (score_at ~row ~col)
   in
   (match (rule : Traceback.start_rule) with

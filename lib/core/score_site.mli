@@ -7,11 +7,13 @@
 val find :
   objective:Dphls_util.Score.objective ->
   rule:Traceback.start_rule ->
-  banding:Banding.t option ->
+  in_band:(row:int -> col:int -> bool) ->
   score_at:(row:int -> col:int -> Types.score) ->
   qry_len:int ->
   ref_len:int ->
   Types.cell * Types.score
 (** [score_at] reads the layer-0 score of an in-matrix cell (pruned cells
-    must read as the objective's worst value). Raises [Invalid_argument]
-    on empty matrices. *)
+    must read as the objective's worst value). [in_band] is the caller's
+    band membership — static {!Banding.in_band} for [None]/[Fixed] bands,
+    {!Banding.Tracker.member} for adaptive bands. Raises
+    [Invalid_argument] on empty matrices. *)

@@ -25,7 +25,7 @@ let verify ?(n_pe = 16) ?alt_pe kernel params workloads =
   let util_sum = ref 0.0 in
   List.iteri
     (fun index w ->
-      let golden = Dphls_reference.Ref_engine.run kernel params w in
+      let golden = Dphls_reference.Ref_engine.run ~band_pe:n_pe kernel params w in
       let systolic, stats = Dphls_systolic.Engine.run cfg kernel params w in
       cycles_sum :=
         !cycles_sum
@@ -36,7 +36,8 @@ let verify ?(n_pe = 16) ?alt_pe kernel params workloads =
         | None -> true
         | Some pe ->
           let alt = { kernel with Kernel.pe = (fun _ -> pe) } in
-          Result.equal_alignment golden (Dphls_reference.Ref_engine.run alt params w)
+          Result.equal_alignment golden
+            (Dphls_reference.Ref_engine.run ~band_pe:n_pe alt params w)
       in
       if Result.equal_alignment golden systolic && alt_ok then incr agreed
       else if List.length !mismatches < 8 then

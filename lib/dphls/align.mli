@@ -19,20 +19,34 @@ type alignment = {
   device_cycles : int option;  (** Some when run on the systolic engine *)
 }
 
-val global : ?engine:engine -> query:string -> reference:string -> unit -> alignment
-(** Needleman-Wunsch (kernel #1 defaults) over DNA strings. *)
+val global :
+  ?band:Dphls_core.Banding.t ->
+  ?engine:engine -> query:string -> reference:string -> unit -> alignment
+(** Needleman-Wunsch (kernel #1 defaults) over DNA strings.
+
+    All five helpers accept [?band] to override the kernel's banding
+    (e.g. [Dphls_core.Banding.fixed 32] or [Banding.adaptive 32]).
+    Under an adaptive band the Golden engine decides the band at its
+    canonical single-chunk trajectory; the Systolic engine decides it
+    with [N_PE]-row chunks, so their pruning (and possibly scores) may
+    differ — that is the expected hardware behavior, not a bug. *)
 
 val global_affine :
+  ?band:Dphls_core.Banding.t ->
   ?engine:engine -> query:string -> reference:string -> unit -> alignment
 (** Gotoh (kernel #2 defaults). *)
 
-val local : ?engine:engine -> query:string -> reference:string -> unit -> alignment
+val local :
+  ?band:Dphls_core.Banding.t ->
+  ?engine:engine -> query:string -> reference:string -> unit -> alignment
 (** Smith-Waterman (kernel #3 defaults). *)
 
 val semi_global :
+  ?band:Dphls_core.Banding.t ->
   ?engine:engine -> query:string -> reference:string -> unit -> alignment
 (** Query end-to-end within the reference (kernel #7 defaults). *)
 
 val protein_local :
+  ?band:Dphls_core.Banding.t ->
   ?engine:engine -> query:string -> reference:string -> unit -> alignment
 (** BLOSUM62 Smith-Waterman over amino-acid strings (kernel #15). *)

@@ -18,9 +18,13 @@ type kind =
 
 val kind_of_string : string -> kind
 (** Parses ["global" | "global-affine" | "local" | "semi-global" |
-    "protein-local"]; raises [Invalid_argument] otherwise. *)
+    "protein-local"]; raises [Invalid_argument] otherwise.
+
+    All batch entry points also accept [?band] (forwarded to {!Align})
+    to run the chosen kernel under a fixed or adaptive band. *)
 
 val align_one :
+  ?band:Dphls_core.Banding.t ->
   ?engine:Align.engine -> kind -> query:string -> reference:string
   -> Align.alignment
 (** Single-pair reference semantics: exactly the corresponding
@@ -28,6 +32,7 @@ val align_one :
     this. *)
 
 val align_all :
+  ?band:Dphls_core.Banding.t ->
   ?engine:Align.engine -> ?kind:kind -> ?workers:int
   -> (string * string) array -> Align.alignment array
 (** [align_all pairs] aligns every [(query, reference)] pair in
@@ -36,6 +41,7 @@ val align_all :
     [Global]. Result [i] is the alignment of [pairs.(i)]. *)
 
 val align_all_report :
+  ?band:Dphls_core.Banding.t ->
   ?engine:Align.engine -> ?kind:kind -> ?workers:int
   -> (string * string) array
   -> Align.alignment array * Dphls_host.Pool.stats
@@ -44,6 +50,7 @@ val align_all_report :
     shape). *)
 
 val iter :
+  ?band:Dphls_core.Banding.t ->
   ?engine:Align.engine -> ?kind:kind -> ?workers:int -> ?chunk:int
   -> f:(int -> query:string -> reference:string -> Align.alignment -> unit)
   -> (string * string) Seq.t -> unit
@@ -53,6 +60,7 @@ val iter :
     [f] in input order. Memory stays bounded by the chunk size. *)
 
 val iter_fasta_file :
+  ?band:Dphls_core.Banding.t ->
   ?engine:Align.engine -> ?kind:kind -> ?workers:int -> ?chunk:int
   -> path:string
   -> f:
@@ -64,6 +72,7 @@ val iter_fasta_file :
     2i+1 form pair i. Raises [Failure] on an odd record count. *)
 
 val scaling :
+  ?band:Dphls_core.Banding.t ->
   ?engine:Align.engine -> ?kind:kind -> workers:int list
   -> (string * string) array
   -> Dphls_host.Throughput.scaling_point list

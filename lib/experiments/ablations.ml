@@ -13,6 +13,8 @@ type band_point = {
   recovery : float;
   xdrop_cells : int;
   band_cells : int;
+  a_score : int;  (** adaptive band at the same width, default threshold *)
+  a_cells : int;
 }
 
 let banding ?(len = 192) ?(seed = Common.default_seed) () =
@@ -45,9 +47,13 @@ let banding ?(len = 192) ?(seed = Common.default_seed) () =
   in
   List.map
     (fun bandwidth ->
+      let cfg = Dphls_systolic.Config.create ~n_pe:16 in
       let kernel = K11.kernel_with ~bandwidth in
-      let result, stats =
-        Dphls_systolic.Engine.run (Dphls_systolic.Config.create ~n_pe:16) kernel p w
+      let result, stats = Dphls_systolic.Engine.run cfg kernel p w in
+      let a_result, a_stats =
+        Dphls_systolic.Engine.run cfg
+          (K11.adaptive_with ~bandwidth ~threshold:Banding.default_threshold)
+          p w
       in
       {
         bandwidth;
@@ -57,6 +63,8 @@ let banding ?(len = 192) ?(seed = Common.default_seed) () =
         recovery = float_of_int result.Result.score /. float_of_int (max 1 (abs full_score));
         xdrop_cells = xdrop.B.Xdrop.cells_explored;
         band_cells = stats.Dphls_systolic.Engine.pe_fires;
+        a_score = a_result.Result.score;
+        a_cells = a_stats.Dphls_systolic.Engine.pe_fires;
       })
     [ 2; 4; 8; 16; 32; 64 ]
 
@@ -87,8 +95,13 @@ let tiling ?(read_length = 768) ?(seed = Common.default_seed) () =
   in
   let query = Types.seq_of_bases qb and reference = Types.seq_of_bases rb in
   let cfg = Dphls_systolic.Config.create ~n_pe:16 in
-  let run_tile w =
-    let result, stats = Dphls_systolic.Engine.run cfg K2.kernel p w in
+  let run_tile ~band w =
+    let kernel =
+      match band with
+      | Some b -> { K2.kernel with Kernel.banding = Some b }
+      | None -> K2.kernel
+    in
+    let result, stats = Dphls_systolic.Engine.run cfg kernel p w in
     (result, stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total)
   in
   List.map
@@ -195,8 +208,11 @@ let initiation_interval ?(len = 128) () =
 
 let run ?(quick = false) () =
   let len = if quick then 96 else 192 in
-  Pretty.print_table ~title:"Ablation — fixed banding width (#11, global) vs full NW and X-Drop"
-    ~header:[ "band"; "cycles"; "score"; "full"; "recovery"; "band cells"; "xdrop cells" ]
+  Pretty.print_table
+    ~title:"Ablation — banding width (#11, global): fixed vs adaptive vs full NW and X-Drop"
+    ~header:
+      [ "band"; "cycles"; "score"; "full"; "recovery"; "band cells";
+        "adaptive score"; "adaptive cells"; "xdrop cells" ]
     (List.map
        (fun p ->
          [
@@ -206,6 +222,11 @@ let run ?(quick = false) () =
            string_of_int p.full_score;
            Printf.sprintf "%.3f" p.recovery;
            string_of_int p.band_cells;
+           (* a pruned-away corner makes global alignment fail outright *)
+           (if p.a_score = Dphls_util.Score.worst_value Dphls_util.Score.Maximize
+            then "fail"
+            else string_of_int p.a_score);
+           string_of_int p.a_cells;
            string_of_int p.xdrop_cells;
          ])
        (banding ~len ()));

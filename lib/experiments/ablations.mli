@@ -17,6 +17,8 @@ type band_point = {
   recovery : float;           (** score / full_score *)
   xdrop_cells : int;          (** X-Drop explored cells at similar accuracy *)
   band_cells : int;
+  a_score : int;              (** adaptive band, same width, default threshold *)
+  a_cells : int;
 }
 
 val banding : ?len:int -> ?seed:int -> unit -> band_point list

@@ -40,11 +40,19 @@ let compute ?(n_pe = 8) ?(len = 64) ~kernel_id () =
       Hashtbl.replace cell_tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt cell_tbl key)))
     events;
   let qlen = Array.length w.Workload.query and rlen = Array.length w.Workload.reference in
+  let expected_member =
+    match k.Kernel.banding with
+    | Some (Banding.Adaptive _) ->
+        (* the adaptive band is decided as the wavefronts advance; replay the
+           reference engine at the same N_PE to recover the decided map *)
+        Dphls_reference.Ref_engine.band_map ~band_pe:n_pe k p w
+    | _ -> fun ~row ~col -> Banding.in_band k.Kernel.banding ~row ~col
+  in
   let full_coverage =
     let ok = ref true in
     for row = 0 to qlen - 1 do
       for col = 0 to rlen - 1 do
-        let expected = if Banding.in_band k.Kernel.banding ~row ~col then 1 else 0 in
+        let expected = if expected_member ~row ~col then 1 else 0 in
         let got = Option.value ~default:0 (Hashtbl.find_opt cell_tbl (row, col)) in
         if got <> expected then ok := false
       done

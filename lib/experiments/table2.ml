@@ -11,10 +11,13 @@ type result_row = {
 }
 
 let compute ?(samples = 3) () =
-  List.map
+  List.filter_map
     (fun (e : Dphls_kernels.Catalog.entry) ->
       let id = Registry.id e.packed in
-      let paper = Paper_data.table2_find id in
+      (* adaptive variants (16-18) have no Table 2 row in the paper *)
+      match Paper_data.table2_find id with
+      | exception Not_found -> None
+      | paper ->
       let block_cfg =
         { Dphls_resource.Estimate.n_pe = 32; max_qry = e.default_len; max_ref = e.default_len }
       in
@@ -25,14 +28,15 @@ let compute ?(samples = 3) () =
           ~n_pe:opt.Dphls_kernels.Catalog.n_pe ~n_b:opt.n_b ~n_k:opt.n_k
           ~len:e.default_len ~samples
       in
-      {
-        id;
-        name = Registry.name e.packed;
-        model;
-        paper;
-        freq_mhz = Dphls_resource.Estimate.max_frequency_mhz e.packed;
-        alignments_per_sec = throughput;
-      })
+      Some
+        {
+          id;
+          name = Registry.name e.packed;
+          model;
+          paper;
+          freq_mhz = Dphls_resource.Estimate.max_frequency_mhz e.packed;
+          alignments_per_sec = throughput;
+        })
     Dphls_kernels.Catalog.all
 
 let run ?samples () =

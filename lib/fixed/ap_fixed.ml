@@ -10,29 +10,49 @@ let int_spec { width; _ } = Ap_int.spec width
 let scale { frac; _ } = float_of_int (1 lsl frac)
 
 let of_float s x =
-  let scaled = x *. scale s in
-  let rounded =
-    if scaled >= 0.0 then int_of_float (Float.round scaled)
-    else -int_of_float (Float.round (-.scaled))
-  in
-  Ap_int.clamp (int_spec s) rounded
+  (* int_of_float is unspecified for NaN and for values outside the
+     native range, so classify first: NaN is a caller error, infinities
+     and out-of-range magnitudes saturate like the hardware would. *)
+  if Float.is_nan x then invalid_arg "Ap_fixed.of_float: nan";
+  let isp = int_spec s in
+  if x = Float.infinity then Ap_int.max_value isp
+  else if x = Float.neg_infinity then Ap_int.min_value isp
+  else
+    let scaled = x *. scale s in
+    if scaled >= float_of_int max_int then Ap_int.max_value isp
+    else if scaled <= float_of_int min_int then Ap_int.min_value isp
+    else
+      let rounded =
+        if scaled >= 0.0 then int_of_float (Float.round scaled)
+        else -int_of_float (Float.round (-.scaled))
+      in
+      Ap_int.clamp isp rounded
 
 let to_float s raw = float_of_int raw /. scale s
 
 let add s a b = Ap_int.add (int_spec s) a b
 let sub s a b = Ap_int.sub (int_spec s) a b
 
+(* Drop [frac] bits rounding half away from zero, without forming
+   [p + half] (which can overflow near the native bounds): split into
+   quotient and remainder of the magnitude instead. *)
+let round_shift p frac =
+  if frac = 0 then p
+  else if p = min_int then p asr frac (* exactly divisible, no rounding *)
+  else
+    let m = abs p in
+    let q = m asr frac and r = m land ((1 lsl frac) - 1) in
+    let q = q + (if r >= 1 lsl (frac - 1) then 1 else 0) in
+    if p >= 0 then q else -q
+
 let mul s a b =
-  (* Full-precision product carries 2*frac fractional bits; shift back with
-     rounding toward nearest. *)
-  let p = a * b in
-  let half = 1 lsl (s.frac - 1) in
-  let shifted =
-    if s.frac = 0 then p
-    else if p >= 0 then (p + half) asr s.frac
-    else -((-p + half) asr s.frac)
-  in
-  Ap_int.clamp (int_spec s) shifted
+  (* Full-precision product carries 2*frac fractional bits; shift back
+     with rounding toward nearest. Wide specs can overflow the native
+     product, in which case the result saturates with the true sign. *)
+  let isp = int_spec s in
+  match Ap_int.checked_mul a b with
+  | Some p -> Ap_int.clamp isp (round_shift p s.frac)
+  | None -> if (a > 0) = (b > 0) then Ap_int.max_value isp else Ap_int.min_value isp
 
 let abs_diff s a b =
   let d = a - b in

@@ -12,9 +12,13 @@ type spec = { width : int; frac : int }
 
 val spec : width:int -> frac:int -> spec
 
+val int_spec : spec -> Ap_int.spec
+(** The raw-integer range of the stored value: [Ap_int.spec width]. *)
+
 val of_float : spec -> float -> int
 (** Quantize to the nearest representable raw value (round half away from
-    zero), saturating at the width bounds. *)
+    zero), saturating at the width bounds. Infinities saturate to the
+    spec's min/max; NaN raises [Invalid_argument]. *)
 
 val to_float : spec -> int -> float
 
@@ -22,7 +26,9 @@ val add : spec -> int -> int -> int
 val sub : spec -> int -> int -> int
 
 val mul : spec -> int -> int -> int
-(** Full product re-scaled by [2^frac] (nearest), then saturated. *)
+(** Full product re-scaled by [2^frac] (nearest), then saturated. The
+    raw product is overflow-checked ({!Ap_int.checked_mul}), so wide
+    specs saturate instead of wrapping through the native int. *)
 
 val abs_diff : spec -> int -> int -> int
 (** |a - b|, saturated — the Manhattan-distance primitive of DTW. *)

@@ -15,7 +15,22 @@ let clamp s x =
 
 let add s a b = clamp s (a + b)
 let sub s a b = clamp s (a - b)
-let mul s a b = clamp s (a * b)
+
+let checked_mul a b =
+  (* Width-62 operands reach |a| up to 2^61, so the native product can
+     wrap OCaml's 63-bit int; detect the wrap with the division check
+     (guarding the min_int / -1 case, which itself wraps). *)
+  if a = 0 || b = 0 then Some 0
+  else if (a = -1 && b = min_int) || (b = -1 && a = min_int) then None
+  else
+    let p = a * b in
+    if p / b = a then Some p else None
+
+let mul s a b =
+  match checked_mul a b with
+  | Some p -> clamp s p
+  | None -> if (a > 0) = (b > 0) then max_value s else min_value s
+
 let neg s a = clamp s (-a)
 let of_int = clamp
 

@@ -19,7 +19,17 @@ val clamp : spec -> int -> int
 
 val add : spec -> int -> int -> int
 val sub : spec -> int -> int -> int
+
 val mul : spec -> int -> int -> int
+(** Saturating multiply. The product is computed overflow-checked on the
+    native int (width-62 operands can wrap 63-bit OCaml ints), so a wrap
+    saturates to the spec bound of the product's true sign instead of
+    clamping a wrong-sign wrapped value. *)
+
+val checked_mul : int -> int -> int option
+(** Native-int product, [None] when it would overflow the 63-bit range.
+    Building block for wider fixed-point pipelines ({!Ap_fixed.mul}). *)
+
 val neg : spec -> int -> int
 
 val of_int : spec -> int -> int

@@ -9,6 +9,40 @@ let iso_cost ~throughput ~cost_per_hour ~reference_cost_per_hour =
   if cost_per_hour <= 0.0 then invalid_arg "Throughput.iso_cost";
   throughput *. reference_cost_per_hour /. cost_per_hour
 
+type band_run = {
+  mode : string;
+  width : int option;
+  threshold : int option;
+  score : int;
+  cells_computed : int;
+  total_cells : int;
+  device_cycles : int;
+  wall_ns : float;
+}
+
+let cells_fraction r =
+  if r.total_cells <= 0 then invalid_arg "Throughput.cells_fraction";
+  float_of_int r.cells_computed /. float_of_int r.total_cells
+
+let band_json runs =
+  let buf = Buffer.create 512 in
+  let opt_int = function None -> "null" | Some v -> string_of_int v in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  {\"mode\": %S, \"width\": %s, \"threshold\": %s, \"score\": %d, \
+            \"cells_computed\": %d, \"total_cells\": %d, \"cells_fraction\": \
+            %.6f, \"device_cycles\": %d, \"wall_ns\": %.0f}"
+           r.mode (opt_int r.width) (opt_int r.threshold) r.score
+           r.cells_computed r.total_cells (cells_fraction r) r.device_cycles
+           r.wall_ns))
+    runs;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
 type scaling_point = {
   workers : int;
   measured_speedup : float;

@@ -15,6 +15,26 @@ val iso_cost :
 (** Normalize a baseline's throughput to the reference instance's price
     (the paper's iso-cost comparison: F1 at $1.65/h). *)
 
+(** One banding-mode measurement of the same alignment workload, as
+    reported by the benchmark harness: how many DP cells the band let
+    the engine compute, at what score, and how long it took. *)
+type band_run = {
+  mode : string;            (** "none" | "fixed" | "adaptive" *)
+  width : int option;       (** band half-width, None for "none" *)
+  threshold : int option;   (** adaptive score-drop threshold *)
+  score : int;
+  cells_computed : int;     (** PE fires = in-band cells *)
+  total_cells : int;        (** qry_len * ref_len *)
+  device_cycles : int;
+  wall_ns : float;          (** host wall-clock for the run *)
+}
+
+val cells_fraction : band_run -> float
+(** [cells_computed / total_cells]; raises on [total_cells <= 0]. *)
+
+val band_json : band_run list -> string
+(** Renders the runs as a JSON array (the BENCH_2.json payload). *)
+
 (** Measured-vs-modeled N_K scaling: how the wall-clock speedups that
     {!Pool} actually achieves line up against the paper's analytical
     model, in which N_K channels scale throughput linearly. *)

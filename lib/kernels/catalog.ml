@@ -114,6 +114,30 @@ let all =
       ~modifications:"Sequence Alphabet and Scoring"
       ~optimal:{ n_pe = 32; n_b = 8; n_k = 5 }
       ~default_len:256 ~gen:K15_protein_local.gen;
+    (* Adaptive-band variants of #11-#13 (§2.2.4's second band shape):
+       the same PEs under the wavefront-best-cell band. *)
+    entry
+      (Registry.Packed
+         (K11_banded_global_linear.kernel_adaptive, K11_banded_global_linear.default))
+      ~alphabet:"DNA" ~tools:"BLAST, Bowtie" ~application:"Fast Similarity Search"
+      ~modifications:"Scoring, Initialization and Adaptive Banding"
+      ~optimal:{ n_pe = 64; n_b = 8; n_k = 7 }
+      ~default_len:256 ~gen:K11_banded_global_linear.gen_drift;
+    entry
+      (Registry.Packed
+         (K12_banded_local_affine.kernel_adaptive, K12_banded_local_affine.default))
+      ~alphabet:"DNA" ~tools:"Minimap2" ~application:"Long Read Assembly"
+      ~modifications:"Initialization, Adaptive Banding (no Traceback)"
+      ~optimal:{ n_pe = 16; n_b = 16; n_k = 7 }
+      ~default_len:256 ~gen:K11_banded_global_linear.gen_drift;
+    entry
+      (Registry.Packed
+         ( K13_banded_global_two_piece.kernel_adaptive,
+           K13_banded_global_two_piece.default ))
+      ~alphabet:"DNA" ~tools:"Minimap2" ~application:"Long Read Assembly"
+      ~modifications:"Scoring, Initialization, Traceback and Adaptive Banding"
+      ~optimal:{ n_pe = 16; n_b = 8; n_k = 7 }
+      ~default_len:256 ~gen:K11_banded_global_linear.gen_drift;
   ]
 
 let find id =

@@ -1,4 +1,5 @@
-(** The Table 1 catalog: all 15 kernels with their metadata, workload
+(** The kernel catalog: the 15 Table 1 kernels plus the adaptive-band
+    variants of #11-#13 (ids 16-18), with their metadata, workload
     generators and the optimal (N_PE, N_B, N_K) configurations the paper
     reports in Table 2. *)
 
@@ -20,10 +21,10 @@ type entry = {
 }
 
 val all : entry list
-(** The 15 kernels in Table 1 order. *)
+(** The 15 Table 1 kernels in order, then the adaptive variants 16-18. *)
 
 val find : int -> entry
-(** Lookup by Table 1 kernel number; raises [Not_found]. *)
+(** Lookup by catalog kernel number; raises [Not_found]. *)
 
 val find_by_name : string -> entry
 

@@ -319,7 +319,7 @@ let protein_bindings (p : K15_protein_local.params) =
     tables = [ ("matrix", p.matrix) ];
   }
 
-let cell_for id =
+let rec cell_for id =
   match id with
   | 1 -> (linear_global_cell, linear_bindings K01_global_linear.default)
   | 2 -> (affine_cell ~local:false, affine_bindings K02_global_affine.default)
@@ -368,4 +368,9 @@ let cell_for id =
   | 13 -> (two_piece_cell, two_piece_bindings_k13 K13_banded_global_two_piece.default)
   | 14 -> (sdtw_cell, { params = []; tables = [] })
   | 15 -> (protein_cell, protein_bindings K15_protein_local.default)
+  (* the adaptive-banded variants share their fixed-band kernel's
+     datapath: banding changes wavefront sequencing, not the PE *)
+  | 16 -> cell_for 11
+  | 17 -> cell_for 12
+  | 18 -> cell_for 13
   | _ -> raise Not_found

@@ -7,8 +7,9 @@
     operator counts cross-check the kernels' declared resource traits. *)
 
 val cell_for : int -> Dphls_core.Datapath.cell * Dphls_core.Datapath.bindings
-(** Datapath and default-parameter bindings for a Table 1 kernel id.
-    Raises [Not_found] for unknown ids. *)
+(** Datapath and default-parameter bindings for a catalog kernel id
+    (Table 1 ids 1-15 plus the adaptive-band variants 16-18, which share
+    the datapaths of 11-13). Raises [Not_found] for unknown ids. *)
 
 val select_first_best :
   objective:Dphls_util.Score.objective ->

@@ -49,7 +49,35 @@ let kernel_with ~bandwidth =
 
 let kernel = kernel_with ~bandwidth:default_bandwidth
 
+let adaptive_with ~bandwidth ~threshold =
+  {
+    (kernel_with ~bandwidth) with
+    Kernel.id = 16;
+    name = "adaptive-global-linear";
+    description = "Adaptive-banded global linear alignment";
+    banding = Some (Banding.adaptive ~threshold bandwidth);
+  }
+
+let kernel_adaptive =
+  adaptive_with ~bandwidth:default_bandwidth ~threshold:Banding.default_threshold
+
 let gen rng ~len =
   let reference = Dphls_alphabet.Dna.random rng len in
   let query = Dphls_seqgen.Dna_gen.mutate_point rng reference ~rate:0.08 in
+  Workload.of_bases ~query ~reference
+
+let gen_drift rng ~len =
+  (* indel-rich read so the optimal path drifts off the main diagonal;
+     equal lengths keep the bottom-right corner reachable by any band *)
+  let reference = Dphls_alphabet.Dna.random rng len in
+  let reads =
+    Dphls_seqgen.Read_sim.simulate rng ~genome:reference
+      ~profile:(Dphls_seqgen.Read_sim.scaled Dphls_seqgen.Read_sim.pacbio_30 0.15)
+      ~read_length:len ~count:1
+  in
+  let raw = (List.hd reads).Dphls_seqgen.Read_sim.sequence in
+  let query =
+    if Array.length raw >= len then Array.sub raw 0 len
+    else Array.append raw (Array.sub reference 0 (len - Array.length raw))
+  in
   Workload.of_bases ~query ~reference

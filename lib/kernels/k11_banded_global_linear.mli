@@ -14,5 +14,17 @@ val kernel : params Dphls_core.Kernel.t
 
 val kernel_with : bandwidth:int -> params Dphls_core.Kernel.t
 
+val adaptive_with :
+  bandwidth:int -> threshold:int -> params Dphls_core.Kernel.t
+(** Kernel #16 — the same recurrence under an adaptive band that follows
+    the wavefront-best cell ({!Dphls_core.Banding.adaptive}). *)
+
+val kernel_adaptive : params Dphls_core.Kernel.t
+(** #16 at {!default_bandwidth} and the default drop-off threshold. *)
+
 val gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t
 (** Equal-length, low-error pair so the optimal path stays in band. *)
+
+val gen_drift : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t
+(** Equal-length pair with simulated-read indels, so the optimal path
+    drifts off the main diagonal — the workload adaptive bands track. *)

@@ -40,4 +40,16 @@ let kernel_with ~bandwidth =
 
 let kernel = kernel_with ~bandwidth:default_bandwidth
 
+let adaptive_with ~bandwidth ~threshold =
+  {
+    (kernel_with ~bandwidth) with
+    Kernel.id = 17;
+    name = "adaptive-local-affine";
+    description = "Adaptive-banded local affine alignment, score only";
+    banding = Some (Banding.adaptive ~threshold bandwidth);
+  }
+
+let kernel_adaptive =
+  adaptive_with ~bandwidth:default_bandwidth ~threshold:Banding.default_threshold
+
 let gen = K11_banded_global_linear.gen

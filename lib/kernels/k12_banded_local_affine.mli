@@ -17,4 +17,12 @@ val default : params
 val default_bandwidth : int
 val kernel : params Dphls_core.Kernel.t
 val kernel_with : bandwidth:int -> params Dphls_core.Kernel.t
+
+val adaptive_with :
+  bandwidth:int -> threshold:int -> params Dphls_core.Kernel.t
+(** Kernel #17 — the same recurrence under the adaptive
+    wavefront-best-cell band. *)
+
+val kernel_adaptive : params Dphls_core.Kernel.t
+
 val gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t

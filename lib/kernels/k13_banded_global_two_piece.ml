@@ -49,4 +49,16 @@ let kernel_with ~bandwidth =
 
 let kernel = kernel_with ~bandwidth:default_bandwidth
 
+let adaptive_with ~bandwidth ~threshold =
+  {
+    (kernel_with ~bandwidth) with
+    Kernel.id = 18;
+    name = "adaptive-global-two-piece";
+    description = "Adaptive-banded global two-piece affine alignment";
+    banding = Some (Banding.adaptive ~threshold bandwidth);
+  }
+
+let kernel_adaptive =
+  adaptive_with ~bandwidth:default_bandwidth ~threshold:Banding.default_threshold
+
 let gen = K11_banded_global_linear.gen

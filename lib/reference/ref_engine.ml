@@ -6,7 +6,52 @@ type matrices = {
   pointers : int array array;
 }
 
-let fill kernel params (w : Workload.t) =
+(* The adaptive band's trajectory depends on the wavefront traversal
+   (only completed wavefronts can steer the window), so the golden
+   engine replays the systolic engine's chunked anti-diagonal order —
+   chunks of [band_pe] query rows, within a chunk wavefront [w] holds
+   cells (r0 + k, w - k). Anti-diagonal order respects all DP
+   dependencies, so the scores are identical to a row-major fill; only
+   the pruning decisions need the shared ordering. *)
+let fill_adaptive kernel params (w : Workload.t) ~band ~band_pe ~qry_len ~ref_len
+    ~scores ~pointers =
+  let tracker =
+    Banding.Tracker.create band ~objective:kernel.Kernel.objective
+      ~chunk_rows:band_pe ~qry_len ~ref_len
+  in
+  let in_band ~row ~col = Banding.Tracker.member tracker ~row ~col in
+  let read ~row ~col ~layer = scores.(layer).(row).(col) in
+  let grid = Grid.create ~in_band kernel params ~qry_len ~ref_len ~read in
+  let pe = kernel.Kernel.pe params in
+  let n_chunks = (qry_len + band_pe - 1) / band_pe in
+  for chunk = 0 to n_chunks - 1 do
+    Banding.Tracker.start_chunk tracker ~chunk;
+    let r0 = chunk * band_pe in
+    let r1 = min (r0 + band_pe - 1) (qry_len - 1) in
+    for wavefront = 0 to r1 - r0 + ref_len - 1 do
+      for k = 0 to r1 - r0 do
+        let row = r0 + k and col = wavefront - k in
+        if col >= 0 && col < ref_len && Banding.Tracker.decide tracker ~row ~col
+        then begin
+          let input =
+            Grid.pe_input grid ~query:w.query ~reference:w.reference ~row ~col
+          in
+          let out = pe input in
+          if Array.length out.Pe.scores <> kernel.Kernel.n_layers then
+            invalid_arg "Ref_engine: PE returned wrong layer count";
+          for layer = 0 to kernel.Kernel.n_layers - 1 do
+            scores.(layer).(row).(col) <- out.Pe.scores.(layer)
+          done;
+          pointers.(row).(col) <- out.Pe.tb;
+          Banding.Tracker.observe tracker ~row ~col ~score:out.Pe.scores.(0)
+        end
+      done;
+      Banding.Tracker.end_wavefront tracker
+    done
+  done;
+  (Banding.Tracker.cells_computed tracker, in_band)
+
+let fill ?band_pe kernel params (w : Workload.t) =
   let qry_len = Array.length w.query and ref_len = Array.length w.reference in
   if qry_len < 1 || ref_len < 1 then invalid_arg "Ref_engine: empty sequence";
   let worst = Score.worst_value kernel.Kernel.objective in
@@ -15,32 +60,50 @@ let fill kernel params (w : Workload.t) =
         Array.make_matrix qry_len ref_len worst)
   in
   let pointers = Array.make_matrix qry_len ref_len 0 in
-  let read ~row ~col ~layer = scores.(layer).(row).(col) in
-  let grid = Grid.create kernel params ~qry_len ~ref_len ~read in
-  let pe = kernel.Kernel.pe params in
-  let cells = ref 0 in
-  for row = 0 to qry_len - 1 do
-    for col = 0 to ref_len - 1 do
-      if Banding.in_band kernel.Kernel.banding ~row ~col then begin
-        let input = Grid.pe_input grid ~query:w.query ~reference:w.reference ~row ~col in
-        let out = pe input in
-        if Array.length out.Pe.scores <> kernel.Kernel.n_layers then
-          invalid_arg "Ref_engine: PE returned wrong layer count";
-        for layer = 0 to kernel.Kernel.n_layers - 1 do
-          scores.(layer).(row).(col) <- out.Pe.scores.(layer)
-        done;
-        pointers.(row).(col) <- out.Pe.tb;
-        incr cells
-      end
-    done
-  done;
-  (scores, pointers, !cells, qry_len, ref_len)
+  match kernel.Kernel.banding with
+  | Some (Banding.Adaptive _ as band) ->
+    let band_pe =
+      match band_pe with
+      | Some n ->
+        if n < 1 then invalid_arg "Ref_engine: band_pe must be >= 1";
+        n
+      | None -> qry_len (* one chunk: the ideal full-height wavefront *)
+    in
+    let cells, in_band =
+      fill_adaptive kernel params w ~band ~band_pe ~qry_len ~ref_len ~scores
+        ~pointers
+    in
+    (scores, pointers, cells, qry_len, ref_len, in_band)
+  | (Some (Banding.Fixed _) | None) as banding ->
+    let in_band ~row ~col = Banding.in_band banding ~row ~col in
+    let read ~row ~col ~layer = scores.(layer).(row).(col) in
+    let grid = Grid.create kernel params ~qry_len ~ref_len ~read in
+    let pe = kernel.Kernel.pe params in
+    let cells = ref 0 in
+    for row = 0 to qry_len - 1 do
+      for col = 0 to ref_len - 1 do
+        if in_band ~row ~col then begin
+          let input =
+            Grid.pe_input grid ~query:w.query ~reference:w.reference ~row ~col
+          in
+          let out = pe input in
+          if Array.length out.Pe.scores <> kernel.Kernel.n_layers then
+            invalid_arg "Ref_engine: PE returned wrong layer count";
+          for layer = 0 to kernel.Kernel.n_layers - 1 do
+            scores.(layer).(row).(col) <- out.Pe.scores.(layer)
+          done;
+          pointers.(row).(col) <- out.Pe.tb;
+          incr cells
+        end
+      done
+    done;
+    (scores, pointers, !cells, qry_len, ref_len, in_band)
 
-let result_of kernel params (w : Workload.t) scores pointers cells qry_len ref_len =
+let result_of kernel params scores pointers cells qry_len ref_len ~in_band =
   let score_at ~row ~col = scores.(0).(row).(col) in
   let start_cell, score =
     Score_site.find ~objective:kernel.Kernel.objective ~rule:kernel.Kernel.score_site
-      ~banding:kernel.Kernel.banding ~score_at ~qry_len ~ref_len
+      ~in_band ~score_at ~qry_len ~ref_len
   in
   match kernel.Kernel.traceback params with
   | None ->
@@ -57,7 +120,6 @@ let result_of kernel params (w : Workload.t) scores pointers cells qry_len ref_l
       Walker.walk ~fsm:spec.Traceback.fsm ~stop:spec.Traceback.stop ~ptr_at
         ~start:start_cell ~qry_len ~ref_len
     in
-    ignore w;
     {
       Result.score;
       start_cell = Some start_cell;
@@ -66,11 +128,17 @@ let result_of kernel params (w : Workload.t) scores pointers cells qry_len ref_l
       cells_computed = cells;
     }
 
-let run_full kernel params w =
-  let scores, pointers, cells, qry_len, ref_len = fill kernel params w in
-  let result = result_of kernel params w scores pointers cells qry_len ref_len in
+let run_full ?band_pe kernel params w =
+  let scores, pointers, cells, qry_len, ref_len, in_band =
+    fill ?band_pe kernel params w
+  in
+  let result = result_of kernel params scores pointers cells qry_len ref_len ~in_band in
   (result, { scores; pointers })
 
-let run kernel params w = fst (run_full kernel params w)
+let run ?band_pe kernel params w = fst (run_full ?band_pe kernel params w)
 
-let score_only kernel params w = (run kernel params w).Result.score
+let score_only ?band_pe kernel params w = (run ?band_pe kernel params w).Result.score
+
+let band_map ?band_pe kernel params w =
+  let _, _, _, _, _, in_band = fill ?band_pe kernel params w in
+  in_band

@@ -1,10 +1,19 @@
 (** Golden full-matrix DP engine.
 
-    Fills the whole DP matrix in row-major order with O(q*r) memory and
-    runs the kernel's traceback FSM over the stored pointers. This is the
-    correctness oracle for the systolic engine (the paper's C-simulation
+    Fills the whole DP matrix with O(q*r) memory and runs the kernel's
+    traceback FSM over the stored pointers. This is the correctness
+    oracle for the systolic engine (the paper's C-simulation
     verification step) and the computational body of the SeqAn3-like CPU
-    baseline. *)
+    baseline.
+
+    Unbanded and fixed-band kernels fill row-major. Adaptive-band
+    kernels replay the systolic engine's chunked anti-diagonal traversal
+    (chunks of [band_pe] query rows), because the adaptive window is
+    steered by completed wavefronts and therefore depends on the array
+    height: pass the systolic run's N_PE as [band_pe] to prune exactly
+    the same cells. The default ([band_pe] = query length) is the
+    canonical single-chunk, full-height wavefront. [band_pe] is ignored
+    for non-adaptive kernels. *)
 
 type matrices = {
   scores : Dphls_core.Types.score array array array;
@@ -13,14 +22,26 @@ type matrices = {
 }
 
 val run :
+  ?band_pe:int ->
   'p Dphls_core.Kernel.t -> 'p -> Dphls_core.Workload.t -> Dphls_core.Result.t
 (** Align one pair. Raises [Invalid_argument] on empty sequences. *)
 
 val run_full :
+  ?band_pe:int ->
   'p Dphls_core.Kernel.t -> 'p -> Dphls_core.Workload.t ->
   Dphls_core.Result.t * matrices
 (** Same, also exposing the filled matrices (debugging, tests). *)
 
 val score_only :
+  ?band_pe:int ->
   'p Dphls_core.Kernel.t -> 'p -> Dphls_core.Workload.t -> Dphls_core.Types.score
 (** Objective value without materializing a result record. *)
+
+val band_map :
+  ?band_pe:int ->
+  'p Dphls_core.Kernel.t -> 'p -> Dphls_core.Workload.t ->
+  (row:int -> col:int -> bool)
+(** Band membership this engine would compute for the workload — the
+    static predicate for [None]/[Fixed] banding, the realized adaptive
+    window (at [band_pe]) otherwise. Used by trace checkers to predict
+    exactly which cells the systolic engine fires. *)

@@ -59,17 +59,39 @@ let run ?(trace = Trace.create ~enabled:false) config kernel params (w : Workloa
   let schedule = Schedule.create ~n_pe ~qry_len ~ref_len in
   let tb_spec = kernel.Kernel.traceback params in
   let tb_mem = Tb_memory.create schedule in
+  (* Adaptive bands carry per-wavefront state: the tracker decides each
+     cell as its wavefront retires and remembers the decisions so later
+     neighbour reads see the same membership. Static bands keep the pure
+     predicate. *)
+  let band_tracker =
+    match banding with
+    | Some (Banding.Adaptive _ as b) ->
+      Some
+        (Banding.Tracker.create b ~objective ~chunk_rows:n_pe ~qry_len ~ref_len)
+    | Some (Banding.Fixed _) | None -> None
+  in
+  let in_band =
+    (* membership of already-decided cells (neighbour reads) *)
+    match band_tracker with
+    | Some tr -> fun ~row ~col -> Banding.Tracker.member tr ~row ~col
+    | None -> fun ~row ~col -> Banding.in_band banding ~row ~col
+  in
+  let decide =
+    (* membership of the cell being computed this wavefront *)
+    match band_tracker with
+    | Some tr -> fun ~row ~col -> Banding.Tracker.decide tr ~row ~col
+    | None -> in_band
+  in
   (* Border (virtual row/column -1) values come from the kernel's init
      functions via the shared Grid logic; the [read] callback is never
      reached because we only query virtual coordinates. *)
   let grid =
-    Grid.create kernel params ~qry_len ~ref_len ~read:(fun ~row:_ ~col:_ ~layer:_ ->
-        assert false)
+    Grid.create ~in_band kernel params ~qry_len ~ref_len
+      ~read:(fun ~row:_ ~col:_ ~layer:_ -> assert false)
   in
   let border ~row ~col =
     Array.init n_layers (fun layer -> Grid.neighbor grid ~row ~col ~layer)
   in
-  let in_band ~row ~col = Banding.in_band banding ~row ~col in
   (* Preserved Row Score Buffer: outputs of each chunk's last row, tagged
      with the chunk that wrote them so stale entries are never consumed. *)
   let preserved = Array.make ref_len worst_layers in
@@ -88,8 +110,12 @@ let run ?(trace = Trace.create ~enabled:false) config kernel params (w : Workloa
   in
   let fires = ref 0 in
   let slots = ref 0 in
+  let active_wf = ref 0 in
   (* Wavefront registers: each PE's outputs at the previous one and two
-     wavefronts, and PE 0's remembered up-input (its diag source). *)
+     wavefronts, and PE 0's remembered up-input (its diag source),
+     tagged with the column it belongs to — adaptive bands can make a
+     row's membership non-contiguous, so a stale register must fall back
+     to the preserved-row buffer instead of being consumed. *)
   let w1 = Array.make n_pe None in
   let w2 = Array.make n_pe None in
   let pe0_prev_up = ref None in
@@ -104,17 +130,21 @@ let run ?(trace = Trace.create ~enabled:false) config kernel params (w : Workloa
     Array.fill w1 0 n_pe None;
     Array.fill w2 0 n_pe None;
     pe0_prev_up := None;
+    (match band_tracker with
+    | Some tr -> Banding.Tracker.start_chunk tr ~chunk
+    | None -> ());
     match Schedule.active_wavefronts schedule ~banding ~chunk with
     | None -> ()
     | Some (wf_lo, wf_hi) ->
       for wavefront = wf_lo to wf_hi do
         let new_out = Array.make n_pe None in
         let pe0_up_now = ref None in
+        let fires_before = !fires in
         for pe = 0 to n_pe - 1 do
           incr slots;
           match Schedule.cell_of schedule ~chunk ~pe ~wavefront with
           | None -> ()
-          | Some { Types.row; col } when in_band ~row ~col ->
+          | Some { Types.row; col } when decide ~row ~col ->
             let up =
               if pe = 0 then
                 if row = 0 then border ~row:(-1) ~col
@@ -128,8 +158,8 @@ let run ?(trace = Trace.create ~enabled:false) config kernel params (w : Workloa
                 else if not (in_band ~row:(row - 1) ~col:(col - 1)) then worst_layers
                 else begin
                   match !pe0_prev_up with
-                  | Some scores -> scores
-                  | None ->
+                  | Some (up_col, scores) when up_col = col - 1 -> scores
+                  | Some _ | None ->
                     (* PE 0 skipped (row, col-1) as out-of-band, so its
                        up-read there never happened; the previous row's
                        value is still live in the preserved buffer. *)
@@ -148,7 +178,11 @@ let run ?(trace = Trace.create ~enabled:false) config kernel params (w : Workloa
             if Array.length out.Pe.scores <> n_layers then
               invalid_arg "Systolic.Engine: PE returned wrong layer count";
             new_out.(pe) <- Some out.Pe.scores;
-            if pe = 0 then pe0_up_now := Some up;
+            if pe = 0 then pe0_up_now := Some (col, up);
+            (match band_tracker with
+            | Some tr ->
+              Banding.Tracker.observe tr ~row ~col ~score:out.Pe.scores.(0)
+            | None -> ());
             if Option.is_some tb_spec then Tb_memory.write tb_mem ~row ~col out.Pe.tb;
             if row = (chunk * n_pe) + n_pe - 1 || row = qry_len - 1 then begin
               (* last row of the chunk feeds the next chunk's PE 0 *)
@@ -166,7 +200,11 @@ let run ?(trace = Trace.create ~enabled:false) config kernel params (w : Workloa
         done;
         Array.blit w1 0 w2 0 n_pe;
         Array.blit new_out 0 w1 0 n_pe;
-        (match !pe0_up_now with Some _ as v -> pe0_prev_up := v | None -> ())
+        (match !pe0_up_now with Some _ as v -> pe0_prev_up := v | None -> ());
+        (match band_tracker with
+        | Some tr -> Banding.Tracker.end_wavefront tr
+        | None -> ());
+        if !fires > fires_before then incr active_wf
       done
   done;
   (* Reduction over per-PE local bests (§5.2). *)
@@ -206,11 +244,19 @@ let run ?(trace = Trace.create ~enabled:false) config kernel params (w : Workloa
         },
         outcome.Walker.steps )
   in
+  let compute_cycles =
+    match banding with
+    | Some (Banding.Adaptive _) ->
+      (* The hardware only sequences wavefronts with at least one live
+         PE; the static schedule cannot know which, so count them here. *)
+      !active_wf * kernel.Kernel.traits.Traits.ii
+    | Some (Banding.Fixed _) | None ->
+      Schedule.compute_cycles schedule ~banding ~ii:kernel.Kernel.traits.Traits.ii
+  in
   let cycles =
     assemble_cycles
       ~prologue:(Schedule.prologue_cycles schedule)
-      ~compute:
-        (Schedule.compute_cycles schedule ~banding ~ii:kernel.Kernel.traits.Traits.ii)
+      ~compute:compute_cycles
       ~reduction:(Schedule.reduction_cycles schedule)
       ~traceback:tb_steps
       ~fill:(Schedule.pipeline_fill_cycles schedule)

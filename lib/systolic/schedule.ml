@@ -39,8 +39,11 @@ let active_wavefronts t ~banding ~chunk =
   let r0 = chunk * t.n_pe in
   let r1 = min (r0 + t.n_pe - 1) (t.qry_len - 1) in
   match banding with
-  | None -> Some (0, r1 - r0 + t.ref_len - 1)
-  | Some { Banding.width } ->
+  | None | Some (Banding.Adaptive _) ->
+    (* Adaptive bands are decided at run time, so the static schedule
+       sequences every wavefront; the engine reports the dynamic count. *)
+    Some (0, r1 - r0 + t.ref_len - 1)
+  | Some (Banding.Fixed { width }) ->
     let lo = ref max_int and hi = ref min_int in
     for row = r0 to r1 do
       let col_lo = max 0 (row - width) in

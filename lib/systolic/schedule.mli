@@ -35,10 +35,13 @@ val active_wavefronts :
 (** Inclusive wavefront range during which at least one PE of the chunk
     has an in-band, in-range cell; [None] if the chunk is fully pruned.
     The hardware only sequences these wavefronts, which is how banding
-    (#11-#13) reduces latency. *)
+    (#11-#13) reduces latency. [Adaptive] bands are decided per
+    wavefront at run time, so the static range is the full unbanded one
+    and {!Engine.run} reports the dynamically active count instead. *)
 
 val compute_cycles : t -> banding:Dphls_core.Banding.t option -> ii:int -> int
-(** Scoring-stage cycles: sum over chunks of active wavefronts x II. *)
+(** Scoring-stage cycles: sum over chunks of active wavefronts x II.
+    For [Adaptive] banding this is the static (unbanded) upper bound. *)
 
 val prologue_cycles : t -> int
 (** Sequential query-load plus init-buffer writes (init row/col written

@@ -27,7 +27,7 @@ let commit_prefix path ~limit =
   in
   go [] 0 0 path
 
-let align config ~run ~query ~reference =
+let align ?band config ~run ~query ~reference =
   if config.overlap <= 0 || config.overlap >= config.tile then
     invalid_arg "Tiling.align: need 0 < overlap < tile";
   let qlen = Array.length query and rlen = Array.length reference in
@@ -45,7 +45,7 @@ let align config ~run ~query ~reference =
         Workload.of_seqs ~query:(Array.sub query qi tq)
           ~reference:(Array.sub reference ri tr)
       in
-      let result, cost = run w in
+      let result, cost = run ~band w in
       let final = qi + tq >= qlen && ri + tr >= rlen in
       if final then
         go (qi + tq) (ri + tr)

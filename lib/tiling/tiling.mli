@@ -24,12 +24,23 @@ type outcome = {
 }
 
 val align :
+  ?band:Dphls_core.Banding.t ->
   config ->
-  run:(Dphls_core.Workload.t -> Dphls_core.Result.t * int) ->
+  run:
+    (band:Dphls_core.Banding.t option ->
+    Dphls_core.Workload.t ->
+    Dphls_core.Result.t * int) ->
   query:Dphls_core.Types.seq ->
   reference:Dphls_core.Types.seq ->
   outcome
 (** [run] executes a global-alignment kernel on one tile and returns the
     result plus its cycle cost (0 if unknown). Requires [0 < overlap <
     tile]. Progress is guaranteed: each non-final tile commits at least
-    one character on at least one side. *)
+    one character on at least one side.
+
+    [?band] is forwarded verbatim to [run] on every tile: since tiles
+    never exceed [tile] characters per side, a per-tile band (fixed or
+    adaptive, see {!Dphls_core.Banding}) composes with tiling into a
+    GACT-style banded long-read aligner. [run] is expected to override
+    its kernel's [banding] field with the given band when it is [Some].
+    Default [None] keeps the kernel's own banding. *)

@@ -10,8 +10,8 @@ let () =
       for trial = 1 to 25 do
         let len = 8 + Dphls_util.Rng.int rng 56 in
         let w = e.Dphls_kernels.Catalog.gen rng ~len in
-        let ref_res = Dphls_reference.Ref_engine.run k p w in
         let n_pe = 1 + Dphls_util.Rng.int rng 16 in
+        let ref_res = Dphls_reference.Ref_engine.run ~band_pe:n_pe k p w in
         let cfg = Dphls_systolic.Config.create ~n_pe in
         let sys_res, _ = Dphls_systolic.Engine.run cfg k p w in
         if not (Result.equal_alignment ref_res sys_res) then begin

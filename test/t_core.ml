@@ -20,6 +20,47 @@ let test_banding () =
     (Invalid_argument "Banding.fixed: width must be >= 1") (fun () ->
       ignore (Banding.fixed 0))
 
+let test_banding_adaptive () =
+  let a = Banding.adaptive ~threshold:7 3 in
+  Alcotest.(check int) "width accessor" 3 (Banding.width a);
+  Alcotest.(check int) "fixed width accessor" 5 (Banding.width (Banding.fixed 5));
+  (match Banding.adaptive 4 with
+  | Banding.Adaptive { width; threshold } ->
+    Alcotest.(check int) "default width kept" 4 width;
+    Alcotest.(check int) "default threshold" Banding.default_threshold threshold
+  | Banding.Fixed _ -> Alcotest.fail "adaptive built a Fixed band");
+  Alcotest.check_raises "adaptive width 0 invalid"
+    (Invalid_argument "Banding.adaptive: width must be >= 1") (fun () ->
+      ignore (Banding.adaptive 0));
+  Alcotest.check_raises "negative threshold invalid"
+    (Invalid_argument "Banding.adaptive: threshold must be >= 0") (fun () ->
+      ignore (Banding.adaptive ~threshold:(-1) 4));
+  (* static membership is undefined for adaptive bands: the window is a
+     run-time quantity, so the predicate must refuse, not guess *)
+  Alcotest.(check bool) "in_band refuses adaptive" true
+    (try
+       ignore (Banding.in_band (Some a) ~row:0 ~col:0);
+       false
+     with Invalid_argument _ -> true);
+  (* the adaptive envelope equals the fixed band of the same width *)
+  Alcotest.(check int) "envelope = fixed cells"
+    (Banding.cells_in_band (Some (Banding.fixed 3)) ~qry_len:9 ~ref_len:7)
+    (Banding.cells_in_band (Some a) ~qry_len:9 ~ref_len:7)
+
+let prop_cells_in_band_matches_loop =
+  QCheck.Test.make ~name:"cells_in_band equals nested-loop oracle" ~count:300
+    QCheck.(triple (int_range 1 40) (int_range 1 40) (int_range 1 50))
+    (fun (q, r, width) ->
+      let counted = ref 0 in
+      for row = 0 to q - 1 do
+        for col = 0 to r - 1 do
+          if abs (row - col) <= width then incr counted
+        done
+      done;
+      Banding.cells_in_band (Some (Banding.fixed width)) ~qry_len:q ~ref_len:r
+      = !counted
+      && Banding.cells_in_band None ~qry_len:q ~ref_len:r = q * r)
+
 let test_best_cell_tie_break () =
   let t = Traceback.Best_cell.create Score.Maximize in
   Traceback.Best_cell.observe t { Types.row = 3; col = 1 } 10;
@@ -197,8 +238,8 @@ let test_registry_all_valid () =
   List.iter
     (fun (e : Dphls_kernels.Catalog.entry) -> Registry.validate e.packed)
     Dphls_kernels.Catalog.all;
-  Alcotest.(check int) "15 kernels" 15 (List.length Dphls_kernels.Catalog.all);
-  Alcotest.(check (list int)) "ids 1..15" (List.init 15 (fun i -> i + 1))
+  Alcotest.(check int) "18 kernels" 18 (List.length Dphls_kernels.Catalog.all);
+  Alcotest.(check (list int)) "ids 1..18" (List.init 18 (fun i -> i + 1))
     Dphls_kernels.Catalog.ids
 
 let test_registry_lookup () =
@@ -236,7 +277,8 @@ let prop_score_site_matches_exhaustive =
       let score_at ~row ~col = scores.(row).(col) in
       let cell, best =
         Score_site.find ~objective:Score.Maximize ~rule:Traceback.Global_best
-          ~banding:None ~score_at ~qry_len:q ~ref_len:r
+          ~in_band:(fun ~row:_ ~col:_ -> true)
+          ~score_at ~qry_len:q ~ref_len:r
       in
       let manual_best = ref min_int in
       Array.iter (Array.iter (fun v -> if v > !manual_best then manual_best := v)) scores;
@@ -245,6 +287,8 @@ let prop_score_site_matches_exhaustive =
 let suite =
   [
     Alcotest.test_case "banding" `Quick test_banding;
+    Alcotest.test_case "banding adaptive" `Quick test_banding_adaptive;
+    qtest prop_cells_in_band_matches_loop;
     Alcotest.test_case "best cell tie break" `Quick test_best_cell_tie_break;
     Alcotest.test_case "best cell merge" `Quick test_best_cell_merge_order_independent;
     Alcotest.test_case "best cell minimize" `Quick test_best_cell_minimize;

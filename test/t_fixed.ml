@@ -26,6 +26,55 @@ let test_bits_for () =
   Alcotest.(check int) "fits [-8,7] in 4" 4 (Ap_int.bits_for ~lo:(-8) ~hi:7).Ap_int.width;
   Alcotest.(check int) "[-9,7] needs 5" 5 (Ap_int.bits_for ~lo:(-9) ~hi:7).Ap_int.width
 
+let test_ap_int_wide_mul_saturates () =
+  (* Regression: at width 62 the native product of in-range operands
+     wraps OCaml's 63-bit int; mul must saturate instead of wrapping. *)
+  let s = Ap_int.spec 62 in
+  let big = 1 lsl 40 in
+  Alcotest.(check int) "pos*pos wraps -> max" (Ap_int.max_value s)
+    (Ap_int.mul s big big);
+  Alcotest.(check int) "neg*pos wraps -> min" (Ap_int.min_value s)
+    (Ap_int.mul s (-big) big);
+  Alcotest.(check int) "neg*neg wraps -> max" (Ap_int.max_value s)
+    (Ap_int.mul s (-big) (-big));
+  Alcotest.(check int) "min*max wraps -> min" (Ap_int.min_value s)
+    (Ap_int.mul s (Ap_int.min_value s) (Ap_int.max_value s));
+  (* in-range products are untouched *)
+  Alcotest.(check int) "small product exact" (big * 4) (Ap_int.mul s big 4)
+
+let test_checked_mul () =
+  Alcotest.(check (option int)) "zero" (Some 0) (Ap_int.checked_mul 0 max_int);
+  Alcotest.(check (option int)) "exact" (Some 12) (Ap_int.checked_mul 3 4);
+  Alcotest.(check (option int)) "overflow detected" None
+    (Ap_int.checked_mul (1 lsl 40) (1 lsl 40));
+  Alcotest.(check (option int)) "min_int * -1 wraps" None
+    (Ap_int.checked_mul min_int (-1));
+  Alcotest.(check (option int)) "-1 * min_int wraps" None
+    (Ap_int.checked_mul (-1) min_int)
+
+let test_ap_fixed_wide_mul_saturates () =
+  let s = Ap_fixed.spec ~width:62 ~frac:12 in
+  let isp = Ap_fixed.int_spec s in
+  let big = Ap_fixed.of_float s (float_of_int (1 lsl 30)) in
+  Alcotest.(check int) "wide product saturates max" (Ap_int.max_value isp)
+    (Ap_fixed.mul s big big);
+  Alcotest.(check int) "wide product saturates min" (Ap_int.min_value isp)
+    (Ap_fixed.mul s (-big) big)
+
+let test_ap_fixed_of_float_edges () =
+  let s = Ap_fixed.spec ~width:16 ~frac:8 in
+  let isp = Ap_fixed.int_spec s in
+  Alcotest.check_raises "nan rejected" (Invalid_argument "Ap_fixed.of_float: nan")
+    (fun () -> ignore (Ap_fixed.of_float s Float.nan));
+  Alcotest.(check int) "+inf saturates" (Ap_int.max_value isp)
+    (Ap_fixed.of_float s Float.infinity);
+  Alcotest.(check int) "-inf saturates" (Ap_int.min_value isp)
+    (Ap_fixed.of_float s Float.neg_infinity);
+  Alcotest.(check int) "huge finite saturates" (Ap_int.max_value isp)
+    (Ap_fixed.of_float s 1e300);
+  Alcotest.(check int) "huge negative finite saturates" (Ap_int.min_value isp)
+    (Ap_fixed.of_float s (-1e300))
+
 let prop_ap_int_always_in_range =
   QCheck.Test.make ~name:"ap_int ops stay in range" ~count:500
     QCheck.(triple (int_range 2 20) (int_range (-100000) 100000) (int_range (-100000) 100000))

@@ -255,6 +255,70 @@ let prop_batch_differential =
       in
       solo_ok && baseline_ok)
 
+(* Adaptive banding (kernels #16-#18): the band window is decided per
+   wavefront from run-time scores, so the differential oracle is the
+   strongest check we have — the golden engine replaying the systolic
+   engine's N_PE-row chunking must prune the IDENTICAL cell set and
+   produce the identical alignment. *)
+let prop_adaptive_differential id =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "adaptive kernel #%d systolic == golden (chunk-exact)" id)
+    ~count:60
+    QCheck.(pair (int_range 8 72) (int_range 1 16))
+    (fun (len, n_pe) ->
+      let e = Dphls_kernels.Catalog.find id in
+      let (Registry.Packed (k, p)) = e.packed in
+      let rng = Dphls_util.Rng.create ((id * 4099) + (len * 17) + n_pe) in
+      let w = e.Dphls_kernels.Catalog.gen rng ~len in
+      let gold = Dphls_reference.Ref_engine.run ~band_pe:n_pe k p w in
+      let sys, _ =
+        Dphls_systolic.Engine.run (Dphls_systolic.Config.create ~n_pe) k p w
+      in
+      Result.equal_alignment gold sys)
+
+(* Fixed vs adaptive score loss on a drifting long-read workload, with
+   X-Drop as the accuracy yardstick (same role as in the ablation).
+   Margins are calibrated against the default-threshold behavior: the
+   adaptive band recovers >= 85% of the unbanded optimum while computing
+   strictly fewer cells than the fixed band of the same width. *)
+let test_adaptive_score_loss () =
+  let module K11 = Dphls_kernels.K11_banded_global_linear in
+  let len = 256 and n_pe = 32 and bandwidth = 32 in
+  let rng = Dphls_util.Rng.create 2026 in
+  let w = K11.gen_drift rng ~len in
+  let p = K11.default in
+  let cfg = Dphls_systolic.Config.create ~n_pe in
+  let unbanded, _ =
+    Dphls_systolic.Engine.run cfg { K11.kernel with Kernel.banding = None } p w
+  in
+  let fixed, f_stats = Dphls_systolic.Engine.run cfg (K11.kernel_with ~bandwidth) p w in
+  let adaptive, a_stats =
+    Dphls_systolic.Engine.run cfg
+      (K11.adaptive_with ~bandwidth ~threshold:Banding.default_threshold)
+      p w
+  in
+  let query = Types.bases_of_seq w.Workload.query
+  and reference = Types.bases_of_seq w.Workload.reference in
+  let xdrop =
+    B.Xdrop.align ~match_:p.K11.match_ ~mismatch:p.mismatch ~gap_open:0
+      ~gap_extend:p.gap ~x:Banding.default_threshold ~query ~reference
+  in
+  let frac a b = float_of_int a /. float_of_int (max 1 (abs b)) in
+  Alcotest.(check bool) "fixed recovers the optimum here" true
+    (fixed.Result.score = unbanded.Result.score);
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive >= 85%% of unbanded (%d vs %d)"
+       adaptive.Result.score unbanded.Result.score)
+    true
+    (frac adaptive.Result.score unbanded.Result.score >= 0.85);
+  Alcotest.(check bool) "adaptive within x-drop's reach" true
+    (frac adaptive.Result.score xdrop.B.Xdrop.score >= 0.85);
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive computes fewer cells (%d vs %d)"
+       a_stats.Dphls_systolic.Engine.pe_fires f_stats.Dphls_systolic.Engine.pe_fires)
+    true
+    (a_stats.Dphls_systolic.Engine.pe_fires < f_stats.Dphls_systolic.Engine.pe_fires)
+
 (* Scheduler lower bounds as properties. *)
 let prop_scheduler_bounds =
   QCheck.Test.make ~name:"scheduler makespan respects lower bounds" ~count:100
@@ -297,4 +361,8 @@ let suite =
     Alcotest.test_case "two-piece FSM table" `Quick test_two_piece_fsm_table;
     qtest prop_scheduler_bounds;
     qtest prop_batch_differential;
+    qtest (prop_adaptive_differential 16);
+    qtest (prop_adaptive_differential 17);
+    qtest (prop_adaptive_differential 18);
+    Alcotest.test_case "adaptive vs fixed score loss" `Quick test_adaptive_score_loss;
   ]

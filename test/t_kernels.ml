@@ -11,7 +11,9 @@ let qtest = QCheck_alcotest.to_alcotest
 
 let run_both ?(n_pe = 8) packed w =
   let (Registry.Packed (k, p)) = packed in
-  let gold = Ref_engine.run k p w in
+  (* adaptive bands depend on the chunking, so the golden engine must
+     replay the systolic engine's N_PE-row chunks *)
+  let gold = Ref_engine.run ~band_pe:n_pe k p w in
   let sys, _ = Engine.run (Dphls_systolic.Config.create ~n_pe) k p w in
   (gold, sys)
 

@@ -3,9 +3,14 @@ open Dphls_core
 module Tiling = Dphls_tiling.Tiling
 module K2 = Dphls_kernels.K02_global_affine
 
-let run_tile w =
+let run_tile ~band w =
+  let kernel =
+    match band with
+    | Some b -> { K2.kernel with Kernel.banding = Some b }
+    | None -> K2.kernel
+  in
   let result, stats =
-    Dphls_systolic.Engine.run (Dphls_systolic.Config.create ~n_pe:8) K2.kernel
+    Dphls_systolic.Engine.run (Dphls_systolic.Config.create ~n_pe:8) kernel
       K2.default w
   in
   (result, stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total)
