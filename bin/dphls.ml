@@ -495,6 +495,65 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Run paper experiments (all when no name given)")
     Term.(const experiment_run $ exp_name $ quick)
 
+(* ---- check ---- *)
+
+let check_entry ~max_len (e : Dphls_kernels.Catalog.entry) =
+  let max_len =
+    match max_len with Some l -> l | None -> e.Dphls_kernels.Catalog.max_len
+  in
+  let rng = Dphls_util.Rng.create 7 in
+  let sample = e.gen rng ~len:(min 64 max_len) in
+  let chars = Dphls_analysis.Check.chars_of_workload sample in
+  Dphls_analysis.Check.run ~n_pe:e.optimal.n_pe ~max_len ~chars e.packed
+
+let check_run kernel_spec all max_len json =
+  let entries =
+    match (kernel_spec, all) with
+    | Some spec, _ -> [ find_kernel spec ]
+    | None, true -> Dphls_kernels.Catalog.all
+    | None, false ->
+      Printf.eprintf "pass --kernel ID or --all\n";
+      exit 2
+  in
+  let reports = List.map (check_entry ~max_len) entries in
+  if json then print_endline (Dphls_analysis.Report.list_to_json reports)
+  else
+    List.iter
+      (fun r -> Format.printf "%a@." Dphls_analysis.Report.pp r)
+      reports;
+  let errors =
+    List.fold_left (fun acc r -> acc + Dphls_analysis.Report.errors r) 0 reports
+  in
+  if errors > 0 then begin
+    if not json then
+      Printf.eprintf "dphls check: %d error finding%s\n" errors
+        (if errors = 1 then "" else "s");
+    exit 1
+  end
+
+let check_cmd =
+  let kernel =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "k"; "kernel" ] ~doc:"Kernel id or name")
+  in
+  let all = Arg.(value & flag & info [ "all" ] ~doc:"Check the whole catalog") in
+  let max_len =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-len" ]
+          ~doc:"Workload length bound to verify (default: catalog max_len)")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"JSON report") in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically analyze kernels before synthesis (width/overflow, \
+          traceback FSM, banding lint); non-zero exit on error findings")
+    Term.(const check_run $ kernel $ all $ max_len $ json)
+
 let () =
   let info =
     Cmd.info "dphls" ~version:"1.0.0"
@@ -502,4 +561,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; align_cmd; batch_cmd; gen_cmd; map_cmd; cosim_cmd;
-         resources_cmd; rtl_cmd; experiment_cmd ]))
+         resources_cmd; rtl_cmd; experiment_cmd; check_cmd ]))

@@ -1,0 +1,145 @@
+open Dphls_core
+
+type issue =
+  | Bad_start of { start : int; n_states : int }
+  | Bad_successor of { state : int; ptr : int; next : int }
+  | Transition_exception of { state : int; ptr : int; message : string }
+  | Unreachable of int list
+  | Stay_cycle of { ptr : int; states : int list }
+  | No_stop_emitted
+
+type transition = (Traceback.state * Traceback.move, string) result
+
+let enumerate (fsm : Traceback.fsm) ~tb_bits : transition array array =
+  let n_ptrs = 1 lsl tb_bits in
+  Array.init fsm.Traceback.n_states (fun s ->
+      Array.init n_ptrs (fun p ->
+          match fsm.Traceback.transition s ~ptr:p with
+          | next -> Ok next
+          | exception e -> Error (Printexc.to_string e)))
+
+(* The walker re-reads the SAME cell's pointer after a [Stay], so
+   non-termination is exactly a cycle of the per-pointer partial
+   functional graph s -> s' where (s', Stay) = transition s ~ptr. *)
+let stay_cycles table ~n_states =
+  let issues = ref [] in
+  let n_ptrs = if n_states = 0 then 0 else Array.length table.(0) in
+  for ptr = 0 to n_ptrs - 1 do
+    (* 0 = unvisited, 1 = on current walk, 2 = done *)
+    let color = Array.make n_states 0 in
+    for s0 = 0 to n_states - 1 do
+      if color.(s0) = 0 then begin
+        let path = ref [] in
+        let rec follow s =
+          color.(s) <- 1;
+          path := s :: !path;
+          match table.(s).(ptr) with
+          | Ok (next, Traceback.Stay) when next >= 0 && next < n_states -> (
+            match color.(next) with
+            | 0 -> follow next
+            | 1 ->
+              (* cycle: the suffix of the walk from [next] *)
+              let rec cycle acc = function
+                | [] -> acc
+                | x :: _ when x = next -> next :: acc
+                | x :: rest -> cycle (x :: acc) rest
+              in
+              issues := Stay_cycle { ptr; states = cycle [] !path } :: !issues
+            | _ -> ())
+          | _ -> ()
+        in
+        follow s0;
+        List.iter (fun s -> color.(s) <- 2) !path
+      end
+    done
+  done;
+  List.rev !issues
+
+let reachable table ~n_states ~start =
+  let seen = Array.make n_states false in
+  let rec visit s =
+    if s >= 0 && s < n_states && not seen.(s) then begin
+      seen.(s) <- true;
+      Array.iter
+        (function Ok (next, _) -> visit next | Error _ -> ())
+        table.(s)
+    end
+  in
+  visit start;
+  seen
+
+let check (spec : Traceback.spec) ~tb_bits =
+  let fsm = spec.Traceback.fsm in
+  let n_states = fsm.Traceback.n_states in
+  if n_states < 1 || tb_bits < 0 || tb_bits > 16 then
+    (* degenerate spec: structural findings (Kernel.structural_findings)
+       already cover it, and the enumeration would be meaningless *)
+    []
+  else begin
+    let table = enumerate fsm ~tb_bits in
+    let issues = ref [] in
+    let add i = issues := i :: !issues in
+    if fsm.Traceback.start_state < 0 || fsm.Traceback.start_state >= n_states then
+      add (Bad_start { start = fsm.Traceback.start_state; n_states });
+    Array.iteri
+      (fun s row ->
+        Array.iteri
+          (fun ptr t ->
+            match t with
+            | Ok (next, _) when next < 0 || next >= n_states ->
+              add (Bad_successor { state = s; ptr; next })
+            | Ok _ -> ()
+            | Error message -> add (Transition_exception { state = s; ptr; message }))
+          row)
+      table;
+    if fsm.Traceback.start_state >= 0 && fsm.Traceback.start_state < n_states then begin
+      let seen = reachable table ~n_states ~start:fsm.Traceback.start_state in
+      let dead =
+        List.filter (fun s -> not seen.(s)) (List.init n_states Fun.id)
+      in
+      if dead <> [] then add (Unreachable dead)
+    end;
+    List.iter add (stay_cycles table ~n_states);
+    let emits_stop =
+      Array.exists
+        (Array.exists (function Ok (_, Traceback.Stop) -> true | _ -> false))
+        table
+    in
+    if spec.Traceback.stop = Traceback.On_stop_move && not emits_stop then
+      add No_stop_emitted;
+    List.rev !issues
+  end
+
+let is_error = function
+  | Bad_start _ | Bad_successor _ | Transition_exception _ | Stay_cycle _
+  | No_stop_emitted ->
+    true
+  | Unreachable _ -> false
+
+let describe = function
+  | Bad_start { start; n_states } ->
+    Printf.sprintf "start_state %d outside [0,%d)" start n_states
+  | Bad_successor { state; ptr; next } ->
+    Printf.sprintf "transition (state=%d, ptr=%d) -> state %d outside [0,n_states)"
+      state ptr next
+  | Transition_exception { state; ptr; message } ->
+    Printf.sprintf "transition (state=%d, ptr=%d) raised: %s" state ptr message
+  | Unreachable states ->
+    Printf.sprintf "states unreachable from start_state: %s"
+      (String.concat ", " (List.map string_of_int states))
+  | Stay_cycle { ptr; states } ->
+    Printf.sprintf
+      "Stay-only cycle under ptr=%d through state(s) %s — the traceback would \
+       loop forever (Traceback.max_steps would fire)"
+      ptr
+      (String.concat " -> " (List.map string_of_int states))
+  | No_stop_emitted ->
+    "stop rule is On_stop_move but no (state, ptr) transition ever emits Stop"
+
+let check_name = function
+  | Bad_start _ -> "fsm-start-state"
+  | Bad_successor _ -> "fsm-successor-range"
+  | Transition_exception _ -> "fsm-transition-exception"
+  | Unreachable _ -> "fsm-unreachable-state"
+  | Stay_cycle _ -> "fsm-stay-cycle"
+  | No_stop_emitted -> "fsm-no-stop"

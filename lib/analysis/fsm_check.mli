@@ -1,0 +1,39 @@
+(** Exhaustive model checking of a kernel's traceback FSM.
+
+    The state space is tiny by construction — [(state, ptr)] over
+    [[0, n_states) × [0, 2^tb_bits)] — so every property is decided by
+    full enumeration, not sampling. This is the checked version of the
+    "well-formed kernel" assumption behind {!Dphls_core.Traceback.max_steps}:
+    the walker re-reads the same cell's pointer after a [Stay], so a
+    non-terminating traceback is exactly a cycle of the per-pointer
+    [Stay]-successor graph, and {!check} finds all of them. *)
+
+open Dphls_core
+
+type issue =
+  | Bad_start of { start : int; n_states : int }
+      (** [start_state] outside [0, n_states) *)
+  | Bad_successor of { state : int; ptr : int; next : int }
+      (** a transition leaves the declared state space *)
+  | Transition_exception of { state : int; ptr : int; message : string }
+      (** the transition function raised on an in-range input *)
+  | Unreachable of int list
+      (** declared states no pointer sequence can reach from start *)
+  | Stay_cycle of { ptr : int; states : int list }
+      (** under pointer [ptr] the FSM [Stay]s around [states] forever *)
+  | No_stop_emitted
+      (** stop rule [On_stop_move] but no transition emits [Stop] *)
+
+val check : Traceback.spec -> tb_bits:int -> issue list
+(** All issues of the spec, in enumeration order. Returns [] without
+    enumerating when [n_states < 1] or [tb_bits] is out of [0,16] —
+    those are structural findings ({!Dphls_core.Kernel.structural_findings}). *)
+
+val is_error : issue -> bool
+(** Everything except [Unreachable] (dead states synthesize to unused
+    logic but cannot misbehave). *)
+
+val describe : issue -> string
+
+val check_name : issue -> string
+(** Stable check identifier for {!Report.finding}. *)

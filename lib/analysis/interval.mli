@@ -1,0 +1,56 @@
+(** The abstract score domain of the width analysis: a finite interval
+    plus sentinel flags.
+
+    Engine scores are saturating ints whose ±infinity sentinels
+    ({!Dphls_util.Score.neg_inf}/[pos_inf]) stand for "pruned /
+    uninitialized" rather than magnitudes, so the domain tracks them as
+    separate booleans: a value is abstracted as (may be -inf, may be a
+    finite value in [lo, hi], may be +inf). Width checks compare only
+    the finite component against the representable range of
+    [score_bits] — hardware keeps sentinels as dedicated saturation
+    codes, not as magnitudes. *)
+
+type t = {
+  lo : int;        (** finite lower bound (meaningful iff [finite]) *)
+  hi : int;        (** finite upper bound (meaningful iff [finite]) *)
+  finite : bool;   (** some finite value is possible *)
+  neg_inf : bool;  (** the -inf sentinel is possible *)
+  pos_inf : bool;  (** the +inf sentinel is possible *)
+}
+
+val empty : t
+(** Bottom: no value possible yet. *)
+
+val is_empty : t -> bool
+
+val of_score : int -> t
+(** Abstract a concrete engine score, classifying sentinels with
+    {!Dphls_util.Score.is_neg_inf}/[is_pos_inf]. *)
+
+val join : t -> t -> t
+(** Least upper bound (interval hull, flag union). *)
+
+val observe : t -> int -> t
+(** [join t (of_score x)]. *)
+
+val equal : t -> t -> bool
+
+val shift : t -> lo_delta:int -> hi_delta:int -> t
+(** Translate the finite component (used to extrapolate a stabilized
+    per-wavefront growth); identity on non-finite intervals. *)
+
+val low_value : t -> int option
+(** The most negative concrete representative ([Score.neg_inf] when the
+    -inf flag is set, else [lo]); [None] on bottom. *)
+
+val high_value : t -> int option
+(** The most positive concrete representative. *)
+
+val finite_low : t -> int option
+val finite_high : t -> int option
+
+val fits : t -> bits:int -> bool
+(** Does the finite component lie within the two's-complement range of
+    [bits], i.e. [-2^(bits-1), 2^(bits-1) - 1]? Sentinels are exempt. *)
+
+val to_string : t -> string

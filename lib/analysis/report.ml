@@ -1,0 +1,86 @@
+type severity = Error | Warning | Info
+
+type finding = { check : string; severity : severity; message : string }
+
+type t = {
+  kernel_id : int;
+  kernel_name : string;
+  max_len : int;
+  findings : finding list;
+}
+
+let finding ~check ~severity message = { check; severity; message }
+let error ~check message = finding ~check ~severity:Error message
+let warning ~check message = finding ~check ~severity:Warning message
+let info ~check message = finding ~check ~severity:Info message
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+let severity_label = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let create ~kernel_id ~kernel_name ~max_len findings =
+  let findings =
+    List.stable_sort
+      (fun a b -> compare (severity_rank a.severity) (severity_rank b.severity))
+      findings
+  in
+  { kernel_id; kernel_name; max_len; findings }
+
+let count sev t =
+  List.length (List.filter (fun f -> f.severity = sev) t.findings)
+
+let errors = count Error
+let warnings = count Warning
+let infos = count Info
+let clean t = errors t = 0 && warnings t = 0
+
+let pp ppf t =
+  Format.fprintf ppf "kernel #%d %s (max_len %d): %s — %d error%s, %d warning%s, %d note%s"
+    t.kernel_id t.kernel_name t.max_len
+    (if errors t > 0 then "FAIL" else if warnings t > 0 then "WARN" else "OK")
+    (errors t)
+    (if errors t = 1 then "" else "s")
+    (warnings t)
+    (if warnings t = 1 then "" else "s")
+    (infos t)
+    (if infos t = 1 then "" else "s");
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "@\n  [%s] %s: %s" (severity_label f.severity) f.check
+        f.message)
+    t.findings
+
+(* Hand-rolled JSON: the repository deliberately avoids dependencies
+   beyond the baked-in toolchain. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let finding_to_json f =
+  Printf.sprintf {|{"check": "%s", "severity": "%s", "message": "%s"}|}
+    (json_escape f.check)
+    (severity_label f.severity)
+    (json_escape f.message)
+
+let to_json t =
+  Printf.sprintf
+    {|{"kernel": {"id": %d, "name": "%s"}, "max_len": %d, "summary": {"errors": %d, "warnings": %d, "infos": %d}, "findings": [%s]}|}
+    t.kernel_id (json_escape t.kernel_name) t.max_len (errors t) (warnings t)
+    (infos t)
+    (String.concat ", " (List.map finding_to_json t.findings))
+
+let list_to_json reports =
+  Printf.sprintf {|{"reports": [%s], "errors": %d}|}
+    (String.concat ", " (List.map to_json reports))
+    (List.fold_left (fun acc r -> acc + errors r) 0 reports)

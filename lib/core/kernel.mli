@@ -33,9 +33,16 @@ type 'p t = {
   traits : Traits.t;
 }
 
+val structural_findings : 'p t -> 'p -> (string * string) list
+(** All structural problems of the spec as [(check, message)] pairs:
+    positive layer count, [score_bits]/[tb_bits] in range, traceback
+    consistent with [tb_bits], FSM state count and [start_state] within
+    [0, n_states), traits well-formed. Empty when structurally sound.
+    [validate] raises on the first of these; the static analyzer
+    ([Dphls_analysis]) reports them all under the same check names. *)
+
 val validate : 'p t -> 'p -> unit
-(** Structural checks: positive layer count, pointer width large enough
-    for the FSM's pointer alphabet, traits well-formed. Raises
-    [Invalid_argument] on violation. *)
+(** Raise [Invalid_argument] on the first of {!structural_findings},
+    if any. *)
 
 val has_traceback : 'p t -> 'p -> bool

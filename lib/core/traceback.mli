@@ -52,7 +52,11 @@ type spec = {
 val max_steps : qry_len:int -> ref_len:int -> int
 (** Safety bound on FSM iterations (each [Stay] is followed by a consuming
     move in a well-formed kernel, so 2*(q+r)+8 suffices); engines raise
-    [Failure] beyond it to surface ill-formed kernels. *)
+    [Failure] beyond it to surface ill-formed kernels. "Each [Stay] is
+    followed by a consuming move" is a checked property:
+    [Dphls_analysis.Fsm_check] exhaustively enumerates [(state, ptr)]
+    and rejects FSMs with [Stay]-only cycles, which are exactly the
+    specs that could trip this bound. *)
 
 (** Deterministic best-cell tracking with the canonical tie-break (lowest
     row, then lowest column), shared by both engines so they agree on the

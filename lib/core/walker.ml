@@ -25,14 +25,18 @@ let border_completion stop ~row ~col acc =
 let walk ~fsm ~stop ~ptr_at ~start ~qry_len ~ref_len =
   let limit = max_steps ~qry_len ~ref_len in
   let rec go state row col acc last steps =
-    if steps > limit then
-      failwith
-        (Printf.sprintf
-           "Walker.walk: traceback exceeded %d steps (ill-formed FSM?)" limit)
-    else if row < 0 || col < 0 then
+    if row < 0 || col < 0 then
       { path = border_completion stop ~row ~col acc; end_cell = last; steps }
     else
       let ptr = ptr_at ~row ~col in
+      if steps > limit then
+        failwith
+          (Printf.sprintf
+             "Walker.walk: traceback exceeded %d steps at state=%d ptr=%d \
+              cell=(%d,%d) — ill-formed FSM (e.g. a Stay cycle); run `dphls \
+              check` on the kernel"
+             limit state ptr row col)
+      else
       let state', move = fsm.transition state ~ptr in
       let here = { Types.row; col } in
       match move with

@@ -20,4 +20,7 @@ val walk :
   ref_len:int ->
   outcome
 (** Raises [Failure] if the FSM exceeds {!Traceback.max_steps} (an
-    ill-formed kernel, e.g. a [Stay] loop). *)
+    ill-formed kernel, e.g. a [Stay] loop). The message names the
+    offending [(state, ptr, row, col)] so runtime escapes of the static
+    checker ([Dphls_analysis.Fsm_check]) are debuggable; both engines
+    share this walker and therefore this diagnostic. *)

@@ -17,6 +17,10 @@ type entry = {
   modifications : string;  (** changes relative to kernel #1 *)
   optimal : parallelism;   (** Table 2's best configuration *)
   default_len : int;       (** workload sequence length used in §6.1 *)
+  max_len : int;
+      (** largest supported workload length: the bound the pre-synthesis
+          checker ([Dphls_analysis]) verifies [score_bits] against, and
+          the default [--max-len] of `dphls check` *)
   gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t;
 }
 

@@ -1,0 +1,317 @@
+(* Tests for the pre-synthesis kernel checker (Dphls_analysis): the
+   catalog must check clean, and each analysis must flag a seeded-broken
+   spec — an undersized score width, a Stay-cycle FSM, an out-of-range
+   successor, a pointer wider than tb_bits, a useless adaptive band
+   threshold. *)
+open Dphls_core
+module Score = Dphls_util.Score
+module Interval = Dphls_analysis.Interval
+module Widths = Dphls_analysis.Widths
+module Fsm_check = Dphls_analysis.Fsm_check
+module Report = Dphls_analysis.Report
+module Check = Dphls_analysis.Check
+module K01 = Dphls_kernels.K01_global_linear
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let has_finding r ~check ~severity =
+  List.exists
+    (fun (f : Report.finding) -> f.Report.check = check && f.Report.severity = severity)
+    r.Report.findings
+
+(* A few DNA character pairs (match and mismatch) for direct analyzer
+   calls on kernels whose workloads we don't generate. *)
+let dna_chars =
+  [| ([| 0 |], [| 0 |]); ([| 1 |], [| 1 |]); ([| 0 |], [| 2 |]); ([| 3 |], [| 1 |]) |]
+
+let check_kernel ?n_pe ?(max_len = 128) k p =
+  Check.run ?n_pe ~max_len ~chars:dna_chars (Registry.Packed (k, p))
+
+(* ---- interval domain ---- *)
+
+let test_interval () =
+  let open Interval in
+  Alcotest.(check bool) "empty is empty" true (is_empty empty);
+  let s = of_score Score.neg_inf in
+  Alcotest.(check bool) "-inf flag" true s.neg_inf;
+  Alcotest.(check bool) "-inf not finite" false s.finite;
+  let iv = observe (observe empty 5) (-3) in
+  Alcotest.(check int) "lo" (-3) iv.lo;
+  Alcotest.(check int) "hi" 5 iv.hi;
+  Alcotest.(check bool) "join flags" true (join iv s).neg_inf;
+  Alcotest.(check bool) "8-bit fits" true
+    (fits { lo = -128; hi = 127; finite = true; neg_inf = false; pos_inf = false }
+       ~bits:8);
+  Alcotest.(check bool) "8-bit lo overflow" false
+    (fits { lo = -129; hi = 0; finite = true; neg_inf = false; pos_inf = false }
+       ~bits:8);
+  Alcotest.(check bool) "sentinels exempt" true (fits s ~bits:8);
+  Alcotest.(check (option int)) "low repr prefers sentinel" (Some Score.neg_inf)
+    (low_value (join iv s));
+  Alcotest.(check (option int)) "finite low" (Some (-3)) (finite_low (join iv s))
+
+(* ---- catalog is clean ---- *)
+
+let test_catalog_clean () =
+  List.iter
+    (fun (e : Dphls_kernels.Catalog.entry) ->
+      let rng = Dphls_util.Rng.create 11 in
+      let sample = e.gen rng ~len:64 in
+      let chars = Check.chars_of_workload sample in
+      Alcotest.(check bool)
+        (Printf.sprintf "kernel #%d has char samples" (Registry.id e.packed))
+        true
+        (Array.length chars > 0);
+      List.iter
+        (fun max_len ->
+          let r = Check.run ~n_pe:e.optimal.n_pe ~max_len ~chars e.packed in
+          if not (Report.clean r) then
+            Alcotest.failf "kernel #%d %s not clean at max_len %d:@\n%s"
+              (Registry.id e.packed) (Registry.name e.packed) max_len
+              (Format.asprintf "%a" Report.pp r))
+        [ e.default_len; e.max_len ])
+    Dphls_kernels.Catalog.all
+
+let test_catalog_max_len_bounds () =
+  List.iter
+    (fun (e : Dphls_kernels.Catalog.entry) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "kernel #%d default_len <= max_len" (Registry.id e.packed))
+        true
+        (e.default_len <= e.max_len))
+    Dphls_kernels.Catalog.all
+
+(* ---- width analysis flags undersized score_bits ---- *)
+
+let test_undersized_score_bits () =
+  let k = { K01.kernel with Kernel.score_bits = 8 } in
+  let w = Widths.analyze k K01.default ~max_len:128 ~chars:dna_chars in
+  (match w.Widths.verdict with
+  | Widths.Overflow { layer; max_safe_len; _ } ->
+    Alcotest.(check int) "primary layer overflows" 0 layer;
+    Alcotest.(check bool)
+      (Printf.sprintf "max_safe_len %d sane" max_safe_len)
+      true
+      (max_safe_len >= 8 && max_safe_len < 128)
+  | Widths.Safe _ -> Alcotest.fail "8-bit scores must overflow at +-2/cell");
+  let r = check_kernel k K01.default in
+  Alcotest.(check bool) "report carries width-overflow error" true
+    (has_finding r ~check:"width-overflow" ~severity:Report.Error);
+  (* and the real 16-bit spec is safe at the same bound *)
+  let ok = Widths.analyze K01.kernel K01.default ~max_len:128 ~chars:dna_chars in
+  match ok.Widths.verdict with
+  | Widths.Safe _ -> ()
+  | Widths.Overflow _ -> Alcotest.fail "16-bit global-linear must be safe at 128"
+
+(* ---- FSM model checking ---- *)
+
+let with_traceback k spec = { k with Kernel.traceback = (fun _ -> Some spec) }
+
+let stay_cycle_spec =
+  {
+    Traceback.fsm =
+      {
+        Traceback.n_states = 2;
+        start_state = 0;
+        transition =
+          (fun s ~ptr -> if ptr = 0 then (1 - s, Traceback.Stay) else (0, Traceback.Diag));
+      };
+    stop = Traceback.At_origin;
+  }
+
+let test_fsm_stay_cycle () =
+  let issues = Fsm_check.check stay_cycle_spec ~tb_bits:2 in
+  Alcotest.(check bool) "cycle found" true
+    (List.exists (function Fsm_check.Stay_cycle { ptr = 0; _ } -> true | _ -> false) issues);
+  let r = check_kernel (with_traceback K01.kernel stay_cycle_spec) K01.default in
+  Alcotest.(check bool) "report carries fsm-stay-cycle error" true
+    (has_finding r ~check:"fsm-stay-cycle" ~severity:Report.Error)
+
+let test_fsm_bad_successor () =
+  let spec =
+    {
+      Traceback.fsm =
+        {
+          Traceback.n_states = 2;
+          start_state = 0;
+          transition = (fun _ ~ptr:_ -> (5, Traceback.Diag));
+        };
+      stop = Traceback.At_origin;
+    }
+  in
+  let issues = Fsm_check.check spec ~tb_bits:2 in
+  Alcotest.(check bool) "successor out of range" true
+    (List.exists
+       (function Fsm_check.Bad_successor { next = 5; _ } -> true | _ -> false)
+       issues);
+  let r = check_kernel (with_traceback K01.kernel spec) K01.default in
+  Alcotest.(check bool) "report carries fsm-successor-range error" true
+    (has_finding r ~check:"fsm-successor-range" ~severity:Report.Error)
+
+let test_fsm_no_stop () =
+  let spec =
+    {
+      Traceback.fsm =
+        {
+          Traceback.n_states = 1;
+          start_state = 0;
+          transition = (fun _ ~ptr:_ -> (0, Traceback.Diag));
+        };
+      stop = Traceback.On_stop_move;
+    }
+  in
+  let issues = Fsm_check.check spec ~tb_bits:2 in
+  Alcotest.(check bool) "no-stop flagged" true
+    (List.mem Fsm_check.No_stop_emitted issues)
+
+let test_fsm_catalog_specs_clean () =
+  List.iter
+    (fun (e : Dphls_kernels.Catalog.entry) ->
+      let (Registry.Packed (k, p)) = e.packed in
+      match k.Kernel.traceback p with
+      | None -> ()
+      | Some spec ->
+        let errors =
+          List.filter Fsm_check.is_error (Fsm_check.check spec ~tb_bits:k.Kernel.tb_bits)
+        in
+        if errors <> [] then
+          Alcotest.failf "kernel #%d FSM: %s" k.Kernel.id
+            (String.concat "; " (List.map Fsm_check.describe errors)))
+    Dphls_kernels.Catalog.all
+
+(* ---- pointer width vs tb_bits ---- *)
+
+let test_pointer_width () =
+  let k =
+    {
+      K01.kernel with
+      Kernel.pe =
+        (fun p ->
+          let f = K01.kernel.Kernel.pe p in
+          fun input -> { (f input) with Pe.tb = 5 });
+    }
+  in
+  let r = check_kernel k K01.default in
+  Alcotest.(check bool) "report carries tb-pointer-width error" true
+    (has_finding r ~check:"tb-pointer-width" ~severity:Report.Error);
+  (* with traceback disabled the emitted pointer is never stored, so the
+     same PE must pass (kernel #14's sDTW shape) *)
+  let no_tb = { k with Kernel.traceback = (fun _ -> None); tb_bits = 0 } in
+  let r = check_kernel no_tb K01.default in
+  Alcotest.(check bool) "unstored pointers are not findings" false
+    (has_finding r ~check:"tb-pointer-width" ~severity:Report.Error)
+
+(* ---- banding / parallelism lint ---- *)
+
+let test_adaptive_threshold_lint () =
+  let k =
+    { K01.kernel with Kernel.banding = Some (Banding.adaptive ~threshold:10000 32) }
+  in
+  let r = check_kernel k K01.default in
+  Alcotest.(check bool) "report carries band-threshold warning" true
+    (has_finding r ~check:"band-threshold" ~severity:Report.Warning);
+  let sane =
+    { K01.kernel with Kernel.banding = Some (Banding.adaptive ~threshold:40 32) }
+  in
+  let r = check_kernel sane K01.default in
+  Alcotest.(check bool) "sane threshold passes" false
+    (has_finding r ~check:"band-threshold" ~severity:Report.Warning)
+
+let test_band_covers_matrix () =
+  let k = { K01.kernel with Kernel.banding = Some (Banding.fixed 64) } in
+  let r = check_kernel ~max_len:32 k K01.default in
+  Alcotest.(check bool) "band wider than matrix warned" true
+    (has_finding r ~check:"band-covers-matrix" ~severity:Report.Warning)
+
+let test_parallelism_lint () =
+  let r = check_kernel ~n_pe:256 ~max_len:128 K01.kernel K01.default in
+  Alcotest.(check bool) "idle PEs warned" true
+    (has_finding r ~check:"n-pe-oversized" ~severity:Report.Warning);
+  let r = check_kernel ~n_pe:48 ~max_len:128 K01.kernel K01.default in
+  Alcotest.(check bool) "ragged chunking noted" true
+    (has_finding r ~check:"n-pe-chunking" ~severity:Report.Info)
+
+(* ---- structural validation (Kernel.validate satellite) ---- *)
+
+let test_validate_start_state () =
+  let bad_spec =
+    {
+      stay_cycle_spec with
+      Traceback.fsm = { stay_cycle_spec.Traceback.fsm with Traceback.start_state = 9 };
+    }
+  in
+  let k = with_traceback K01.kernel bad_spec in
+  Alcotest.(check bool) "structural finding named" true
+    (List.exists
+       (fun (check, _) -> check = "fsm-start-state")
+       (Kernel.structural_findings k K01.default));
+  match Kernel.validate k K01.default with
+  | () -> Alcotest.fail "validate must reject start_state 9"
+  | exception Invalid_argument _ -> ()
+
+(* ---- walker failsafe diagnostic (both engines share Walker.walk) ---- *)
+
+let test_walker_diagnostic () =
+  let k = with_traceback K01.kernel stay_cycle_spec in
+  let rng = Dphls_util.Rng.create 3 in
+  let w = K01.gen rng ~len:8 in
+  match Dphls_reference.Ref_engine.run k K01.default w with
+  | _ -> Alcotest.fail "stay-cycle traceback must trip the failsafe"
+  | exception Failure msg ->
+    List.iter
+      (fun part ->
+        Alcotest.(check bool)
+          (Printf.sprintf "diagnostic mentions %S" part)
+          true (contains msg part))
+      [ "Walker.walk"; "state="; "ptr="; "cell="; "dphls check" ]
+
+(* ---- report formatting ---- *)
+
+let test_report_json () =
+  let r =
+    Report.create ~kernel_id:3 ~kernel_name:"demo" ~max_len:64
+      [
+        Report.info ~check:"a" "fine";
+        Report.error ~check:"b" "broke \"here\"\n";
+      ]
+  in
+  Alcotest.(check bool) "errors counted" true (Report.errors r = 1);
+  Alcotest.(check bool) "not clean" false (Report.clean r);
+  let json = Report.to_json r in
+  List.iter
+    (fun part ->
+      Alcotest.(check bool) (Printf.sprintf "json has %S" part) true
+        (contains json part))
+    [
+      {|"kernel": {"id": 3, "name": "demo"}|};
+      {|"errors": 1|};
+      {|broke \"here\"\n|};
+    ];
+  (* errors sort first *)
+  (match r.Report.findings with
+  | { Report.check = "b"; _ } :: _ -> ()
+  | _ -> Alcotest.fail "error finding must sort first");
+  Alcotest.(check bool) "list json totals errors" true
+    (contains (Report.list_to_json [ r; r ]) {|"errors": 2|})
+
+let suite =
+  [
+    Alcotest.test_case "interval domain" `Quick test_interval;
+    Alcotest.test_case "catalog checks clean" `Quick test_catalog_clean;
+    Alcotest.test_case "catalog max_len bounds" `Quick test_catalog_max_len_bounds;
+    Alcotest.test_case "undersized score_bits flagged" `Quick test_undersized_score_bits;
+    Alcotest.test_case "FSM stay cycle flagged" `Quick test_fsm_stay_cycle;
+    Alcotest.test_case "FSM bad successor flagged" `Quick test_fsm_bad_successor;
+    Alcotest.test_case "FSM missing stop flagged" `Quick test_fsm_no_stop;
+    Alcotest.test_case "catalog FSMs model-check clean" `Quick test_fsm_catalog_specs_clean;
+    Alcotest.test_case "pointer width vs tb_bits" `Quick test_pointer_width;
+    Alcotest.test_case "adaptive threshold lint" `Quick test_adaptive_threshold_lint;
+    Alcotest.test_case "band covers matrix lint" `Quick test_band_covers_matrix;
+    Alcotest.test_case "parallelism lint" `Quick test_parallelism_lint;
+    Alcotest.test_case "validate rejects bad start_state" `Quick test_validate_start_state;
+    Alcotest.test_case "walker failsafe diagnostic" `Quick test_walker_diagnostic;
+    Alcotest.test_case "report json" `Quick test_report_json;
+  ]

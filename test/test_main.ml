@@ -23,4 +23,5 @@ let () =
       ("batch", T_batch.suite);
       ("more", T_more.suite);
       ("oracles", T_oracles.suite);
+      ("analysis", T_analysis.suite);
     ]
