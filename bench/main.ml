@@ -274,25 +274,110 @@ let banding_bench ?(len = 512) () =
   close_out oc;
   Printf.printf "wrote BENCH_2.json\n%!"
 
+(* ---- PE datapath comparison: interpreted-boxed vs compiled flat ----
+
+   The same workloads through the systolic engine twice — once with the
+   kernel's compiled flat datapath (the default) and once with the
+   symbolic interpreter's boxed closure ([Datapath.eval], the evaluator
+   the compile pass replaces) substituted as the PE — across three
+   recurrence shapes and three array widths. Wall-clock per alignment
+   and cells/s per mode land in BENCH_3.json. *)
+let pe_bench ?(len = 256) () =
+  let shapes = [ (1, "linear"); (2, "affine"); (9, "dtw") ] in
+  let widths = [ 1; 8; 32 ] in
+  let time_run cfg k p w =
+    ignore (Dphls_systolic.Engine.run cfg k p w) (* warm-up *);
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Unix.gettimeofday () in
+      ignore (Dphls_systolic.Engine.run cfg k p w);
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best *. 1e9
+  in
+  let runs =
+    List.concat_map
+      (fun (id, shape) ->
+        let e = Dphls_kernels.Catalog.find id in
+        let rng = Dphls_util.Rng.create (seed + id) in
+        let w = e.Dphls_kernels.Catalog.gen rng ~len in
+        let (Registry.Packed (k, p)) = e.packed in
+        let cell, bindings = Dphls_kernels.Datapaths.cell_for id in
+        let interp = Datapath.eval cell bindings in
+        let boxed = { k with Kernel.pe = (fun _ -> interp); pe_flat = None } in
+        let cells =
+          Array.length w.Workload.query * Array.length w.Workload.reference
+        in
+        List.map
+          (fun n_pe ->
+            let cfg = Dphls_systolic.Config.create ~n_pe in
+            {
+              Dphls_host.Throughput.kernel = Printf.sprintf "%s(#%d)" shape id;
+              n_pe;
+              cells;
+              boxed_ns = time_run cfg boxed p w;
+              compiled_ns = time_run cfg k p w;
+            })
+          widths)
+      shapes
+  in
+  Dphls_util.Pretty.print_table
+    ~title:
+      (Printf.sprintf "PE datapath: boxed interpreter vs compiled flat (len=%d)"
+         len)
+    ~header:
+      [ "kernel"; "N_PE"; "boxed us"; "compiled us"; "compiled Mc/s"; "speedup" ]
+    (List.map
+       (fun (r : Dphls_host.Throughput.pe_run) ->
+         [
+           r.kernel;
+           string_of_int r.n_pe;
+           Printf.sprintf "%.1f" (r.boxed_ns /. 1e3);
+           Printf.sprintf "%.1f" (r.compiled_ns /. 1e3);
+           Printf.sprintf "%.1f"
+             (Dphls_host.Throughput.pe_cells_per_sec ~cells:r.cells
+                ~ns:r.compiled_ns
+             /. 1e6);
+           Printf.sprintf "%.2fx" (Dphls_host.Throughput.pe_speedup r);
+         ])
+       runs);
+  let speedups = List.map Dphls_host.Throughput.pe_speedup runs in
+  Printf.printf "speedup min %.2fx / geomean %.2fx over %d points\n"
+    (List.fold_left min infinity speedups)
+    (exp
+       (List.fold_left (fun a s -> a +. log s) 0.0 speedups
+       /. float_of_int (List.length speedups)))
+    (List.length speedups);
+  let oc = open_out "BENCH_3.json" in
+  output_string oc (Dphls_host.Throughput.pe_json runs);
+  close_out oc;
+  Printf.printf "wrote BENCH_3.json\n%!"
+
 let () =
   let argv = Sys.argv in
   let banding_only = Array.exists (( = ) "--banding-only") argv in
-  let len =
-    let r = ref 512 in
+  let pe_only = Array.exists (( = ) "--pe-only") argv in
+  let len_opt =
+    let r = ref None in
     Array.iteri
       (fun i a ->
         if a = "--len" && i + 1 < Array.length argv then
           match int_of_string_opt argv.(i + 1) with
-          | Some v when v > 0 -> r := v
+          | Some v when v > 0 -> r := Some v
           | Some _ | None -> ())
       argv;
     !r
   in
-  if banding_only then banding_bench ~len ()
+  let band_len = Option.value len_opt ~default:512 in
+  let pe_len = Option.value len_opt ~default:256 in
+  if banding_only then banding_bench ~len:band_len ()
+  else if pe_only then pe_bench ~len:pe_len ()
   else begin
     run_benchmarks ();
     Dphls_util.Pretty.section "Experiment tables (paper artifacts)";
     Dphls_experiments.Runner.run_all ();
     Dphls_util.Pretty.section "Banding comparison";
-    banding_bench ~len ()
+    banding_bench ~len:band_len ();
+    Dphls_util.Pretty.section "PE datapath comparison";
+    pe_bench ~len:pe_len ()
   end

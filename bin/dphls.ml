@@ -57,8 +57,21 @@ let band_override ~mode ~width ~threshold =
 
 let band_doc = "Band override: kernel (keep), none, fixed or adaptive"
 
+(* --datapath compiled|boxed selects the PE implementation; results are
+   bit-identical, boxed exists for differential checking and as the
+   reference semantics. *)
+let datapath_override ~mode k =
+  match mode with
+  | "compiled" -> k
+  | "boxed" -> Kernel.boxed k
+  | other ->
+    Printf.eprintf "unknown datapath %S (compiled | boxed)\n" other;
+    exit 2
+
+let datapath_doc = "PE datapath: compiled (default) or boxed interpreter"
+
 let align_run kernel_spec query reference n_pe vcd_path band_mode band_width
-    band_threshold =
+    band_threshold datapath_mode =
   let e = find_kernel kernel_spec in
   let id = Registry.id e.packed in
   if List.mem id [ 8; 9; 14 ] then begin
@@ -80,6 +93,7 @@ let align_run kernel_spec query reference n_pe vcd_path band_mode band_width
     | None -> k
     | Some banding -> { k with Kernel.banding }
   in
+  let k = datapath_override ~mode:datapath_mode k in
   let cfg = Dphls_systolic.Config.create ~n_pe in
   let trace = Dphls_systolic.Trace.create ~enabled:(vcd_path <> None) in
   let result, stats = Dphls_systolic.Engine.run ~trace cfg k p w in
@@ -128,11 +142,14 @@ let align_cmd =
       & opt int Banding.default_threshold
       & info [ "band-threshold" ] ~doc:"Adaptive-band score drop threshold")
   in
+  let datapath =
+    Arg.(value & opt string "compiled" & info [ "datapath" ] ~doc:datapath_doc)
+  in
   Cmd.v
     (Cmd.info "align" ~doc:"Align two sequences on the systolic simulator")
     Term.(
       const align_run $ kernel $ query $ reference $ n_pe $ vcd $ band
-      $ band_width $ band_threshold)
+      $ band_width $ band_threshold $ datapath)
 
 (* ---- resources ---- *)
 
@@ -270,7 +287,15 @@ let map_cmd =
 (* ---- batch ---- *)
 
 let batch_run pairs_path kind_s workers n_pe chunk compare band_mode band_width
-    band_threshold =
+    band_threshold datapath_mode =
+  let datapath =
+    match datapath_mode with
+    | "compiled" -> Dphls.Align.Compiled
+    | "boxed" -> Dphls.Align.Boxed
+    | other ->
+      Printf.eprintf "unknown datapath %S (compiled | boxed)\n" other;
+      exit 2
+  in
   let band =
     match
       band_override ~mode:band_mode ~width:band_width ~threshold:band_threshold
@@ -296,7 +321,8 @@ let batch_run pairs_path kind_s workers n_pe chunk compare band_mode band_width
     else max 2 (Domain.recommended_domain_count ())
   in
   print_endline "#idx\tquery\treference\tscore\tcigar\tidentity\tcycles";
-  Dphls.Batch.iter_fasta_file ?band ~engine ~kind ~workers ~chunk ~path:pairs_path
+  Dphls.Batch.iter_fasta_file ?band ~datapath ~engine ~kind ~workers ~chunk
+    ~path:pairs_path
     ~f:(fun idx q r (a : Dphls.Align.alignment) ->
       Printf.printf "%d\t%s\t%s\t%d\t%s\t%.4f\t%s\n" idx q.Dphls_io.Fasta.id
         r.Dphls_io.Fasta.id a.Dphls.Align.score a.Dphls.Align.cigar
@@ -325,7 +351,7 @@ let batch_run pairs_path kind_s workers n_pe chunk compare band_mode band_width
             pair_up records))
     in
     let results, stats =
-      Dphls.Batch.align_all_report ?band ~engine ~kind ~workers pairs
+      Dphls.Batch.align_all_report ?band ~datapath ~engine ~kind ~workers pairs
     in
     ignore results;
     let report = stats.Dphls_host.Pool.report in
@@ -346,7 +372,8 @@ let batch_run pairs_path kind_s workers n_pe chunk compare band_mode band_width
           p.Dphls_host.Throughput.measured_speedup
           p.Dphls_host.Throughput.modeled_speedup
           p.Dphls_host.Throughput.efficiency)
-      (Dphls.Batch.scaling ?band ~engine ~kind ~workers:[ workers ] pairs)
+      (Dphls.Batch.scaling ?band ~datapath ~engine ~kind ~workers:[ workers ]
+         pairs)
   end
 
 let batch_cmd =
@@ -392,12 +419,15 @@ let batch_cmd =
       & opt int Dphls_core.Banding.default_threshold
       & info [ "band-threshold" ] ~doc:"Adaptive-band score drop threshold")
   in
+  let datapath =
+    Arg.(value & opt string "compiled" & info [ "datapath" ] ~doc:datapath_doc)
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Align a FASTA pair file in parallel across CPU domains")
     Term.(
       const batch_run $ pairs $ kind $ workers $ n_pe $ chunk $ compare $ band
-      $ band_width $ band_threshold)
+      $ band_width $ band_threshold $ datapath)
 
 (* ---- cosim ---- *)
 

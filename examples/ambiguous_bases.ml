@@ -55,6 +55,8 @@ let ambiguous_kernel : params Kernel.t =
     init_col = (fun p ~qry_len:_ ~layer:_ ~row -> p.gap * (row + 1));
     origin = (fun _ ~layer:_ -> 0);
     pe;
+    (* boxed-only example kernel: engines adapt [pe] automatically *)
+    pe_flat = None;
     score_site = Traceback.Bottom_right;
     traceback = (fun _ -> Some { Traceback.fsm = Linear.fsm; stop = Traceback.At_origin });
     banding = None;

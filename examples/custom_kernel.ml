@@ -41,6 +41,8 @@ let edit_distance_kernel : unit Kernel.t =
     init_col = (fun () ~qry_len:_ ~layer:_ ~row -> row + 1);
     origin = (fun () ~layer:_ -> 0);
     pe;
+    (* boxed-only example kernel: engines adapt [pe] automatically *)
+    pe_flat = None;
     score_site = Traceback.Bottom_right;
     traceback =
       (fun () -> Some { Traceback.fsm = Linear.fsm; stop = Traceback.At_origin });

@@ -54,9 +54,45 @@ type bindings = {
 }
 
 val eval : cell -> bindings -> Pe.f
-(** Compile the symbolic cell into a PE function (with the saturating
-    arithmetic of {!Dphls_util.Score}). Raises [Invalid_argument] on
-    unbound names, bad layer references or out-of-range [Cur] uses. *)
+(** Interpret the symbolic cell as a boxed PE function (with the
+    saturating arithmetic of {!Dphls_util.Score}, including saturating
+    [Mul]/[Abs]). Raises [Invalid_argument] on unbound names, bad layer
+    references or out-of-range [Cur] uses. *)
+
+type program
+(** A cell lowered to a flat SSA-style instruction sequence over an
+    integer register file: structurally shared subexpressions are
+    emitted once (the CSE {!count} models), constant subtrees are folded
+    with the same saturating ops the interpreter uses, [Param]s become
+    immediate constants, [Lookup2] tables become direct array references
+    and [Cur] references resolve to the defining layer's register.
+    [Ite] lowers to an eager mux over both (pure) arms unless its
+    condition is constant, in which case only the taken arm is compiled. *)
+
+val compile : cell -> bindings -> program
+(** Lower a cell. Raises [Invalid_argument] on unbound names (including
+    names only reachable through a non-constant [Ite] arm — compilation
+    is strict where the interpreter is lazy), out-of-range [Cur] uses or
+    empty [Max]/[Min]. Results are bit-identical to {!eval} on every
+    input: same fold order for [Max]/[Min], same [Sub] lowering, same
+    saturating arithmetic. *)
+
+val program_insts : program -> int
+(** Number of instructions after CSE, folding and dead-code elimination
+    (tests, diagnostics). *)
+
+val exec : program -> int array -> Pe.buffers -> unit
+(** [exec p regs buf] evaluates one cell from/into [buf] using [regs] as
+    the register file ([Array.length regs >= program_insts p]); performs
+    no allocation. Raises [Invalid_argument] if [buf]'s score array
+    length differs from the program's layer count. *)
+
+val flat : program -> Pe.flat
+(** The program closed over a private register file — the allocation-free
+    PE evaluator the engines run. The returned evaluator owns mutable
+    scratch: share it freely within a domain, but build one per domain
+    (e.g. per {!Dphls_host.Pool} worker) rather than sharing across
+    domains. *)
 
 type op_count = {
   adders : int;       (** Add/Sub/Abs nodes *)

@@ -47,4 +47,17 @@ let pe_input t ~query ~reference ~row ~col =
     col;
   }
 
+let fill_input t (buf : Pe.buffers) ~query ~reference ~row ~col =
+  let n = t.kernel.Kernel.n_layers in
+  let up = buf.Pe.b_up and diag = buf.Pe.b_diag and left = buf.Pe.b_left in
+  for layer = 0 to n - 1 do
+    up.(layer) <- neighbor t ~row:(row - 1) ~col ~layer;
+    diag.(layer) <- neighbor t ~row:(row - 1) ~col:(col - 1) ~layer;
+    left.(layer) <- neighbor t ~row ~col:(col - 1) ~layer
+  done;
+  buf.Pe.b_qry <- query.(row);
+  buf.Pe.b_rf <- reference.(col);
+  buf.Pe.b_row <- row;
+  buf.Pe.b_col <- col
+
 let worst t = t.worst

@@ -24,6 +24,15 @@ val neighbor : 'p t -> row:int -> col:int -> layer:int -> Types.score
 
 val pe_input :
   'p t -> query:Types.seq -> reference:Types.seq -> row:int -> col:int -> Pe.input
-(** Assemble the full [PE_func] input for cell (row, col). *)
+(** Assemble the full [PE_func] input for cell (row, col), allocating
+    fresh neighbour arrays (boxed contract). *)
+
+val fill_input :
+  'p t -> Pe.buffers -> query:Types.seq -> reference:Types.seq ->
+  row:int -> col:int -> unit
+(** Same, but written into the caller's register file in place (flat
+    contract): fills [b_up]/[b_diag]/[b_left] element-wise and points
+    [b_qry]/[b_rf]/[b_row]/[b_col] at cell (row, col). Allocates
+    nothing. *)
 
 val worst : 'p t -> Types.score

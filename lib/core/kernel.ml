@@ -10,6 +10,7 @@ type 'p t = {
   init_col : 'p -> qry_len:int -> layer:int -> row:int -> Types.score;
   origin : 'p -> layer:int -> Types.score;
   pe : 'p -> Pe.f;
+  pe_flat : ('p -> Pe.flat) option;
   score_site : Traceback.start_rule;
   traceback : 'p -> Traceback.spec option;
   banding : Banding.t option;
@@ -48,3 +49,10 @@ let validate k params =
   | (_, msg) :: _ -> invalid_arg ("Kernel: " ^ msg)
 
 let has_traceback k params = Option.is_some (k.traceback params)
+
+let flat_pe k params =
+  match k.pe_flat with
+  | Some mk -> mk params
+  | None -> Pe.flat_of_f (k.pe params)
+
+let boxed k = { k with pe_flat = None }

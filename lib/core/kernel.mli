@@ -24,6 +24,14 @@ type 'p t = {
       (** Value of the virtual corner (-1,-1), the diag neighbour of (0,0). *)
   pe : 'p -> Pe.f;
       (** [PE_func], closed over the scoring parameters. *)
+  pe_flat : ('p -> Pe.flat) option;
+      (** Optional allocation-free evaluator of the same recurrence
+          (typically [Datapath.flat] of the kernel's compiled symbolic
+          datapath). When present the engines run it instead of adapting
+          [pe]; results must be bit-identical to [pe] — the differential
+          suite enforces this for every catalog kernel. Each application
+          [mk params] must return a fresh evaluator (engines call it once
+          per run, so per-domain scratch stays per-domain). *)
   score_site : Traceback.start_rule;
       (** Where the kernel's objective value is read (and where traceback
           starts when enabled). *)
@@ -46,3 +54,12 @@ val validate : 'p t -> 'p -> unit
     if any. *)
 
 val has_traceback : 'p t -> 'p -> bool
+
+val flat_pe : 'p t -> 'p -> Pe.flat
+(** The evaluator the engines actually run: [pe_flat] when wired, else
+    the boxed [pe] behind the {!Pe.flat_of_f} adapter. *)
+
+val boxed : 'p t -> 'p t
+(** The kernel with [pe_flat] stripped, so engines fall back to the
+    boxed interpreter/closure path — the reference side of the
+    boxed-vs-compiled differential tests. *)

@@ -11,3 +11,66 @@ type input = {
 type output = { scores : Types.score array; tb : int }
 
 type f = input -> output
+
+type buffers = {
+  mutable b_up : Types.score array;
+  mutable b_diag : Types.score array;
+  mutable b_left : Types.score array;
+  mutable b_qry : Types.ch;
+  mutable b_rf : Types.ch;
+  mutable b_row : int;
+  mutable b_col : int;
+  mutable b_scores : Types.score array;
+  mutable b_tb : int;
+}
+
+type flat = buffers -> unit
+
+let create_buffers ~n_layers =
+  if n_layers < 1 then invalid_arg "Pe.create_buffers: n_layers < 1";
+  {
+    b_up = Array.make n_layers 0;
+    b_diag = Array.make n_layers 0;
+    b_left = Array.make n_layers 0;
+    b_qry = [||];
+    b_rf = [||];
+    b_row = 0;
+    b_col = 0;
+    b_scores = Array.make n_layers 0;
+    b_tb = 0;
+  }
+
+let flat_of_f f buf =
+  let out =
+    f
+      {
+        up = buf.b_up;
+        diag = buf.b_diag;
+        left = buf.b_left;
+        qry = buf.b_qry;
+        rf = buf.b_rf;
+        row = buf.b_row;
+        col = buf.b_col;
+      }
+  in
+  let n = Array.length buf.b_scores in
+  if Array.length out.scores <> n then
+    invalid_arg
+      (Printf.sprintf "Pe.flat_of_f: PE returned %d layers, buffer expects %d"
+         (Array.length out.scores) n);
+  Array.blit out.scores 0 buf.b_scores 0 n;
+  buf.b_tb <- out.tb
+
+let f_of_flat ~n_layers flat input =
+  (* fresh buffers per call keep the resulting [f] pure (and safe to
+     share across domains, like any other boxed PE closure) *)
+  let buf = create_buffers ~n_layers in
+  buf.b_up <- input.up;
+  buf.b_diag <- input.diag;
+  buf.b_left <- input.left;
+  buf.b_qry <- input.qry;
+  buf.b_rf <- input.rf;
+  buf.b_row <- input.row;
+  buf.b_col <- input.col;
+  flat buf;
+  { scores = buf.b_scores; tb = buf.b_tb }

@@ -31,37 +31,44 @@ type spec = { fsm : fsm; stop : stop_rule }
 let max_steps ~qry_len ~ref_len = (2 * (qry_len + ref_len)) + 8
 
 module Best_cell = struct
+  (* Flattened to mutable ints (no cell records, no options) so that the
+     engines' per-cell [observe_rc] calls allocate nothing. *)
   type t = {
     objective : Score.objective;
-    mutable cell : Types.cell option;
+    mutable seen : bool;
+    mutable row : int;
+    mutable col : int;
     mutable score : Types.score;
   }
 
   let create objective =
-    { objective; cell = None; score = Score.worst_value objective }
+    { objective; seen = false; row = 0; col = 0; score = Score.worst_value objective }
 
-  let earlier (a : Types.cell) (b : Types.cell) =
-    a.row < b.row || (a.row = b.row && a.col < b.col)
-
-  let observe t cell score =
-    match t.cell with
-    | None ->
-      t.cell <- Some cell;
+  let observe_rc t ~row ~col score =
+    if not t.seen then begin
+      t.seen <- true;
+      t.row <- row;
+      t.col <- col;
       t.score <- score
-    | Some current ->
-      if
-        Score.better t.objective score t.score
-        || (score = t.score && earlier cell current)
-      then begin
-        t.cell <- Some cell;
-        t.score <- score
-      end
+    end
+    else if
+      Score.better t.objective score t.score
+      || (score = t.score && (row < t.row || (row = t.row && col < t.col)))
+    then begin
+      t.row <- row;
+      t.col <- col;
+      t.score <- score
+    end
 
-  let get t = match t.cell with None -> None | Some c -> Some (c, t.score)
+  let observe t (cell : Types.cell) score =
+    observe_rc t ~row:cell.Types.row ~col:cell.Types.col score
+
+  let get t =
+    if t.seen then Some ({ Types.row = t.row; col = t.col }, t.score) else None
 
   let merge a b =
     let t = create a.objective in
-    (match get a with None -> () | Some (c, s) -> observe t c s);
-    (match get b with None -> () | Some (c, s) -> observe t c s);
+    if a.seen then observe_rc t ~row:a.row ~col:a.col a.score;
+    if b.seen then observe_rc t ~row:b.row ~col:b.col b.score;
     t
 end

@@ -66,6 +66,10 @@ module Best_cell : sig
 
   val create : Dphls_util.Score.objective -> t
   val observe : t -> Types.cell -> Types.score -> unit
+  val observe_rc : t -> row:int -> col:int -> Types.score -> unit
+  (** Allocation-free [observe] (no cell record) — the engines' hot-path
+      entry point. *)
+
   val get : t -> (Types.cell * Types.score) option
   val merge : t -> t -> t
   (** Combine two trackers (the paper §5.2's reduction over per-PE local

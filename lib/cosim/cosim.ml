@@ -31,15 +31,26 @@ let verify ?(n_pe = 16) ?alt_pe kernel params workloads =
         !cycles_sum
         +. float_of_int stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total;
       util_sum := !util_sum +. stats.Dphls_systolic.Engine.utilization;
+      (* The golden run above executed the compiled datapath (when the
+         kernel carries one); re-running the boxed interpreter closure
+         checks the compiler output against its source of truth. *)
+      let boxed_ok =
+        Result.equal_alignment golden
+          (Dphls_reference.Ref_engine.run ~band_pe:n_pe (Kernel.boxed kernel)
+             params w)
+      in
       let alt_ok =
         match alt_pe with
         | None -> true
         | Some pe ->
-          let alt = { kernel with Kernel.pe = (fun _ -> pe) } in
+          (* drop pe_flat too, or the engines would keep the compiled
+             datapath and ignore the substituted closure *)
+          let alt = { kernel with Kernel.pe = (fun _ -> pe); pe_flat = None } in
           Result.equal_alignment golden
             (Dphls_reference.Ref_engine.run ~band_pe:n_pe alt params w)
       in
-      if Result.equal_alignment golden systolic && alt_ok then incr agreed
+      if Result.equal_alignment golden systolic && boxed_ok && alt_ok then
+        incr agreed
       else if List.length !mismatches < 8 then
         mismatches := { index; golden; systolic } :: !mismatches)
     workloads;

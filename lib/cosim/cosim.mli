@@ -30,8 +30,10 @@ val verify :
   'p ->
   Dphls_core.Workload.t list ->
   report
-(** Run every workload through both engines (and, when [alt_pe] is
-    given, a third golden pass with the alternate PE) and compare
-    alignments bit-for-bit. *)
+(** Run every workload through both engines and compare alignments
+    bit-for-bit. Two extra golden passes may run per workload: one with
+    the boxed interpreter PE ([Kernel.boxed], checking the compiled
+    datapath against the closure it was derived from), and, when
+    [alt_pe] is given, one with the alternate PE. *)
 
 val pp_report : Format.formatter -> report -> unit

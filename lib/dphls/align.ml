@@ -1,6 +1,7 @@
 open Dphls_core
 
 type engine = Golden | Systolic of int
+type datapath = Compiled | Boxed
 
 type alignment = {
   score : int;
@@ -12,11 +13,15 @@ type alignment = {
   device_cycles : int option;
 }
 
-let run_kernel (type p) ?band ~engine (kernel : p Kernel.t) (params : p) w ~decode =
+let run_kernel (type p) ?band ?(datapath = Compiled) ~engine (kernel : p Kernel.t)
+    (params : p) w ~decode =
   let kernel =
     match band with
     | Some b -> { kernel with Kernel.banding = Some b }
     | None -> kernel
+  in
+  let kernel =
+    match datapath with Compiled -> kernel | Boxed -> Kernel.boxed kernel
   in
   let result, cycles =
     match engine with
@@ -67,32 +72,32 @@ let dna_workload ~query ~reference =
 let dna_decode c = Dphls_alphabet.Dna.decode c.(0)
 let protein_decode c = Dphls_alphabet.Protein.decode c.(0)
 
-let global ?band ?(engine = Golden) ~query ~reference () =
-  run_kernel ?band ~engine Dphls_kernels.K01_global_linear.kernel
+let global ?band ?datapath ?(engine = Golden) ~query ~reference () =
+  run_kernel ?band ?datapath ~engine Dphls_kernels.K01_global_linear.kernel
     Dphls_kernels.K01_global_linear.default
     (dna_workload ~query ~reference)
     ~decode:dna_decode
 
-let global_affine ?band ?(engine = Golden) ~query ~reference () =
-  run_kernel ?band ~engine Dphls_kernels.K02_global_affine.kernel
+let global_affine ?band ?datapath ?(engine = Golden) ~query ~reference () =
+  run_kernel ?band ?datapath ~engine Dphls_kernels.K02_global_affine.kernel
     Dphls_kernels.K02_global_affine.default
     (dna_workload ~query ~reference)
     ~decode:dna_decode
 
-let local ?band ?(engine = Golden) ~query ~reference () =
-  run_kernel ?band ~engine Dphls_kernels.K03_local_linear.kernel
+let local ?band ?datapath ?(engine = Golden) ~query ~reference () =
+  run_kernel ?band ?datapath ~engine Dphls_kernels.K03_local_linear.kernel
     Dphls_kernels.K03_local_linear.default
     (dna_workload ~query ~reference)
     ~decode:dna_decode
 
-let semi_global ?band ?(engine = Golden) ~query ~reference () =
-  run_kernel ?band ~engine Dphls_kernels.K07_semi_global.kernel
+let semi_global ?band ?datapath ?(engine = Golden) ~query ~reference () =
+  run_kernel ?band ?datapath ~engine Dphls_kernels.K07_semi_global.kernel
     Dphls_kernels.K07_semi_global.default
     (dna_workload ~query ~reference)
     ~decode:dna_decode
 
-let protein_local ?band ?(engine = Golden) ~query ~reference () =
-  run_kernel ?band ~engine Dphls_kernels.K15_protein_local.kernel
+let protein_local ?band ?datapath ?(engine = Golden) ~query ~reference () =
+  run_kernel ?band ?datapath ~engine Dphls_kernels.K15_protein_local.kernel
     Dphls_kernels.K15_protein_local.default
     (Workload.of_bases
        ~query:(Dphls_alphabet.Protein.of_string query)

@@ -9,6 +9,10 @@ type engine =
   | Golden                   (** exact full-matrix engine *)
   | Systolic of int          (** cycle-level array with the given N_PE *)
 
+type datapath =
+  | Compiled  (** flat compiled PE datapath (default; allocation-free) *)
+  | Boxed     (** hand-written boxed PE closures, the reference semantics *)
+
 type alignment = {
   score : int;
   cigar : string;
@@ -21,6 +25,7 @@ type alignment = {
 
 val global :
   ?band:Dphls_core.Banding.t ->
+  ?datapath:datapath ->
   ?engine:engine -> query:string -> reference:string -> unit -> alignment
 (** Needleman-Wunsch (kernel #1 defaults) over DNA strings.
 
@@ -29,24 +34,33 @@ val global :
     Under an adaptive band the Golden engine decides the band at its
     canonical single-chunk trajectory; the Systolic engine decides it
     with [N_PE]-row chunks, so their pruning (and possibly scores) may
-    differ — that is the expected hardware behavior, not a bug. *)
+    differ — that is the expected hardware behavior, not a bug.
+
+    [?datapath] selects the PE implementation: the compiled flat
+    datapath (default, faster) or the boxed interpreter closures.
+    Results are bit-identical either way; [Boxed] exists for
+    differential testing and as the fallback semantics. *)
 
 val global_affine :
   ?band:Dphls_core.Banding.t ->
+  ?datapath:datapath ->
   ?engine:engine -> query:string -> reference:string -> unit -> alignment
 (** Gotoh (kernel #2 defaults). *)
 
 val local :
   ?band:Dphls_core.Banding.t ->
+  ?datapath:datapath ->
   ?engine:engine -> query:string -> reference:string -> unit -> alignment
 (** Smith-Waterman (kernel #3 defaults). *)
 
 val semi_global :
   ?band:Dphls_core.Banding.t ->
+  ?datapath:datapath ->
   ?engine:engine -> query:string -> reference:string -> unit -> alignment
 (** Query end-to-end within the reference (kernel #7 defaults). *)
 
 val protein_local :
   ?band:Dphls_core.Banding.t ->
+  ?datapath:datapath ->
   ?engine:engine -> query:string -> reference:string -> unit -> alignment
 (** BLOSUM62 Smith-Waterman over amino-acid strings (kernel #15). *)

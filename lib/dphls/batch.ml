@@ -11,32 +11,33 @@ let kind_of_string = function
   | "protein-local" -> Protein_local
   | s -> invalid_arg (Printf.sprintf "Batch.kind_of_string: %S" s)
 
-let align_one ?band ?engine kind ~query ~reference =
+let align_one ?band ?datapath ?engine kind ~query ~reference =
   match kind with
-  | Global -> Align.global ?band ?engine ~query ~reference ()
-  | Global_affine -> Align.global_affine ?band ?engine ~query ~reference ()
-  | Local -> Align.local ?band ?engine ~query ~reference ()
-  | Semi_global -> Align.semi_global ?band ?engine ~query ~reference ()
-  | Protein_local -> Align.protein_local ?band ?engine ~query ~reference ()
+  | Global -> Align.global ?band ?datapath ?engine ~query ~reference ()
+  | Global_affine -> Align.global_affine ?band ?datapath ?engine ~query ~reference ()
+  | Local -> Align.local ?band ?datapath ?engine ~query ~reference ()
+  | Semi_global -> Align.semi_global ?band ?datapath ?engine ~query ~reference ()
+  | Protein_local -> Align.protein_local ?band ?datapath ?engine ~query ~reference ()
 
-let run_in_pool ?band ?engine ~kind pool pairs =
+let run_in_pool ?band ?datapath ?engine ~kind pool pairs =
   Pool.run pool
     (fun i ->
       let query, reference = pairs.(i) in
-      align_one ?band ?engine kind ~query ~reference)
+      align_one ?band ?datapath ?engine kind ~query ~reference)
     (Array.length pairs)
 
-let align_all_report ?band ?engine ?(kind = Global) ?workers pairs =
-  Pool.with_pool ?workers (fun pool -> run_in_pool ?band ?engine ~kind pool pairs)
+let align_all_report ?band ?datapath ?engine ?(kind = Global) ?workers pairs =
+  Pool.with_pool ?workers (fun pool ->
+      run_in_pool ?band ?datapath ?engine ~kind pool pairs)
 
-let align_all ?band ?engine ?kind ?workers pairs =
-  fst (align_all_report ?band ?engine ?kind ?workers pairs)
+let align_all ?band ?datapath ?engine ?kind ?workers pairs =
+  fst (align_all_report ?band ?datapath ?engine ?kind ?workers pairs)
 
-let iter ?band ?engine ?(kind = Global) ?workers ?(chunk = 256) ~f seq =
+let iter ?band ?datapath ?engine ?(kind = Global) ?workers ?(chunk = 256) ~f seq =
   if chunk < 1 then invalid_arg "Batch.iter: chunk < 1";
   Pool.with_pool ?workers (fun pool ->
       let emit base pairs =
-        let results, _ = run_in_pool ?band ?engine ~kind pool pairs in
+        let results, _ = run_in_pool ?band ?datapath ?engine ~kind pool pairs in
         Array.iteri
           (fun i a ->
             let query, reference = pairs.(i) in
@@ -62,8 +63,8 @@ let iter ?band ?engine ?(kind = Global) ?workers ?(chunk = 256) ~f seq =
       in
       go 0 seq)
 
-let iter_fasta_file ?band ?engine ?(kind = Global) ?workers ?(chunk = 256) ~path ~f
-    () =
+let iter_fasta_file ?band ?datapath ?engine ?(kind = Global) ?workers
+    ?(chunk = 256) ~path ~f () =
   if chunk < 1 then invalid_arg "Batch.iter_fasta_file: chunk < 1";
   Pool.with_pool ?workers (fun pool ->
       let emit base records =
@@ -73,7 +74,7 @@ let iter_fasta_file ?band ?engine ?(kind = Global) ?workers ?(chunk = 256) ~path
               (q.Dphls_io.Fasta.sequence, r.Dphls_io.Fasta.sequence))
             records
         in
-        let results, _ = run_in_pool ?band ?engine ~kind pool pairs in
+        let results, _ = run_in_pool ?band ?datapath ?engine ~kind pool pairs in
         Array.iteri
           (fun i a ->
             let q, r = records.(i) in
@@ -104,8 +105,10 @@ let iter_fasta_file ?band ?engine ?(kind = Global) ?workers ?(chunk = 256) ~path
       | None -> ());
       if buffered <> [] then emit base (Array.of_list (List.rev buffered)))
 
-let scaling ?band ?engine ?kind ~workers pairs =
-  let report w = snd (align_all_report ?band ?engine ?kind ~workers:w pairs) in
+let scaling ?band ?datapath ?engine ?kind ~workers pairs =
+  let report w =
+    snd (align_all_report ?band ?datapath ?engine ?kind ~workers:w pairs)
+  in
   let baseline = (report 1).Pool.report in
   Throughput.scaling ~baseline
     (List.map (fun w -> (w, (report w).Pool.report)) workers)

@@ -20,11 +20,13 @@ val kind_of_string : string -> kind
 (** Parses ["global" | "global-affine" | "local" | "semi-global" |
     "protein-local"]; raises [Invalid_argument] otherwise.
 
-    All batch entry points also accept [?band] (forwarded to {!Align})
-    to run the chosen kernel under a fixed or adaptive band. *)
+    All batch entry points also accept [?band] and [?datapath]
+    (forwarded to {!Align}) to run the chosen kernel under a fixed or
+    adaptive band and with the compiled or boxed PE datapath. *)
 
 val align_one :
   ?band:Dphls_core.Banding.t ->
+  ?datapath:Align.datapath ->
   ?engine:Align.engine -> kind -> query:string -> reference:string
   -> Align.alignment
 (** Single-pair reference semantics: exactly the corresponding
@@ -33,6 +35,7 @@ val align_one :
 
 val align_all :
   ?band:Dphls_core.Banding.t ->
+  ?datapath:Align.datapath ->
   ?engine:Align.engine -> ?kind:kind -> ?workers:int
   -> (string * string) array -> Align.alignment array
 (** [align_all pairs] aligns every [(query, reference)] pair in
@@ -42,6 +45,7 @@ val align_all :
 
 val align_all_report :
   ?band:Dphls_core.Banding.t ->
+  ?datapath:Align.datapath ->
   ?engine:Align.engine -> ?kind:kind -> ?workers:int
   -> (string * string) array
   -> Align.alignment array * Dphls_host.Pool.stats
@@ -51,6 +55,7 @@ val align_all_report :
 
 val iter :
   ?band:Dphls_core.Banding.t ->
+  ?datapath:Align.datapath ->
   ?engine:Align.engine -> ?kind:kind -> ?workers:int -> ?chunk:int
   -> f:(int -> query:string -> reference:string -> Align.alignment -> unit)
   -> (string * string) Seq.t -> unit
@@ -61,6 +66,7 @@ val iter :
 
 val iter_fasta_file :
   ?band:Dphls_core.Banding.t ->
+  ?datapath:Align.datapath ->
   ?engine:Align.engine -> ?kind:kind -> ?workers:int -> ?chunk:int
   -> path:string
   -> f:
@@ -73,6 +79,7 @@ val iter_fasta_file :
 
 val scaling :
   ?band:Dphls_core.Banding.t ->
+  ?datapath:Align.datapath ->
   ?engine:Align.engine -> ?kind:kind -> workers:int list
   -> (string * string) array
   -> Dphls_host.Throughput.scaling_point list

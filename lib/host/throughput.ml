@@ -43,6 +43,41 @@ let band_json runs =
   Buffer.add_string buf "\n]\n";
   Buffer.contents buf
 
+type pe_run = {
+  kernel : string;
+  n_pe : int;
+  cells : int;
+  boxed_ns : float;
+  compiled_ns : float;
+}
+
+let pe_cells_per_sec ~cells ~ns =
+  if ns <= 0.0 then invalid_arg "Throughput.pe_cells_per_sec";
+  float_of_int cells /. (ns /. 1e9)
+
+let pe_speedup r =
+  if r.compiled_ns <= 0.0 then invalid_arg "Throughput.pe_speedup";
+  r.boxed_ns /. r.compiled_ns
+
+let pe_json runs =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  {\"kernel\": %S, \"n_pe\": %d, \"cells\": %d, \"boxed_ns\": %.0f, \
+            \"compiled_ns\": %.0f, \"boxed_cells_per_sec\": %.0f, \
+            \"compiled_cells_per_sec\": %.0f, \"speedup\": %.3f}"
+           r.kernel r.n_pe r.cells r.boxed_ns r.compiled_ns
+           (pe_cells_per_sec ~cells:r.cells ~ns:r.boxed_ns)
+           (pe_cells_per_sec ~cells:r.cells ~ns:r.compiled_ns)
+           (pe_speedup r)))
+    runs;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
 type scaling_point = {
   workers : int;
   measured_speedup : float;

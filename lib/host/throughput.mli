@@ -35,6 +35,29 @@ val cells_fraction : band_run -> float
 val band_json : band_run list -> string
 (** Renders the runs as a JSON array (the BENCH_2.json payload). *)
 
+(** One PE-datapath measurement of the same alignment workload: the
+    boxed interpreter closure vs the compiled flat evaluator on one
+    kernel shape at one array width, as reported by [bench --pe-only]
+    (the BENCH_3.json payload). *)
+type pe_run = {
+  kernel : string;       (** shape label, e.g. "linear(#1)" *)
+  n_pe : int;
+  cells : int;           (** DP cells per alignment *)
+  boxed_ns : float;      (** mean wall-clock per alignment, boxed PE *)
+  compiled_ns : float;   (** mean wall-clock per alignment, compiled PE *)
+}
+
+val pe_cells_per_sec : cells:int -> ns:float -> float
+(** Cell-update rate from one wall-clock measurement; raises on
+    [ns <= 0]. *)
+
+val pe_speedup : pe_run -> float
+(** [boxed_ns / compiled_ns]; raises on [compiled_ns <= 0]. *)
+
+val pe_json : pe_run list -> string
+(** Renders the runs (with derived rates and speedups) as a JSON array
+    (the BENCH_3.json payload). *)
+
 (** Measured-vs-modeled N_K scaling: how the wall-clock speedups that
     {!Pool} actually achieves line up against the paper's analytical
     model, in which N_K channels scale throughput linearly. *)

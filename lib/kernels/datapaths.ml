@@ -1,373 +1,36 @@
+(* Facade over the per-kernel cell/bindings pairs. The cell definitions
+   live in [Cells]; each kXX module owns its parameter bindings (the same
+   pairing its [pe_flat] compiles). This module only assembles the
+   defaults for catalog ids. *)
+
 open Dphls_core.Datapath
-module Score = Dphls_util.Score
 
-(* Tag of the first candidate attaining the optimum (Kdefs.best_of keeps
-   the incumbent unless strictly better, so the winner is the first
-   argbest). *)
-let rec select_first_best ~objective cands =
-  match cands with
-  | [] -> invalid_arg "Datapaths.select_first_best: empty"
-  | [ (_, tag) ] -> Const tag
-  | (c1, tag1) :: rest ->
-    let rest_best = Max (List.map fst rest) in
-    let rest_best =
-      match objective with Score.Maximize -> rest_best | Score.Minimize -> Min (List.map fst rest)
-    in
-    let loses =
-      match objective with
-      | Score.Maximize -> Lt (c1, rest_best)
-      | Score.Minimize -> Lt (rest_best, c1)
-    in
-    Ite (loses, select_first_best ~objective rest, Const tag1)
-
-(* ---------- linear DNA family (#1, #3, #6, #7, #11) ---------- *)
-
-let dna_sub = Ite (Eq (Qry 0, Ref 0), Param "match", Param "mismatch")
-
-let linear_candidates =
-  [
-    (Add (Diag 0, dna_sub), Kdefs.Linear.ptr_diag);
-    (Add (Up 0, Param "gap"), Kdefs.Linear.ptr_up);
-    (Add (Left 0, Param "gap"), Kdefs.Linear.ptr_left);
-  ]
-
-let linear_global_cell =
-  {
-    layers = [| Max (List.map fst linear_candidates) |];
-    tb_fields =
-      [ { bits = 2; value = select_first_best ~objective:Score.Maximize linear_candidates } ];
-  }
-
-let linear_local_cell =
-  let h = Max (List.map fst linear_candidates) in
-  {
-    layers = [| Ite (Le (h, Const 0), Const 0, h) |];
-    tb_fields =
-      [
-        {
-          bits = 2;
-          value =
-            Ite
-              ( Le (h, Const 0),
-                Const Kdefs.Linear.ptr_end,
-                select_first_best ~objective:Score.Maximize linear_candidates );
-        };
-      ];
-  }
-
-let linear_bindings (p : K01_global_linear.params) =
-  {
-    params =
-      [ ("match", p.K01_global_linear.match_); ("mismatch", p.mismatch); ("gap", p.gap) ];
-    tables = [];
-  }
-
-(* ---------- affine family (#2, #4, #12) ---------- *)
-
-let affine_d = Max [ Add (Up 0, Param "gap_oe"); Add (Up 1, Param "gap_extend") ]
-let affine_i = Max [ Add (Left 0, Param "gap_oe"); Add (Left 2, Param "gap_extend") ]
-
-let affine_h_cands =
-  [
-    (Add (Diag 0, dna_sub), Kdefs.Affine.src_diag);
-    (Cur 1, Kdefs.Affine.src_del);
-    (Cur 2, Kdefs.Affine.src_ins);
-  ]
-
-let affine_ext ~h_layer ~gap_layer =
-  (* extension bit set only when extending strictly beats re-opening *)
-  Ite
-    (Lt (Add (h_layer, Param "gap_oe"), Add (gap_layer, Param "gap_extend")), Const 1, Const 0)
-
-let affine_cell ~local =
-  let h = Max (List.map fst affine_h_cands) in
-  let h_src = select_first_best ~objective:Score.Maximize affine_h_cands in
-  let layer0, src =
-    if local then
-      ( Ite (Le (h, Const 0), Const 0, h),
-        Ite (Le (h, Const 0), Const Kdefs.Affine.src_end, h_src) )
-    else (h, h_src)
-  in
-  {
-    layers = [| layer0; affine_d; affine_i |];
-    tb_fields =
-      [
-        { bits = 2; value = src };
-        { bits = 1; value = affine_ext ~h_layer:(Up 0) ~gap_layer:(Up 1) };
-        { bits = 1; value = affine_ext ~h_layer:(Left 0) ~gap_layer:(Left 2) };
-      ];
-  }
-
-let affine_bindings (p : K02_global_affine.params) =
-  {
-    params =
-      [
-        ("match", p.K02_global_affine.match_);
-        ("mismatch", p.mismatch);
-        ("gap_oe", Score.add p.gap_open p.gap_extend);
-        ("gap_extend", p.gap_extend);
-      ];
-    tables = [];
-  }
-
-let affine_bindings_k04 (p : K04_local_affine.params) =
-  {
-    params =
-      [
-        ("match", p.K04_local_affine.match_);
-        ("mismatch", p.mismatch);
-        ("gap_oe", Score.add p.gap_open p.gap_extend);
-        ("gap_extend", p.gap_extend);
-      ];
-    tables = [];
-  }
-
-let affine_bindings_k12 (p : K12_banded_local_affine.params) =
-  {
-    params =
-      [
-        ("match", p.K12_banded_local_affine.match_);
-        ("mismatch", p.mismatch);
-        ("gap_oe", Score.add p.gap_open p.gap_extend);
-        ("gap_extend", p.gap_extend);
-      ];
-    tables = [];
-  }
-
-(* ---------- two-piece family (#5, #13) ---------- *)
-
-let tp_gap ~h_neighbor ~layer_neighbor ~oe ~extend =
-  Max [ Add (h_neighbor, Param oe); Add (layer_neighbor, Param extend) ]
-
-let two_piece_cell =
-  let d1 = tp_gap ~h_neighbor:(Up 0) ~layer_neighbor:(Up 1) ~oe:"oe1" ~extend:"e1" in
-  let i1 = tp_gap ~h_neighbor:(Left 0) ~layer_neighbor:(Left 2) ~oe:"oe1" ~extend:"e1" in
-  let d2 = tp_gap ~h_neighbor:(Up 0) ~layer_neighbor:(Up 3) ~oe:"oe2" ~extend:"e2" in
-  let i2 = tp_gap ~h_neighbor:(Left 0) ~layer_neighbor:(Left 4) ~oe:"oe2" ~extend:"e2" in
-  let cands =
-    [
-      (Add (Diag 0, dna_sub), Kdefs.Two_piece.src_diag);
-      (Cur 1, Kdefs.Two_piece.src_d1);
-      (Cur 2, Kdefs.Two_piece.src_i1);
-      (Cur 3, Kdefs.Two_piece.src_d2);
-      (Cur 4, Kdefs.Two_piece.src_i2);
-    ]
-  in
-  let ext ~h_neighbor ~layer_neighbor ~oe ~extend =
-    Ite
-      ( Lt (Add (h_neighbor, Param oe), Add (layer_neighbor, Param extend)),
-        Const 1, Const 0 )
-  in
-  {
-    layers = [| Max (List.map fst cands); d1; i1; d2; i2 |];
-    tb_fields =
-      [
-        { bits = 3; value = select_first_best ~objective:Score.Maximize cands };
-        { bits = 1; value = ext ~h_neighbor:(Up 0) ~layer_neighbor:(Up 1) ~oe:"oe1" ~extend:"e1" };
-        { bits = 1; value = ext ~h_neighbor:(Left 0) ~layer_neighbor:(Left 2) ~oe:"oe1" ~extend:"e1" };
-        { bits = 1; value = ext ~h_neighbor:(Up 0) ~layer_neighbor:(Up 3) ~oe:"oe2" ~extend:"e2" };
-        { bits = 1; value = ext ~h_neighbor:(Left 0) ~layer_neighbor:(Left 4) ~oe:"oe2" ~extend:"e2" };
-      ];
-  }
-
-let two_piece_bindings (p : K05_global_two_piece.params) =
-  let g = p.K05_global_two_piece.gaps in
-  {
-    params =
-      [
-        ("match", p.match_);
-        ("mismatch", p.mismatch);
-        ("oe1", Score.add g.Two_piece_rec.open1 g.extend1);
-        ("e1", g.extend1);
-        ("oe2", Score.add g.open2 g.extend2);
-        ("e2", g.extend2);
-      ];
-    tables = [];
-  }
-
-let two_piece_bindings_k13 (p : K13_banded_global_two_piece.params) =
-  let g = p.K13_banded_global_two_piece.gaps in
-  {
-    params =
-      [
-        ("match", p.match_);
-        ("mismatch", p.mismatch);
-        ("oe1", Score.add g.Two_piece_rec.open1 g.extend1);
-        ("e1", g.extend1);
-        ("oe2", Score.add g.open2 g.extend2);
-        ("e2", g.extend2);
-      ];
-    tables = [];
-  }
-
-(* ---------- profile alignment (#8) ---------- *)
-
-let profile_cell (p : K08_profile.params) =
-  let sigma =
-    Dphls_alphabet.Profile.sum_of_pairs_matrix ~match_:p.K08_profile.match_
-      ~mismatch:p.mismatch ~gap:p.gap_symbol
-  in
-  let sum_terms f = List.fold_left (fun acc t -> Add (acc, t)) (f 0) (List.init 4 (fun i -> f (i + 1))) in
-  (* sum-of-pairs: the two matrix-vector multiplications per cell *)
-  let sub =
-    sum_terms (fun a ->
-        sum_terms (fun b -> Mul (Mul (Qry a, Ref b), Const sigma.(a).(b))))
-  in
-  let residues of_elem = List.fold_left (fun acc i -> Add (acc, of_elem i)) (of_elem 0) [ 1; 2; 3 ] in
-  let depth of_elem = Add (residues of_elem, of_elem 4) in
-  let up_gap = Mul (Param "gap_column", Mul (residues (fun i -> Qry i), depth (fun i -> Ref i))) in
-  let left_gap = Mul (Param "gap_column", Mul (residues (fun i -> Ref i), depth (fun i -> Qry i))) in
-  let cands =
-    [
-      (Add (Diag 0, sub), Kdefs.Linear.ptr_diag);
-      (Add (Up 0, up_gap), Kdefs.Linear.ptr_up);
-      (Add (Left 0, left_gap), Kdefs.Linear.ptr_left);
-    ]
-  in
-  {
-    layers = [| Max (List.map fst cands) |];
-    tb_fields = [ { bits = 2; value = select_first_best ~objective:Score.Maximize cands } ];
-  }
-
-let profile_bindings (p : K08_profile.params) =
-  { params = [ ("gap_column", p.K08_profile.gap_column) ]; tables = [] }
-
-(* ---------- DTW family (#9, #14) ---------- *)
-
-let dtw_neighbors =
-  [ (Diag 0, Kdefs.Linear.ptr_diag); (Up 0, Kdefs.Linear.ptr_up); (Left 0, Kdefs.Linear.ptr_left) ]
-
-let dtw_cell =
-  let cost = Add (Abs (Sub (Qry 0, Ref 0)), Abs (Sub (Qry 1, Ref 1))) in
-  {
-    layers = [| Add (Min (List.map fst dtw_neighbors), cost) |];
-    tb_fields =
-      [ { bits = 2; value = select_first_best ~objective:Score.Minimize dtw_neighbors } ];
-  }
-
-let sdtw_cell =
-  let cost = Abs (Sub (Qry 0, Ref 0)) in
-  { layers = [| Add (Min (List.map fst dtw_neighbors), cost) |]; tb_fields = [] }
-
-(* ---------- Viterbi (#10) ---------- *)
-
-let viterbi_cell =
-  let m =
-    Add
-      ( Max
-          [
-            Add (Diag 0, Param "trans_mm");
-            Add (Diag 1, Param "trans_gap_close");
-            Add (Diag 2, Param "trans_gap_close");
-          ],
-        Lookup2 ("emission", Qry 0, Ref 0) )
-  in
-  let ins =
-    Add
-      ( Max [ Add (Up 0, Param "trans_gap_open"); Add (Up 1, Param "trans_gap_extend") ],
-        Param "gap_emission" )
-  in
-  let del =
-    Add
-      ( Max [ Add (Left 0, Param "trans_gap_open"); Add (Left 2, Param "trans_gap_extend") ],
-        Param "gap_emission" )
-  in
-  { layers = [| m; ins; del |]; tb_fields = [] }
-
-let viterbi_bindings (p : K10_viterbi.params) =
-  {
-    params =
-      [
-        ("trans_mm", p.K10_viterbi.trans_mm);
-        ("trans_gap_open", p.trans_gap_open);
-        ("trans_gap_extend", p.trans_gap_extend);
-        ("trans_gap_close", p.trans_gap_close);
-        ("gap_emission", p.gap_emission);
-      ];
-    tables = [ ("emission", p.emission) ];
-  }
-
-(* ---------- protein local (#15) ---------- *)
-
-let protein_cell =
-  let cands =
-    [
-      (Add (Diag 0, Lookup2 ("matrix", Qry 0, Ref 0)), Kdefs.Linear.ptr_diag);
-      (Add (Up 0, Param "gap"), Kdefs.Linear.ptr_up);
-      (Add (Left 0, Param "gap"), Kdefs.Linear.ptr_left);
-    ]
-  in
-  let h = Max (List.map fst cands) in
-  {
-    layers = [| Ite (Le (h, Const 0), Const 0, h) |];
-    tb_fields =
-      [
-        {
-          bits = 2;
-          value =
-            Ite
-              ( Le (h, Const 0),
-                Const Kdefs.Linear.ptr_end,
-                select_first_best ~objective:Score.Maximize cands );
-        };
-      ];
-  }
-
-let protein_bindings (p : K15_protein_local.params) =
-  {
-    params = [ ("gap", p.K15_protein_local.gap) ];
-    tables = [ ("matrix", p.matrix) ];
-  }
+let select_first_best = Cells.select_first_best
 
 let rec cell_for id =
   match id with
-  | 1 -> (linear_global_cell, linear_bindings K01_global_linear.default)
-  | 2 -> (affine_cell ~local:false, affine_bindings K02_global_affine.default)
-  | 3 ->
-    ( linear_local_cell,
-      linear_bindings
-        {
-          K01_global_linear.match_ = K03_local_linear.default.K03_local_linear.match_;
-          mismatch = K03_local_linear.default.mismatch;
-          gap = K03_local_linear.default.gap;
-        } )
-  | 4 -> (affine_cell ~local:true, affine_bindings_k04 K04_local_affine.default)
-  | 5 -> (two_piece_cell, two_piece_bindings K05_global_two_piece.default)
-  | 6 ->
-    ( linear_global_cell,
-      linear_bindings
-        {
-          K01_global_linear.match_ = K06_overlap.default.K06_overlap.match_;
-          mismatch = K06_overlap.default.mismatch;
-          gap = K06_overlap.default.gap;
-        } )
-  | 7 ->
-    ( linear_global_cell,
-      linear_bindings
-        {
-          K01_global_linear.match_ = K07_semi_global.default.K07_semi_global.match_;
-          mismatch = K07_semi_global.default.mismatch;
-          gap = K07_semi_global.default.gap;
-        } )
-  | 8 -> (profile_cell K08_profile.default, profile_bindings K08_profile.default)
-  | 9 -> (dtw_cell, { params = []; tables = [] })
-  | 10 -> (viterbi_cell, viterbi_bindings K10_viterbi.default)
-  | 11 ->
-    ( linear_global_cell,
-      linear_bindings
-        {
-          K01_global_linear.match_ =
-            K11_banded_global_linear.default.K11_banded_global_linear.match_;
-          mismatch = K11_banded_global_linear.default.mismatch;
-          gap = K11_banded_global_linear.default.gap;
-        } )
+  | 1 -> (Cells.linear_global_cell, K01_global_linear.(bindings default))
+  | 2 -> (Cells.affine_cell ~local:false, K02_global_affine.(bindings default))
+  | 3 -> (Cells.linear_local_cell, K03_local_linear.(bindings default))
+  | 4 -> (Cells.affine_cell ~local:true, K04_local_affine.(bindings default))
+  | 5 -> (Cells.two_piece_cell, K05_global_two_piece.(bindings default))
+  | 6 -> (Cells.linear_global_cell, K06_overlap.(bindings default))
+  | 7 -> (Cells.linear_global_cell, K07_semi_global.(bindings default))
+  | 8 ->
+    let d = K08_profile.default in
+    ( Cells.profile_cell ~match_:d.K08_profile.match_ ~mismatch:d.mismatch
+        ~gap_symbol:d.gap_symbol,
+      K08_profile.bindings d )
+  | 9 -> (Cells.dtw_cell, K09_dtw.(bindings default))
+  | 10 -> (Cells.viterbi_cell, K10_viterbi.(bindings default))
+  | 11 -> (Cells.linear_global_cell, K11_banded_global_linear.(bindings default))
   | 12 ->
     (* score only: same datapath, no pointer store *)
-    ( { (affine_cell ~local:true) with tb_fields = [] },
-      affine_bindings_k12 K12_banded_local_affine.default )
-  | 13 -> (two_piece_cell, two_piece_bindings_k13 K13_banded_global_two_piece.default)
-  | 14 -> (sdtw_cell, { params = []; tables = [] })
-  | 15 -> (protein_cell, protein_bindings K15_protein_local.default)
+    ( { (Cells.affine_cell ~local:true) with tb_fields = [] },
+      K12_banded_local_affine.(bindings default) )
+  | 13 -> (Cells.two_piece_cell, K13_banded_global_two_piece.(bindings default))
+  | 14 -> (Cells.sdtw_cell, K14_sdtw.(bindings default))
+  | 15 -> (Cells.protein_cell, K15_protein_local.(bindings default))
   (* the adaptive-banded variants share their fixed-band kernel's
      datapath: banding changes wavefront sequencing, not the PE *)
   | 16 -> cell_for 11

@@ -17,6 +17,13 @@ let pe p (i : Pe.input) =
   in
   { Pe.scores = [| best |]; tb = ptr }
 
+let bindings p =
+  {
+    Datapath.params =
+      [ ("match", p.match_); ("mismatch", p.mismatch); ("gap", p.gap) ];
+    tables = [];
+  }
+
 let kernel =
   {
     Kernel.id = 1;
@@ -30,6 +37,10 @@ let kernel =
     init_col = (fun p ~qry_len:_ ~layer:_ ~row -> p.gap * (row + 1));
     origin = (fun _ ~layer:_ -> 0);
     pe;
+    pe_flat =
+      Some
+        (fun p ->
+          Datapath.flat (Datapath.compile Cells.linear_global_cell (bindings p)));
     score_site = Traceback.Bottom_right;
     traceback = (fun _ -> Some { Traceback.fsm = Kdefs.Linear.fsm; stop = Traceback.At_origin });
     banding = None;

@@ -12,6 +12,11 @@ type params = {
 
 val default : params
 
+val bindings : params -> Dphls_core.Datapath.bindings
+(** Parameter bindings pairing [Cells.linear_global_cell] with a concrete
+    [params] (shared with kernels #6, #7 and #11, whose scoring model is
+    identical). *)
+
 val kernel : params Dphls_core.Kernel.t
 
 val gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t

@@ -9,6 +9,18 @@ let pe p (i : Pe.input) =
   let sub = Kdefs.dna_sub ~match_:p.match_ ~mismatch:p.mismatch i.Pe.qry i.Pe.rf in
   Affine_rec.pe ~local:false ~sub ~gap_open:p.gap_open ~gap_extend:p.gap_extend i
 
+let bindings p =
+  {
+    Datapath.params =
+      [
+        ("match", p.match_);
+        ("mismatch", p.mismatch);
+        ("gap_oe", Score.add p.gap_open p.gap_extend);
+        ("gap_extend", p.gap_extend);
+      ];
+    tables = [];
+  }
+
 let kernel =
   {
     Kernel.id = 2;
@@ -28,6 +40,11 @@ let kernel =
           ~layer ~col:row);
     origin = (fun _ ~layer -> Affine_rec.origin_global ~layer);
     pe;
+    pe_flat =
+      Some
+        (fun p ->
+          Datapath.flat
+            (Datapath.compile (Cells.affine_cell ~local:false) (bindings p)));
     score_site = Traceback.Bottom_right;
     traceback =
       (fun _ -> Some { Traceback.fsm = Kdefs.Affine.fsm; stop = Traceback.At_origin });

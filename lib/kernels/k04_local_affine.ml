@@ -9,6 +9,18 @@ let pe p (i : Pe.input) =
   let sub = Kdefs.dna_sub ~match_:p.match_ ~mismatch:p.mismatch i.Pe.qry i.Pe.rf in
   Affine_rec.pe ~local:true ~sub ~gap_open:p.gap_open ~gap_extend:p.gap_extend i
 
+let bindings p =
+  {
+    Datapath.params =
+      [
+        ("match", p.match_);
+        ("mismatch", p.mismatch);
+        ("gap_oe", Score.add p.gap_open p.gap_extend);
+        ("gap_extend", p.gap_extend);
+      ];
+    tables = [];
+  }
+
 let kernel =
   {
     Kernel.id = 4;
@@ -22,6 +34,11 @@ let kernel =
     init_col = (fun _ ~qry_len:_ ~layer ~row:_ -> Affine_rec.init_zero ~layer);
     origin = (fun _ ~layer -> Affine_rec.init_zero ~layer);
     pe;
+    pe_flat =
+      Some
+        (fun p ->
+          Datapath.flat
+            (Datapath.compile (Cells.affine_cell ~local:true) (bindings p)));
     score_site = Traceback.Global_best;
     traceback =
       (fun _ -> Some { Traceback.fsm = Kdefs.Affine.fsm; stop = Traceback.On_stop_move });

@@ -43,6 +43,9 @@ let pe p =
    recurrence exactly on the border. *)
 let border_gap p ~index = p.gap_column * p.depth * p.depth * (index + 1)
 
+let bindings p =
+  { Datapath.params = [ ("gap_column", p.gap_column) ]; tables = [] }
+
 let kernel =
   {
     Kernel.id = 8;
@@ -56,6 +59,14 @@ let kernel =
     init_col = (fun p ~qry_len:_ ~layer:_ ~row -> border_gap p ~index:row);
     origin = (fun _ ~layer:_ -> 0);
     pe;
+    pe_flat =
+      Some
+        (fun p ->
+          Datapath.flat
+            (Datapath.compile
+               (Cells.profile_cell ~match_:p.match_ ~mismatch:p.mismatch
+                  ~gap_symbol:p.gap_symbol)
+               (bindings p)));
     score_site = Traceback.Bottom_right;
     traceback =
       (fun _ -> Some { Traceback.fsm = Kdefs.Linear.fsm; stop = Traceback.At_origin });

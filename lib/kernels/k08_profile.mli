@@ -17,6 +17,7 @@ type params = {
 }
 
 val default : params
+val bindings : params -> Dphls_core.Datapath.bindings
 val kernel : params Dphls_core.Kernel.t
 
 val gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t

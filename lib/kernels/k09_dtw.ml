@@ -18,6 +18,8 @@ let pe () (i : Pe.input) =
   in
   { Pe.scores = [| Score.add best cost |]; tb = ptr }
 
+let bindings () = { Datapath.params = []; tables = [] }
+
 let kernel =
   {
     Kernel.id = 9;
@@ -31,6 +33,9 @@ let kernel =
     init_col = (fun () ~qry_len:_ ~layer:_ ~row:_ -> Score.pos_inf);
     origin = (fun () ~layer:_ -> 0);
     pe;
+    pe_flat =
+      Some
+        (fun p -> Datapath.flat (Datapath.compile Cells.dtw_cell (bindings p)));
     score_site = Traceback.Bottom_right;
     traceback =
       (fun () -> Some { Traceback.fsm = Kdefs.Linear.fsm; stop = Traceback.At_origin });

@@ -64,6 +64,19 @@ let pe p (i : Pe.input) =
   let del = Score.add del_best p.gap_emission in
   { Pe.scores = [| m; ins; del |]; tb = 0 }
 
+let bindings p =
+  {
+    Datapath.params =
+      [
+        ("trans_mm", p.trans_mm);
+        ("trans_gap_open", p.trans_gap_open);
+        ("trans_gap_extend", p.trans_gap_extend);
+        ("trans_gap_close", p.trans_gap_close);
+        ("gap_emission", p.gap_emission);
+      ];
+    tables = [ ("emission", p.emission) ];
+  }
+
 let border p ~layer ~index =
   (* Only gap states can sit on a border: opening once then extending. *)
   match layer with
@@ -91,6 +104,10 @@ let kernel =
     init_col = (fun p ~qry_len:_ ~layer ~row -> border p ~layer ~index:row);
     origin = (fun _ ~layer -> if layer = 0 then 0 else Score.neg_inf);
     pe;
+    pe_flat =
+      Some
+        (fun p ->
+          Datapath.flat (Datapath.compile Cells.viterbi_cell (bindings p)));
     score_site = Traceback.Bottom_right;
     traceback = (fun _ -> None);
     banding = None;

@@ -23,5 +23,6 @@ val default : params
 (** Derived from mu = 0.05 (gap open), lambda = 0.4 (gap extend) and a
     90 %-identity match emission model, quantized to {!fixed_spec}. *)
 
+val bindings : params -> Dphls_core.Datapath.bindings
 val kernel : params Dphls_core.Kernel.t
 val gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t

@@ -8,6 +8,7 @@ type params = { match_ : int; mismatch : int; gap : int }
 
 val default : params
 val default_bandwidth : int
+val bindings : params -> Dphls_core.Datapath.bindings
 
 val kernel : params Dphls_core.Kernel.t
 (** Band width {!default_bandwidth}. *)

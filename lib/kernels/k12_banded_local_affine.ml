@@ -10,6 +10,21 @@ let pe p (i : Pe.input) =
   let sub = Kdefs.dna_sub ~match_:p.match_ ~mismatch:p.mismatch i.Pe.qry i.Pe.rf in
   Affine_rec.pe ~local:true ~sub ~gap_open:p.gap_open ~gap_extend:p.gap_extend i
 
+let bindings p =
+  {
+    Datapath.params =
+      [
+        ("match", p.match_);
+        ("mismatch", p.mismatch);
+        ("gap_oe", Score.add p.gap_open p.gap_extend);
+        ("gap_extend", p.gap_extend);
+      ];
+    tables = [];
+  }
+
+(* Score only: same datapath as the local affine cell, no pointer store. *)
+let cell = { (Cells.affine_cell ~local:true) with Datapath.tb_fields = [] }
+
 let kernel_with ~bandwidth =
   {
     Kernel.id = 12;
@@ -23,6 +38,7 @@ let kernel_with ~bandwidth =
     init_col = (fun _ ~qry_len:_ ~layer ~row:_ -> Affine_rec.init_zero ~layer);
     origin = (fun _ ~layer -> Affine_rec.init_zero ~layer);
     pe;
+    pe_flat = Some (fun p -> Datapath.flat (Datapath.compile cell (bindings p)));
     score_site = Traceback.Global_best;
     traceback = (fun _ -> None);
     banding = Some (Banding.fixed bandwidth);

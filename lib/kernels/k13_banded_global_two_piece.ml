@@ -16,6 +16,21 @@ let pe p (i : Pe.input) =
   let sub = Kdefs.dna_sub ~match_:p.match_ ~mismatch:p.mismatch i.Pe.qry i.Pe.rf in
   Two_piece_rec.pe ~sub p.gaps i
 
+let bindings p =
+  let g = p.gaps in
+  {
+    Datapath.params =
+      [
+        ("match", p.match_);
+        ("mismatch", p.mismatch);
+        ("oe1", Score.add g.Two_piece_rec.open1 g.extend1);
+        ("e1", g.extend1);
+        ("oe2", Score.add g.open2 g.extend2);
+        ("e2", g.extend2);
+      ];
+    tables = [];
+  }
+
 let kernel_with ~bandwidth =
   {
     Kernel.id = 13;
@@ -31,6 +46,10 @@ let kernel_with ~bandwidth =
       (fun p ~qry_len:_ ~layer ~row -> Two_piece_rec.init_border p.gaps ~layer ~index:row);
     origin = (fun _ ~layer -> Two_piece_rec.origin ~layer);
     pe;
+    pe_flat =
+      Some
+        (fun p ->
+          Datapath.flat (Datapath.compile Cells.two_piece_cell (bindings p)));
     score_site = Traceback.Bottom_right;
     traceback =
       (fun _ -> Some { Traceback.fsm = Kdefs.Two_piece.fsm; stop = Traceback.At_origin });

@@ -12,6 +12,7 @@ type params = {
 
 val default : params
 val default_bandwidth : int
+val bindings : params -> Dphls_core.Datapath.bindings
 val kernel : params Dphls_core.Kernel.t
 val kernel_with : bandwidth:int -> params Dphls_core.Kernel.t
 

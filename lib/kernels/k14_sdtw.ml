@@ -17,6 +17,8 @@ let pe () (i : Pe.input) =
   in
   { Pe.scores = [| Score.add best cost |]; tb = ptr }
 
+let bindings () = { Datapath.params = []; tables = [] }
+
 let kernel =
   {
     Kernel.id = 14;
@@ -31,6 +33,9 @@ let kernel =
     init_col = (fun () ~qry_len:_ ~layer:_ ~row:_ -> Score.pos_inf);
     origin = (fun () ~layer:_ -> 0);
     pe;
+    pe_flat =
+      Some
+        (fun p -> Datapath.flat (Datapath.compile Cells.sdtw_cell (bindings p)));
     score_site = Traceback.Last_row_best;
     traceback = (fun () -> None);
     banding = None;

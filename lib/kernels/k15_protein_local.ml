@@ -19,6 +19,12 @@ let pe p (i : Pe.input) =
   if best <= 0 then { Pe.scores = [| 0 |]; tb = Kdefs.Linear.ptr_end }
   else { Pe.scores = [| best |]; tb = ptr }
 
+let bindings p =
+  {
+    Datapath.params = [ ("gap", p.gap) ];
+    tables = [ ("matrix", p.matrix) ];
+  }
+
 let kernel =
   {
     Kernel.id = 15;
@@ -32,6 +38,10 @@ let kernel =
     init_col = (fun _ ~qry_len:_ ~layer:_ ~row:_ -> 0);
     origin = (fun _ ~layer:_ -> 0);
     pe;
+    pe_flat =
+      Some
+        (fun p ->
+          Datapath.flat (Datapath.compile Cells.protein_cell (bindings p)));
     score_site = Traceback.Global_best;
     traceback =
       (fun _ -> Some { Traceback.fsm = Kdefs.Linear.fsm; stop = Traceback.On_stop_move });

@@ -14,6 +14,8 @@ type params = {
 val default : params
 (** BLOSUM62 with linear gap -4. *)
 
+val bindings : params -> Dphls_core.Datapath.bindings
+
 val kernel : params Dphls_core.Kernel.t
 
 val gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t

@@ -22,7 +22,10 @@ let fill_adaptive kernel params (w : Workload.t) ~band ~band_pe ~qry_len ~ref_le
   let in_band ~row ~col = Banding.Tracker.member tracker ~row ~col in
   let read ~row ~col ~layer = scores.(layer).(row).(col) in
   let grid = Grid.create ~in_band kernel params ~qry_len ~ref_len ~read in
-  let pe = kernel.Kernel.pe params in
+  let pe_flat = Kernel.flat_pe kernel params in
+  let n_layers = kernel.Kernel.n_layers in
+  let buf = Pe.create_buffers ~n_layers in
+  let out = buf.Pe.b_scores in
   let n_chunks = (qry_len + band_pe - 1) / band_pe in
   for chunk = 0 to n_chunks - 1 do
     Banding.Tracker.start_chunk tracker ~chunk;
@@ -33,17 +36,14 @@ let fill_adaptive kernel params (w : Workload.t) ~band ~band_pe ~qry_len ~ref_le
         let row = r0 + k and col = wavefront - k in
         if col >= 0 && col < ref_len && Banding.Tracker.decide tracker ~row ~col
         then begin
-          let input =
-            Grid.pe_input grid ~query:w.query ~reference:w.reference ~row ~col
-          in
-          let out = pe input in
-          if Array.length out.Pe.scores <> kernel.Kernel.n_layers then
-            invalid_arg "Ref_engine: PE returned wrong layer count";
-          for layer = 0 to kernel.Kernel.n_layers - 1 do
-            scores.(layer).(row).(col) <- out.Pe.scores.(layer)
+          Grid.fill_input grid buf ~query:w.query ~reference:w.reference ~row
+            ~col;
+          pe_flat buf;
+          for layer = 0 to n_layers - 1 do
+            scores.(layer).(row).(col) <- out.(layer)
           done;
-          pointers.(row).(col) <- out.Pe.tb;
-          Banding.Tracker.observe tracker ~row ~col ~score:out.Pe.scores.(0)
+          pointers.(row).(col) <- buf.Pe.b_tb;
+          Banding.Tracker.observe tracker ~row ~col ~score:out.(0)
         end
       done;
       Banding.Tracker.end_wavefront tracker
@@ -78,21 +78,21 @@ let fill ?band_pe kernel params (w : Workload.t) =
     let in_band ~row ~col = Banding.in_band banding ~row ~col in
     let read ~row ~col ~layer = scores.(layer).(row).(col) in
     let grid = Grid.create kernel params ~qry_len ~ref_len ~read in
-    let pe = kernel.Kernel.pe params in
+    let pe_flat = Kernel.flat_pe kernel params in
+    let n_layers = kernel.Kernel.n_layers in
+    let buf = Pe.create_buffers ~n_layers in
+    let out = buf.Pe.b_scores in
     let cells = ref 0 in
     for row = 0 to qry_len - 1 do
       for col = 0 to ref_len - 1 do
         if in_band ~row ~col then begin
-          let input =
-            Grid.pe_input grid ~query:w.query ~reference:w.reference ~row ~col
-          in
-          let out = pe input in
-          if Array.length out.Pe.scores <> kernel.Kernel.n_layers then
-            invalid_arg "Ref_engine: PE returned wrong layer count";
-          for layer = 0 to kernel.Kernel.n_layers - 1 do
-            scores.(layer).(row).(col) <- out.Pe.scores.(layer)
+          Grid.fill_input grid buf ~query:w.query ~reference:w.reference ~row
+            ~col;
+          pe_flat buf;
+          for layer = 0 to n_layers - 1 do
+            scores.(layer).(row).(col) <- out.(layer)
           done;
-          pointers.(row).(col) <- out.Pe.tb;
+          pointers.(row).(col) <- buf.Pe.b_tb;
           incr cells
         end
       done

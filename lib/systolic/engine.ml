@@ -82,54 +82,89 @@ let run ?(trace = Trace.create ~enabled:false) config kernel params (w : Workloa
     | Some tr -> fun ~row ~col -> Banding.Tracker.decide tr ~row ~col
     | None -> in_band
   in
+  (* No band at all: short-circuit the membership closures on the hot
+     path (the common case for unbanded kernels). *)
+  let unbanded = Option.is_none banding in
   (* Border (virtual row/column -1) values come from the kernel's init
      functions via the shared Grid logic; the [read] callback is never
      reached because we only query virtual coordinates. *)
   let grid =
     Grid.create ~in_band kernel params ~qry_len ~ref_len
-      ~read:(fun ~row:_ ~col:_ ~layer:_ -> assert false)
+      ~read:(fun ~row ~col ~layer:_ ->
+        invalid_arg
+          (Printf.sprintf
+             "Systolic.Engine: unexpected grid read of stored cell (%d,%d) — \
+              the array reads neighbours from wavefront registers only"
+             row col))
   in
-  let border ~row ~col =
-    Array.init n_layers (fun layer -> Grid.neighbor grid ~row ~col ~layer)
+  (* Scratch destinations for border reads: one dedicated array per input
+     port, so a cell touching several borders never aliases them. *)
+  let border_up = Array.make n_layers worst in
+  let border_diag = Array.make n_layers worst in
+  let border_left = Array.make n_layers worst in
+  let border_into dst ~row ~col =
+    for layer = 0 to n_layers - 1 do
+      dst.(layer) <- Grid.neighbor grid ~row ~col ~layer
+    done;
+    dst
   in
-  (* Preserved Row Score Buffer: outputs of each chunk's last row, tagged
-     with the chunk that wrote them so stale entries are never consumed. *)
-  let preserved = Array.make ref_len worst_layers in
+  (* Preserved Row Score Buffer: outputs of each chunk's last row (copied
+     out of the retiring plane), tagged with the chunk that wrote them so
+     stale entries are never consumed. *)
+  let preserved = Array.init ref_len (fun _ -> Array.make n_layers worst) in
   let preserved_tag = Array.make ref_len (-1) in
   let read_prev_row ~chunk ~col ~row =
     (* row = chunk*n_pe - 1, the previous chunk's last row *)
-    if not (in_band ~row ~col) then worst_layers
-    else begin
-      assert (preserved_tag.(col) = chunk - 1);
-      preserved.(col)
-    end
+    if not (unbanded || in_band ~row ~col) then worst_layers
+    else if preserved_tag.(col) <> chunk - 1 then
+      invalid_arg
+        (Printf.sprintf
+           "Systolic.Engine: preserved-row buffer at col %d holds chunk %d, \
+            chunk %d expected (reading cell (%d,%d)) — in-band cells must be \
+            computed exactly once per chunk"
+           col preserved_tag.(col) (chunk - 1) row col)
+    else preserved.(col)
   in
-  let pe_func = kernel.Kernel.pe params in
+  let pe_flat = Kernel.flat_pe kernel params in
+  let buf = Pe.create_buffers ~n_layers in
   let trackers =
     Array.init n_pe (fun _ -> Traceback.Best_cell.create objective)
   in
   let fires = ref 0 in
   let slots = ref 0 in
   let active_wf = ref 0 in
-  (* Wavefront registers: each PE's outputs at the previous one and two
-     wavefronts, and PE 0's remembered up-input (its diag source),
+  (* Wavefront registers as preallocated score planes indexed [pe][layer]:
+     the previous ([w1]) and the one-before ([w2]) wavefront's outputs plus
+     the plane being written ([w_new]), rotated by reference each
+     wavefront; validity bitmaps replace the old [option] boxing. PE 0's
+     remembered up-input (its diag source) lives in its own scratch row,
      tagged with the column it belongs to — adaptive bands can make a
      row's membership non-contiguous, so a stale register must fall back
      to the preserved-row buffer instead of being consumed. *)
-  let w1 = Array.make n_pe None in
-  let w2 = Array.make n_pe None in
-  let pe0_prev_up = ref None in
-  let reg_value reg ~row ~col =
-    if not (in_band ~row ~col) then worst_layers
-    else
-      match reg with
-      | Some scores -> scores
-      | None -> assert false (* in-band cells are always computed *)
+  let plane () = Array.init n_pe (fun _ -> Array.make n_layers worst) in
+  let w1 = ref (plane ()) and w2 = ref (plane ()) and w_new = ref (plane ()) in
+  let v1 = ref (Array.make n_pe false)
+  and v2 = ref (Array.make n_pe false)
+  and v_new = ref (Array.make n_pe false) in
+  let pe0_up = Array.make n_layers worst in
+  let pe0_up_col = ref (-1) in
+  let reg_value plane valid idx ~chunk ~row ~col =
+    if not (unbanded || in_band ~row ~col) then worst_layers
+    else if not valid.(idx) then
+      invalid_arg
+        (Printf.sprintf
+           "Systolic.Engine: missing wavefront register for in-band cell \
+            (%d,%d) (chunk %d, PE %d) — in-band cells are always computed"
+           row col chunk idx)
+    else plane.(idx)
   in
+  let trace_on = Trace.enabled trace in
+  let has_tb = Option.is_some tb_spec in
+  let score_site = kernel.Kernel.score_site in
   for chunk = 0 to schedule.Schedule.n_chunks - 1 do
-    Array.fill w1 0 n_pe None;
-    Array.fill w2 0 n_pe None;
-    pe0_prev_up := None;
+    Array.fill !v1 0 n_pe false;
+    Array.fill !v2 0 n_pe false;
+    pe0_up_col := -1;
     (match band_tracker with
     | Some tr -> Banding.Tracker.start_chunk tr ~chunk
     | None -> ());
@@ -137,70 +172,89 @@ let run ?(trace = Trace.create ~enabled:false) config kernel params (w : Workloa
     | None -> ()
     | Some (wf_lo, wf_hi) ->
       for wavefront = wf_lo to wf_hi do
-        let new_out = Array.make n_pe None in
-        let pe0_up_now = ref None in
+        Array.fill !v_new 0 n_pe false;
         let fires_before = !fires in
+        (* per-wavefront views of the rotating planes: no ref derefs in
+           the per-PE loop *)
+        let p1 = !w1 and vl1 = !v1 and p2 = !w2 and vl2 = !v2 in
+        let pn = !w_new and vln = !v_new in
+        slots := !slots + n_pe;
         for pe = 0 to n_pe - 1 do
-          incr slots;
-          match Schedule.cell_of schedule ~chunk ~pe ~wavefront with
-          | None -> ()
-          | Some { Types.row; col } when decide ~row ~col ->
+          (* Schedule.cell_of, inlined without its option/cell boxing *)
+          let row = (chunk * n_pe) + pe in
+          let col = wavefront - pe in
+          if
+            row < qry_len && col >= 0 && col < ref_len
+            && (unbanded || decide ~row ~col)
+          then begin
             let up =
               if pe = 0 then
-                if row = 0 then border ~row:(-1) ~col
+                if row = 0 then border_into border_up ~row:(-1) ~col
                 else read_prev_row ~chunk ~col ~row:(row - 1)
-              else reg_value w1.(pe - 1) ~row:(row - 1) ~col
+              else reg_value p1 vl1 (pe - 1) ~chunk ~row:(row - 1) ~col
             in
             let diag =
-              if col = 0 then border ~row:(row - 1) ~col:(-1)
+              if col = 0 then border_into border_diag ~row:(row - 1) ~col:(-1)
               else if pe = 0 then
-                if row = 0 then border ~row:(-1) ~col:(col - 1)
-                else if not (in_band ~row:(row - 1) ~col:(col - 1)) then worst_layers
-                else begin
-                  match !pe0_prev_up with
-                  | Some (up_col, scores) when up_col = col - 1 -> scores
-                  | Some _ | None ->
-                    (* PE 0 skipped (row, col-1) as out-of-band, so its
-                       up-read there never happened; the previous row's
-                       value is still live in the preserved buffer. *)
-                    read_prev_row ~chunk ~col:(col - 1) ~row:(row - 1)
-                end
-              else reg_value w2.(pe - 1) ~row:(row - 1) ~col:(col - 1)
+                if row = 0 then border_into border_diag ~row:(-1) ~col:(col - 1)
+                else if not (unbanded || in_band ~row:(row - 1) ~col:(col - 1))
+                then worst_layers
+                else if !pe0_up_col = col - 1 then pe0_up
+                else
+                  (* PE 0 skipped (row, col-1) as out-of-band, so its
+                     up-read there never happened; the previous row's
+                     value is still live in the preserved buffer. *)
+                  read_prev_row ~chunk ~col:(col - 1) ~row:(row - 1)
+              else reg_value p2 vl2 (pe - 1) ~chunk ~row:(row - 1) ~col:(col - 1)
             in
             let left =
-              if col = 0 then border ~row ~col:(-1)
-              else reg_value w1.(pe) ~row ~col:(col - 1)
+              if col = 0 then border_into border_left ~row ~col:(-1)
+              else reg_value p1 vl1 pe ~chunk ~row ~col:(col - 1)
             in
-            let input =
-              { Pe.up; diag; left; qry = w.query.(row); rf = w.reference.(col); row; col }
-            in
-            let out = pe_func input in
-            if Array.length out.Pe.scores <> n_layers then
-              invalid_arg "Systolic.Engine: PE returned wrong layer count";
-            new_out.(pe) <- Some out.Pe.scores;
-            if pe = 0 then pe0_up_now := Some (col, up);
-            (match band_tracker with
-            | Some tr ->
-              Banding.Tracker.observe tr ~row ~col ~score:out.Pe.scores.(0)
-            | None -> ());
-            if Option.is_some tb_spec then Tb_memory.write tb_mem ~row ~col out.Pe.tb;
-            if row = (chunk * n_pe) + n_pe - 1 || row = qry_len - 1 then begin
-              (* last row of the chunk feeds the next chunk's PE 0 *)
-              if row = (chunk * n_pe) + n_pe - 1 then begin
-                preserved.(col) <- out.Pe.scores;
-                preserved_tag.(col) <- chunk
-              end
+            let out = pn.(pe) in
+            buf.Pe.b_up <- up;
+            buf.Pe.b_diag <- diag;
+            buf.Pe.b_left <- left;
+            buf.Pe.b_qry <- w.query.(row);
+            buf.Pe.b_rf <- w.reference.(col);
+            buf.Pe.b_row <- row;
+            buf.Pe.b_col <- col;
+            buf.Pe.b_scores <- out;
+            pe_flat buf;
+            vln.(pe) <- true;
+            if pe = 0 then begin
+              (* remember the up-input PE 0 just consumed: it is next
+                 wavefront's diag. Copied (not aliased) because at
+                 n_pe = 1 the source may be the preserved row, which this
+                 same chunk overwrites column by column. *)
+              Array.blit up 0 pe0_up 0 n_layers;
+              pe0_up_col := col
             end;
-            if observes kernel.Kernel.score_site ~qry_len ~ref_len ~row ~col then
-              Traceback.Best_cell.observe trackers.(pe) { Types.row; col }
-                out.Pe.scores.(0);
+            (match band_tracker with
+            | Some tr -> Banding.Tracker.observe tr ~row ~col ~score:out.(0)
+            | None -> ());
+            if has_tb then Tb_memory.write_at tb_mem ~chunk ~pe ~col buf.Pe.b_tb;
+            if row = (chunk * n_pe) + n_pe - 1 then begin
+              (* last row of the chunk feeds the next chunk's PE 0 *)
+              Array.blit out 0 preserved.(col) 0 n_layers;
+              preserved_tag.(col) <- chunk
+            end;
+            if observes score_site ~qry_len ~ref_len ~row ~col then
+              Traceback.Best_cell.observe_rc trackers.(pe) ~row ~col out.(0);
             incr fires;
-            Trace.record trace { Trace.chunk; wavefront; pe; cell = { Types.row; col } }
-          | Some _pruned -> ()
+            if trace_on then
+              Trace.record trace
+                { Trace.chunk; wavefront; pe; cell = { Types.row; col } }
+          end
         done;
-        Array.blit w1 0 w2 0 n_pe;
-        Array.blit new_out 0 w1 0 n_pe;
-        (match !pe0_up_now with Some _ as v -> pe0_prev_up := v | None -> ());
+        (* rotate the planes: w2 <- w1, w1 <- w_new, recycle old w2 *)
+        let p2 = !w2 and vv2 = !v2 in
+        w2 := !w1;
+        v2 := !v1;
+        w1 := !w_new;
+        v1 := !v_new;
+        w_new := p2;
+        v_new := vv2;
         (match band_tracker with
         | Some tr -> Banding.Tracker.end_wavefront tr
         | None -> ());

@@ -12,10 +12,18 @@ let create schedule =
     words = 0;
   }
 
-let write t ~row ~col ptr =
-  let bank, addr = Schedule.tb_address t.schedule ~row ~col in
-  t.banks.(bank).(addr) <- ptr;
+let write_at t ~chunk ~pe ~col ptr =
+  (* Schedule.tb_address inlined without its result tuple or the row
+     division (the engine already knows chunk and PE): this runs once per
+     traceback-enabled cell on the allocation-free hot path. *)
+  let addr = (chunk * t.schedule.Schedule.wavefronts_per_chunk) + pe + col in
+  t.banks.(pe).(addr) <- ptr;
   t.words <- t.words + 1
+
+let write t ~row ~col ptr =
+  let s = t.schedule in
+  write_at t ~chunk:(Schedule.chunk_of_row s row) ~pe:(Schedule.pe_of_row s row)
+    ~col ptr
 
 let read t ~row ~col =
   let bank, addr = Schedule.tb_address t.schedule ~row ~col in

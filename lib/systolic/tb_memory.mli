@@ -9,6 +9,12 @@ type t
 val create : Schedule.t -> t
 
 val write : t -> row:int -> col:int -> int -> unit
+
+val write_at : t -> chunk:int -> pe:int -> col:int -> int -> unit
+(** [write] with the bank/address derivation already done: [chunk] and
+    [pe] must satisfy [row = chunk * n_pe + pe]. The engine's hot loop
+    knows both, saving the per-cell division. *)
+
 val read : t -> row:int -> col:int -> int
 
 val words_written : t -> int

@@ -9,6 +9,8 @@ type t = { enabled : bool; mutable rev_events : event list }
 
 let create ~enabled = { enabled; rev_events = [] }
 
+let enabled t = t.enabled
+
 let record t e = if t.enabled then t.rev_events <- e :: t.rev_events
 
 let events t = List.rev t.rev_events

@@ -18,6 +18,12 @@ type event = {
 type t
 
 val create : enabled:bool -> t
+
+val enabled : t -> bool
+(** Callers on allocation-free paths should guard event construction
+    with this (building an [event] record for a disabled trace would
+    allocate per cell). *)
+
 val record : t -> event -> unit
 val events : t -> event list
 (** In execution order; empty when disabled. *)

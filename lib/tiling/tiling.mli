@@ -43,4 +43,10 @@ val align :
     adaptive, see {!Dphls_core.Banding}) composes with tiling into a
     GACT-style banded long-read aligner. [run] is expected to override
     its kernel's [banding] field with the given band when it is [Some].
-    Default [None] keeps the kernel's own banding. *)
+    Default [None] keeps the kernel's own banding.
+
+    The PE datapath choice also rides on [run]: both engines execute the
+    kernel's compiled flat datapath when it carries one ([pe_flat]),
+    so tiled alignments get the allocation-free hot path per tile; pass
+    a kernel through {!Dphls_core.Kernel.boxed} inside [run] to force
+    the boxed interpreter closures instead. *)

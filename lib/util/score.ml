@@ -15,6 +15,21 @@ let add a b =
   else if is_pos_inf a || is_pos_inf b then pos_inf
   else clamp (a + b)
 
+let mul a b =
+  if a = 0 || b = 0 then 0
+  else if is_neg_inf a || is_neg_inf b || is_pos_inf a || is_pos_inf b then
+    (* infinities are absorbing, with the sign of the product *)
+    if (a < 0) <> (b < 0) then neg_inf else pos_inf
+  else
+    (* both operands are < max_int/8 in magnitude (outside the infinity
+       half-bands), so the division check cannot hit the min_int/-1 trap *)
+    let p = a * b in
+    if p / b = a then clamp p
+    else if (a < 0) <> (b < 0) then neg_inf
+    else pos_inf
+
+let abs x = if x >= 0 then x else if is_neg_inf x then pos_inf else -x
+
 let max2 (a : int) b = if a >= b then a else b
 let min2 (a : int) b = if a <= b then a else b
 

@@ -20,6 +20,16 @@ val add : t -> t -> t
 (** Saturating addition: results are clamped to [neg_inf, pos_inf] and
     infinities are absorbing. *)
 
+val mul : t -> t -> t
+(** Saturating multiplication: overflow saturates toward the product's
+    sign, infinities are absorbing (with sign), and [mul 0 x = 0] even
+    for infinite [x] — matching the fixed-width multiplier behaviour of
+    {!Dphls_fixed.Ap_int.mul}. *)
+
+val abs : t -> t
+(** Saturating absolute value: [abs neg_inf = pos_inf] instead of the
+    wrap-around a two's-complement negate would produce. *)
+
 val max2 : t -> t -> t
 val min2 : t -> t -> t
 

@@ -192,6 +192,7 @@ let test_pointer_width () =
         (fun p ->
           let f = K01.kernel.Kernel.pe p in
           fun input -> { (f input) with Pe.tb = 5 });
+      pe_flat = None;
     }
   in
   let r = check_kernel k K01.default in

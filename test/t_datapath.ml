@@ -9,7 +9,9 @@ let qtest = QCheck_alcotest.to_alcotest
 
 let substitute_pe packed dsl_pe =
   let (Registry.Packed (k, p)) = packed in
-  Registry.Packed ({ k with Kernel.pe = (fun _ -> dsl_pe) }, p)
+  (* pe_flat must go too, or the engines would keep the compiled datapath
+     and never run the substituted closure *)
+  Registry.Packed ({ k with Kernel.pe = (fun _ -> dsl_pe); pe_flat = None }, p)
 
 let equivalence_prop id =
   QCheck.Test.make

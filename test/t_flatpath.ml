@@ -1,0 +1,206 @@
+(* Compiled flat datapath tests: saturating Mul/Abs at width-62 extremes,
+   compile-pass structure (CSE, constant folding, strict binding), an
+   allocation regression pinning the O(1)-words-per-wavefront property of
+   the compiled hot path, and a catalog-wide differential fuzz of the
+   compiled planes against the boxed interpreter through both engines. *)
+open Dphls_core
+module Score = Dphls_util.Score
+module Datapath = Dphls_core.Datapath
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Saturating Mul/Abs: the Score ops and the regression that both the
+   interpreter and the compiled evaluator route through them.          *)
+
+let big = max_int / 8
+
+let test_score_mul_abs_extremes () =
+  Alcotest.(check bool) "mul overflow saturates positive" true
+    (Score.is_pos_inf (Score.mul big 100));
+  Alcotest.(check bool) "mul overflow saturates negative" true
+    (Score.is_neg_inf (Score.mul big (-100)));
+  Alcotest.(check bool) "mul neg*neg overflow saturates positive" true
+    (Score.is_pos_inf (Score.mul (-big) (-100)));
+  Alcotest.(check bool) "infinity absorbing with sign" true
+    (Score.is_neg_inf (Score.mul Score.pos_inf (-2)));
+  Alcotest.(check bool) "neg_inf * neg flips to pos_inf" true
+    (Score.is_pos_inf (Score.mul Score.neg_inf (-2)));
+  Alcotest.(check int) "mul 0 pos_inf = 0" 0 (Score.mul 0 Score.pos_inf);
+  Alcotest.(check int) "mul neg_inf 0 = 0" 0 (Score.mul Score.neg_inf 0);
+  Alcotest.(check int) "in-range product exact" (-42) (Score.mul 6 (-7));
+  Alcotest.(check bool) "abs neg_inf = pos_inf" true
+    (Score.is_pos_inf (Score.abs Score.neg_inf));
+  Alcotest.(check int) "abs in range" 5 (Score.abs (-5))
+
+(* A two-layer cell exercising Mul and Abs; evaluated at extreme inputs
+   through the boxed interpreter AND the compiled evaluator, both must
+   saturate identically (the historical bug: eval used raw [( * )] and
+   an unsaturated [abs]). *)
+let mul_abs_cell =
+  {
+    Datapath.layers = [| Datapath.Mul (Datapath.Up 0, Datapath.Left 0);
+                         Datapath.Abs (Datapath.Diag 1) |];
+    tb_fields = [];
+  }
+
+let test_mul_abs_datapath_saturates () =
+  let bindings = { Datapath.params = []; tables = [] } in
+  let input =
+    { Pe.up = [| big; 0 |]; diag = [| 0; Score.neg_inf |]; left = [| 100; 0 |];
+      qry = [| 0 |]; rf = [| 0 |]; row = 1; col = 1 }
+  in
+  let out = (Datapath.eval mul_abs_cell bindings) input in
+  Alcotest.(check bool) "eval: Mul saturates" true
+    (Score.is_pos_inf out.Pe.scores.(0));
+  Alcotest.(check bool) "eval: Abs neg_inf -> pos_inf" true
+    (Score.is_pos_inf out.Pe.scores.(1));
+  let flat = Datapath.flat (Datapath.compile mul_abs_cell bindings) in
+  let buf = Pe.create_buffers ~n_layers:2 in
+  buf.Pe.b_up <- input.Pe.up;
+  buf.Pe.b_diag <- input.Pe.diag;
+  buf.Pe.b_left <- input.Pe.left;
+  buf.Pe.b_qry <- input.Pe.qry;
+  buf.Pe.b_rf <- input.Pe.rf;
+  buf.Pe.b_row <- 1;
+  buf.Pe.b_col <- 1;
+  flat buf;
+  Alcotest.(check (array int)) "compiled == interpreted at extremes"
+    out.Pe.scores buf.Pe.b_scores
+
+(* ------------------------------------------------------------------ *)
+(* Compile pass structure.                                             *)
+
+let no_bindings = { Datapath.params = []; tables = [] }
+
+let test_compile_constant_folding () =
+  let cell =
+    { Datapath.layers = [| Datapath.Add (Datapath.Const 2, Datapath.Const 3) |];
+      tb_fields = [] }
+  in
+  let p = Datapath.compile cell no_bindings in
+  Alcotest.(check int) "constant layer folds to one instruction" 1
+    (Datapath.program_insts p);
+  let buf = Pe.create_buffers ~n_layers:1 in
+  Datapath.flat p buf;
+  Alcotest.(check int) "folded value" 5 buf.Pe.b_scores.(0)
+
+let test_compile_cse () =
+  let shared = Datapath.Add (Datapath.Up 0, Datapath.Const 1) in
+  let dup =
+    Datapath.compile
+      { Datapath.layers = [| Datapath.Add (shared, shared) |]; tb_fields = [] }
+      no_bindings
+  in
+  (* Up 0, fused add-immediate (once), top Add — the folded Const leaf
+     is dead-code-eliminated *)
+  Alcotest.(check int) "shared subexpression emitted once" 3
+    (Datapath.program_insts dup);
+  let distinct =
+    Datapath.compile
+      { Datapath.layers =
+          [| Datapath.Add (shared, Datapath.Add (Datapath.Up 0, Datapath.Const 2)) |];
+        tb_fields = [] }
+      no_bindings
+  in
+  Alcotest.(check bool) "distinct subexpressions cost more" true
+    (Datapath.program_insts dup < Datapath.program_insts distinct)
+
+let test_compile_guards () =
+  let unbound = { Datapath.layers = [| Datapath.Param "nope" |]; tb_fields = [] } in
+  Alcotest.(check bool) "unbound param rejected at compile time" true
+    (try ignore (Datapath.compile unbound no_bindings); false
+     with Invalid_argument _ -> true);
+  let one_layer =
+    Datapath.compile
+      { Datapath.layers = [| Datapath.Const 7 |]; tb_fields = [] }
+      no_bindings
+  in
+  let wrong = Pe.create_buffers ~n_layers:2 in
+  Alcotest.(check bool) "layer-count mismatch rejected at exec" true
+    (try Datapath.exec one_layer (Array.make 16 0) wrong; false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation regression: the systolic wavefront loop with a compiled
+   datapath must allocate O(1) minor words per run — strictly less than
+   one word per cell — while the boxed interpreter boxes input/output
+   records and score arrays per cell. An order-of-magnitude differential
+   gap keeps the check robust to setup-cost noise (grid, traceback,
+   per-run compilation). *)
+
+let minor_words_of f =
+  let before = Gc.minor_words () in
+  let r = f () in
+  ignore (Sys.opaque_identity r);
+  int_of_float (Gc.minor_words () -. before)
+
+let test_allocation_regression () =
+  let module K02 = Dphls_kernels.K02_global_affine in
+  let len = 160 in
+  let rng = Dphls_util.Rng.create 404 in
+  let w =
+    Workload.of_bases
+      ~query:(Dphls_alphabet.Dna.random rng len)
+      ~reference:(Dphls_alphabet.Dna.random rng len)
+  in
+  let cfg = Dphls_systolic.Config.create ~n_pe:16 in
+  let run k = Dphls_systolic.Engine.run cfg k K02.default w in
+  ignore (run K02.kernel) (* warm-up *);
+  let compiled = minor_words_of (fun () -> run K02.kernel) in
+  let boxed = minor_words_of (fun () -> run (Kernel.boxed K02.kernel)) in
+  let cells = len * len in
+  Alcotest.(check bool)
+    (Printf.sprintf "compiled run allocates < 1 word/cell (%d words, %d cells)"
+       compiled cells)
+    true (compiled < cells);
+  Alcotest.(check bool)
+    (Printf.sprintf "boxed allocates > 10x compiled (%d vs %d words)" boxed compiled)
+    true (boxed > 10 * compiled)
+
+(* ------------------------------------------------------------------ *)
+(* Catalog-wide differential fuzz: compiled planes vs boxed interpreter
+   closures through BOTH engines, alignments AND cycle-level stats
+   bit-identical. Ids 16-18 put the adaptive band in the loop: the band
+   window is decided from run-time scores, so any score divergence would
+   cascade into a different pruned cell set. *)
+
+let prop_compiled_vs_boxed id =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "kernel #%d compiled == boxed through both engines" id)
+    ~count:20
+    QCheck.(pair (int_range 8 72) (int_range 1 16))
+    (fun (len, n_pe) ->
+      let e = Dphls_kernels.Catalog.find id in
+      let (Registry.Packed (k, p)) = e.packed in
+      let kb = Kernel.boxed k in
+      let rng = Dphls_util.Rng.create ((id * 733) + (len * 29) + n_pe) in
+      let w = e.Dphls_kernels.Catalog.gen rng ~len in
+      let gold_c = Dphls_reference.Ref_engine.run ~band_pe:n_pe k p w in
+      let gold_b = Dphls_reference.Ref_engine.run ~band_pe:n_pe kb p w in
+      let cfg = Dphls_systolic.Config.create ~n_pe in
+      let sys_c, st_c = Dphls_systolic.Engine.run cfg k p w in
+      let sys_b, st_b = Dphls_systolic.Engine.run cfg kb p w in
+      Result.equal_alignment gold_c gold_b
+      && Result.equal_alignment sys_c sys_b
+      && Result.equal_alignment gold_c sys_c
+      && st_c.Dphls_systolic.Engine.pe_fires = st_b.Dphls_systolic.Engine.pe_fires
+      && st_c.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total
+         = st_b.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total
+      && st_c.Dphls_systolic.Engine.tb_words = st_b.Dphls_systolic.Engine.tb_words)
+
+let differential_tests =
+  List.map (fun id -> qtest (prop_compiled_vs_boxed id)) Dphls_kernels.Catalog.ids
+
+let suite =
+  [
+    Alcotest.test_case "Score.mul/abs extremes" `Quick test_score_mul_abs_extremes;
+    Alcotest.test_case "Mul/Abs saturate in eval and compiled" `Quick
+      test_mul_abs_datapath_saturates;
+    Alcotest.test_case "compile folds constants" `Quick test_compile_constant_folding;
+    Alcotest.test_case "compile shares subexpressions" `Quick test_compile_cse;
+    Alcotest.test_case "compile/exec guards" `Quick test_compile_guards;
+    Alcotest.test_case "compiled hot path is allocation-free" `Quick
+      test_allocation_regression;
+  ]
+  @ differential_tests

@@ -8,6 +8,7 @@ let () =
       ("seqgen", T_seqgen.suite);
       ("core", T_core.suite);
       ("datapath", T_datapath.suite);
+      ("flatpath", T_flatpath.suite);
       ("rtl", T_rtl.suite);
       ("systolic", T_systolic.suite);
       ("kernels", T_kernels.suite);
