@@ -504,6 +504,138 @@ let rtl_cmd =
     (Cmd.info "rtl" ~doc:"Emit structural Verilog for a kernel's systolic design")
     Term.(const rtl_run $ kernel $ n_pe $ n_b $ n_k $ max_len $ output)
 
+(* ---- profile ---- *)
+
+let profile_run kernel_spec n_pe trials len band_mode band_width band_threshold
+    workers json trace_path =
+  let e = find_kernel kernel_spec in
+  let (Registry.Packed (k, p)) = e.packed in
+  let k =
+    match
+      band_override ~mode:band_mode ~width:band_width ~threshold:band_threshold
+    with
+    | None -> k
+    | Some banding -> { k with Kernel.banding }
+  in
+  if trials < 1 then begin
+    Printf.eprintf "profile: trials must be >= 1\n";
+    exit 2
+  end;
+  let metrics = Dphls_obs.Metrics.create () in
+  let tracer = Dphls_obs.Tracer.create () in
+  let cfg = Dphls_systolic.Config.create ~n_pe in
+  let rng = Dphls_util.Rng.create 2026 in
+  let workloads =
+    Array.init trials (fun _ -> e.Dphls_kernels.Catalog.gen rng ~len)
+  in
+  (* Sequential phase: engine counters and phase spans. The closed-form
+     expected cell count is summed per workload because generated
+     lengths can differ from [len] for some kernels. *)
+  let expected_cells = ref 0 in
+  Array.iter
+    (fun w ->
+      expected_cells :=
+        !expected_cells
+        + Banding.cells_in_band k.Kernel.banding
+            ~qry_len:(Array.length w.Workload.query)
+            ~ref_len:(Array.length w.Workload.reference);
+      ignore (Dphls_systolic.Engine.run ~metrics ~tracer cfg k p w))
+    workloads;
+  (* Optional pool phase: re-run the same workloads as a parallel batch
+     to exercise the pool's task/steal/idle counters and per-worker
+     chunk spans. Engine metrics stay out of the worker tasks — the
+     counter sink is not domain-safe (see Dphls_host.Pool.run). *)
+  if workers > 0 then
+    Dphls_host.Pool.with_pool ~workers (fun pool ->
+        let _, _ =
+          Dphls_host.Pool.run ~metrics ~tracer pool
+            (fun i -> ignore (Dphls_systolic.Engine.run cfg k p workloads.(i)))
+            trials
+        in
+        ());
+  let summary = Dphls_obs.Summary.build ~metrics ~tracer () in
+  if json then print_endline (Dphls_obs.Summary.to_json summary)
+  else begin
+    Printf.printf "kernel      : #%d %s (n_pe=%d, %d trial%s, len %d)\n"
+      (Registry.id e.packed) (Registry.name e.packed) n_pe trials
+      (if trials = 1 then "" else "s")
+      len;
+    print_string (Dphls_obs.Summary.to_text summary)
+  end;
+  (match trace_path with
+  | Some path ->
+    Dphls_obs.Chrome.write_file path tracer;
+    Printf.eprintf
+      "wrote %s (%d spans) — load in Perfetto (ui.perfetto.dev) or \
+       chrome://tracing\n"
+      path
+      (Dphls_obs.Tracer.count tracer)
+  | None -> ());
+  (* The sequential phase computes every in-band cell exactly once, so
+     the counter must equal the closed form for static bands; an
+     adaptive band's realized window is only bounded by the envelope. *)
+  let cells = Dphls_obs.Metrics.get metrics Dphls_obs.Counter.Cells_evaluated in
+  match k.Kernel.banding with
+  | Some (Banding.Adaptive _) ->
+    Printf.eprintf "cells check : skipped (adaptive band: %d <= envelope %d)\n"
+      cells !expected_cells;
+    if cells > !expected_cells then exit 1
+  | Some (Banding.Fixed _) | None ->
+    if cells = !expected_cells then
+      Printf.eprintf "cells check : match (%d cells)\n" cells
+    else begin
+      Printf.eprintf "cells check : MISMATCH (counter %d, closed form %d)\n"
+        cells !expected_cells;
+      exit 1
+    end
+
+let profile_cmd =
+  let kernel =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "k"; "kernel" ] ~doc:"Kernel id or name")
+  in
+  let n_pe = Arg.(value & opt int 32 & info [ "n-pe" ] ~doc:"Processing elements") in
+  let trials =
+    Arg.(value & opt int 8 & info [ "trials" ] ~doc:"Workloads to profile")
+  in
+  let len = Arg.(value & opt int 128 & info [ "len" ] ~doc:"Workload length") in
+  let band = Arg.(value & opt string "kernel" & info [ "band" ] ~doc:band_doc) in
+  let band_width =
+    Arg.(value & opt int 32 & info [ "band-width" ] ~doc:"Band half-width W")
+  in
+  let band_threshold =
+    Arg.(
+      value
+      & opt int Banding.default_threshold
+      & info [ "band-threshold" ] ~doc:"Adaptive-band score drop threshold")
+  in
+  let workers =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ]
+          ~doc:"Also run a pool batch phase on this many domains (0 = skip)")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"JSON summary on stdout")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) (Some "profile.trace.json")
+      & info [ "trace" ]
+          ~doc:"Chrome trace_event output file (Perfetto-loadable)")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run workloads with performance counters and span tracing enabled; \
+          print a counter/latency summary and export a Chrome trace")
+    Term.(
+      const profile_run $ kernel $ n_pe $ trials $ len $ band $ band_width
+      $ band_threshold $ workers $ json $ trace)
+
 (* ---- experiment ---- *)
 
 let experiment_run name quick =
@@ -591,4 +723,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; align_cmd; batch_cmd; gen_cmd; map_cmd; cosim_cmd;
-         resources_cmd; rtl_cmd; experiment_cmd; check_cmd ]))
+         resources_cmd; rtl_cmd; experiment_cmd; check_cmd; profile_cmd ]))

@@ -60,6 +60,7 @@ module Tracker = struct
     mutable row_best_col : int;  (** best cell of that row so far, -1 = none *)
     mutable row_best_score : int;
     mutable best : int;  (** running best score over every decided cell *)
+    mutable moves : int;  (** window changes (wavefront slides + chunk reseeds) *)
   }
 
   let create band ~objective ~chunk_rows ~qry_len ~ref_len =
@@ -89,6 +90,7 @@ module Tracker = struct
       row_best_col = -1;
       row_best_score = 0;
       best = Score.worst_value objective;
+      moves = 0;
     }
 
   let start_chunk t ~chunk =
@@ -99,8 +101,10 @@ module Tracker = struct
          window carries over unchanged. *)
       if t.row_best_col >= 0 then begin
         let off = t.last_row - t.row_best_col in
-        t.lo <- off - t.width;
-        t.hi <- off + t.width
+        let lo = off - t.width and hi = off + t.width in
+        if lo <> t.lo || hi <> t.hi then t.moves <- t.moves + 1;
+        t.lo <- lo;
+        t.hi <- hi
       end;
       t.last_row <- min ((chunk + 1) * t.chunk_rows) t.qry_len - 1;
       t.row_best_col <- -1
@@ -175,8 +179,10 @@ module Tracker = struct
         let next_hi = if !live_hi >= t.hi then !live_hi + 1 else !live_hi in
         let next_lo = max next_lo (center - t.width) in
         let next_hi = min next_hi (center + t.width) in
-        t.lo <- min next_lo (t.lo + 1);
-        t.hi <- max next_hi (t.hi - 1)
+        let lo = min next_lo (t.lo + 1) and hi = max next_hi (t.hi - 1) in
+        if lo <> t.lo || hi <> t.hi then t.moves <- t.moves + 1;
+        t.lo <- lo;
+        t.hi <- hi
       end;
       t.wf_n <- 0
     end
@@ -186,4 +192,5 @@ module Tracker = struct
     else Bytes.get t.bitmap ((row * t.ref_len) + col) <> '\000'
 
   let cells_computed t = t.count
+  let window_moves t = t.moves
 end

@@ -90,4 +90,11 @@ module Tracker : sig
       for cells whose wavefront has already been decided. *)
 
   val cells_computed : t -> int
+
+  val window_moves : t -> int
+  (** How many times the window [(lo, hi)] actually changed — wavefront
+      slides plus chunk re-seeds that landed somewhere new. Feeds the
+      [band_window_moves] observability counter
+      ({!Dphls_obs.Counter.t}); a high rate relative to wavefronts means
+      the band is chasing a wandering alignment path. *)
 end

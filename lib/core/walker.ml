@@ -22,7 +22,8 @@ let border_completion stop ~row ~col acc =
   | At_top_row -> if col = -1 && row >= 0 then repeat Del (row + 1) acc else acc
   | At_top_or_left | On_stop_move -> acc
 
-let walk ~fsm ~stop ~ptr_at ~start ~qry_len ~ref_len =
+let walk ?(metrics = Dphls_obs.Metrics.disabled) ~fsm ~stop ~ptr_at ~start
+    ~qry_len ~ref_len () =
   let limit = max_steps ~qry_len ~ref_len in
   let rec go state row col acc last steps =
     if row < 0 || col < 0 then
@@ -46,4 +47,6 @@ let walk ~fsm ~stop ~ptr_at ~start ~qry_len ~ref_len =
       | Up -> go state' (row - 1) col (Del :: acc) here (steps + 1)
       | Left -> go state' row (col - 1) (Ins :: acc) here (steps + 1)
   in
-  go fsm.start_state start.Types.row start.Types.col [] start 0
+  let outcome = go fsm.start_state start.Types.row start.Types.col [] start 0 in
+  Dphls_obs.Metrics.add metrics Tb_steps outcome.steps;
+  outcome

@@ -12,14 +12,19 @@ type outcome = {
 }
 
 val walk :
+  ?metrics:Dphls_obs.Metrics.t ->
   fsm:Traceback.fsm ->
   stop:Traceback.stop_rule ->
   ptr_at:(row:int -> col:int -> int) ->
   start:Types.cell ->
   qry_len:int ->
   ref_len:int ->
+  unit ->
   outcome
-(** Raises [Failure] if the FSM exceeds {!Traceback.max_steps} (an
+(** Adds the walk's [steps] to the [tb_steps] counter of [metrics]
+    (default: the disabled sink, costing one branch).
+
+    Raises [Failure] if the FSM exceeds {!Traceback.max_steps} (an
     ill-formed kernel, e.g. a [Stay] loop). The message names the
     offending [(state, ptr, row, col)] so runtime escapes of the static
     checker ([Dphls_analysis.Fsm_check]) are debuggable; both engines

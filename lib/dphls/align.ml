@@ -13,8 +13,8 @@ type alignment = {
   device_cycles : int option;
 }
 
-let run_kernel (type p) ?band ?(datapath = Compiled) ~engine (kernel : p Kernel.t)
-    (params : p) w ~decode =
+let run_kernel (type p) ?band ?(datapath = Compiled) ?metrics ?tracer ~engine
+    (kernel : p Kernel.t) (params : p) w ~decode =
   let kernel =
     match band with
     | Some b -> { kernel with Kernel.banding = Some b }
@@ -25,10 +25,12 @@ let run_kernel (type p) ?band ?(datapath = Compiled) ~engine (kernel : p Kernel.
   in
   let result, cycles =
     match engine with
-    | Golden -> (Dphls_reference.Ref_engine.run kernel params w, None)
+    | Golden ->
+      (Dphls_reference.Ref_engine.run ?metrics ?tracer kernel params w, None)
     | Systolic n_pe ->
       let r, stats =
-        Dphls_systolic.Engine.run (Dphls_systolic.Config.create ~n_pe) kernel params w
+        Dphls_systolic.Engine.run ?metrics ?tracer
+          (Dphls_systolic.Config.create ~n_pe) kernel params w
       in
       (r, Some stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total)
   in
@@ -72,32 +74,37 @@ let dna_workload ~query ~reference =
 let dna_decode c = Dphls_alphabet.Dna.decode c.(0)
 let protein_decode c = Dphls_alphabet.Protein.decode c.(0)
 
-let global ?band ?datapath ?(engine = Golden) ~query ~reference () =
-  run_kernel ?band ?datapath ~engine Dphls_kernels.K01_global_linear.kernel
+let global ?band ?datapath ?metrics ?tracer ?(engine = Golden) ~query
+    ~reference () =
+  run_kernel ?band ?datapath ?metrics ?tracer ~engine Dphls_kernels.K01_global_linear.kernel
     Dphls_kernels.K01_global_linear.default
     (dna_workload ~query ~reference)
     ~decode:dna_decode
 
-let global_affine ?band ?datapath ?(engine = Golden) ~query ~reference () =
-  run_kernel ?band ?datapath ~engine Dphls_kernels.K02_global_affine.kernel
+let global_affine ?band ?datapath ?metrics ?tracer ?(engine = Golden) ~query
+    ~reference () =
+  run_kernel ?band ?datapath ?metrics ?tracer ~engine Dphls_kernels.K02_global_affine.kernel
     Dphls_kernels.K02_global_affine.default
     (dna_workload ~query ~reference)
     ~decode:dna_decode
 
-let local ?band ?datapath ?(engine = Golden) ~query ~reference () =
-  run_kernel ?band ?datapath ~engine Dphls_kernels.K03_local_linear.kernel
+let local ?band ?datapath ?metrics ?tracer ?(engine = Golden) ~query
+    ~reference () =
+  run_kernel ?band ?datapath ?metrics ?tracer ~engine Dphls_kernels.K03_local_linear.kernel
     Dphls_kernels.K03_local_linear.default
     (dna_workload ~query ~reference)
     ~decode:dna_decode
 
-let semi_global ?band ?datapath ?(engine = Golden) ~query ~reference () =
-  run_kernel ?band ?datapath ~engine Dphls_kernels.K07_semi_global.kernel
+let semi_global ?band ?datapath ?metrics ?tracer ?(engine = Golden) ~query
+    ~reference () =
+  run_kernel ?band ?datapath ?metrics ?tracer ~engine Dphls_kernels.K07_semi_global.kernel
     Dphls_kernels.K07_semi_global.default
     (dna_workload ~query ~reference)
     ~decode:dna_decode
 
-let protein_local ?band ?datapath ?(engine = Golden) ~query ~reference () =
-  run_kernel ?band ?datapath ~engine Dphls_kernels.K15_protein_local.kernel
+let protein_local ?band ?datapath ?metrics ?tracer ?(engine = Golden) ~query
+    ~reference () =
+  run_kernel ?band ?datapath ?metrics ?tracer ~engine Dphls_kernels.K15_protein_local.kernel
     Dphls_kernels.K15_protein_local.default
     (Workload.of_bases
        ~query:(Dphls_alphabet.Protein.of_string query)

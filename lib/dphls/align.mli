@@ -26,6 +26,8 @@ type alignment = {
 val global :
   ?band:Dphls_core.Banding.t ->
   ?datapath:datapath ->
+  ?metrics:Dphls_obs.Metrics.t ->
+  ?tracer:Dphls_obs.Tracer.t ->
   ?engine:engine -> query:string -> reference:string -> unit -> alignment
 (** Needleman-Wunsch (kernel #1 defaults) over DNA strings.
 
@@ -39,28 +41,40 @@ val global :
     [?datapath] selects the PE implementation: the compiled flat
     datapath (default, faster) or the boxed interpreter closures.
     Results are bit-identical either way; [Boxed] exists for
-    differential testing and as the fallback semantics. *)
+    differential testing and as the fallback semantics.
+
+    [?metrics]/[?tracer] (defaults: the disabled sinks) are forwarded to
+    the chosen engine's run: counters land once per alignment, spans
+    cover the engine phases. See {!Dphls_obs} and [dphls profile]. *)
 
 val global_affine :
   ?band:Dphls_core.Banding.t ->
   ?datapath:datapath ->
+  ?metrics:Dphls_obs.Metrics.t ->
+  ?tracer:Dphls_obs.Tracer.t ->
   ?engine:engine -> query:string -> reference:string -> unit -> alignment
 (** Gotoh (kernel #2 defaults). *)
 
 val local :
   ?band:Dphls_core.Banding.t ->
   ?datapath:datapath ->
+  ?metrics:Dphls_obs.Metrics.t ->
+  ?tracer:Dphls_obs.Tracer.t ->
   ?engine:engine -> query:string -> reference:string -> unit -> alignment
 (** Smith-Waterman (kernel #3 defaults). *)
 
 val semi_global :
   ?band:Dphls_core.Banding.t ->
   ?datapath:datapath ->
+  ?metrics:Dphls_obs.Metrics.t ->
+  ?tracer:Dphls_obs.Tracer.t ->
   ?engine:engine -> query:string -> reference:string -> unit -> alignment
 (** Query end-to-end within the reference (kernel #7 defaults). *)
 
 val protein_local :
   ?band:Dphls_core.Banding.t ->
   ?datapath:datapath ->
+  ?metrics:Dphls_obs.Metrics.t ->
+  ?tracer:Dphls_obs.Tracer.t ->
   ?engine:engine -> query:string -> reference:string -> unit -> alignment
 (** BLOSUM62 Smith-Waterman over amino-acid strings (kernel #15). *)

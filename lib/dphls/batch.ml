@@ -19,16 +19,22 @@ let align_one ?band ?datapath ?engine kind ~query ~reference =
   | Semi_global -> Align.semi_global ?band ?datapath ?engine ~query ~reference ()
   | Protein_local -> Align.protein_local ?band ?datapath ?engine ~query ~reference ()
 
-let run_in_pool ?band ?datapath ?engine ~kind pool pairs =
-  Pool.run pool
+(* Observability stops at the pool layer here: Metrics sinks are not
+   domain-safe, so per-alignment engine counters are never threaded into
+   tasks that run on worker domains. The pool itself adds its counters
+   on the calling thread and its per-chunk spans through the
+   mutex-protected tracer. *)
+let run_in_pool ?band ?datapath ?engine ?metrics ?tracer ~kind pool pairs =
+  Pool.run ?metrics ?tracer pool
     (fun i ->
       let query, reference = pairs.(i) in
       align_one ?band ?datapath ?engine kind ~query ~reference)
     (Array.length pairs)
 
-let align_all_report ?band ?datapath ?engine ?(kind = Global) ?workers pairs =
+let align_all_report ?band ?datapath ?engine ?metrics ?tracer ?(kind = Global)
+    ?workers pairs =
   Pool.with_pool ?workers (fun pool ->
-      run_in_pool ?band ?datapath ?engine ~kind pool pairs)
+      run_in_pool ?band ?datapath ?engine ?metrics ?tracer ~kind pool pairs)
 
 let align_all ?band ?datapath ?engine ?kind ?workers pairs =
   fst (align_all_report ?band ?datapath ?engine ?kind ?workers pairs)

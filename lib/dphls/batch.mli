@@ -46,12 +46,23 @@ val align_all :
 val align_all_report :
   ?band:Dphls_core.Banding.t ->
   ?datapath:Align.datapath ->
-  ?engine:Align.engine -> ?kind:kind -> ?workers:int
+  ?engine:Align.engine ->
+  ?metrics:Dphls_obs.Metrics.t ->
+  ?tracer:Dphls_obs.Tracer.t ->
+  ?kind:kind -> ?workers:int
   -> (string * string) array
   -> Align.alignment array * Dphls_host.Pool.stats
 (** [align_all] plus the pool's wall-clock report (makespan and
     per-worker busy time in ns, {!Dphls_host.Scheduler.report}
-    shape). *)
+    shape).
+
+    [metrics]/[tracer] observe the {e pool} layer only — task/steal/
+    idle counters added on the calling thread, one ["chunk"] span per
+    queue entry tagged with the worker index (see
+    {!Dphls_host.Pool.run}). Per-alignment engine counters are
+    deliberately not threaded into worker tasks: {!Dphls_obs.Metrics}
+    sinks are not domain-safe. To profile engine internals, run a
+    single alignment with {!Align.global} and friends. *)
 
 val iter :
   ?band:Dphls_core.Banding.t ->

@@ -1,0 +1,23 @@
+(** The user-facing library of the DP-HLS reproduction: alignments in
+    one call, batches on all cores.
+
+    Programs that just want alignments (not hardware modeling) start
+    here:
+
+    - {!Align} — string in, scored alignment out, on any shipped kernel
+      (Needleman-Wunsch, Gotoh, Smith-Waterman, semi-global, BLOSUM62
+      protein), with optional banding, engine choice (golden oracle or
+      cycle-level systolic simulator) and observability sinks;
+    - {!Batch} — the same alignments dispatched across OCaml 5 domains
+      ({!Dphls_host.Pool}), order-stable and byte-identical at any
+      worker count — the host-side realization of the paper's N_K
+      parallelism.
+
+    The layers underneath are importable on their own: [Dphls_core]
+    (kernel specs), [Dphls_systolic] (the back-end simulator),
+    [Dphls_reference] (the golden engine), [Dphls_analysis] (the static
+    checker), [Dphls_obs] (counters and tracing). See [docs/index.md]
+    for the map. *)
+
+module Align = Align
+module Batch = Batch

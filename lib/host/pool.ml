@@ -9,7 +9,7 @@ let now () = Unix.gettimeofday ()
 
 type t = {
   n_workers : int;
-  queue : (unit -> unit) Queue.t;
+  queue : (int -> unit) Queue.t;  (* jobs receive the executing worker's id *)
   m : Mutex.t;
   nonempty : Condition.t;
   all_done : Condition.t;
@@ -18,6 +18,7 @@ type t = {
   mutable domains : unit Domain.t array;
   busy_s : float array;      (* per-worker task-execution seconds *)
   mutable arbiter_s : float; (* queue critical-section seconds *)
+  mutable idle_waits : int;  (* times a worker blocked on an empty queue *)
 }
 
 let workers t = t.n_workers
@@ -26,6 +27,7 @@ let worker t id () =
   let rec loop () =
     Mutex.lock t.m;
     while Queue.is_empty t.queue && not t.stop do
+      t.idle_waits <- t.idle_waits + 1;
       Condition.wait t.nonempty t.m
     done;
     if Queue.is_empty t.queue then (* stop requested and queue drained *)
@@ -38,7 +40,7 @@ let worker t id () =
       let t1 = now () in
       (* jobs capture their own exceptions; belt and braces so a worker
          domain can never die *)
-      (try job () with _ -> ());
+      (try job id with _ -> ());
       t.busy_s.(id) <- t.busy_s.(id) +. (now () -. t1);
       loop ()
     end
@@ -63,6 +65,7 @@ let create ?workers () =
       domains = [||];
       busy_s = Array.make n_workers 0.0;
       arbiter_s = 0.0;
+      idle_waits = 0;
     }
   in
   t.domains <- Array.init n_workers (fun i -> Domain.spawn (worker t i));
@@ -113,7 +116,8 @@ let build_stats t ~n ~makespan_s =
     worker_busy_ns;
   }
 
-let run ?chunk t f n =
+let run ?chunk ?(metrics = Dphls_obs.Metrics.disabled)
+    ?(tracer = Dphls_obs.Tracer.disabled) t f n =
   if t.stop || t.joined then invalid_arg "Pool.run: pool is shut down";
   if n < 0 then invalid_arg "Pool.run: negative batch size";
   Array.fill t.busy_s 0 t.n_workers 0.0;
@@ -129,7 +133,9 @@ let run ?chunk t f n =
     let results = Array.make n None in
     let remaining = ref n_chunks in
     let failed = ref None in
-    let job lo hi () =
+    let trace_on = Dphls_obs.Tracer.enabled tracer in
+    let job lo hi wid =
+      let t_job = Dphls_obs.Tracer.now tracer in
       (try
          for i = lo to hi do
            results.(i) <- Some (f i)
@@ -140,6 +146,12 @@ let run ?chunk t f n =
          | Some (lo0, _) when lo0 <= lo -> ()
          | _ -> failed := Some (lo, e));
          Mutex.unlock t.m);
+      (* the tracer has its own mutex, so workers on different domains
+         can record concurrently; one span per dequeued chunk, on the
+         worker's own trace row *)
+      if trace_on then
+        Dphls_obs.Tracer.add_span tracer ~cat:"pool" ~tid:wid ~t0:t_job
+          ~t1:(Dphls_obs.Tracer.now tracer) "chunk";
       Mutex.lock t.m;
       decr remaining;
       if !remaining = 0 then Condition.broadcast t.all_done;
@@ -147,6 +159,7 @@ let run ?chunk t f n =
     in
     let t_start = now () in
     Mutex.lock t.m;
+    let idle_before = t.idle_waits in
     let t0 = now () in
     for c = 0 to n_chunks - 1 do
       let lo = c * chunk in
@@ -157,7 +170,16 @@ let run ?chunk t f n =
     while !remaining > 0 do
       Condition.wait t.all_done t.m
     done;
+    (* Counters are added here on the client, never by workers: Metrics
+       sinks are not domain-safe, and the batch totals are already known
+       at the completion handshake. "Steals" are queue-entry grabs
+       (chunks dequeued); the idle delta is read under the same lock as
+       the completion latch. *)
+    let idle_delta = t.idle_waits - idle_before in
     Mutex.unlock t.m;
+    Dphls_obs.Metrics.add metrics Pool_tasks n;
+    Dphls_obs.Metrics.add metrics Pool_steals n_chunks;
+    Dphls_obs.Metrics.add metrics Pool_idle_waits idle_delta;
     let stats = build_stats t ~n ~makespan_s:(now () -. t_start) in
     (match !failed with Some (_, e) -> raise e | None -> ());
     let out =

@@ -47,12 +47,26 @@ type stats = {
   worker_busy_ns : int array;  (** per-worker task-execution ns *)
 }
 
-val run : ?chunk:int -> t -> (int -> 'a) -> int -> 'a array * stats
+val run :
+  ?chunk:int ->
+  ?metrics:Dphls_obs.Metrics.t ->
+  ?tracer:Dphls_obs.Tracer.t ->
+  t -> (int -> 'a) -> int -> 'a array * stats
 (** [run pool f n] evaluates [| f 0; …; f (n-1) |] in parallel. [chunk]
     is the number of consecutive indices per queue entry (default
     [max 1 (n / (4 * workers))]). If any task raises, the exception of
     the lowest-indexed failing chunk is re-raised in the caller after
-    the batch drains; the pool remains usable. *)
+    the batch drains; the pool remains usable.
+
+    [metrics] (default: disabled) receives [pool_tasks] (= [n]),
+    [pool_steals] (queue entries dequeued, i.e. chunks), and
+    [pool_idle_waits] (times a worker blocked on an empty queue during
+    the batch) — all added on the calling thread after the completion
+    handshake, because {!Dphls_obs.Metrics} sinks are not domain-safe.
+    [tracer] (default: disabled) records one ["chunk"] span per queue
+    entry under the ["pool"] category with the executing worker's index
+    as [tid]; the tracer is mutex-protected, so sharing it across
+    worker domains is safe. *)
 
 val map : ?chunk:int -> t -> (int -> 'a) -> int -> 'a array
 (** [run] without the stats. *)

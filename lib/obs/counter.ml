@@ -1,0 +1,85 @@
+type t =
+  | Cells_evaluated
+  | Cells_band_skipped
+  | Wavefronts
+  | Tb_steps
+  | Band_window_moves
+  | Tiles
+  | Alignments
+  | Pool_tasks
+  | Pool_steals
+  | Pool_idle_waits
+
+let all =
+  [|
+    Cells_evaluated;
+    Cells_band_skipped;
+    Wavefronts;
+    Tb_steps;
+    Band_window_moves;
+    Tiles;
+    Alignments;
+    Pool_tasks;
+    Pool_steals;
+    Pool_idle_waits;
+  |]
+
+let count = Array.length all
+
+(* Written out (rather than derived from [all]) so the hot-path callers
+   compile to a constant load, not an array scan. *)
+let index = function
+  | Cells_evaluated -> 0
+  | Cells_band_skipped -> 1
+  | Wavefronts -> 2
+  | Tb_steps -> 3
+  | Band_window_moves -> 4
+  | Tiles -> 5
+  | Alignments -> 6
+  | Pool_tasks -> 7
+  | Pool_steals -> 8
+  | Pool_idle_waits -> 9
+
+let name = function
+  | Cells_evaluated -> "cells_evaluated"
+  | Cells_band_skipped -> "cells_band_skipped"
+  | Wavefronts -> "wavefronts"
+  | Tb_steps -> "tb_steps"
+  | Band_window_moves -> "band_window_moves"
+  | Tiles -> "tiles"
+  | Alignments -> "alignments"
+  | Pool_tasks -> "pool_tasks"
+  | Pool_steals -> "pool_steals"
+  | Pool_idle_waits -> "pool_idle_waits"
+
+let unit_name = function
+  | Cells_evaluated | Cells_band_skipped -> "cells"
+  | Wavefronts -> "wavefronts"
+  | Tb_steps -> "steps"
+  | Band_window_moves -> "moves"
+  | Tiles -> "tiles"
+  | Alignments -> "alignments"
+  | Pool_tasks -> "tasks"
+  | Pool_steals -> "chunks"
+  | Pool_idle_waits -> "waits"
+
+let describe = function
+  | Cells_evaluated ->
+    "DP cells computed (PE firings) — systolic and golden engines"
+  | Cells_band_skipped ->
+    "in-matrix cells pruned by the band — systolic and golden engines"
+  | Wavefronts ->
+    "wavefronts executed (chunked anti-diagonal order) — systolic engine"
+  | Tb_steps -> "traceback FSM iterations (pointer reads) — Walker.walk"
+  | Band_window_moves ->
+    "adaptive-band window movements (re-centers and edge slides) — \
+     Banding.Tracker"
+  | Tiles -> "GACT tiles executed — Tiling.align"
+  | Alignments -> "engine runs completed — systolic and golden engines"
+  | Pool_tasks -> "tasks executed by pool workers — Host.Pool.run"
+  | Pool_steals ->
+    "work chunks popped from the shared queue — Host.Pool.run"
+  | Pool_idle_waits ->
+    "times a worker blocked on an empty queue during a batch — Host.Pool"
+
+let of_name s = Array.find_opt (fun c -> name c = s) all

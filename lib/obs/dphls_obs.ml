@@ -1,0 +1,29 @@
+(** Observability for the DP-HLS reproduction: near-zero-overhead
+    performance counters and span-based wall-clock tracing.
+
+    The paper's evaluation (§7) is built on measuring the accelerator;
+    this library is the host-side measurement story. It has two halves:
+
+    - {!Metrics} — typed performance counters ({!Counter} is the
+      catalog: cells evaluated, band-skipped cells, wavefronts,
+      traceback steps, adaptive-band window moves, pool
+      task/steal/idle counts) stored in one preallocated int array, so
+      an instrumented hot path with the {!Metrics.disabled} sink stays
+      allocation-free;
+    - {!Tracer} — span recording (engine phases, tiles, per-worker
+      pool tasks) exported as Chrome [trace_event] JSON ({!Chrome},
+      loadable in Perfetto) and aggregated into p50/p99 latency
+      histograms ({!Summary}).
+
+    Every engine entry point ({!Dphls_systolic.Engine.run},
+    {!Dphls_reference.Ref_engine.run}, {!Dphls_tiling.Tiling.align},
+    {!Dphls_host.Pool.run}, the {!Dphls.Align}/{!Dphls.Batch} API)
+    accepts [?metrics]/[?tracer] arguments defaulting to the disabled
+    sinks; [dphls profile] drives them from the CLI. See
+    [docs/observability.md] for the counter catalog and trace format. *)
+
+module Counter = Counter
+module Metrics = Metrics
+module Tracer = Tracer
+module Chrome = Chrome
+module Summary = Summary

@@ -1,0 +1,41 @@
+(** One-page aggregation of a profiled run: the counter table plus
+    per-span-name latency histograms (count, total, mean, p50, p99,
+    max via {!Dphls_util.Stats.percentile}).
+
+    This is what [dphls profile] prints; {!to_json} is the
+    machine-readable twin, used by the CI smoke check. *)
+
+(** Latency statistics of every span sharing one (name, category).
+    Times in seconds. *)
+type span_stat = {
+  span_name : string;
+  cat : string;
+  count : int;
+  total_s : float;
+  mean_s : float;
+  p50_s : float;
+  p99_s : float;
+  max_s : float;
+}
+
+type t = {
+  counters : (Counter.t * int) list;
+      (** whole catalog, {!Counter.all} order *)
+  span_stats : span_stat list;  (** order of first appearance *)
+  wall_s : float;  (** last span end (0 with no spans) *)
+}
+
+val build : ?metrics:Metrics.t -> ?tracer:Tracer.t -> unit -> t
+(** Aggregate whichever of the two sources were collected; omitted (or
+    disabled) sources contribute zero counters / no spans. *)
+
+val to_text : t -> string
+(** The human-readable one-pager: counters with units, then a span
+    table with times in milliseconds. *)
+
+val to_json : t -> string
+(** Same content as one JSON object:
+    [{"counters": {name: value, …},
+      "spans": [{"name": …, "cat": …, "count": …, "total_ms": …,
+                 "mean_ms": …, "p50_ms": …, "p99_ms": …, "max_ms": …}],
+      "wall_ms": …}]. *)

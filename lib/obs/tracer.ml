@@ -1,0 +1,59 @@
+type span = {
+  span_name : string;
+  cat : string;
+  tid : int;
+  t0 : float;
+  t1 : float;
+}
+
+(* Spans are recorded as a reversed list under a mutex: recording is
+   per-phase / per-tile / per-task coarse (never per cell), so a cons
+   and a lock per span is cheap, while disabled tracers pay only the
+   [on] branch. *)
+type t = {
+  on : bool;
+  epoch : float;
+  m : Mutex.t;
+  mutable rev_spans : span list;
+  mutable n : int;
+}
+
+let disabled =
+  { on = false; epoch = 0.0; m = Mutex.create (); rev_spans = []; n = 0 }
+
+let create () =
+  {
+    on = true;
+    epoch = Unix.gettimeofday ();
+    m = Mutex.create ();
+    rev_spans = [];
+    n = 0;
+  }
+
+let enabled t = t.on
+let now t = if t.on then Unix.gettimeofday () -. t.epoch else 0.0
+
+let add_span t ?(cat = "") ?(tid = 0) ~t0 ~t1 name =
+  if t.on then begin
+    let s = { span_name = name; cat; tid; t0; t1 = Float.max t0 t1 } in
+    Mutex.lock t.m;
+    t.rev_spans <- s :: t.rev_spans;
+    t.n <- t.n + 1;
+    Mutex.unlock t.m
+  end
+
+let span t ?cat ?tid name f =
+  if not t.on then f ()
+  else begin
+    let t0 = now t in
+    match f () with
+    | r ->
+      add_span t ?cat ?tid ~t0 ~t1:(now t) name;
+      r
+    | exception e ->
+      add_span t ?cat ?tid ~t0 ~t1:(now t) name;
+      raise e
+  end
+
+let spans t = List.rev t.rev_spans
+let count t = t.n

@@ -1,0 +1,57 @@
+(** Span-based event tracing: named wall-clock intervals (engine
+    phases, tiles, pool worker tasks) on a shared timebase.
+
+    This complements the cycle-level {!Dphls_systolic.Vcd} waveform:
+    the VCD shows what the simulated hardware does per cycle, the
+    tracer shows where the {e host's} wall-clock goes across engine
+    phases and worker domains. Spans export to Chrome [trace_event]
+    JSON ({!Chrome}) and aggregate into latency histograms
+    ({!Summary}).
+
+    The {!disabled} tracer makes instrumentation free on untraced runs:
+    {!now} returns the constant [0.] without reading the clock and
+    {!add_span} returns immediately, so engines call them
+    unconditionally. Recording on an enabled tracer is mutex-protected
+    — pool workers on different domains may share one tracer. *)
+
+(** One recorded interval. Times are seconds since the tracer's
+    creation ([t0 <= t1]). [tid] distinguishes concurrent tracks — 0
+    for single-threaded phases, the worker index for pool task spans —
+    and maps onto Chrome trace rows. *)
+type span = {
+  span_name : string;
+  cat : string;  (** coarse grouping: ["engine"], ["tiling"], ["pool"], … *)
+  tid : int;
+  t0 : float;
+  t1 : float;
+}
+
+type t
+
+val disabled : t
+(** The shared no-op tracer. *)
+
+val create : unit -> t
+(** A fresh enabled tracer; its epoch (time zero) is the moment of
+    creation. *)
+
+val enabled : t -> bool
+
+val now : t -> float
+(** Seconds since the tracer's epoch; [0.] (no clock read) when
+    disabled. Take a timestamp before a phase, pass it to {!add_span}
+    after. *)
+
+val add_span : t -> ?cat:string -> ?tid:int -> t0:float -> t1:float -> string -> unit
+(** [add_span t ~t0 ~t1 name] records one closed interval (no-op when
+    disabled). [cat] defaults to [""], [tid] to 0. Thread-safe. *)
+
+val span : t -> ?cat:string -> ?tid:int -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f ()] inside a recorded interval; the span is
+    recorded even when [f] raises. Allocates a closure — use the
+    {!now}/{!add_span} pair on allocation-sensitive paths. *)
+
+val spans : t -> span list
+(** Recorded spans in recording order; [[]] when disabled. *)
+
+val count : t -> int

@@ -49,7 +49,9 @@ let fill_adaptive kernel params (w : Workload.t) ~band ~band_pe ~qry_len ~ref_le
       Banding.Tracker.end_wavefront tracker
     done
   done;
-  (Banding.Tracker.cells_computed tracker, in_band)
+  ( Banding.Tracker.cells_computed tracker,
+    Banding.Tracker.window_moves tracker,
+    in_band )
 
 let fill ?band_pe kernel params (w : Workload.t) =
   let qry_len = Array.length w.query and ref_len = Array.length w.reference in
@@ -69,11 +71,11 @@ let fill ?band_pe kernel params (w : Workload.t) =
         n
       | None -> qry_len (* one chunk: the ideal full-height wavefront *)
     in
-    let cells, in_band =
+    let cells, moves, in_band =
       fill_adaptive kernel params w ~band ~band_pe ~qry_len ~ref_len ~scores
         ~pointers
     in
-    (scores, pointers, cells, qry_len, ref_len, in_band)
+    (scores, pointers, cells, moves, qry_len, ref_len, in_band)
   | (Some (Banding.Fixed _) | None) as banding ->
     let in_band ~row ~col = Banding.in_band banding ~row ~col in
     let read ~row ~col ~layer = scores.(layer).(row).(col) in
@@ -97,9 +99,10 @@ let fill ?band_pe kernel params (w : Workload.t) =
         end
       done
     done;
-    (scores, pointers, !cells, qry_len, ref_len, in_band)
+    (scores, pointers, !cells, 0, qry_len, ref_len, in_band)
 
-let result_of kernel params scores pointers cells qry_len ref_len ~in_band =
+let result_of ?metrics kernel params scores pointers cells qry_len ref_len
+    ~in_band =
   let score_at ~row ~col = scores.(0).(row).(col) in
   let start_cell, score =
     Score_site.find ~objective:kernel.Kernel.objective ~rule:kernel.Kernel.score_site
@@ -117,8 +120,8 @@ let result_of kernel params scores pointers cells qry_len ref_len ~in_band =
   | Some spec ->
     let ptr_at ~row ~col = pointers.(row).(col) in
     let outcome =
-      Walker.walk ~fsm:spec.Traceback.fsm ~stop:spec.Traceback.stop ~ptr_at
-        ~start:start_cell ~qry_len ~ref_len
+      Walker.walk ?metrics ~fsm:spec.Traceback.fsm ~stop:spec.Traceback.stop
+        ~ptr_at ~start:start_cell ~qry_len ~ref_len ()
     in
     {
       Result.score;
@@ -128,17 +131,32 @@ let result_of kernel params scores pointers cells qry_len ref_len ~in_band =
       cells_computed = cells;
     }
 
-let run_full ?band_pe kernel params w =
-  let scores, pointers, cells, qry_len, ref_len, in_band =
+let run_full ?band_pe ?(metrics = Dphls_obs.Metrics.disabled)
+    ?(tracer = Dphls_obs.Tracer.disabled) kernel params w =
+  let t_fill = Dphls_obs.Tracer.now tracer in
+  let scores, pointers, cells, moves, qry_len, ref_len, in_band =
     fill ?band_pe kernel params w
   in
-  let result = result_of kernel params scores pointers cells qry_len ref_len ~in_band in
+  Dphls_obs.Tracer.add_span tracer ~cat:"engine" ~t0:t_fill
+    ~t1:(Dphls_obs.Tracer.now tracer) "fill";
+  Dphls_obs.Metrics.add metrics Cells_evaluated cells;
+  Dphls_obs.Metrics.add metrics Cells_band_skipped ((qry_len * ref_len) - cells);
+  Dphls_obs.Metrics.add metrics Band_window_moves moves;
+  Dphls_obs.Metrics.incr metrics Alignments;
+  let t_tb = Dphls_obs.Tracer.now tracer in
+  let result =
+    result_of ~metrics kernel params scores pointers cells qry_len ref_len
+      ~in_band
+  in
+  Dphls_obs.Tracer.add_span tracer ~cat:"engine" ~t0:t_tb
+    ~t1:(Dphls_obs.Tracer.now tracer) "traceback";
   (result, { scores; pointers })
 
-let run ?band_pe kernel params w = fst (run_full ?band_pe kernel params w)
+let run ?band_pe ?metrics ?tracer kernel params w =
+  fst (run_full ?band_pe ?metrics ?tracer kernel params w)
 
 let score_only ?band_pe kernel params w = (run ?band_pe kernel params w).Result.score
 
 let band_map ?band_pe kernel params w =
-  let _, _, _, _, _, in_band = fill ?band_pe kernel params w in
+  let _, _, _, _, _, _, in_band = fill ?band_pe kernel params w in
   in_band

@@ -23,11 +23,21 @@ type matrices = {
 
 val run :
   ?band_pe:int ->
+  ?metrics:Dphls_obs.Metrics.t ->
+  ?tracer:Dphls_obs.Tracer.t ->
   'p Dphls_core.Kernel.t -> 'p -> Dphls_core.Workload.t -> Dphls_core.Result.t
-(** Align one pair. Raises [Invalid_argument] on empty sequences. *)
+(** Align one pair. Raises [Invalid_argument] on empty sequences.
+
+    [metrics] (default: disabled) receives cells evaluated /
+    band-skipped, traceback steps, adaptive window moves, and one
+    alignment, added once per run. [tracer] (default: disabled) records
+    [fill] and [traceback] spans under the ["engine"] category. See
+    {!Dphls_obs}. *)
 
 val run_full :
   ?band_pe:int ->
+  ?metrics:Dphls_obs.Metrics.t ->
+  ?tracer:Dphls_obs.Tracer.t ->
   'p Dphls_core.Kernel.t -> 'p -> Dphls_core.Workload.t ->
   Dphls_core.Result.t * matrices
 (** Same, also exposing the filled matrices (debugging, tests). *)

@@ -46,7 +46,10 @@ let observes rule ~qry_len ~ref_len ~row ~col =
   | Last_row_best -> row = qry_len - 1
   | Last_row_or_col_best -> row = qry_len - 1 || col = ref_len - 1
 
-let run ?(trace = Trace.create ~enabled:false) config kernel params (w : Workload.t) =
+let run ?(trace = Trace.create ~enabled:false)
+    ?(metrics = Dphls_obs.Metrics.disabled)
+    ?(tracer = Dphls_obs.Tracer.disabled) config kernel params (w : Workload.t)
+    =
   Kernel.validate kernel params;
   let qry_len = Array.length w.query and ref_len = Array.length w.reference in
   if qry_len < 1 || ref_len < 1 then invalid_arg "Systolic.Engine: empty sequence";
@@ -161,6 +164,7 @@ let run ?(trace = Trace.create ~enabled:false) config kernel params (w : Workloa
   let trace_on = Trace.enabled trace in
   let has_tb = Option.is_some tb_spec in
   let score_site = kernel.Kernel.score_site in
+  let t_compute = Dphls_obs.Tracer.now tracer in
   for chunk = 0 to schedule.Schedule.n_chunks - 1 do
     Array.fill !v1 0 n_pe false;
     Array.fill !v2 0 n_pe false;
@@ -261,6 +265,9 @@ let run ?(trace = Trace.create ~enabled:false) config kernel params (w : Workloa
         if !fires > fires_before then incr active_wf
       done
   done;
+  Dphls_obs.Tracer.add_span tracer ~cat:"engine" ~t0:t_compute
+    ~t1:(Dphls_obs.Tracer.now tracer) "compute";
+  let t_reduce = Dphls_obs.Tracer.now tracer in
   (* Reduction over per-PE local bests (§5.2). *)
   let merged =
     Array.fold_left Traceback.Best_cell.merge
@@ -272,6 +279,9 @@ let run ?(trace = Trace.create ~enabled:false) config kernel params (w : Workloa
     | Some (cell, score) -> (cell, score)
     | None -> ({ Types.row = qry_len - 1; col = ref_len - 1 }, worst)
   in
+  Dphls_obs.Tracer.add_span tracer ~cat:"engine" ~t0:t_reduce
+    ~t1:(Dphls_obs.Tracer.now tracer) "reduction";
+  let t_tb = Dphls_obs.Tracer.now tracer in
   let result, tb_steps =
     match tb_spec with
     | None ->
@@ -286,8 +296,8 @@ let run ?(trace = Trace.create ~enabled:false) config kernel params (w : Workloa
     | Some spec ->
       let ptr_at ~row ~col = Tb_memory.read tb_mem ~row ~col in
       let outcome =
-        Walker.walk ~fsm:spec.Traceback.fsm ~stop:spec.Traceback.stop ~ptr_at
-          ~start:start_cell ~qry_len ~ref_len
+        Walker.walk ~metrics ~fsm:spec.Traceback.fsm ~stop:spec.Traceback.stop
+          ~ptr_at ~start:start_cell ~qry_len ~ref_len ()
       in
       ( {
           Result.score;
@@ -298,6 +308,21 @@ let run ?(trace = Trace.create ~enabled:false) config kernel params (w : Workloa
         },
         outcome.Walker.steps )
   in
+  Dphls_obs.Tracer.add_span tracer ~cat:"engine" ~t0:t_tb
+    ~t1:(Dphls_obs.Tracer.now tracer) "traceback";
+  (* Counters land once per run from the refs the engine already keeps, so
+     the wavefront loop itself carries no instrumentation. [slots] grows by
+     [n_pe] exactly once per executed wavefront, so [slots / n_pe] is the
+     executed-wavefront count. *)
+  Dphls_obs.Metrics.add metrics Cells_evaluated !fires;
+  Dphls_obs.Metrics.add metrics Cells_band_skipped ((qry_len * ref_len) - !fires);
+  Dphls_obs.Metrics.add metrics Wavefronts (!slots / n_pe);
+  Dphls_obs.Metrics.incr metrics Alignments;
+  (match band_tracker with
+  | Some tr ->
+    Dphls_obs.Metrics.add metrics Band_window_moves
+      (Banding.Tracker.window_moves tr)
+  | None -> ());
   let compute_cycles =
     match banding with
     | Some (Banding.Adaptive _) ->

@@ -30,12 +30,22 @@ type stats = {
 
 val run :
   ?trace:Trace.t ->
+  ?metrics:Dphls_obs.Metrics.t ->
+  ?tracer:Dphls_obs.Tracer.t ->
   Config.t ->
   'p Dphls_core.Kernel.t ->
   'p ->
   Dphls_core.Workload.t ->
   Dphls_core.Result.t * stats
-(** Raises [Invalid_argument] on empty sequences or malformed kernels. *)
+(** Raises [Invalid_argument] on empty sequences or malformed kernels.
+
+    [metrics] (default: disabled) receives the run's counters — cells
+    evaluated / band-skipped, executed wavefronts, traceback steps,
+    adaptive-band window moves, one alignment — added once at the end of
+    the run from totals the engine already tracks, so the wavefront hot
+    path stays allocation-free. [tracer] (default: disabled) records
+    [compute] / [reduction] / [traceback] wall-clock spans under the
+    ["engine"] category. See {!Dphls_obs}. *)
 
 val cycles_estimate :
   Config.t -> 'p Dphls_core.Kernel.t -> 'p ->

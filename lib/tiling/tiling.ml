@@ -27,13 +27,16 @@ let commit_prefix path ~limit =
   in
   go [] 0 0 path
 
-let align ?band config ~run ~query ~reference =
+let align ?band ?(metrics = Dphls_obs.Metrics.disabled)
+    ?(tracer = Dphls_obs.Tracer.disabled) config ~run ~query ~reference =
   if config.overlap <= 0 || config.overlap >= config.tile then
     invalid_arg "Tiling.align: need 0 < overlap < tile";
   let qlen = Array.length query and rlen = Array.length reference in
   let rec go qi ri acc tiles stats =
-    if qi >= qlen && ri >= rlen then
+    if qi >= qlen && ri >= rlen then begin
+      Dphls_obs.Metrics.add metrics Tiles tiles;
       { path = List.concat (List.rev acc); tiles; tile_stats = List.rev stats }
+    end
     else if qi >= qlen then
       (* only reference remains: pure insertions *)
       go qi rlen (List.init (rlen - ri) (fun _ -> Traceback.Ins) :: acc) tiles stats
@@ -45,7 +48,12 @@ let align ?band config ~run ~query ~reference =
         Workload.of_seqs ~query:(Array.sub query qi tq)
           ~reference:(Array.sub reference ri tr)
       in
+      (* one span per tile under a constant name, so the profile summary
+         aggregates all tiles into one p50/p99 row *)
+      let t_tile = Dphls_obs.Tracer.now tracer in
       let result, cost = run ~band w in
+      Dphls_obs.Tracer.add_span tracer ~cat:"tiling" ~t0:t_tile
+        ~t1:(Dphls_obs.Tracer.now tracer) "tile";
       let final = qi + tq >= qlen && ri + tr >= rlen in
       if final then
         go (qi + tq) (ri + tr)

@@ -25,6 +25,8 @@ type outcome = {
 
 val align :
   ?band:Dphls_core.Banding.t ->
+  ?metrics:Dphls_obs.Metrics.t ->
+  ?tracer:Dphls_obs.Tracer.t ->
   config ->
   run:
     (band:Dphls_core.Banding.t option ->
@@ -49,4 +51,11 @@ val align :
     kernel's compiled flat datapath when it carries one ([pe_flat]),
     so tiled alignments get the allocation-free hot path per tile; pass
     a kernel through {!Dphls_core.Kernel.boxed} inside [run] to force
-    the boxed interpreter closures instead. *)
+    the boxed interpreter closures instead.
+
+    [metrics] (default: disabled) receives the [tiles] counter once at
+    the end; per-cell counters come from whatever engine [run] invokes
+    (thread the same sink into it). [tracer] (default: disabled) records
+    one ["tile"] span per executed tile under the ["tiling"] category —
+    a constant span name, so {!Dphls_obs.Summary} aggregates all tiles
+    into one latency histogram row. *)

@@ -115,7 +115,7 @@ let test_walker_global_completion () =
   let outcome =
     Walker.walk ~fsm:diag_fsm ~stop:Traceback.At_origin
       ~ptr_at:(fun ~row:_ ~col:_ -> 0)
-      ~start:{ Types.row = 1; col = 3 } ~qry_len:2 ~ref_len:4
+      ~start:{ Types.row = 1; col = 3 } ~qry_len:2 ~ref_len:4 ()
   in
   Alcotest.(check int) "path length" 4 (List.length outcome.Walker.path);
   Alcotest.(check bool) "prefix insertions" true
@@ -127,7 +127,7 @@ let test_walker_semi_global_stops_at_top () =
   let outcome =
     Walker.walk ~fsm:diag_fsm ~stop:Traceback.At_top_row
       ~ptr_at:(fun ~row:_ ~col:_ -> 0)
-      ~start:{ Types.row = 1; col = 3 } ~qry_len:2 ~ref_len:4
+      ~start:{ Types.row = 1; col = 3 } ~qry_len:2 ~ref_len:4 ()
   in
   (* no completion: reference prefix is clipped *)
   Alcotest.(check int) "only consuming moves" 2 (List.length outcome.Walker.path)
@@ -144,7 +144,7 @@ let test_walker_stop_move () =
   let outcome =
     Walker.walk ~fsm ~stop:Traceback.On_stop_move
       ~ptr_at:(fun ~row ~col -> if row = 1 && col = 1 then 3 else 0)
-      ~start:{ Types.row = 3; col = 3 } ~qry_len:4 ~ref_len:4
+      ~start:{ Types.row = 3; col = 3 } ~qry_len:4 ~ref_len:4 ()
   in
   Alcotest.(check int) "stopped after 2 diags" 2 (List.length outcome.Walker.path);
   Alcotest.(check bool) "end at stop cell" true
@@ -163,7 +163,7 @@ let test_walker_stay_loop_detected () =
        ignore
          (Walker.walk ~fsm ~stop:Traceback.At_origin
             ~ptr_at:(fun ~row:_ ~col:_ -> 0)
-            ~start:{ Types.row = 3; col = 3 } ~qry_len:4 ~ref_len:4);
+            ~start:{ Types.row = 3; col = 3 } ~qry_len:4 ~ref_len:4 ());
        false
      with Failure _ -> true)
 

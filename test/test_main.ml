@@ -25,4 +25,5 @@ let () =
       ("more", T_more.suite);
       ("oracles", T_oracles.suite);
       ("analysis", T_analysis.suite);
+      ("obs", T_obs.suite);
     ]
