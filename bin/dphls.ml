@@ -431,7 +431,7 @@ let batch_cmd =
 
 (* ---- cosim ---- *)
 
-let cosim_run kernel_spec n_pe trials len =
+let cosim_run kernel_spec n_pe trials len vectors =
   let e = find_kernel kernel_spec in
   let (Registry.Packed (k, p)) = e.packed in
   let rng = Dphls_util.Rng.create 2026 in
@@ -444,7 +444,10 @@ let cosim_run kernel_spec n_pe trials len =
     | cell, bindings -> Some (Dphls_core.Datapath.eval cell bindings)
     | exception Not_found -> None
   in
-  let report = Dphls_cosim.Cosim.verify ~n_pe ?alt_pe k p workloads in
+  (match vectors with
+  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+  | _ -> ());
+  let report = Dphls_cosim.Cosim.verify ~n_pe ?alt_pe ?vectors k p workloads in
   Format.printf "%a@." Dphls_cosim.Cosim.pp_report report;
   exit (if Dphls_cosim.Cosim.passed report then 0 else 1)
 
@@ -455,10 +458,229 @@ let cosim_cmd =
   let n_pe = Arg.(value & opt int 16 & info [ "n-pe" ] ~doc:"Processing elements") in
   let trials = Arg.(value & opt int 25 & info [ "trials" ] ~doc:"Workloads to verify") in
   let len = Arg.(value & opt int 128 & info [ "len" ] ~doc:"Workload length") in
+  let vectors =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vectors" ] ~docv:"DIR"
+          ~doc:"Capture one golden-vector (.dpv) file per workload into $(docv)")
+  in
   Cmd.v
     (Cmd.info "cosim"
        ~doc:"Verify golden engine vs systolic engine vs symbolic datapath")
-    Term.(const cosim_run $ kernel $ n_pe $ trials $ len)
+    Term.(const cosim_run $ kernel $ n_pe $ trials $ len $ vectors)
+
+(* ---- vectors ---- *)
+
+module Vectors = Dphls_vectors
+
+let vectors_gen_run kernel_spec corpus_dir output n_pe len seed band_mode
+    band_width band_threshold =
+  match corpus_dir with
+  | Some dir ->
+    (* Regenerate the standard committed corpus. *)
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let failed = ref false in
+    List.iter
+      (fun spec ->
+        match Vectors.Harness.generate spec with
+        | Ok (v, name) ->
+          let path = Filename.concat dir name in
+          Vectors.Codec.write_file path v;
+          Printf.printf "wrote %s\n" path
+        | Error msg ->
+          Printf.eprintf "dphls vectors gen: %s\n" msg;
+          failed := true)
+      Vectors.Harness.corpus;
+    if !failed then exit 2
+  | None -> (
+    let kernel_spec =
+      match kernel_spec with
+      | Some s -> s
+      | None ->
+        Printf.eprintf "dphls vectors gen: need --kernel or --corpus DIR\n";
+        exit 2
+    in
+    let e = find_kernel kernel_spec in
+    let band =
+      match
+        band_override ~mode:band_mode ~width:band_width
+          ~threshold:band_threshold
+      with
+      | None -> None
+      | Some banding -> Some (Vectors.Stream.band_spec_of_banding banding)
+    in
+    let spec =
+      {
+        Vectors.Harness.kernel_id = Registry.id e.packed;
+        n_pe;
+        len;
+        band;
+        seed;
+      }
+    in
+    match Vectors.Harness.generate spec with
+    | Error msg ->
+      Printf.eprintf "dphls vectors gen: %s\n" msg;
+      exit 2
+    | Ok (v, default_name) ->
+      let path = Option.value output ~default:default_name in
+      Vectors.Codec.write_file path v;
+      Printf.printf "wrote %s\n" path)
+
+let vectors_gen_cmd =
+  let kernel =
+    Arg.(value & opt (some string) None & info [ "k"; "kernel" ] ~doc:"Kernel id or name")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Regenerate the standard committed corpus into $(docv)")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file")
+  in
+  let n_pe = Arg.(value & opt int 4 & info [ "n-pe" ] ~doc:"Processing elements") in
+  let len = Arg.(value & opt int 32 & info [ "len" ] ~doc:"Workload length") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Workload RNG seed") in
+  let band = Arg.(value & opt string "kernel" & info [ "band" ] ~doc:band_doc) in
+  let band_width =
+    Arg.(value & opt int 16 & info [ "band-width" ] ~doc:"Band half-width")
+  in
+  let band_threshold =
+    Arg.(
+      value
+      & opt int Banding.default_threshold
+      & info [ "band-threshold" ] ~doc:"Adaptive-band score drop threshold")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate golden vector files")
+    Term.(
+      const vectors_gen_run $ kernel $ corpus $ output $ n_pe $ len $ seed
+      $ band $ band_width $ band_threshold)
+
+let vectors_check_run files =
+  if files = [] then begin
+    Printf.eprintf "dphls vectors check: no vector files given\n";
+    exit 2
+  end;
+  let load_failed = ref false and diverged = ref false in
+  List.iter
+    (fun path ->
+      match Vectors.Harness.check_file path with
+      | Ok o ->
+        Printf.printf "%s: ok (%d cells, %d windows, %d replayed)\n" path
+          o.Vectors.Harness.o_cells o.Vectors.Harness.o_windows
+          o.Vectors.Harness.o_replayed
+      | Error msg ->
+        (* Distinguish unreadable/corrupt files (exit 2) from vectors
+           that load but diverge from this build (exit 1). *)
+        (match Vectors.Codec.read_file path with
+        | Error _ -> load_failed := true
+        | Ok _ -> diverged := true);
+        Printf.eprintf "%s: FAIL: %s\n" path msg)
+    files;
+  if !load_failed then exit 2 else if !diverged then exit 1
+
+let vectors_check_cmd =
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"Vector files")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Verify vector files against the current build (re-run, replay \
+          both datapaths); non-zero exit on divergence (1) or unreadable \
+          files (2)")
+    Term.(const vectors_check_run $ files)
+
+let vectors_regen_run out_dir files =
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  let failed = ref false in
+  List.iter
+    (fun path ->
+      match Vectors.Codec.read_file path with
+      | Error msg ->
+        Printf.eprintf "%s: %s\n" path msg;
+        failed := true
+      | Ok v -> (
+        let h = v.Vectors.Stream.header in
+        match find_kernel (string_of_int h.Vectors.Stream.kernel_id) with
+        | exception Not_found ->
+          Printf.eprintf "%s: unknown kernel id %d\n" path
+            h.Vectors.Stream.kernel_id;
+          failed := true
+        | e ->
+          let (Registry.Packed (k, p)) = e.packed in
+          let k =
+            {
+              k with
+              Kernel.banding =
+                Vectors.Stream.banding_of_spec h.Vectors.Stream.band;
+            }
+          in
+          let w =
+            Workload.of_seqs ~query:h.Vectors.Stream.query
+              ~reference:h.Vectors.Stream.reference
+          in
+          let regen, _ =
+            Vectors.Capture.systolic k p ~n_pe:h.Vectors.Stream.n_pe w
+          in
+          let dst = Filename.concat out_dir (Filename.basename path) in
+          Vectors.Codec.write_file dst regen;
+          Printf.printf "wrote %s\n" dst))
+    files;
+  if !failed then exit 2
+
+let vectors_regen_cmd =
+  let out_dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory")
+  in
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"Vector files")
+  in
+  Cmd.v
+    (Cmd.info "regen"
+       ~doc:
+         "Re-record vectors from their embedded workloads on this build \
+          (what CI uploads when the drift gate fails)")
+    Term.(const vectors_regen_run $ out_dir $ files)
+
+let vectors_diff_run file_a file_b =
+  match (Vectors.Codec.read_file file_a, Vectors.Codec.read_file file_b) with
+  | Error msg, _ | _, Error msg ->
+    Printf.eprintf "dphls vectors diff: %s\n" msg;
+    exit 2
+  | Ok a, Ok b -> (
+    match Vectors.Stream.diff ~expected:a ~actual:b with
+    | None -> Printf.printf "vectors agree\n"
+    | Some d ->
+      Printf.printf "first divergence: %s\n" (Vectors.Stream.describe d);
+      exit 1)
+
+let vectors_diff_cmd =
+  let file_a =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"EXPECTED")
+  in
+  let file_b =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"ACTUAL")
+  in
+  Cmd.v
+    (Cmd.info "diff" ~doc:"First divergence between two vector files")
+    Term.(const vectors_diff_run $ file_a $ file_b)
+
+let vectors_cmd =
+  Cmd.group
+    (Cmd.info "vectors"
+       ~doc:
+         "Golden-vector harness: record, check and diff per-wavefront \
+          engine streams")
+    [ vectors_gen_cmd; vectors_check_cmd; vectors_regen_cmd; vectors_diff_cmd ]
 
 (* ---- rtl ---- *)
 
@@ -723,4 +945,5 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; align_cmd; batch_cmd; gen_cmd; map_cmd; cosim_cmd;
-         resources_cmd; rtl_cmd; experiment_cmd; check_cmd; profile_cmd ]))
+         resources_cmd; rtl_cmd; experiment_cmd; check_cmd; profile_cmd;
+         vectors_cmd ]))

@@ -193,4 +193,5 @@ module Tracker = struct
 
   let cells_computed t = t.count
   let window_moves t = t.moves
+  let window t = (t.lo, t.hi)
 end

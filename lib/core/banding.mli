@@ -91,6 +91,12 @@ module Tracker : sig
 
   val cells_computed : t -> int
 
+  val window : t -> int * int
+  (** Current window [(lo, hi)] in diagonal-offset ([row - col]) space —
+      the band the next wavefront's {!decide} calls will consult. The
+      golden-vector harness ({!Dphls_vectors}) records this after every
+      wavefront so band trajectories can be diffed across PRs. *)
+
   val window_moves : t -> int
   (** How many times the window [(lo, hi)] actually changed — wavefront
       slides plus chunk re-seeds that landed somewhere new. Feeds the

@@ -10,23 +10,45 @@ type report = {
   total : int;
   agreed : int;
   mismatches : mismatch list;
+  truncated : bool;
   mean_cycles : float;
   mean_utilization : float;
 }
 
 let passed r = r.agreed = r.total
 
-let verify ?(n_pe = 16) ?alt_pe kernel params workloads =
+let verify ?(n_pe = 16) ?(max_mismatches = 8) ?alt_pe ?vectors kernel params
+    workloads =
   let cfg = Dphls_systolic.Config.create ~n_pe in
   let total = List.length workloads in
   let agreed = ref 0 in
   let mismatches = ref [] in
+  let n_mismatches = ref 0 in
   let cycles_sum = ref 0.0 in
   let util_sum = ref 0.0 in
   List.iteri
     (fun index w ->
       let golden = Dphls_reference.Ref_engine.run ~band_pe:n_pe kernel params w in
-      let systolic, stats = Dphls_systolic.Engine.run cfg kernel params w in
+      let trace =
+        match vectors with
+        | None -> Dphls_systolic.Trace.create ~enabled:false
+        | Some _ -> Dphls_systolic.Trace.create_capture ()
+      in
+      let systolic, stats =
+        Dphls_systolic.Engine.run ~trace cfg kernel params w
+      in
+      (match vectors with
+      | None -> ()
+      | Some dir ->
+        let v =
+          Dphls_vectors.Capture.of_trace kernel params ~n_pe ~workload:w
+            ~trace ~result:systolic
+        in
+        let path =
+          Filename.concat dir
+            (Printf.sprintf "cosim_%s_w%03d.dpv" kernel.Kernel.name index)
+        in
+        Dphls_vectors.Codec.write_file path v);
       cycles_sum :=
         !cycles_sum
         +. float_of_int stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total;
@@ -51,13 +73,17 @@ let verify ?(n_pe = 16) ?alt_pe kernel params workloads =
       in
       if Result.equal_alignment golden systolic && boxed_ok && alt_ok then
         incr agreed
-      else if List.length !mismatches < 8 then
-        mismatches := { index; golden; systolic } :: !mismatches)
+      else begin
+        incr n_mismatches;
+        if List.length !mismatches < max_mismatches then
+          mismatches := { index; golden; systolic } :: !mismatches
+      end)
     workloads;
   {
     total;
     agreed = !agreed;
     mismatches = List.rev !mismatches;
+    truncated = !n_mismatches > List.length !mismatches;
     mean_cycles = (if total = 0 then 0.0 else !cycles_sum /. float_of_int total);
     mean_utilization = (if total = 0 then 0.0 else !util_sum /. float_of_int total);
   }
@@ -69,4 +95,8 @@ let pp_report fmt r =
     (fun m ->
       Format.fprintf fmt "@\n  mismatch at workload %d:@\n    golden  %a@\n    systolic %a"
         m.index Result.pp m.golden Result.pp m.systolic)
-    r.mismatches
+    r.mismatches;
+  if r.truncated then
+    Format.fprintf fmt "@\n  ... and %d more mismatching workload%s not shown"
+      (r.total - r.agreed - List.length r.mismatches)
+      (if r.total - r.agreed - List.length r.mismatches = 1 then "" else "s")

@@ -16,7 +16,10 @@ type mismatch = {
 type report = {
   total : int;
   agreed : int;
-  mismatches : mismatch list;        (** capped at 8 *)
+  mismatches : mismatch list;
+      (** first [max_mismatches] disagreeing workloads, in order *)
+  truncated : bool;
+      (** true when more workloads disagreed than [mismatches] holds *)
   mean_cycles : float;
   mean_utilization : float;
 }
@@ -25,7 +28,9 @@ val passed : report -> bool
 
 val verify :
   ?n_pe:int ->
+  ?max_mismatches:int ->
   ?alt_pe:Dphls_core.Pe.f ->
+  ?vectors:string ->
   'p Dphls_core.Kernel.t ->
   'p ->
   Dphls_core.Workload.t list ->
@@ -34,6 +39,14 @@ val verify :
     bit-for-bit. Two extra golden passes may run per workload: one with
     the boxed interpreter PE ([Kernel.boxed], checking the compiled
     datapath against the closure it was derived from), and, when
-    [alt_pe] is given, one with the alternate PE. *)
+    [alt_pe] is given, one with the alternate PE.
+
+    [max_mismatches] (default 8) bounds how many disagreeing workloads
+    the report details; [report.truncated] says whether the cap was hit.
+
+    [vectors] turns on golden-vector capture: the systolic run of every
+    workload is recorded and written as
+    [<dir>/cosim_<kernel>_w<index>.dpv] ({!Dphls_vectors.Codec}), ready
+    for [dphls vectors check]. The directory must exist. *)
 
 val pp_report : Format.formatter -> report -> unit

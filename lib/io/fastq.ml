@@ -41,4 +41,28 @@ let mean_quality r =
     float_of_int !total /. float_of_int (String.length r.quality)
   end
 
+let to_string records =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun r ->
+      if String.length r.sequence <> String.length r.quality then
+        invalid_arg
+          (Printf.sprintf "Fastq.to_string: record %S: %d bases, %d quality \
+                           chars" r.id (String.length r.sequence)
+             (String.length r.quality));
+      Buffer.add_char b '@';
+      Buffer.add_string b r.id;
+      Buffer.add_char b '\n';
+      Buffer.add_string b r.sequence;
+      Buffer.add_string b "\n+\n";
+      Buffer.add_string b r.quality;
+      Buffer.add_char b '\n')
+    records;
+  Buffer.contents b
+
+let write_file path records =
+  let oc = open_out path in
+  output_string oc (to_string records);
+  close_out oc
+
 let to_fasta r = { Fasta.id = r.id; description = ""; sequence = r.sequence }

@@ -12,6 +12,13 @@ val parse_string : string -> record list
 
 val read_file : string -> record list
 
+val to_string : record list -> string
+(** 4-line records, parseable back by {!parse_string}. Raises
+    [Invalid_argument] when a record's quality length disagrees with its
+    sequence. *)
+
+val write_file : string -> record list -> unit
+
 val mean_quality : record -> float
 (** Average Phred score. *)
 

@@ -162,6 +162,7 @@ let run ?(trace = Trace.create ~enabled:false)
     else plane.(idx)
   in
   let trace_on = Trace.enabled trace in
+  let trace_capture = Trace.capturing trace in
   let has_tb = Option.is_some tb_spec in
   let score_site = kernel.Kernel.score_site in
   let t_compute = Dphls_obs.Tracer.now tracer in
@@ -248,7 +249,14 @@ let run ?(trace = Trace.create ~enabled:false)
             incr fires;
             if trace_on then
               Trace.record trace
-                { Trace.chunk; wavefront; pe; cell = { Types.row; col } }
+                {
+                  Trace.chunk;
+                  wavefront;
+                  pe;
+                  cell = { Types.row; col };
+                  tb = (if has_tb then buf.Pe.b_tb else 0);
+                  scores = (if trace_capture then Array.copy out else [||]);
+                }
           end
         done;
         (* rotate the planes: w2 <- w1, w1 <- w_new, recycle old w2 *)
@@ -260,7 +268,13 @@ let run ?(trace = Trace.create ~enabled:false)
         w_new := p2;
         v_new := vv2;
         (match band_tracker with
-        | Some tr -> Banding.Tracker.end_wavefront tr
+        | Some tr ->
+          Banding.Tracker.end_wavefront tr;
+          if trace_capture then begin
+            let w_lo, w_hi = Banding.Tracker.window tr in
+            Trace.record_window trace
+              { Trace.w_chunk = chunk; w_wavefront = wavefront; w_lo; w_hi }
+          end
         | None -> ());
         if !fires > fires_before then incr active_wf
       done

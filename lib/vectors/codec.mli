@@ -1,0 +1,46 @@
+(** On-disk golden-vector format (version {!version}).
+
+    The format is line-oriented text so corpus diffs are reviewable:
+
+    {v
+    DPHLSVEC 1
+    kernel <id> <name>
+    params <16-hex FNV-1a>
+    band none | fixed <w> | adaptive <w> <t>
+    n_pe <n>
+    lens <qry_len> <ref_len>
+    layers <n_layers>
+    query <ch> <ch> ...          each <ch> = comma-joined channel ints
+    reference <ch> <ch> ...
+    body <n_cell_records> <n_window_records>
+    C <chunk> <wavefront> <pe> <row> <col> <tb> <s0> [<s1> ...]
+    W <chunk> <wavefront> <lo> <hi>
+    result <score> <start|-> <end|-> <cigar|-> <cells_computed>
+    checksum <16-hex FNV-1a over every preceding line>
+    v}
+
+    Records appear in execution order. The trailing checksum covers all
+    preceding lines (each terminated by a newline), so truncation or
+    in-place edits are detected even when every line parses.
+
+    Versioning policy: [version] bumps on any change to the line grammar
+    or to the semantics of an existing field. Readers reject any other
+    version with a diagnostic naming the version field — vectors are
+    regenerated, never migrated (see docs/vectors.md). *)
+
+val version : int
+(** Current on-disk format version. *)
+
+val to_string : Stream.t -> string
+(** Serialize, including the trailing checksum line. Deterministic:
+    equal vectors serialize to equal bytes. *)
+
+val of_string : string -> (Stream.t, string) result
+(** Parse and verify the checksum. Errors name the offending line number
+    and header field or record slot (e.g. a bad [C] record's wavefront),
+    and distinguish version skew, truncation, and corruption. *)
+
+val write_file : string -> Stream.t -> unit
+val read_file : string -> (Stream.t, string) result
+(** [read_file path] prefixes errors with [path]; an unreadable file is
+    an [Error], not an exception. *)

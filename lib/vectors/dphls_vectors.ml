@@ -1,0 +1,17 @@
+(** File-driven golden-vector harness.
+
+    Records one engine run's per-wavefront operand/score/pointer/
+    band-window streams into a versioned, deterministic on-disk format
+    ({!Codec}), replays recorded streams through any PE implementation
+    ({!Replay}), and diffs vectors cell-by-cell with first-divergence
+    reporting ({!Stream.diff}). The committed corpus under
+    [test/data/vectors/] plus the CI drift gate turn any silent change
+    to the schedule, the band trajectory or a kernel's datapath into a
+    named, reviewable failure. Driven by `dphls vectors gen|check|diff`
+    and cosim's [~vectors] capture mode. *)
+
+module Stream = Stream
+module Codec = Codec
+module Capture = Capture
+module Replay = Replay
+module Harness = Harness

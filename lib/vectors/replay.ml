@@ -1,0 +1,77 @@
+open Dphls_core
+
+let run ?(datapath = `Compiled) (k : 'p Kernel.t) (p : 'p) (v : Stream.t) =
+  let h = v.Stream.header in
+  if h.Stream.n_layers <> k.Kernel.n_layers then
+    invalid_arg
+      (Printf.sprintf
+         "Dphls_vectors.Replay: vector has %d layers, kernel %s has %d"
+         h.Stream.n_layers k.Kernel.name k.Kernel.n_layers);
+  let n_layers = k.Kernel.n_layers in
+  let table = Hashtbl.create 1024 in
+  Array.iter
+    (function
+      | Stream.Cell c -> Hashtbl.replace table (c.Stream.c_row, c.Stream.c_col) c
+      | Stream.Window _ -> ())
+    v.Stream.records;
+  (* Membership during replay: a real cell is in band iff it was
+     recorded; virtual border coordinates follow the engines' static
+     rules (adaptive trackers admit all border reads). *)
+  let virtual_member ~row ~col =
+    match h.Stream.band with
+    | Stream.Unbanded | Stream.Adaptive _ -> true
+    | Stream.Fixed w -> abs (row - col) <= w
+  in
+  let in_band ~row ~col =
+    if row < 0 || col < 0 then virtual_member ~row ~col
+    else Hashtbl.mem table (row, col)
+  in
+  let grid =
+    Grid.create ~in_band k p ~qry_len:h.Stream.qry_len
+      ~ref_len:h.Stream.ref_len ~read:(fun ~row ~col ~layer ->
+        (Hashtbl.find table (row, col)).Stream.c_scores.(layer))
+  in
+  let pe =
+    match datapath with
+    | `Compiled -> Kernel.flat_pe k p
+    | `Boxed -> Kernel.flat_pe (Kernel.boxed k) p
+  in
+  let has_tb = Kernel.has_traceback k p in
+  let buf = Pe.create_buffers ~n_layers in
+  let out = Array.make n_layers 0 in
+  let replayed = ref 0 in
+  let first = ref None in
+  (try
+     Array.iter
+       (function
+         | Stream.Window _ -> ()
+         | Stream.Cell c ->
+           let row = c.Stream.c_row and col = c.Stream.c_col in
+           Grid.fill_input grid buf ~query:h.Stream.query
+             ~reference:h.Stream.reference ~row ~col;
+           buf.Pe.b_scores <- out;
+           buf.Pe.b_tb <- 0;
+           pe buf;
+           let site = Stream.site_of_cell c in
+           for layer = 0 to n_layers - 1 do
+             if !first = None && out.(layer) <> c.Stream.c_scores.(layer) then
+               first :=
+                 Some
+                   (Stream.Score_diff
+                      {
+                        site;
+                        layer;
+                        expected = c.Stream.c_scores.(layer);
+                        actual = out.(layer);
+                      })
+           done;
+           if !first = None && has_tb && buf.Pe.b_tb <> c.Stream.c_tb then
+             first :=
+               Some
+                 (Stream.Pointer_diff
+                    { site; expected = c.Stream.c_tb; actual = buf.Pe.b_tb });
+           if !first <> None then raise Exit;
+           incr replayed)
+       v.Stream.records
+   with Exit -> ());
+  match !first with Some d -> Error d | None -> Ok !replayed

@@ -4,6 +4,8 @@ module Fasta = Dphls_io.Fasta
 module Fastq = Dphls_io.Fastq
 module Paf = Dphls_io.Paf
 
+let qtest = QCheck_alcotest.to_alcotest
+
 let test_fasta_parse () =
   let text = ">seq1 first record\nACGT\nACGT\n\n; a comment\n>seq2\nTTTT\n" in
   match Fasta.parse_string text with
@@ -67,6 +69,159 @@ let test_fastq_errors () =
       Alcotest.(check bool) "malformed rejected" true
         (try
            ignore (Fastq.parse_string text);
+           false
+         with Failure _ -> true))
+    bad
+
+let test_fastq_writer_roundtrip () =
+  let records =
+    [
+      { Fastq.id = "r1"; sequence = "ACGT"; quality = "IIII" };
+      { Fastq.id = "r2"; sequence = "TT"; quality = "!~" };
+    ]
+  in
+  let parsed = Fastq.parse_string (Fastq.to_string records) in
+  Alcotest.(check int) "count" 2 (List.length parsed);
+  List.iter2
+    (fun (a : Fastq.record) (b : Fastq.record) ->
+      Alcotest.(check string) "id" a.Fastq.id b.Fastq.id;
+      Alcotest.(check string) "sequence" a.Fastq.sequence b.Fastq.sequence;
+      Alcotest.(check string) "quality" a.Fastq.quality b.Fastq.quality)
+    records parsed;
+  let path = Filename.temp_file "dphls" ".fq" in
+  Fastq.write_file path records;
+  let back = Fastq.read_file path in
+  Sys.remove path;
+  Alcotest.(check int) "file roundtrip count" 2 (List.length back)
+
+let test_fastq_writer_rejects_skew () =
+  Alcotest.(check bool) "quality length mismatch raises" true
+    (try
+       ignore
+         (Fastq.to_string [ { Fastq.id = "r"; sequence = "ACGT"; quality = "II" } ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* Generators kept inside the parsers' round-trippable domain: ids
+   without whitespace, DNA bases, Phred+33 printable quality chars. *)
+let gen_id =
+  QCheck.Gen.(
+    string_size ~gen:(oneofl [ 'a'; 'b'; 'z'; 'r'; '0'; '7'; '_' ]) (int_range 1 12))
+
+let gen_fastq_record =
+  QCheck.Gen.(
+    int_range 1 60 >>= fun n ->
+    let base = oneofl [ 'A'; 'C'; 'G'; 'T' ] in
+    let qual = map Char.chr (int_range 33 104) in
+    triple gen_id (string_size ~gen:base (return n)) (string_size ~gen:qual (return n)))
+
+let prop_fastq_roundtrip =
+  QCheck.Test.make ~name:"fastq to_string/parse_string round-trip" ~count:100
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 1 8) gen_fastq_record))
+    (fun records ->
+      let records =
+        List.map
+          (fun (id, sequence, quality) -> { Fastq.id; sequence; quality })
+          records
+      in
+      let parsed = Fastq.parse_string (Fastq.to_string records) in
+      List.length parsed = List.length records
+      && List.for_all2
+           (fun (a : Fastq.record) (b : Fastq.record) ->
+             a.Fastq.id = b.Fastq.id
+             && a.Fastq.sequence = b.Fastq.sequence
+             && a.Fastq.quality = b.Fastq.quality)
+           records parsed)
+
+let test_fastq_malformed_rejected () =
+  let bad =
+    [
+      (* truncated record: header+sequence only *)
+      "@r1\nACGT\n";
+      (* truncated record: missing the quality line *)
+      "@r1\nACGT\n+\n";
+      (* quality line shorter than the sequence *)
+      "@r1\nACGT\n+\nII\n";
+      (* quality line longer than the sequence *)
+      "@r1\nAC\n+\nIIII\n";
+      (* missing '@' header *)
+      "r1\nACGT\n+\nIIII\n";
+      (* missing '+' separator *)
+      "@r1\nACGT\nIIII\nIIII\n";
+    ]
+  in
+  List.iter
+    (fun text ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejects %S" text)
+        true
+        (try
+           ignore (Fastq.parse_string text);
+           false
+         with Failure _ -> true))
+    bad
+
+let gen_paf_record =
+  QCheck.Gen.(
+    let pos = int_range 0 10_000 in
+    gen_id >>= fun query_name ->
+    gen_id >>= fun target_name ->
+    pos >>= fun query_length ->
+    pos >>= fun query_start ->
+    pos >>= fun query_end ->
+    pos >>= fun target_length ->
+    pos >>= fun target_start ->
+    pos >>= fun target_end ->
+    pos >>= fun matches ->
+    pos >>= fun alignment_length ->
+    int_range 0 255 >>= fun mapq ->
+    oneofl [ Paf.Forward; Paf.Reverse ] >>= fun strand ->
+    list_size (int_range 0 3) (pair (return "cg") gen_id) >>= fun tags ->
+    return
+      {
+        Paf.query_name;
+        query_length;
+        query_start;
+        query_end;
+        strand;
+        target_name;
+        target_length;
+        target_start;
+        target_end;
+        matches;
+        alignment_length;
+        mapq;
+        tags;
+      })
+
+let prop_paf_roundtrip =
+  QCheck.Test.make ~name:"paf to_line/parse_line round-trip" ~count:100
+    (QCheck.make gen_paf_record)
+    (fun r -> Paf.parse_line (Paf.to_line r) = r)
+
+let test_paf_malformed_rejected () =
+  let bad =
+    [
+      (* non-numeric query length *)
+      "q\tx\t0\t4\t+\tt\t10\t0\t4\t4\t4\t60";
+      (* non-numeric mapq *)
+      "q\t4\t0\t4\t+\tt\t10\t0\t4\t4\t4\tmq";
+      (* bad strand *)
+      "q\t4\t0\t4\t?\tt\t10\t0\t4\t4\t4\t60";
+      (* not enough fields *)
+      "q\t4\t0\t4\t+\tt\t10";
+      (* malformed tag *)
+      "q\t4\t0\t4\t+\tt\t10\t0\t4\t4\t4\t60\tnotatag";
+    ]
+  in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejects %S" line)
+        true
+        (try
+           ignore (Paf.parse_line line);
            false
          with Failure _ -> true))
     bad
@@ -158,6 +313,77 @@ let test_cosim_detects_bugs () =
   let report = Dphls_cosim.Cosim.verify ~n_pe:8 ~alt_pe:broken k p workloads in
   Alcotest.(check bool) "failure detected" false (Dphls_cosim.Cosim.passed report)
 
+(* A PE that disagrees on every workload, to exercise the mismatch cap. *)
+let broken_pe (input : Dphls_core.Pe.input) =
+  let open Dphls_core in
+  { Pe.scores = Array.map (fun s -> s + 1) input.Pe.up; tb = 0 }
+
+let cosim_broken ~max_mismatches ~trials =
+  let open Dphls_core in
+  let e = Dphls_kernels.Catalog.find 1 in
+  let (Registry.Packed (k, p)) = e.packed in
+  let rng = Dphls_util.Rng.create 123 in
+  let workloads =
+    List.init trials (fun _ -> e.Dphls_kernels.Catalog.gen rng ~len:24)
+  in
+  Dphls_cosim.Cosim.verify ~n_pe:4 ~max_mismatches ~alt_pe:broken_pe k p
+    workloads
+
+let test_cosim_mismatch_cap_hit () =
+  (* more mismatching workloads than the cap: list capped, truncated set *)
+  let r = cosim_broken ~max_mismatches:3 ~trials:6 in
+  Alcotest.(check int) "all disagreed" 0 r.Dphls_cosim.Cosim.agreed;
+  Alcotest.(check int) "mismatch list capped" 3
+    (List.length r.Dphls_cosim.Cosim.mismatches);
+  Alcotest.(check bool) "truncated flagged" true r.Dphls_cosim.Cosim.truncated
+
+let test_cosim_mismatch_cap_not_hit () =
+  (* cap above the mismatch count: full list, not truncated *)
+  let r = cosim_broken ~max_mismatches:10 ~trials:6 in
+  Alcotest.(check int) "all mismatches listed" 6
+    (List.length r.Dphls_cosim.Cosim.mismatches);
+  Alcotest.(check bool) "not truncated" false r.Dphls_cosim.Cosim.truncated;
+  (* a passing run is never truncated either *)
+  let open Dphls_core in
+  let e = Dphls_kernels.Catalog.find 1 in
+  let (Registry.Packed (k, p)) = e.packed in
+  let rng = Dphls_util.Rng.create 124 in
+  let ok =
+    Dphls_cosim.Cosim.verify ~n_pe:4 ~max_mismatches:1 k p
+      (List.init 4 (fun _ -> e.Dphls_kernels.Catalog.gen rng ~len:24))
+  in
+  Alcotest.(check bool) "clean run passes" true (Dphls_cosim.Cosim.passed ok);
+  Alcotest.(check bool) "clean run not truncated" false
+    ok.Dphls_cosim.Cosim.truncated
+
+let test_cosim_vectors_capture () =
+  (* ~vectors mode writes one checkable golden vector per workload *)
+  let open Dphls_core in
+  let e = Dphls_kernels.Catalog.find 1 in
+  let (Registry.Packed (k, p)) = e.packed in
+  let rng = Dphls_util.Rng.create 125 in
+  let workloads =
+    List.init 2 (fun _ -> e.Dphls_kernels.Catalog.gen rng ~len:16)
+  in
+  let dir = Filename.temp_file "dphls_vecdir" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let r = Dphls_cosim.Cosim.verify ~n_pe:4 ~vectors:dir k p workloads in
+  Alcotest.(check bool) "cosim passed" true (Dphls_cosim.Cosim.passed r);
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".dpv")
+  in
+  Alcotest.(check int) "one vector per workload" 2 (List.length files);
+  List.iter
+    (fun f ->
+      match Dphls_vectors.Harness.check_file (Filename.concat dir f) with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "%s: %s" f msg)
+    files;
+  List.iter (fun f -> Sys.remove (Filename.concat dir f)) files;
+  Sys.rmdir dir
+
 let suite =
   [
     Alcotest.test_case "fasta parse" `Quick test_fasta_parse;
@@ -167,9 +393,18 @@ let suite =
     Alcotest.test_case "fasta encoding" `Quick test_fasta_encoding;
     Alcotest.test_case "fastq parse" `Quick test_fastq_parse;
     Alcotest.test_case "fastq errors" `Quick test_fastq_errors;
+    Alcotest.test_case "fastq writer roundtrip" `Quick test_fastq_writer_roundtrip;
+    Alcotest.test_case "fastq writer rejects skew" `Quick test_fastq_writer_rejects_skew;
+    qtest prop_fastq_roundtrip;
+    Alcotest.test_case "fastq malformed rejected" `Quick test_fastq_malformed_rejected;
     Alcotest.test_case "fastq to fasta" `Quick test_fastq_to_fasta;
     Alcotest.test_case "paf roundtrip" `Quick test_paf_roundtrip;
+    qtest prop_paf_roundtrip;
+    Alcotest.test_case "paf malformed rejected" `Quick test_paf_malformed_rejected;
     Alcotest.test_case "paf of alignment" `Quick test_paf_of_alignment;
     Alcotest.test_case "cosim passes" `Quick test_cosim_passes;
     Alcotest.test_case "cosim detects bugs" `Quick test_cosim_detects_bugs;
+    Alcotest.test_case "cosim mismatch cap hit" `Quick test_cosim_mismatch_cap_hit;
+    Alcotest.test_case "cosim mismatch cap not hit" `Quick test_cosim_mismatch_cap_not_hit;
+    Alcotest.test_case "cosim vectors capture" `Quick test_cosim_vectors_capture;
   ]

@@ -121,6 +121,85 @@ let test_trace_invariants_all_kernels () =
         true c.Dphls_experiments.Systolic_check.full_coverage)
     Dphls_kernels.Catalog.ids
 
+(* The trace.mli invariants under *adaptive* banding, where membership
+   is decided per wavefront by the tracker rather than a static
+   predicate: PE k still only computes rows congruent to k mod N_PE, at
+   most one cell per PE per wavefront, and coverage matches the realized
+   adaptive window exactly. Checked at both a small and a large array
+   height, since the adaptive window trajectory depends on N_PE. *)
+let test_adaptive_trace_invariants () =
+  List.iter
+    (fun kernel_id ->
+      List.iter
+        (fun n_pe ->
+          let c =
+            Dphls_experiments.Systolic_check.compute ~n_pe ~len:40 ~kernel_id ()
+          in
+          let label fmt =
+            Printf.sprintf "adaptive kernel %d n_pe %d %s" kernel_id n_pe fmt
+          in
+          Alcotest.(check bool) (label "row ownership") true
+            c.Dphls_experiments.Systolic_check.row_ownership;
+          Alcotest.(check bool) (label "single fire") true
+            c.Dphls_experiments.Systolic_check.single_fire;
+          Alcotest.(check bool) (label "full coverage") true
+            c.Dphls_experiments.Systolic_check.full_coverage)
+        [ 4; 16 ])
+    [ 16; 17; 18 ]
+
+(* Same invariants asserted directly on the raw trace events of one
+   adaptive run, plus the capture-mode extras: pruned cells never fire,
+   and each wavefront that fired retires exactly one band-window
+   record with a well-formed [lo <= hi] window. *)
+let test_adaptive_trace_events_direct () =
+  let n_pe = 4 in
+  let e = Dphls_kernels.Catalog.find 16 in
+  let (Registry.Packed (k, p)) = e.packed in
+  let w = e.Dphls_kernels.Catalog.gen (Dphls_util.Rng.create 31) ~len:40 in
+  let trace = Dphls_systolic.Trace.create_capture () in
+  let _, _ = Engine.run ~trace (Dphls_systolic.Config.create ~n_pe) k p w in
+  let events = Dphls_systolic.Trace.events trace in
+  Alcotest.(check bool) "events recorded" true (events <> []);
+  let slots = Hashtbl.create 256 in
+  List.iter
+    (fun (ev : Dphls_systolic.Trace.event) ->
+      let row = ev.Dphls_systolic.Trace.cell.Types.row in
+      Alcotest.(check int) "PE owns rows = pe (mod n_pe)" (row mod n_pe)
+        ev.Dphls_systolic.Trace.pe;
+      Alcotest.(check int) "chunk = row / n_pe" (row / n_pe)
+        ev.Dphls_systolic.Trace.chunk;
+      let key =
+        ( ev.Dphls_systolic.Trace.chunk,
+          ev.Dphls_systolic.Trace.wavefront,
+          ev.Dphls_systolic.Trace.pe )
+      in
+      Alcotest.(check bool) "at most one cell per PE per wavefront" false
+        (Hashtbl.mem slots key);
+      Hashtbl.add slots key ())
+    events;
+  (* fired cells are exactly the realized adaptive band *)
+  let member = Dphls_reference.Ref_engine.band_map ~band_pe:n_pe k p w in
+  List.iter
+    (fun (ev : Dphls_systolic.Trace.event) ->
+      let c = ev.Dphls_systolic.Trace.cell in
+      Alcotest.(check bool) "fired cell is in the realized band" true
+        (member ~row:c.Types.row ~col:c.Types.col))
+    events;
+  let windows = Dphls_systolic.Trace.windows trace in
+  Alcotest.(check bool) "capture retires window records" true (windows <> []);
+  let wset = Hashtbl.create 256 in
+  List.iter
+    (fun (wd : Dphls_systolic.Trace.window) ->
+      Alcotest.(check bool) "window lo <= hi" true
+        (wd.Dphls_systolic.Trace.w_lo <= wd.Dphls_systolic.Trace.w_hi);
+      let key =
+        (wd.Dphls_systolic.Trace.w_chunk, wd.Dphls_systolic.Trace.w_wavefront)
+      in
+      Alcotest.(check bool) "one window record per wavefront" false
+        (Hashtbl.mem wset key);
+      Hashtbl.add wset key ())
+    windows
+
 let test_utilization_bounds () =
   let e = Dphls_kernels.Catalog.find 3 in
   let (Registry.Packed (k, p)) = e.packed in
@@ -193,6 +272,8 @@ let suite =
     Alcotest.test_case "banding reduces cycles" `Quick test_compute_cycles_banding_reduces;
     Alcotest.test_case "cycles estimate matches run" `Quick test_cycles_estimate_matches_run;
     Alcotest.test_case "trace invariants (15 kernels)" `Slow test_trace_invariants_all_kernels;
+    Alcotest.test_case "adaptive trace invariants" `Slow test_adaptive_trace_invariants;
+    Alcotest.test_case "adaptive trace events direct" `Quick test_adaptive_trace_events_direct;
     Alcotest.test_case "utilization bounds" `Quick test_utilization_bounds;
     Alcotest.test_case "n_pe=1 exact" `Quick test_n_pe_one_works;
     Alcotest.test_case "n_pe>qlen exact" `Quick test_n_pe_larger_than_query;

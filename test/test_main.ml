@@ -19,6 +19,7 @@ let () =
       ("experiments", T_experiments.suite);
       ("extensions", T_extensions.suite);
       ("io", T_io.suite);
+      ("vectors", T_vectors.suite);
       ("fuzz", T_fuzz.suite);
       ("align_api", T_align_api.suite);
       ("batch", T_batch.suite);
