@@ -71,7 +71,7 @@ let datapath_override ~mode k =
 let datapath_doc = "PE datapath: compiled (default) or boxed interpreter"
 
 let align_run kernel_spec query reference n_pe vcd_path band_mode band_width
-    band_threshold datapath_mode =
+    band_threshold datapath_mode overlap =
   let e = find_kernel kernel_spec in
   let id = Registry.id e.packed in
   if List.mem id [ 8; 9; 14 ] then begin
@@ -115,6 +115,14 @@ let align_run kernel_spec query reference n_pe vcd_path band_mode band_width
     stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.prologue
     stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.compute
     stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.traceback;
+  if overlap then begin
+    let c = stats.Dphls_systolic.Engine.cycles in
+    Printf.printf
+      "overlapped  : %d steady-state (prologue hidden under a neighbouring \
+       alignment's compute recovers %d cycles)\n"
+      c.Dphls_systolic.Engine.total_overlapped
+      (c.Dphls_systolic.Engine.total - c.Dphls_systolic.Engine.total_overlapped)
+  end;
   Printf.printf "PE util     : %.2f over %d PEs\n"
     stats.Dphls_systolic.Engine.utilization n_pe;
   Printf.printf "golden check: %s\n"
@@ -145,11 +153,19 @@ let align_cmd =
   let datapath =
     Arg.(value & opt string "compiled" & info [ "datapath" ] ~doc:datapath_doc)
   in
+  let overlap =
+    Arg.(
+      value & flag
+      & info [ "overlap" ]
+          ~doc:
+            "Also report the overlapped-prologue cycle total (steady-state \
+             batch accounting)")
+  in
   Cmd.v
     (Cmd.info "align" ~doc:"Align two sequences on the systolic simulator")
     Term.(
       const align_run $ kernel $ query $ reference $ n_pe $ vcd $ band
-      $ band_width $ band_threshold $ datapath)
+      $ band_width $ band_threshold $ datapath $ overlap)
 
 (* ---- resources ---- *)
 
@@ -286,8 +302,8 @@ let map_cmd =
 
 (* ---- batch ---- *)
 
-let batch_run pairs_path kind_s workers n_pe chunk compare band_mode band_width
-    band_threshold datapath_mode =
+let batch_run pairs_path kind_s workers n_pe chunk compare overlap band_mode
+    band_width band_threshold datapath_mode =
   let datapath =
     match datapath_mode with
     | "compiled" -> Dphls.Align.Compiled
@@ -322,7 +338,7 @@ let batch_run pairs_path kind_s workers n_pe chunk compare band_mode band_width
   in
   print_endline "#idx\tquery\treference\tscore\tcigar\tidentity\tcycles";
   Dphls.Batch.iter_fasta_file ?band ~datapath ~engine ~kind ~workers ~chunk
-    ~path:pairs_path
+    ~overlap ~path:pairs_path
     ~f:(fun idx q r (a : Dphls.Align.alignment) ->
       Printf.printf "%d\t%s\t%s\t%d\t%s\t%.4f\t%s\n" idx q.Dphls_io.Fasta.id
         r.Dphls_io.Fasta.id a.Dphls.Align.score a.Dphls.Align.cigar
@@ -331,25 +347,45 @@ let batch_run pairs_path kind_s workers n_pe chunk compare band_mode band_width
         | Some c -> string_of_int c
         | None -> "-"))
     ();
+  let read_pairs () =
+    Array.of_list
+      (List.map
+         (fun (q, r) -> (q.Dphls_io.Fasta.sequence, r.Dphls_io.Fasta.sequence))
+         (let records = Dphls_io.Fasta.read_file pairs_path in
+          let rec pair_up = function
+            | [] -> []
+            | [ q ] ->
+              Printf.eprintf "odd record count (unpaired %s)\n"
+                q.Dphls_io.Fasta.id;
+              exit 2
+            | q :: r :: rest -> (q, r) :: pair_up rest
+          in
+          pair_up records))
+  in
+  if overlap then begin
+    (* re-run through the overlap-reporting path so the recovered-cycle
+       accounting (sequential vs overlapped modeled totals) lands on
+       stderr next to the rows *)
+    let _results, _stats, b =
+      Dphls.Batch.align_all_overlap_report ?band ~datapath ~engine ~kind
+        ~workers (read_pairs ())
+    in
+    let seq = b.Dphls_systolic.Engine.seq_cycles in
+    let ov = b.Dphls_systolic.Engine.overlapped_cycles in
+    Printf.eprintf
+      "overlap      : %d alignments, modeled %d -> %d device cycles (%d \
+       hidden, %.1f%%)\n"
+      b.Dphls_systolic.Engine.alignments seq ov
+      b.Dphls_systolic.Engine.hidden_cycles
+      (if seq > 0 then
+         100.0 *. float_of_int b.Dphls_systolic.Engine.hidden_cycles
+         /. float_of_int seq
+       else 0.0)
+  end;
   if compare then begin
     (* re-run the whole batch at 1 and [workers] domains to line the
        measured wall clock up against the analytical N_K model *)
-    let pairs =
-      Array.of_list
-        (List.map
-           (fun (q, r) ->
-             (q.Dphls_io.Fasta.sequence, r.Dphls_io.Fasta.sequence))
-           (let records = Dphls_io.Fasta.read_file pairs_path in
-            let rec pair_up = function
-              | [] -> []
-              | [ q ] ->
-                Printf.eprintf "odd record count (unpaired %s)\n"
-                  q.Dphls_io.Fasta.id;
-                exit 2
-              | q :: r :: rest -> (q, r) :: pair_up rest
-            in
-            pair_up records))
-    in
+    let pairs = read_pairs () in
     let results, stats =
       Dphls.Batch.align_all_report ?band ~datapath ~engine ~kind ~workers pairs
     in
@@ -409,6 +445,15 @@ let batch_cmd =
       & info [ "compare" ]
           ~doc:"Also report measured vs modeled N_K scaling on stderr")
   in
+  let overlap =
+    Arg.(
+      value & flag
+      & info [ "overlap" ]
+          ~doc:
+            "Pipeline each alignment's prologue under its predecessor's \
+             compute (per-worker slices) and report recovered cycles on \
+             stderr")
+  in
   let band = Arg.(value & opt string "kernel" & info [ "band" ] ~doc:band_doc) in
   let band_width =
     Arg.(value & opt int 32 & info [ "band-width" ] ~doc:"Band half-width W")
@@ -426,8 +471,8 @@ let batch_cmd =
     (Cmd.info "batch"
        ~doc:"Align a FASTA pair file in parallel across CPU domains")
     Term.(
-      const batch_run $ pairs $ kind $ workers $ n_pe $ chunk $ compare $ band
-      $ band_width $ band_threshold $ datapath)
+      const batch_run $ pairs $ kind $ workers $ n_pe $ chunk $ compare
+      $ overlap $ band $ band_width $ band_threshold $ datapath)
 
 (* ---- cosim ---- *)
 
@@ -561,7 +606,7 @@ let vectors_gen_cmd =
       const vectors_gen_run $ kernel $ corpus $ output $ n_pe $ len $ seed
       $ band $ band_width $ band_threshold)
 
-let vectors_check_run files =
+let vectors_check_run overlap files =
   if files = [] then begin
     Printf.eprintf "dphls vectors check: no vector files given\n";
     exit 2
@@ -569,7 +614,7 @@ let vectors_check_run files =
   let load_failed = ref false and diverged = ref false in
   List.iter
     (fun path ->
-      match Vectors.Harness.check_file path with
+      match Vectors.Harness.check_file ~overlap path with
       | Ok o ->
         Printf.printf "%s: ok (%d cells, %d windows, %d replayed)\n" path
           o.Vectors.Harness.o_cells o.Vectors.Harness.o_windows
@@ -588,13 +633,22 @@ let vectors_check_cmd =
   let files =
     Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"Vector files")
   in
+  let overlap =
+    Arg.(
+      value & flag
+      & info [ "overlap" ]
+          ~doc:
+            "Re-run each vector through the overlapped staged engine \
+             instead of the sequential one; the recorded stream must \
+             still match bit for bit")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Verify vector files against the current build (re-run, replay \
           both datapaths); non-zero exit on divergence (1) or unreadable \
           files (2)")
-    Term.(const vectors_check_run $ files)
+    Term.(const vectors_check_run $ overlap $ files)
 
 let vectors_regen_run out_dir files =
   if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
@@ -729,7 +783,7 @@ let rtl_cmd =
 (* ---- profile ---- *)
 
 let profile_run kernel_spec n_pe trials len band_mode band_width band_threshold
-    workers json trace_path =
+    workers json trace_path overlap =
   let e = find_kernel kernel_spec in
   let (Registry.Packed (k, p)) = e.packed in
   let k =
@@ -752,7 +806,10 @@ let profile_run kernel_spec n_pe trials len band_mode band_width band_threshold
   in
   (* Sequential phase: engine counters and phase spans. The closed-form
      expected cell count is summed per workload because generated
-     lengths can differ from [len] for some kernels. *)
+     lengths can differ from [len] for some kernels. With [--overlap]
+     the same workloads go through the staged batch instead, so the
+     exported trace shows alignment i+1's prologue span (tid 1) running
+     under alignment i's compute span. *)
   let expected_cells = ref 0 in
   Array.iter
     (fun w ->
@@ -760,9 +817,16 @@ let profile_run kernel_spec n_pe trials len band_mode band_width band_threshold
         !expected_cells
         + Banding.cells_in_band k.Kernel.banding
             ~qry_len:(Array.length w.Workload.query)
-            ~ref_len:(Array.length w.Workload.reference);
-      ignore (Dphls_systolic.Engine.run ~metrics ~tracer cfg k p w))
+            ~ref_len:(Array.length w.Workload.reference))
     workloads;
+  if overlap then
+    ignore
+      (Dphls_systolic.Engine.run_batch ~overlap:true ~metrics ~tracer cfg k p
+         workloads)
+  else
+    Array.iter
+      (fun w -> ignore (Dphls_systolic.Engine.run ~metrics ~tracer cfg k p w))
+      workloads;
   (* Optional pool phase: re-run the same workloads as a parallel batch
      to exercise the pool's task/steal/idle counters and per-worker
      chunk spans. Engine metrics stay out of the worker tasks — the
@@ -849,6 +913,14 @@ let profile_cmd =
       & info [ "trace" ]
           ~doc:"Chrome trace_event output file (Perfetto-loadable)")
   in
+  let overlap =
+    Arg.(
+      value & flag
+      & info [ "overlap" ]
+          ~doc:
+            "Profile the overlapped staged batch: prologue spans land on a \
+             second track under the previous alignment's compute span")
+  in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
@@ -856,7 +928,7 @@ let profile_cmd =
           print a counter/latency summary and export a Chrome trace")
     Term.(
       const profile_run $ kernel $ n_pe $ trials $ len $ band $ band_width
-      $ band_threshold $ workers $ json $ trace)
+      $ band_threshold $ workers $ json $ trace $ overlap)
 
 (* ---- experiment ---- *)
 

@@ -1,6 +1,7 @@
 module Schedule = Dphls_systolic.Schedule
 
 type cycle_model = {
+  prologue : int;
   compute : int;
   traceback : int;
   fill : int;
@@ -11,7 +12,22 @@ let cycles ~n_pe ~qry_len ~ref_len ~banding ~ii ~tb_steps =
   let s = Schedule.create ~n_pe ~qry_len ~ref_len in
   let compute = Schedule.compute_cycles s ~banding ~ii in
   let fill = 8 + (s.Schedule.n_chunks * 2) in
-  { compute; traceback = tb_steps; fill; total = compute + tb_steps + fill }
+  (* The hand-written baselines overlap query load + init with compute,
+     but overlap can only *hide* the prologue, never erase it: when the
+     prologue outlasts the wavefront pipeline (short or tightly banded
+     matrices), the array stalls for the difference. Hence the
+     max(prologue, compute) clamp — the total is never below
+     fill + compute + traceback, and never assumes more hiding than a
+     full prologue. The prologue itself uses the same ceiling-division
+     packed-query term as the DP-HLS schedule. *)
+  let prologue = Schedule.prologue_cycles s in
+  {
+    prologue;
+    compute;
+    traceback = tb_steps;
+    fill;
+    total = max prologue compute + tb_steps + fill;
+  }
 
 let lut_discount = 0.93
 let ff_discount = 0.90

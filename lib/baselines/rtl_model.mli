@@ -9,10 +9,18 @@
     logic is also mildly leaner than HLS output. *)
 
 type cycle_model = {
+  prologue : int;
+      (** query load + init writes, same ceiling-division packed-query
+          term as {!Dphls_systolic.Schedule.prologue_cycles} *)
   compute : int;
   traceback : int;
   fill : int;
-  total : int;  (** no prologue: load/init overlapped *)
+  total : int;
+      (** [fill + max(prologue, compute) + traceback]: load/init
+          overlaps compute, but when the prologue outlasts the
+          wavefront pipeline the array stalls for the difference —
+          overlap hides the prologue, it never produces a total below
+          [fill + compute + traceback] *)
 }
 
 val cycles :

@@ -13,27 +13,7 @@ type alignment = {
   device_cycles : int option;
 }
 
-let run_kernel (type p) ?band ?(datapath = Compiled) ?metrics ?tracer ~engine
-    (kernel : p Kernel.t) (params : p) w ~decode =
-  let kernel =
-    match band with
-    | Some b -> { kernel with Kernel.banding = Some b }
-    | None -> kernel
-  in
-  let kernel =
-    match datapath with Compiled -> kernel | Boxed -> Kernel.boxed kernel
-  in
-  let result, cycles =
-    match engine with
-    | Golden ->
-      (Dphls_reference.Ref_engine.run ?metrics ?tracer kernel params w, None)
-    | Systolic n_pe ->
-      let r, stats =
-        Dphls_systolic.Engine.run ?metrics ?tracer
-          (Dphls_systolic.Config.create ~n_pe) kernel params w
-      in
-      (r, Some stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total)
-  in
+let view_of_result (w : Workload.t) result cycles ~decode =
   let query = w.Workload.query and reference = w.Workload.reference in
   match Alignment_view.first_consumed result with
   | None ->
@@ -65,6 +45,47 @@ let run_kernel (type p) ?band ?(datapath = Compiled) ?metrics ?tracer ~engine
           ~start_col:col0 result.Result.path;
       device_cycles = cycles;
     }
+
+let run_kernel_batch (type p) ?band ?(datapath = Compiled) ?(overlap = false)
+    ?metrics ?tracer ~engine (kernel : p Kernel.t) (params : p)
+    (ws : Workload.t array) ~decode =
+  let kernel =
+    match band with
+    | Some b -> { kernel with Kernel.banding = Some b }
+    | None -> kernel
+  in
+  let kernel =
+    match datapath with Compiled -> kernel | Boxed -> Kernel.boxed kernel
+  in
+  match engine with
+  | Golden ->
+    (* The golden engine has no prologue stage to hide; [overlap] is a
+       device-model knob and changes nothing here. *)
+    ( Array.map
+        (fun w ->
+          view_of_result w
+            (Dphls_reference.Ref_engine.run ?metrics ?tracer kernel params w)
+            None ~decode)
+        ws,
+      None )
+  | Systolic n_pe ->
+    let results, batch =
+      Dphls_systolic.Engine.run_batch ~overlap ?metrics ?tracer
+        (Dphls_systolic.Config.create ~n_pe) kernel params ws
+    in
+    ( Array.mapi
+        (fun i (r, stats) ->
+          view_of_result ws.(i) r
+            (Some stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total)
+            ~decode)
+        results,
+      Some batch )
+
+let run_kernel ?band ?datapath ?metrics ?tracer ~engine kernel params w ~decode
+    =
+  (fst
+     (run_kernel_batch ?band ?datapath ?metrics ?tracer ~engine kernel params
+        [| w |] ~decode)).(0)
 
 let dna_workload ~query ~reference =
   Workload.of_bases
@@ -102,11 +123,57 @@ let semi_global ?band ?datapath ?metrics ?tracer ?(engine = Golden) ~query
     (dna_workload ~query ~reference)
     ~decode:dna_decode
 
+let protein_workload ~query ~reference =
+  Workload.of_bases
+    ~query:(Dphls_alphabet.Protein.of_string query)
+    ~reference:(Dphls_alphabet.Protein.of_string reference)
+
 let protein_local ?band ?datapath ?metrics ?tracer ?(engine = Golden) ~query
     ~reference () =
   run_kernel ?band ?datapath ?metrics ?tracer ~engine Dphls_kernels.K15_protein_local.kernel
     Dphls_kernels.K15_protein_local.default
-    (Workload.of_bases
-       ~query:(Dphls_alphabet.Protein.of_string query)
-       ~reference:(Dphls_alphabet.Protein.of_string reference))
+    (protein_workload ~query ~reference)
+    ~decode:protein_decode
+
+(* Batched variants of the five entry points: one staged-engine batch per
+   call, so [?overlap] can hide alignment i+1's prologue under alignment
+   i's compute (systolic engine only — see Engine.run_batch). *)
+
+let dna_workloads pairs =
+  Array.map (fun (query, reference) -> dna_workload ~query ~reference) pairs
+
+let global_batch ?band ?datapath ?overlap ?metrics ?tracer ?(engine = Golden)
+    pairs =
+  run_kernel_batch ?band ?datapath ?overlap ?metrics ?tracer ~engine
+    Dphls_kernels.K01_global_linear.kernel
+    Dphls_kernels.K01_global_linear.default (dna_workloads pairs)
+    ~decode:dna_decode
+
+let global_affine_batch ?band ?datapath ?overlap ?metrics ?tracer
+    ?(engine = Golden) pairs =
+  run_kernel_batch ?band ?datapath ?overlap ?metrics ?tracer ~engine
+    Dphls_kernels.K02_global_affine.kernel
+    Dphls_kernels.K02_global_affine.default (dna_workloads pairs)
+    ~decode:dna_decode
+
+let local_batch ?band ?datapath ?overlap ?metrics ?tracer ?(engine = Golden)
+    pairs =
+  run_kernel_batch ?band ?datapath ?overlap ?metrics ?tracer ~engine
+    Dphls_kernels.K03_local_linear.kernel Dphls_kernels.K03_local_linear.default
+    (dna_workloads pairs) ~decode:dna_decode
+
+let semi_global_batch ?band ?datapath ?overlap ?metrics ?tracer
+    ?(engine = Golden) pairs =
+  run_kernel_batch ?band ?datapath ?overlap ?metrics ?tracer ~engine
+    Dphls_kernels.K07_semi_global.kernel Dphls_kernels.K07_semi_global.default
+    (dna_workloads pairs) ~decode:dna_decode
+
+let protein_local_batch ?band ?datapath ?overlap ?metrics ?tracer
+    ?(engine = Golden) pairs =
+  run_kernel_batch ?band ?datapath ?overlap ?metrics ?tracer ~engine
+    Dphls_kernels.K15_protein_local.kernel
+    Dphls_kernels.K15_protein_local.default
+    (Array.map
+       (fun (query, reference) -> protein_workload ~query ~reference)
+       pairs)
     ~decode:protein_decode

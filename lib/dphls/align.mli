@@ -78,3 +78,66 @@ val protein_local :
   ?tracer:Dphls_obs.Tracer.t ->
   ?engine:engine -> query:string -> reference:string -> unit -> alignment
 (** BLOSUM62 Smith-Waterman over amino-acid strings (kernel #15). *)
+
+val global_batch :
+  ?band:Dphls_core.Banding.t ->
+  ?datapath:datapath ->
+  ?overlap:bool ->
+  ?metrics:Dphls_obs.Metrics.t ->
+  ?tracer:Dphls_obs.Tracer.t ->
+  ?engine:engine ->
+  (string * string) array ->
+  alignment array * Dphls_systolic.Engine.batch_stats option
+(** Batched {!global}: one staged-engine batch over all [(query,
+    reference)] pairs, in order.
+
+    With the systolic engine, [?overlap] (default [false]) pipelines
+    alignment [i+1]'s fetch/init prologue under alignment [i]'s compute
+    ({!Dphls_systolic.Engine.run_batch}); per-alignment results are
+    bit-identical either way, only the returned batch-level cycle
+    accounting changes. The batch stats are [None] on the golden engine
+    (no device cycle model — [overlap] is then a no-op). *)
+
+val global_affine_batch :
+  ?band:Dphls_core.Banding.t ->
+  ?datapath:datapath ->
+  ?overlap:bool ->
+  ?metrics:Dphls_obs.Metrics.t ->
+  ?tracer:Dphls_obs.Tracer.t ->
+  ?engine:engine ->
+  (string * string) array ->
+  alignment array * Dphls_systolic.Engine.batch_stats option
+(** Batched {!global_affine}. *)
+
+val local_batch :
+  ?band:Dphls_core.Banding.t ->
+  ?datapath:datapath ->
+  ?overlap:bool ->
+  ?metrics:Dphls_obs.Metrics.t ->
+  ?tracer:Dphls_obs.Tracer.t ->
+  ?engine:engine ->
+  (string * string) array ->
+  alignment array * Dphls_systolic.Engine.batch_stats option
+(** Batched {!local}. *)
+
+val semi_global_batch :
+  ?band:Dphls_core.Banding.t ->
+  ?datapath:datapath ->
+  ?overlap:bool ->
+  ?metrics:Dphls_obs.Metrics.t ->
+  ?tracer:Dphls_obs.Tracer.t ->
+  ?engine:engine ->
+  (string * string) array ->
+  alignment array * Dphls_systolic.Engine.batch_stats option
+(** Batched {!semi_global}. *)
+
+val protein_local_batch :
+  ?band:Dphls_core.Banding.t ->
+  ?datapath:datapath ->
+  ?overlap:bool ->
+  ?metrics:Dphls_obs.Metrics.t ->
+  ?tracer:Dphls_obs.Tracer.t ->
+  ?engine:engine ->
+  (string * string) array ->
+  alignment array * Dphls_systolic.Engine.batch_stats option
+(** Batched {!protein_local}. *)

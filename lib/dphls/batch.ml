@@ -19,31 +19,100 @@ let align_one ?band ?datapath ?engine kind ~query ~reference =
   | Semi_global -> Align.semi_global ?band ?datapath ?engine ~query ~reference ()
   | Protein_local -> Align.protein_local ?band ?datapath ?engine ~query ~reference ()
 
+let align_slice ?band ?datapath ?engine ?overlap kind pairs =
+  match kind with
+  | Global -> Align.global_batch ?band ?datapath ?engine ?overlap pairs
+  | Global_affine ->
+    Align.global_affine_batch ?band ?datapath ?engine ?overlap pairs
+  | Local -> Align.local_batch ?band ?datapath ?engine ?overlap pairs
+  | Semi_global ->
+    Align.semi_global_batch ?band ?datapath ?engine ?overlap pairs
+  | Protein_local ->
+    Align.protein_local_batch ?band ?datapath ?engine ?overlap pairs
+
+let sum_batch_stats acc = function
+  | None -> acc
+  | Some (b : Dphls_systolic.Engine.batch_stats) ->
+    Dphls_systolic.Engine.
+      {
+        alignments = acc.alignments + b.alignments;
+        seq_cycles = acc.seq_cycles + b.seq_cycles;
+        overlapped_cycles = acc.overlapped_cycles + b.overlapped_cycles;
+        hidden_cycles = acc.hidden_cycles + b.hidden_cycles;
+      }
+
+let zero_batch_stats =
+  Dphls_systolic.Engine.
+    { alignments = 0; seq_cycles = 0; overlapped_cycles = 0; hidden_cycles = 0 }
+
 (* Observability stops at the pool layer here: Metrics sinks are not
    domain-safe, so per-alignment engine counters are never threaded into
    tasks that run on worker domains. The pool itself adds its counters
    on the calling thread and its per-chunk spans through the
-   mutex-protected tracer. *)
-let run_in_pool ?band ?datapath ?engine ?metrics ?tracer ~kind pool pairs =
-  Pool.run ?metrics ?tracer pool
-    (fun i ->
-      let query, reference = pairs.(i) in
-      align_one ?band ?datapath ?engine kind ~query ~reference)
-    (Array.length pairs)
+   mutex-protected tracer.
 
-let align_all_report ?band ?datapath ?engine ?metrics ?tracer ?(kind = Global)
-    ?workers pairs =
+   With [overlap], pairs are cut into contiguous per-worker slices and
+   each slice runs as one staged-engine batch inside a single domain —
+   alignment i+1's prologue pipelined under alignment i's compute
+   (Engine.run_batch) — the N_B-style block parallelism the paper's host
+   model assumes. Results are ordered and byte-identical to the per-pair
+   path; the aggregated batch stats quantify the hidden cycles. *)
+let run_in_pool ?band ?datapath ?engine ?(overlap = false) ?metrics ?tracer
+    ~kind pool pairs =
+  if not overlap then
+    let results, stats =
+      Pool.run ?metrics ?tracer pool
+        (fun i ->
+          let query, reference = pairs.(i) in
+          align_one ?band ?datapath ?engine kind ~query ~reference)
+        (Array.length pairs)
+    in
+    (results, stats, zero_batch_stats)
+  else begin
+    let n = Array.length pairs in
+    let n_slices = min (Pool.workers pool) (max 1 n) in
+    let nested, stats =
+      Pool.run ?metrics ?tracer pool ~chunk:1
+        (fun s ->
+          let lo = s * n / n_slices and hi = (s + 1) * n / n_slices in
+          align_slice ?band ?datapath ?engine ~overlap:true kind
+            (Array.sub pairs lo (hi - lo)))
+        n_slices
+    in
+    let results = Array.concat (Array.to_list (Array.map fst nested)) in
+    let batch =
+      Array.fold_left (fun acc (_, b) -> sum_batch_stats acc b) zero_batch_stats
+        nested
+    in
+    (results, stats, batch)
+  end
+
+let align_all_report ?band ?datapath ?engine ?overlap ?metrics ?tracer
+    ?(kind = Global) ?workers pairs =
+  let results, stats, _ =
+    Pool.with_pool ?workers (fun pool ->
+        run_in_pool ?band ?datapath ?engine ?overlap ?metrics ?tracer ~kind
+          pool pairs)
+  in
+  (results, stats)
+
+let align_all_overlap_report ?band ?datapath ?engine ?metrics ?tracer
+    ?(kind = Global) ?workers pairs =
   Pool.with_pool ?workers (fun pool ->
-      run_in_pool ?band ?datapath ?engine ?metrics ?tracer ~kind pool pairs)
+      run_in_pool ?band ?datapath ?engine ~overlap:true ?metrics ?tracer ~kind
+        pool pairs)
 
-let align_all ?band ?datapath ?engine ?kind ?workers pairs =
-  fst (align_all_report ?band ?datapath ?engine ?kind ?workers pairs)
+let align_all ?band ?datapath ?engine ?overlap ?kind ?workers pairs =
+  fst (align_all_report ?band ?datapath ?engine ?overlap ?kind ?workers pairs)
 
-let iter ?band ?datapath ?engine ?(kind = Global) ?workers ?(chunk = 256) ~f seq =
+let iter ?band ?datapath ?engine ?overlap ?(kind = Global) ?workers
+    ?(chunk = 256) ~f seq =
   if chunk < 1 then invalid_arg "Batch.iter: chunk < 1";
   Pool.with_pool ?workers (fun pool ->
       let emit base pairs =
-        let results, _ = run_in_pool ?band ?datapath ?engine ~kind pool pairs in
+        let results, _, _ =
+          run_in_pool ?band ?datapath ?engine ?overlap ~kind pool pairs
+        in
         Array.iteri
           (fun i a ->
             let query, reference = pairs.(i) in
@@ -69,7 +138,7 @@ let iter ?band ?datapath ?engine ?(kind = Global) ?workers ?(chunk = 256) ~f seq
       in
       go 0 seq)
 
-let iter_fasta_file ?band ?datapath ?engine ?(kind = Global) ?workers
+let iter_fasta_file ?band ?datapath ?engine ?overlap ?(kind = Global) ?workers
     ?(chunk = 256) ~path ~f () =
   if chunk < 1 then invalid_arg "Batch.iter_fasta_file: chunk < 1";
   Pool.with_pool ?workers (fun pool ->
@@ -80,7 +149,9 @@ let iter_fasta_file ?band ?datapath ?engine ?(kind = Global) ?workers
               (q.Dphls_io.Fasta.sequence, r.Dphls_io.Fasta.sequence))
             records
         in
-        let results, _ = run_in_pool ?band ?datapath ?engine ~kind pool pairs in
+        let results, _, _ =
+          run_in_pool ?band ?datapath ?engine ?overlap ~kind pool pairs
+        in
         Array.iteri
           (fun i a ->
             let q, r = records.(i) in
@@ -111,9 +182,10 @@ let iter_fasta_file ?band ?datapath ?engine ?(kind = Global) ?workers
       | None -> ());
       if buffered <> [] then emit base (Array.of_list (List.rev buffered)))
 
-let scaling ?band ?datapath ?engine ?kind ~workers pairs =
+let scaling ?band ?datapath ?engine ?overlap ?kind ~workers pairs =
   let report w =
-    snd (align_all_report ?band ?datapath ?engine ?kind ~workers:w pairs)
+    snd
+      (align_all_report ?band ?datapath ?engine ?overlap ?kind ~workers:w pairs)
   in
   let baseline = (report 1).Pool.report in
   Throughput.scaling ~baseline

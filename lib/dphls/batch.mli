@@ -36,17 +36,26 @@ val align_one :
 val align_all :
   ?band:Dphls_core.Banding.t ->
   ?datapath:Align.datapath ->
-  ?engine:Align.engine -> ?kind:kind -> ?workers:int
+  ?engine:Align.engine -> ?overlap:bool -> ?kind:kind -> ?workers:int
   -> (string * string) array -> Align.alignment array
 (** [align_all pairs] aligns every [(query, reference)] pair in
     parallel on [workers] domains (default
     [Domain.recommended_domain_count ()]). [kind] defaults to
-    [Global]. Result [i] is the alignment of [pairs.(i)]. *)
+    [Global]. Result [i] is the alignment of [pairs.(i)].
+
+    With [?overlap] (default [false]) the pairs are cut into contiguous
+    per-worker slices, each run as one staged-engine batch that
+    pipelines alignment [i+1]'s prologue under alignment [i]'s compute
+    ({!Dphls_systolic.Engine.run_batch}) — the N_B-style block
+    parallelism of the device model, inside one domain per slice.
+    Results are byte-identical either way; only the modeled device
+    cycles (and wall clock) change. A no-op on the golden engine. *)
 
 val align_all_report :
   ?band:Dphls_core.Banding.t ->
   ?datapath:Align.datapath ->
   ?engine:Align.engine ->
+  ?overlap:bool ->
   ?metrics:Dphls_obs.Metrics.t ->
   ?tracer:Dphls_obs.Tracer.t ->
   ?kind:kind -> ?workers:int
@@ -64,10 +73,26 @@ val align_all_report :
     sinks are not domain-safe. To profile engine internals, run a
     single alignment with {!Align.global} and friends. *)
 
+val align_all_overlap_report :
+  ?band:Dphls_core.Banding.t ->
+  ?datapath:Align.datapath ->
+  ?engine:Align.engine ->
+  ?metrics:Dphls_obs.Metrics.t ->
+  ?tracer:Dphls_obs.Tracer.t ->
+  ?kind:kind -> ?workers:int
+  -> (string * string) array
+  -> Align.alignment array * Dphls_host.Pool.stats
+     * Dphls_systolic.Engine.batch_stats
+(** {!align_all_report} with [~overlap:true], additionally returning the
+    modeled batch cycle accounting summed over the per-worker slices:
+    sequential vs overlapped device cycles and the prologue cycles
+    hidden. All-zero on the golden engine (no device model). *)
+
 val iter :
   ?band:Dphls_core.Banding.t ->
   ?datapath:Align.datapath ->
-  ?engine:Align.engine -> ?kind:kind -> ?workers:int -> ?chunk:int
+  ?engine:Align.engine -> ?overlap:bool -> ?kind:kind -> ?workers:int
+  -> ?chunk:int
   -> f:(int -> query:string -> reference:string -> Align.alignment -> unit)
   -> (string * string) Seq.t -> unit
 (** Streaming batch alignment for inputs too large to hold as one
@@ -78,7 +103,8 @@ val iter :
 val iter_fasta_file :
   ?band:Dphls_core.Banding.t ->
   ?datapath:Align.datapath ->
-  ?engine:Align.engine -> ?kind:kind -> ?workers:int -> ?chunk:int
+  ?engine:Align.engine -> ?overlap:bool -> ?kind:kind -> ?workers:int
+  -> ?chunk:int
   -> path:string
   -> f:
        (int -> Dphls_io.Fasta.record -> Dphls_io.Fasta.record
@@ -91,7 +117,7 @@ val iter_fasta_file :
 val scaling :
   ?band:Dphls_core.Banding.t ->
   ?datapath:Align.datapath ->
-  ?engine:Align.engine -> ?kind:kind -> workers:int list
+  ?engine:Align.engine -> ?overlap:bool -> ?kind:kind -> workers:int list
   -> (string * string) array
   -> Dphls_host.Throughput.scaling_point list
 (** Runs the same batch once per worker count (plus a 1-worker

@@ -78,6 +78,54 @@ let pe_json runs =
   Buffer.add_string buf "\n]\n";
   Buffer.contents buf
 
+type overlap_run = {
+  kernel : string;
+  n_pe : int;
+  alignments : int;
+  freq_mhz : float;
+  seq_cycles : int;
+  overlapped_cycles : int;
+  hidden_cycles : int;
+  seq_host_ns : float;
+  overlap_host_ns : float;
+}
+
+let overlap_cycle_reduction r =
+  if r.seq_cycles <= 0 then invalid_arg "Throughput.overlap_cycle_reduction";
+  float_of_int r.hidden_cycles /. float_of_int r.seq_cycles
+
+let overlap_device_ns r cycles =
+  if r.freq_mhz <= 0.0 then invalid_arg "Throughput.overlap_device_ns";
+  float_of_int cycles /. r.freq_mhz *. 1e3
+
+let overlap_device_speedup r =
+  if r.overlapped_cycles <= 0 then
+    invalid_arg "Throughput.overlap_device_speedup";
+  float_of_int r.seq_cycles /. float_of_int r.overlapped_cycles
+
+let overlap_json runs =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  {\"kernel\": %S, \"n_pe\": %d, \"alignments\": %d, \
+            \"freq_mhz\": %.1f, \"seq_cycles\": %d, \"overlapped_cycles\": \
+            %d, \"hidden_cycles\": %d, \"cycle_reduction\": %.6f, \
+            \"seq_device_ns\": %.0f, \"overlap_device_ns\": %.0f, \
+            \"device_wall_speedup\": %.3f, \"seq_host_ns\": %.0f, \
+            \"overlap_host_ns\": %.0f}"
+           r.kernel r.n_pe r.alignments r.freq_mhz r.seq_cycles
+           r.overlapped_cycles r.hidden_cycles (overlap_cycle_reduction r)
+           (overlap_device_ns r r.seq_cycles)
+           (overlap_device_ns r r.overlapped_cycles)
+           (overlap_device_speedup r) r.seq_host_ns r.overlap_host_ns))
+    runs;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
 type scaling_point = {
   workers : int;
   measured_speedup : float;

@@ -58,6 +58,40 @@ val pe_json : pe_run list -> string
 (** Renders the runs (with derived rates and speedups) as a JSON array
     (the BENCH_3.json payload). *)
 
+(** One prologue-overlap measurement of a batch of alignments: the
+    sequential staged engine vs the same batch with each alignment's
+    prologue pipelined under its predecessor's compute, as reported by
+    [bench --overlap] (the BENCH_4.json payload). *)
+type overlap_run = {
+  kernel : string;           (** shape label, e.g. "global-linear(#1)" *)
+  n_pe : int;
+  alignments : int;          (** batch size *)
+  freq_mhz : float;          (** modeled device clock for wall-time *)
+  seq_cycles : int;          (** sum of per-alignment sequential totals *)
+  overlapped_cycles : int;   (** seq_cycles - hidden_cycles *)
+  hidden_cycles : int;       (** prologue cycles hidden under compute *)
+  seq_host_ns : float;       (** host simulator wall, [~overlap:false] *)
+  overlap_host_ns : float;   (** host simulator wall, [~overlap:true] *)
+}
+
+val overlap_cycle_reduction : overlap_run -> float
+(** [hidden_cycles / seq_cycles]; raises on [seq_cycles <= 0]. *)
+
+val overlap_device_ns : overlap_run -> int -> float
+(** Device wall-clock for a cycle count at the run's modeled clock;
+    raises on [freq_mhz <= 0]. The overlap win shows up here: the
+    host simulator performs the same work either way (it only
+    reorders it), but the modeled device finishes the batch
+    [hidden_cycles / freq] sooner. *)
+
+val overlap_device_speedup : overlap_run -> float
+(** [seq_cycles / overlapped_cycles] — the device wall-clock win;
+    raises on [overlapped_cycles <= 0]. *)
+
+val overlap_json : overlap_run list -> string
+(** Renders the runs (with derived reduction, device wall times and
+    speedup) as a JSON array (the BENCH_4.json payload). *)
+
 (** Measured-vs-modeled N_K scaling: how the wall-clock speedups that
     {!Pool} actually achieves line up against the paper's analytical
     model, in which N_K channels scale throughput linearly. *)

@@ -6,6 +6,8 @@ type t =
   | Band_window_moves
   | Tiles
   | Alignments
+  | Prologues_overlapped
+  | Overlap_hidden_cycles
   | Pool_tasks
   | Pool_steals
   | Pool_idle_waits
@@ -19,6 +21,8 @@ let all =
     Band_window_moves;
     Tiles;
     Alignments;
+    Prologues_overlapped;
+    Overlap_hidden_cycles;
     Pool_tasks;
     Pool_steals;
     Pool_idle_waits;
@@ -36,9 +40,11 @@ let index = function
   | Band_window_moves -> 4
   | Tiles -> 5
   | Alignments -> 6
-  | Pool_tasks -> 7
-  | Pool_steals -> 8
-  | Pool_idle_waits -> 9
+  | Prologues_overlapped -> 7
+  | Overlap_hidden_cycles -> 8
+  | Pool_tasks -> 9
+  | Pool_steals -> 10
+  | Pool_idle_waits -> 11
 
 let name = function
   | Cells_evaluated -> "cells_evaluated"
@@ -48,6 +54,8 @@ let name = function
   | Band_window_moves -> "band_window_moves"
   | Tiles -> "tiles"
   | Alignments -> "alignments"
+  | Prologues_overlapped -> "prologues_overlapped"
+  | Overlap_hidden_cycles -> "overlap_hidden_cycles"
   | Pool_tasks -> "pool_tasks"
   | Pool_steals -> "pool_steals"
   | Pool_idle_waits -> "pool_idle_waits"
@@ -59,6 +67,8 @@ let unit_name = function
   | Band_window_moves -> "moves"
   | Tiles -> "tiles"
   | Alignments -> "alignments"
+  | Prologues_overlapped -> "prologues"
+  | Overlap_hidden_cycles -> "cycles"
   | Pool_tasks -> "tasks"
   | Pool_steals -> "chunks"
   | Pool_idle_waits -> "waits"
@@ -76,6 +86,12 @@ let describe = function
      Banding.Tracker"
   | Tiles -> "GACT tiles executed — Tiling.align"
   | Alignments -> "engine runs completed — systolic and golden engines"
+  | Prologues_overlapped ->
+    "prologues hidden under a predecessor's compute — \
+     Systolic.Engine.run_batch ~overlap:true"
+  | Overlap_hidden_cycles ->
+    "modeled cycles recovered by prologue overlap — \
+     Systolic.Engine.run_batch ~overlap:true"
   | Pool_tasks -> "tasks executed by pool workers — Host.Pool.run"
   | Pool_steals ->
     "work chunks popped from the shared queue — Host.Pool.run"

@@ -16,6 +16,8 @@ type t =
   | Band_window_moves    (** adaptive-band window edge movements *)
   | Tiles                (** GACT tiles executed by the tiler *)
   | Alignments           (** engine runs completed *)
+  | Prologues_overlapped (** prologues hidden under a predecessor's compute *)
+  | Overlap_hidden_cycles (** modeled cycles recovered by prologue overlap *)
   | Pool_tasks           (** tasks executed by pool workers *)
   | Pool_steals          (** work chunks grabbed from the shared queue *)
   | Pool_idle_waits      (** times a pool worker went idle (queue empty) *)

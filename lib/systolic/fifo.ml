@@ -1,0 +1,34 @@
+type 'a t = {
+  slots : 'a option array;
+  mutable head : int;
+  mutable len : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Fifo.create: capacity must be >= 1";
+  { slots = Array.make capacity None; head = 0; len = 0 }
+
+let capacity t = Array.length t.slots
+let length t = t.len
+let is_empty t = t.len = 0
+let is_full t = t.len = Array.length t.slots
+
+let push t x =
+  if is_full t then
+    invalid_arg
+      (Printf.sprintf "Fifo.push: full (capacity %d) — a stage ran ahead \
+                       of its consumer" (capacity t));
+  let tail = (t.head + t.len) mod Array.length t.slots in
+  t.slots.(tail) <- Some x;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then
+    invalid_arg "Fifo.pop: empty — a stage consumed ahead of its producer";
+  match t.slots.(t.head) with
+  | None -> assert false
+  | Some x ->
+    t.slots.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.slots;
+    t.len <- t.len - 1;
+    x

@@ -1,0 +1,31 @@
+(** Bounded single-producer/single-consumer queue modelling the FIFO
+    channels between the engine's communicating stages (fetch/init →
+    compute → reduce → traceback), in the style of task-parallel HLS
+    (TAPA): a stage may only run when its input FIFO has data and its
+    output FIFO has space, and capacity is part of the hardware contract
+    — the fetch→compute channel is two deep (double-buffered score
+    planes and init borders, so alignment [i+1]'s prologue can complete
+    while alignment [i] still occupies the array), the downstream
+    handoffs are one deep.
+
+    Over/underflow is a wiring bug in the driving schedule, not a
+    runtime condition, so {!push} on a full queue and {!pop} on an empty
+    one raise [Invalid_argument]. Not thread-safe: the engine drives all
+    stages from one domain and the FIFO discipline only encodes the
+    hardware's occupancy limits. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Raises [Invalid_argument] when full. *)
+
+val pop : 'a t -> 'a
+(** Oldest element, FIFO order. Raises [Invalid_argument] when empty. *)

@@ -9,6 +9,9 @@ type t = {
 }
 
 let create ~n_pe ~qry_len ~ref_len =
+  if n_pe < 1 then
+    invalid_arg
+      (Printf.sprintf "Schedule.create: n_pe must be >= 1 (got %d)" n_pe);
   if qry_len < 1 || ref_len < 1 then invalid_arg "Schedule.create: empty sequence";
   {
     n_pe;
@@ -68,10 +71,11 @@ let compute_cycles t ~banding ~ii =
 let prologue_cycles t =
   (* Init-row and init-col buffers are written concurrently (one element
      per cycle each), and the query streams in packed 8 characters per
-     word; these stages still run before — not overlapped with — the
-     wavefront pipeline, which is the throughput gap vs hand-written RTL
-     the paper discusses in §7.3. *)
-  max t.qry_len t.ref_len + (t.qry_len / 8) + 4
+     word — a trailing partial word still takes a full cycle, hence the
+     ceiling division. These stages run before — not overlapped with —
+     the wavefront pipeline (in the sequential engine), which is the
+     throughput gap vs hand-written RTL the paper discusses in §7.3. *)
+  max t.qry_len t.ref_len + ((t.qry_len + 7) / 8) + 4
 
 let reduction_cycles t = Dphls_util.Bits.clog2 (max 2 t.n_pe) + 2
 

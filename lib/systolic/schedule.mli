@@ -15,6 +15,9 @@ type t = {
 }
 
 val create : n_pe:int -> qry_len:int -> ref_len:int -> t
+(** Raises [Invalid_argument] when [n_pe < 1] or either length is
+    empty — a non-positive PE count would silently produce nonsense
+    chunk counts. *)
 
 val chunk_of_row : t -> int -> int
 val pe_of_row : t -> int -> int
@@ -45,9 +48,11 @@ val compute_cycles : t -> banding:Dphls_core.Banding.t option -> ii:int -> int
 
 val prologue_cycles : t -> int
 (** Sequential query-load plus init-buffer writes (init row/col written
-    concurrently; query packed 8 chars/word). The paper notes DP-HLS
-    performs these before compute, unlike hand-written RTL which overlaps
-    them (§7.3). *)
+    concurrently; query packed 8 chars/word, ceiling — a trailing
+    partial word costs a full cycle). The paper notes DP-HLS performs
+    these before compute, unlike hand-written RTL which overlaps them
+    (§7.3); {!Engine.run_batch} with [~overlap:true] recovers the
+    hideable part. *)
 
 val reduction_cycles : t -> int
 (** Tree reduction over per-PE local maxima (§5.2), once per alignment. *)

@@ -107,7 +107,7 @@ let count_records (v : Stream.t) =
       | Stream.Window _ -> (c, w + 1))
     (0, 0) v.Stream.records
 
-let check (v : Stream.t) =
+let check ?overlap (v : Stream.t) =
   match resolve v.Stream.header with
   | Error msg -> Error msg
   | Ok (Registry.Packed (k, p)) -> (
@@ -115,7 +115,9 @@ let check (v : Stream.t) =
     let workload =
       Workload.of_seqs ~query:h.Stream.query ~reference:h.Stream.reference
     in
-    let regen, _result = Capture.systolic k p ~n_pe:h.Stream.n_pe workload in
+    let regen, _result =
+      Capture.systolic ?overlap k p ~n_pe:h.Stream.n_pe workload
+    in
     match Stream.diff ~expected:v ~actual:regen with
     | Some d ->
       Error (Printf.sprintf "systolic re-run diverges: %s" (Stream.describe d))
@@ -135,7 +137,7 @@ let check (v : Stream.t) =
           let o_cells, o_windows = count_records v in
           Ok { o_cells; o_windows; o_replayed = replayed })))
 
-let check_file path =
+let check_file ?overlap path =
   match Codec.read_file path with
   | Error msg -> Error msg
-  | Ok v -> check v
+  | Ok v -> check ?overlap v

@@ -34,7 +34,7 @@ type outcome = {
   o_replayed : int;   (** cells replayed through each PE datapath *)
 }
 
-val check : Stream.t -> (outcome, string) result
+val check : ?overlap:bool -> Stream.t -> (outcome, string) result
 (** The full gate a loaded vector must pass:
     - the header resolves against the live catalog (known kernel id,
       matching name and layer count) and its params hash matches the
@@ -43,8 +43,13 @@ val check : Stream.t -> (outcome, string) result
       reproduces the recorded streams ({!Stream.diff}: first divergence
       named by chunk, wavefront, PE, cell);
     - every recorded cell replays bit-identically through both the
-      compiled datapath and the boxed interpreter ({!Replay.run}). *)
+      compiled datapath and the boxed interpreter ({!Replay.run}).
 
-val check_file : string -> (outcome, string) result
+    With [?overlap] (default [false]) the re-run goes through the
+    overlapped staged engine ({!Capture.systolic} [~overlap:true]), so
+    the drift gate also proves prologue overlap changes no emitted
+    vector. *)
+
+val check_file : ?overlap:bool -> string -> (outcome, string) result
 (** {!Codec.read_file} then {!check}; load errors are [Error] with the
     path prefixed. *)

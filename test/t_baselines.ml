@@ -2,6 +2,8 @@
    cycle/resource models and the Vitis HLS model. *)
 module B = Dphls_baselines
 
+let qtest = QCheck_alcotest.to_alcotest
+
 let test_aws_iso_cost_factors () =
   Alcotest.(check (float 1e-6)) "f1 reference" 1.0
     (B.Aws.iso_cost_factor B.Aws.f1_2xlarge);
@@ -28,6 +30,38 @@ let test_rtl_cycles_structure () =
   Alcotest.(check int) "compute" (8 * 287) m.B.Rtl_model.compute;
   Alcotest.(check int) "total" (m.B.Rtl_model.compute + 300 + m.B.Rtl_model.fill)
     m.B.Rtl_model.total
+
+let test_rtl_prologue_clamp () =
+  (* Short reference, tall single-chunk array: the prologue (150) outlasts
+     the wavefront pipeline (144), so overlap stalls for the difference
+     instead of pretending the prologue is free. *)
+  let m =
+    B.Rtl_model.cycles ~n_pe:129 ~qry_len:129 ~ref_len:16 ~banding:None ~ii:1
+      ~tb_steps:20
+  in
+  Alcotest.(check int) "prologue" (129 + 17 + 4) m.B.Rtl_model.prologue;
+  Alcotest.(check int) "compute" 144 m.B.Rtl_model.compute;
+  Alcotest.(check bool) "prologue binds" true
+    (m.B.Rtl_model.prologue > m.B.Rtl_model.compute);
+  Alcotest.(check int) "total = fill + prologue + tb"
+    (m.B.Rtl_model.fill + m.B.Rtl_model.prologue + 20)
+    m.B.Rtl_model.total
+
+let prop_rtl_overlap_never_below_floor =
+  QCheck.Test.make
+    ~name:"rtl overlap total >= fill + compute + traceback" ~count:300
+    QCheck.(quad (int_range 1 64) (int_range 1 200) (int_range 1 200)
+              (int_range 0 100))
+    (fun (n_pe, q, r, tb) ->
+      let m =
+        B.Rtl_model.cycles ~n_pe ~qry_len:q ~ref_len:r ~banding:None ~ii:1
+          ~tb_steps:tb
+      in
+      m.B.Rtl_model.total
+      >= m.B.Rtl_model.fill + m.B.Rtl_model.compute + m.B.Rtl_model.traceback
+      && m.B.Rtl_model.total
+         >= m.B.Rtl_model.fill + m.B.Rtl_model.prologue + m.B.Rtl_model.traceback
+      && m.B.Rtl_model.prologue = max q r + ((q + 7) / 8) + 4)
 
 let test_rtl_resource_discount () =
   let packed = (Dphls_kernels.Catalog.find 2).Dphls_kernels.Catalog.packed in
@@ -116,6 +150,8 @@ let suite =
     Alcotest.test_case "aws iso-cost factors" `Quick test_aws_iso_cost_factors;
     Alcotest.test_case "gpu models" `Quick test_gpu_models;
     Alcotest.test_case "rtl cycle structure" `Quick test_rtl_cycles_structure;
+    Alcotest.test_case "rtl prologue clamp" `Quick test_rtl_prologue_clamp;
+    qtest prop_rtl_overlap_never_below_floor;
     Alcotest.test_case "rtl resource discount" `Quick test_rtl_resource_discount;
     Alcotest.test_case "vitis model slower" `Quick test_vitis_model_slower_than_dphls;
     Alcotest.test_case "seqan mode inequalities" `Quick test_seqan_mode_inequalities;

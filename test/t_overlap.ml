@@ -1,0 +1,143 @@
+(* Overlap differential fuzz: Engine.run_batch ~overlap:true must be
+   bit-identical to the sequential staged engine — results, per-stage
+   cycle breakdowns, emitted capture vectors — across the full
+   18-kernel catalog (including the adaptive-band variants 16-18), and
+   its batch accounting must hide cycles exactly when there is a
+   predecessor's compute to hide them under. *)
+open Dphls_core
+module Engine = Dphls_systolic.Engine
+module Config = Dphls_systolic.Config
+module Catalog = Dphls_kernels.Catalog
+module Capture = Dphls_vectors.Capture
+module Stream = Dphls_vectors.Stream
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let catalog_ids =
+  List.map (fun (e : Catalog.entry) -> Registry.id e.Catalog.packed)
+    Catalog.all
+
+let run_both ~n_pe (e : Catalog.entry) ws =
+  let (Registry.Packed (k, p)) = e.Catalog.packed in
+  let cfg = Config.create ~n_pe in
+  let seq, seq_batch = Engine.run_batch ~overlap:false cfg k p ws in
+  let ov, ov_batch = Engine.run_batch ~overlap:true cfg k p ws in
+  ((seq, seq_batch), (ov, ov_batch))
+
+let check_identical name (seq, seq_batch) (ov, ov_batch) =
+  Array.iteri
+    (fun i (r_seq, (s_seq : Engine.stats)) ->
+      let r_ov, (s_ov : Engine.stats) = ov.(i) in
+      if not (Result.equal_alignment r_seq r_ov) then
+        Alcotest.failf "%s: alignment %d diverges between modes" name i;
+      if s_seq.Engine.cycles <> s_ov.Engine.cycles then
+        Alcotest.failf "%s: alignment %d cycle breakdown diverges" name i;
+      if
+        s_seq.Engine.pe_fires <> s_ov.Engine.pe_fires
+        || s_seq.Engine.tb_words <> s_ov.Engine.tb_words
+      then Alcotest.failf "%s: alignment %d stats diverge" name i)
+    seq;
+  (* both modes see the same per-alignment totals; only the hidden
+     portion differs *)
+  if seq_batch.Engine.seq_cycles <> ov_batch.Engine.seq_cycles then
+    Alcotest.failf "%s: sequential totals differ between modes" name;
+  if seq_batch.Engine.hidden_cycles <> 0 then
+    Alcotest.failf "%s: sequential mode hid %d cycles" name
+      seq_batch.Engine.hidden_cycles
+
+(* Every catalog kernel, a 3-alignment batch at a deliberately awkward
+   N_PE (multiple chunks, partial last chunk). *)
+let test_catalog_bit_identity () =
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let id = Registry.id e.Catalog.packed in
+      let rng = Dphls_util.Rng.create (1000 + id) in
+      let ws = Array.init 3 (fun _ -> e.Catalog.gen rng ~len:24) in
+      let b, o = run_both ~n_pe:5 e ws in
+      check_identical (Printf.sprintf "kernel %d" id) b o)
+    Catalog.all
+
+(* The capture stream — every cell score, traceback nibble and band
+   window in emission order — through both modes, for one kernel per
+   recurrence family the back-end treats differently. *)
+let test_capture_bit_identity () =
+  List.iter
+    (fun (id, len) ->
+      let e = Catalog.find id in
+      let (Registry.Packed (k, p)) = e.Catalog.packed in
+      let w = e.Catalog.gen (Dphls_util.Rng.create (2000 + id)) ~len in
+      let v_seq, r_seq = Capture.systolic ~overlap:false k p ~n_pe:4 w in
+      let v_ov, r_ov = Capture.systolic ~overlap:true k p ~n_pe:4 w in
+      (match Stream.diff ~expected:v_seq ~actual:v_ov with
+      | None -> ()
+      | Some d ->
+        Alcotest.failf "kernel %d: overlapped capture diverges: %s" id
+          (Stream.describe d));
+      if not (Result.equal_alignment r_seq r_ov) then
+        Alcotest.failf "kernel %d: capture results diverge" id)
+    [ (1, 32); (2, 24); (9, 24); (11, 32); (16, 32) ]
+
+let test_empty_batch () =
+  let e = Catalog.find 1 in
+  let (Registry.Packed (k, p)) = e.Catalog.packed in
+  let results, b = Engine.run_batch ~overlap:true (Config.create ~n_pe:4) k p [||] in
+  Alcotest.(check int) "no results" 0 (Array.length results);
+  Alcotest.(check int) "no alignments" 0 b.Engine.alignments;
+  Alcotest.(check int) "no cycles" 0 b.Engine.seq_cycles;
+  Alcotest.(check int) "nothing hidden" 0 b.Engine.hidden_cycles
+
+(* Random kernel, batch size, lengths and width: results bit-identical,
+   overlapped total never above sequential, and equality exactly when
+   there is nothing to hide (batch size <= 1 — every alignment has a
+   positive prologue and positive compute, so any predecessor hides a
+   positive slice). *)
+let prop_overlap_differential =
+  QCheck.Test.make ~name:"overlap differential across catalog" ~count:60
+    QCheck.(
+      quad (oneofl catalog_ids) (int_range 1 4) (int_range 1 8)
+        (int_range 8 40))
+    (fun (id, n, n_pe, len) ->
+      let e = Catalog.find id in
+      let rng = Dphls_util.Rng.create (id + (n * 131) + (n_pe * 17) + len) in
+      let ws = Array.init n (fun _ -> e.Catalog.gen rng ~len) in
+      let ((seq, _) as b), ((ov, ov_batch) as o) = run_both ~n_pe e ws in
+      check_identical (Printf.sprintf "kernel %d" id) b o;
+      ignore seq;
+      ignore ov;
+      ov_batch.Engine.overlapped_cycles
+      = ov_batch.Engine.seq_cycles - ov_batch.Engine.hidden_cycles
+      && ov_batch.Engine.overlapped_cycles <= ov_batch.Engine.seq_cycles
+      && (ov_batch.Engine.hidden_cycles > 0) = (n > 1))
+
+(* The per-alignment overlapped total is the clamp the batch accounting
+   and the RTL baselines share: fill + max(prologue, compute) +
+   reduction + traceback — equal to the sequential total exactly when
+   there is no compute to hide under (never here, so strictly less
+   whenever prologue > 0). *)
+let prop_total_overlapped_clamp =
+  QCheck.Test.make ~name:"total_overlapped is the shared clamp" ~count:100
+    QCheck.(
+      quad (int_range 0 500) (int_range 1 500) (int_range 0 50)
+        (int_range 0 200))
+    (fun (prologue, compute, reduction, traceback) ->
+      let c =
+        Engine.assemble_cycles ~prologue ~compute ~reduction ~traceback
+          ~fill:12
+      in
+      c.Engine.total = prologue + compute + reduction + traceback + 12
+      && c.Engine.total_overlapped
+         = max prologue compute + reduction + traceback + 12
+      && c.Engine.total_overlapped <= c.Engine.total
+      && (c.Engine.total_overlapped = c.Engine.total)
+         = (min prologue compute = 0))
+
+let suite =
+  [
+    Alcotest.test_case "catalog bit identity" `Quick
+      test_catalog_bit_identity;
+    Alcotest.test_case "capture bit identity" `Quick
+      test_capture_bit_identity;
+    Alcotest.test_case "empty batch" `Quick test_empty_batch;
+    qtest prop_overlap_differential;
+    qtest prop_total_overlapped_clamp;
+  ]

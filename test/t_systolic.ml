@@ -240,6 +240,48 @@ let test_empty_rejected () =
        false
      with Invalid_argument _ -> true)
 
+(* Loop oracle for the prologue: simulate the packed query stream one
+   word at a time (8 chars/word, trailing partial word costs a full
+   cycle) alongside the concurrent init-buffer writes. Regression for
+   the floor-division bug that undercounted every qry_len mod 8 <> 0. *)
+let prop_prologue_matches_loop_oracle =
+  QCheck.Test.make ~name:"prologue cycles match loop oracle" ~count:200
+    QCheck.(triple (int_range 1 16) (int_range 1 129) (int_range 1 129))
+    (fun (n_pe, q, r) ->
+      let s = Schedule.create ~n_pe ~qry_len:q ~ref_len:r in
+      let query_words = ref 0 and streamed = ref 0 in
+      while !streamed < q do
+        incr query_words;
+        streamed := !streamed + 8
+      done;
+      let init_writes = max q r in
+      Schedule.prologue_cycles s = init_writes + !query_words + 4)
+
+let test_prologue_partial_word () =
+  (* 33 chars = 5 packed words, not 4. *)
+  let s = Schedule.create ~n_pe:8 ~qry_len:33 ~ref_len:33 in
+  Alcotest.(check int) "ceiling packed-word term" (33 + 5 + 4)
+    (Schedule.prologue_cycles s)
+
+let contains_sub haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_bad_n_pe_rejected () =
+  List.iter
+    (fun n_pe ->
+      Alcotest.(check bool)
+        (Printf.sprintf "n_pe=%d raises" n_pe)
+        true
+        (try
+           ignore (Schedule.create ~n_pe ~qry_len:10 ~ref_len:10);
+           false
+         with Invalid_argument msg ->
+           (* descriptive: names the offending value *)
+           contains_sub msg (string_of_int n_pe)))
+    [ 0; -1; -32 ]
+
 let test_rtl_cycles_beat_dphls () =
   (* The overlapped-prologue RTL model is always at least as fast. *)
   List.iter
@@ -278,5 +320,8 @@ let suite =
     Alcotest.test_case "n_pe=1 exact" `Quick test_n_pe_one_works;
     Alcotest.test_case "n_pe>qlen exact" `Quick test_n_pe_larger_than_query;
     Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+    qtest prop_prologue_matches_loop_oracle;
+    Alcotest.test_case "prologue partial word" `Quick test_prologue_partial_word;
+    Alcotest.test_case "bad n_pe rejected" `Quick test_bad_n_pe_rejected;
     Alcotest.test_case "rtl cycle model faster" `Quick test_rtl_cycles_beat_dphls;
   ]

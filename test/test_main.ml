@@ -20,6 +20,7 @@ let () =
       ("extensions", T_extensions.suite);
       ("io", T_io.suite);
       ("vectors", T_vectors.suite);
+      ("overlap", T_overlap.suite);
       ("fuzz", T_fuzz.suite);
       ("align_api", T_align_api.suite);
       ("batch", T_batch.suite);
