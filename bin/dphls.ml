@@ -953,16 +953,64 @@ let experiment_cmd =
 
 (* ---- check ---- *)
 
-let check_entry ~max_len (e : Dphls_kernels.Catalog.entry) =
+let kernel_datapath (e : Dphls_kernels.Catalog.entry) =
+  try Some (Dphls_kernels.Datapaths.cell_for (Dphls_core.Registry.id e.packed))
+  with Not_found -> None
+
+let check_entry ?host ~max_len (e : Dphls_kernels.Catalog.entry) =
   let max_len =
     match max_len with Some l -> l | None -> e.Dphls_kernels.Catalog.max_len
   in
   let rng = Dphls_util.Rng.create 7 in
   let sample = e.gen rng ~len:(min 64 max_len) in
   let chars = Dphls_analysis.Check.chars_of_workload sample in
-  Dphls_analysis.Check.run ~n_pe:e.optimal.n_pe ~max_len ~chars e.packed
+  Dphls_analysis.Check.run ~n_pe:e.optimal.n_pe ?datapath:(kernel_datapath e)
+    ?host ~max_len ~chars e.packed
 
-let check_run kernel_spec all max_len json =
+let explain_run spec what =
+  let e = find_kernel spec in
+  let (Dphls_core.Registry.Packed (k, _)) = e.Dphls_kernels.Catalog.packed in
+  match kernel_datapath e with
+  | None ->
+    Printf.eprintf
+      "dphls check: kernel #%d %s has no symbolic datapath to explain\n"
+      k.Dphls_core.Kernel.id k.Dphls_core.Kernel.name;
+    exit 2
+  | Some (cell, bindings) ->
+    let ppf = Format.std_formatter in
+    Format.fprintf ppf "kernel #%d %s — %s derivation@\n"
+      k.Dphls_core.Kernel.id k.Dphls_core.Kernel.name
+      (match what with
+      | `Depend -> "dependence footprint"
+      | `Ii -> "recurrence-II"
+      | `Fastpath -> "fast-path eligibility");
+    (match what with
+    | `Depend ->
+      Dphls_analysis.Depend.explain ppf
+        (Dphls_analysis.Depend.analyze cell
+           ~n_layers:k.Dphls_core.Kernel.n_layers)
+    | `Ii -> (
+      match Dphls_analysis.Ii.analyze cell bindings with
+      | Ok ii ->
+        Dphls_analysis.Ii.explain ppf ii ~traits:k.Dphls_core.Kernel.traits
+      | Error msg ->
+        Format.fprintf ppf "datapath does not compile: %s@\n" msg;
+        Format.pp_print_flush ppf ();
+        exit 1)
+    | `Fastpath ->
+      Dphls_analysis.Fastpath.explain ppf
+        (Dphls_analysis.Fastpath.classify cell bindings));
+    Format.pp_print_flush ppf ()
+
+let check_run kernel_spec all max_len json explain workers shared_metrics =
+  match explain with
+  | Some what -> (
+    match kernel_spec with
+    | Some spec -> explain_run spec what
+    | None ->
+      Printf.eprintf "--explain needs --kernel ID\n";
+      exit 2)
+  | None ->
   let entries =
     match (kernel_spec, all) with
     | Some spec, _ -> [ find_kernel spec ]
@@ -971,7 +1019,16 @@ let check_run kernel_spec all max_len json =
       Printf.eprintf "pass --kernel ID or --all\n";
       exit 2
   in
-  let reports = List.map (check_entry ~max_len) entries in
+  let host =
+    Option.map
+      (fun w ->
+        {
+          Dphls_analysis.Lint.workers = w;
+          shared_metrics_sink = shared_metrics;
+        })
+      workers
+  in
+  let reports = List.map (check_entry ?host ~max_len) entries in
   if json then print_endline (Dphls_analysis.Report.list_to_json reports)
   else
     List.iter
@@ -1003,12 +1060,45 @@ let check_cmd =
           ~doc:"Workload length bound to verify (default: catalog max_len)")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"JSON report") in
+  let explain =
+    Arg.(
+      value
+      & opt
+          (some (enum [ ("depend", `Depend); ("ii", `Ii); ("fastpath", `Fastpath) ]))
+          None
+      & info [ "explain" ] ~docv:"PASS"
+          ~doc:
+            "Print the named pass's full derivation for one kernel (requires \
+             $(b,--kernel)): $(b,depend), $(b,ii) or $(b,fastpath)")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ]
+          ~doc:
+            "Host worker-domain count to lint the run configuration against \
+             (see --shared-metrics)")
+  in
+  let shared_metrics =
+    Arg.(
+      value
+      & flag
+      & info [ "shared-metrics" ]
+          ~doc:
+            "Declare that all workers would write one Dphls_obs.Metrics sink; \
+             with --workers > 1 this is flagged (sinks are per-domain)")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Statically analyze kernels before synthesis (width/overflow, \
-          traceback FSM, banding lint); non-zero exit on error findings")
-    Term.(const check_run $ kernel $ all $ max_len $ json)
+          traceback FSM, dependence stencil, recurrence II, bit-parallel \
+          fast path, banding/parallelism/domain lint); non-zero exit on \
+          error findings")
+    Term.(
+      const check_run $ kernel $ all $ max_len $ json $ explain $ workers
+      $ shared_metrics)
 
 let () =
   let info =

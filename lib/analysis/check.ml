@@ -106,7 +106,54 @@ let fsm_findings spec ~tb_bits =
       ]
   else findings
 
-let run ?n_pe ~max_len ~chars (Registry.Packed (k, p)) =
+let datapath_findings ~(k : 'p Kernel.t) = function
+  | None ->
+    [
+      Report.info ~check:"depend-skipped"
+        "no symbolic datapath registered — dependence, recurrence-II and \
+         fast-path analyses need the expression IR (closure-only kernel)";
+    ]
+  | Some (cell, bindings) ->
+    if Array.length cell.Datapath.layers <> k.Kernel.n_layers then
+      [
+        Report.error ~check:"datapath-layer-count"
+          (Printf.sprintf
+             "symbolic datapath has %d layer%s but the kernel declares \
+              n_layers = %d"
+             (Array.length cell.Datapath.layers)
+             (if Array.length cell.Datapath.layers = 1 then "" else "s")
+             k.Kernel.n_layers);
+      ]
+    else begin
+      let dep = Depend.analyze cell ~n_layers:k.Kernel.n_layers in
+      let dep_findings = Depend.findings dep in
+      let dep_clean =
+        not
+          (List.exists
+             (fun (f : Report.finding) -> f.Report.severity = Report.Error)
+             dep_findings)
+      in
+      let ii_findings =
+        if not dep_clean then
+          [
+            Report.info ~check:"ii-skipped"
+              "recurrence-II analysis skipped: the dependence errors above \
+               mean the flat code would not compile";
+          ]
+        else
+          match Ii.analyze cell bindings with
+          | Ok ii -> Ii.findings ii ~traits:k.Kernel.traits
+          | Error msg ->
+            [
+              Report.warning ~check:"ii-skipped"
+                ("symbolic datapath does not compile: " ^ msg);
+            ]
+      in
+      dep_findings @ ii_findings
+      @ Fastpath.findings (Fastpath.classify cell bindings)
+    end
+
+let run ?n_pe ?datapath ?host ~max_len ~chars (Registry.Packed (k, p)) =
   let findings = ref [] in
   let add_all fs = findings := !findings @ fs in
   let structural = Lint.structural k p in
@@ -136,7 +183,9 @@ let run ?n_pe ~max_len ~chars (Registry.Packed (k, p)) =
   (match k.Kernel.traceback p with
   | None -> ()
   | Some spec -> add_all (fsm_findings spec ~tb_bits:k.Kernel.tb_bits));
+  add_all (datapath_findings ~k datapath);
   add_all (Lint.banding k.Kernel.banding ~gap_magnitude:!gap ~max_len);
   add_all (Lint.parallelism ~n_pe ~max_len);
+  add_all (Lint.domain_safety host);
   Report.create ~kernel_id:k.Kernel.id ~kernel_name:k.Kernel.name ~max_len
     !findings

@@ -1,0 +1,255 @@
+open Dphls_core
+
+type reader = Rd_layer of int | Rd_tb of int
+
+type edge = { reader : reader; dep : Datapath.dep }
+
+type cycle = { path : int list; distance : int }
+
+type t = {
+  n_layers : int;
+  edges : edge list;
+  out_of_stencil : edge list;
+  bad_layer : edge list;
+  cur_violations : edge list;
+  cycles : cycle list;
+}
+
+let in_stencil drow dcol = List.mem (drow, dcol) Datapath.wavefront_stencil
+
+let dir_name drow dcol =
+  match (drow, dcol) with
+  | 1, 1 -> "NW"
+  | 1, 0 -> "N"
+  | 0, 1 -> "W"
+  | _ -> Printf.sprintf "(%d,%d)" drow dcol
+
+let reader_name = function
+  | Rd_layer l -> Printf.sprintf "layer %d" l
+  | Rd_tb i -> Printf.sprintf "pointer field %d" i
+
+let dep_name = function
+  | Datapath.Dep_nbr { drow; dcol; layer } ->
+    Printf.sprintf "%s layer %d" (dir_name drow dcol) layer
+  | Datapath.Dep_cur l -> Printf.sprintf "same-cell layer %d" l
+
+(* Wavefront distance of a dependence: cell (row-drow, col-dcol) lives
+   drow+dcol anti-diagonals back; same-cell reads are distance 0. *)
+let distance = function
+  | Datapath.Dep_nbr { drow; dcol; _ } -> drow + dcol
+  | Datapath.Dep_cur _ -> 0
+
+(* Node-simple cycles of the legal inter-layer graph, each taken with
+   the minimal-distance edge between consecutive layers. Enumeration
+   starts each cycle at its smallest layer to avoid duplicates; layer
+   counts are tiny (<= 3 in the catalog), so plain DFS is fine. *)
+let find_cycles n_layers legal_edges =
+  let best = Hashtbl.create 16 in
+  List.iter
+    (fun (s, d, dist) ->
+      match Hashtbl.find_opt best (s, d) with
+      | Some old when old <= dist -> ()
+      | _ -> Hashtbl.replace best (s, d) dist)
+    legal_edges;
+  let adj s =
+    Hashtbl.fold (fun (s', d) dist acc -> if s' = s then (d, dist) :: acc else acc)
+      best []
+    |> List.sort compare
+  in
+  let found = ref [] in
+  for start = 0 to n_layers - 1 do
+    let rec dfs path dist node =
+      List.iter
+        (fun (next, w) ->
+          if next = start then
+            found := { path = List.rev path; distance = dist + w } :: !found
+          else if next > start && not (List.mem next path) then
+            dfs (next :: path) (dist + w) next)
+        (adj node)
+    in
+    dfs [ start ] 0 start
+  done;
+  List.sort compare !found
+
+let analyze (cell : Datapath.cell) ~n_layers =
+  let edges =
+    List.concat
+      (List.mapi
+         (fun l (e : Datapath.expr) ->
+           List.map (fun dep -> { reader = Rd_layer l; dep }) (Datapath.expr_deps e))
+         (Array.to_list cell.layers)
+      @ List.mapi
+          (fun i (f : Datapath.tb_field) ->
+            List.map (fun dep -> { reader = Rd_tb i; dep }) (Datapath.expr_deps f.value))
+          cell.tb_fields)
+  in
+  let bad_layer, rest =
+    List.partition
+      (fun e ->
+        let l =
+          match e.dep with
+          | Datapath.Dep_nbr { layer; _ } -> layer
+          | Datapath.Dep_cur l -> l
+        in
+        l < 0 || l >= n_layers)
+      edges
+  in
+  let out_of_stencil =
+    List.filter
+      (fun e ->
+        match e.dep with
+        | Datapath.Dep_nbr { drow; dcol; _ } -> not (in_stencil drow dcol)
+        | Datapath.Dep_cur _ -> false)
+      rest
+  in
+  (* Same discipline as Datapath.validate: gap layers are evaluated
+     before layer 0, so only layer 0 and the pointer may read Cur, and
+     Cur 0 is never available. *)
+  let cur_violations =
+    List.filter
+      (fun e ->
+        match (e.dep, e.reader) with
+        | Datapath.Dep_cur 0, _ -> true
+        | Datapath.Dep_cur _, Rd_layer d -> d <> 0
+        | _ -> false)
+      rest
+  in
+  let legal =
+    List.filter
+      (fun e -> not (List.memq e out_of_stencil || List.memq e cur_violations))
+      rest
+  in
+  let graph_edges =
+    List.filter_map
+      (fun e ->
+        match (e.reader, e.dep) with
+        | Rd_layer d, Datapath.Dep_nbr { layer = s; _ } -> Some (s, d, distance e.dep)
+        | Rd_layer d, Datapath.Dep_cur s -> Some (s, d, 0)
+        | Rd_tb _, _ -> None)
+      legal
+  in
+  let cycles = find_cycles n_layers graph_edges in
+  { n_layers; edges; out_of_stencil; bad_layer; cur_violations; cycles }
+
+let cycle_name c =
+  Printf.sprintf "[%s]" (String.concat " -> " (List.map string_of_int c.path))
+
+let footprint_summary t =
+  let by_dir dir =
+    List.filter_map
+      (fun e ->
+        match e.dep with
+        | Datapath.Dep_nbr { drow; dcol; layer } when dir_name drow dcol = dir ->
+          Some (Printf.sprintf "L%d->%s" layer (reader_name e.reader))
+        | _ -> None)
+      t.edges
+  in
+  let cur =
+    List.filter_map
+      (fun e ->
+        match e.dep with
+        | Datapath.Dep_cur l -> Some (Printf.sprintf "L%d->%s" l (reader_name e.reader))
+        | _ -> None)
+      t.edges
+  in
+  let part name items =
+    if items = [] then None else Some (name ^ ": " ^ String.concat ", " items)
+  in
+  List.filter_map Fun.id
+    [ part "NW" (by_dir "NW"); part "N" (by_dir "N"); part "W" (by_dir "W");
+      part "same-cell" cur ]
+  |> String.concat "; "
+
+let findings t =
+  let errs =
+    List.map
+      (fun e ->
+        Report.error ~check:"depend-layer-range"
+          (Printf.sprintf "%s reads %s but the kernel has %d layer%s"
+             (reader_name e.reader) (dep_name e.dep) t.n_layers
+             (if t.n_layers = 1 then "" else "s")))
+      t.bad_layer
+    @ List.map
+        (fun e ->
+          match e.dep with
+          | Datapath.Dep_nbr { drow; dcol; layer } ->
+            Report.error ~check:"depend-out-of-stencil"
+              (Printf.sprintf
+                 "%s reads cell (row-%d, col-%d) layer %d — outside the wavefront \
+                  stencil {NW (1,1), N (1,0), W (0,1)}: the anti-diagonal schedule \
+                  double-buffers only the previous two wavefront planes, so that \
+                  cell's scores are overwritten before this read would consume them"
+                 (reader_name e.reader) drow dcol layer)
+          | Datapath.Dep_cur _ -> assert false)
+        t.out_of_stencil
+    @ List.map
+        (fun e ->
+          match e.dep with
+          | Datapath.Dep_cur 0 ->
+            Report.error ~check:"depend-cur-order"
+              (Printf.sprintf
+                 "%s reads same-cell layer 0, which is evaluated last — Cur 0 is \
+                  never available" (reader_name e.reader))
+          | Datapath.Dep_cur l ->
+            Report.error ~check:"depend-cur-order"
+              (Printf.sprintf
+                 "%s reads same-cell layer %d — gap layers are evaluated before \
+                  layer 0, so only layer 0 and the traceback pointer may read \
+                  same-cell state" (reader_name e.reader) l)
+          | Datapath.Dep_nbr _ -> assert false)
+        t.cur_violations
+    @ List.filter_map
+        (fun c ->
+          if c.distance = 0 then
+            Some
+              (Report.error ~check:"depend-combinational-cycle"
+                 (Printf.sprintf
+                    "layers %s form a zero-distance dependence cycle — the cell is \
+                     combinationally self-referential" (cycle_name c)))
+          else None)
+        t.cycles
+  in
+  if errs <> [] then errs
+  else
+    [ Report.info ~check:"depend-stencil"
+        (Printf.sprintf
+           "read footprint confined to the wavefront stencil — %s; %d loop-carried \
+            cycle%s%s"
+           (if t.edges = [] then "no cell-state reads" else footprint_summary t)
+           (List.length t.cycles)
+           (if List.length t.cycles = 1 then "" else "s")
+           (if t.cycles = [] then ""
+            else
+              ": "
+              ^ String.concat ", "
+                  (List.map
+                     (fun c ->
+                       Printf.sprintf "%s distance %d" (cycle_name c) c.distance)
+                     t.cycles))) ]
+
+let explain ppf t =
+  Format.fprintf ppf "dependence footprint (%d layer%s):@\n" t.n_layers
+    (if t.n_layers = 1 then "" else "s");
+  let tag e =
+    if List.memq e t.bad_layer then "  [ERROR: layer out of range]"
+    else if List.memq e t.out_of_stencil then "  [ERROR: outside wavefront stencil]"
+    else if List.memq e t.cur_violations then "  [ERROR: breaks evaluation order]"
+    else ""
+  in
+  if t.edges = [] then Format.fprintf ppf "  (no cell-state reads)@\n"
+  else
+    List.iter
+      (fun e ->
+        Format.fprintf ppf "  %-16s reads %-20s distance %d%s@\n"
+          (reader_name e.reader) (dep_name e.dep) (distance e.dep) (tag e))
+      t.edges;
+  Format.fprintf ppf "wavefront stencil: NW (1,1), N (1,0), W (0,1) — the schedule \
+                      keeps exactly the previous two wavefront planes alive@\n";
+  Format.fprintf ppf "loop-carried cycles:@\n";
+  if t.cycles = [] then Format.fprintf ppf "  (none)@\n"
+  else
+    List.iter
+      (fun c ->
+        Format.fprintf ppf "  %s distance %d%s@\n" (cycle_name c) c.distance
+          (if c.distance = 0 then "  [ERROR: combinational]" else ""))
+      t.cycles

@@ -1,0 +1,62 @@
+(** Dependence-footprint analysis ([dphls check] pass 1 of 3).
+
+    Walks the kernel's symbolic datapath ({!Dphls_core.Datapath.cell})
+    and extracts the exact read footprint of every output — which
+    neighbour direction and which layer each layer expression and each
+    traceback-pointer field reads. The pass then proves the footprint
+    confined to {!Dphls_core.Datapath.wavefront_stencil}: the
+    anti-diagonal schedule keeps only the previous two wavefronts'
+    score planes alive (double-buffered), so a read outside
+    {NW, N, W} — expressible through [Nbr] — references a plane that
+    has already been overwritten and is reported as an error before any
+    engine would trip over it at run time.
+
+    On the legal footprint the pass builds the inter-layer dependence
+    graph (edge [s -> d] when layer/pointer [d] reads layer [s];
+    distance = wavefronts back, 0 for same-cell [Cur] reads) and
+    enumerates its loop-carried cycles. A zero-distance cycle means the
+    cell is combinationally self-referential and is an error; the
+    positive-distance cycles are what bound the initiation interval and
+    are handed to the [Ii] pass. *)
+
+type reader =
+  | Rd_layer of int  (** layer expression [i] *)
+  | Rd_tb of int     (** traceback pointer field [i] (LSB-first) *)
+
+type edge = { reader : reader; dep : Dphls_core.Datapath.dep }
+
+type cycle = {
+  path : int list;
+      (** layers in order; [[0]] is a self-loop on layer 0,
+          [[0; 1]] means 0 -> 1 -> 0 *)
+  distance : int;
+      (** minimal total dependence distance (wavefronts) over the edge
+          choices along the path; 0 = combinational cycle *)
+}
+
+type t = {
+  n_layers : int;
+  edges : edge list;          (** full footprint, deduplicated per reader *)
+  out_of_stencil : edge list; (** [Nbr] reads outside the stencil *)
+  bad_layer : edge list;      (** source layer outside [0, n_layers) *)
+  cur_violations : edge list; (** same-cell reads breaking the
+                                  gap-layers-first evaluation order *)
+  cycles : cycle list;        (** node-simple cycles over the legal edges *)
+}
+
+val analyze : Dphls_core.Datapath.cell -> n_layers:int -> t
+
+val dir_name : int -> int -> string
+(** "NW" / "N" / "W" for stencil offsets, "(drow,dcol)" otherwise. *)
+
+val reader_name : reader -> string
+
+val findings : t -> Report.finding list
+(** Errors [depend-out-of-stencil], [depend-layer-range],
+    [depend-cur-order], [depend-combinational-cycle]; when none fire, a
+    single [depend-stencil] info summarising the proven footprint and
+    the loop-carried cycles. *)
+
+val explain : Format.formatter -> t -> unit
+(** Human-readable derivation for
+    [dphls check --kernel N --explain depend]. *)

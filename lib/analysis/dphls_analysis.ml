@@ -15,17 +15,36 @@
       [(state, ptr)] space: out-of-range successors, [Stay]-only cycles
       (the exact condition for a non-terminating traceback), stop-rule
       inconsistencies;
+    - {!Depend} — dependence-footprint analysis over the symbolic
+      datapath: proves every cell-state read confined to the wavefront
+      stencil {NW, N, W}, reports the inter-layer dependence graph and
+      its loop-carried cycles;
+    - {!Ii} — loop-carried recurrence critical path over the compiled
+      flat code ({!Latency} per-opcode levels): modeled initiation
+      interval and frequency tier, cross-checked against the declared
+      traits and [Dphls_resource.Freq];
+    - {!Fastpath} — Myers/GeneTEK bit-parallel eligibility classifier
+      (unit-cost edit-distance shape), naming the qualifying or
+      disqualifying property;
     - {!Lint} — configuration lint: adaptive-band thresholds against
       the [2|gap|·width] pruning bound, band width vs matrix size,
-      PE-array utilization, pointer width vs [tb_bits];
+      PE-array utilization, pointer width vs [tb_bits], shared
+      metrics sinks across worker domains;
     - {!Check} — runs all of the above on one kernel;
-    - {!Report} — the severity-ranked findings report (text and JSON).
+    - {!Report} — the severity-ranked findings report (text and JSON,
+      both directions — {!Json} is the strict parser behind
+      [Report.of_json]).
 
     See [docs/analysis.md] for the methodology and worked examples. *)
 
 module Check = Check
+module Depend = Depend
+module Fastpath = Fastpath
 module Fsm_check = Fsm_check
+module Ii = Ii
 module Interval = Interval
+module Json = Json
+module Latency = Latency
 module Lint = Lint
 module Report = Report
 module Widths = Widths

@@ -1,0 +1,241 @@
+open Dphls_core
+open Dphls_core.Datapath
+
+type edge = { src : int; dst : int; dir : string; dist : int; levels : int }
+
+type cycle = { path : int list; dirs : string list; levels : int; dist : int }
+
+type t = {
+  insts : int;
+  full_depth : int;
+  edges : edge list;
+  cycles : cycle list;
+  critical : cycle option;
+  recurrence_depth : int;
+  modeled_ii : int;
+  modeled_mhz : float;
+}
+
+let operands = function
+  | V_const _ | V_up _ | V_diag _ | V_left _ | V_qry _ | V_ref _ -> []
+  | V_addi (a, _) | V_abs a -> [ a ]
+  | V_add (a, b) | V_sub (a, b) | V_mul (a, b) | V_absdiff (a, b)
+  | V_max (a, b) | V_min (a, b)
+  | V_lookup (_, a, b) -> [ a; b ]
+  | V_max3 (a, b, c) | V_min3 (a, b, c) -> [ a; b; c ]
+  | V_sel_eq (a, b, t, u) | V_sel_le (a, b, t, u) | V_sel_lt (a, b, t, u) ->
+    [ a; b; t; u ]
+
+(* Longest path (in levels of logic) from instruction [src] to every
+   later instruction of the SSA DAG; [min_int] = unreachable. *)
+let longest_from v src =
+  let n = Array.length v.v_insts in
+  let d = Array.make n min_int in
+  d.(src) <- 0;
+  for i = src + 1 to n - 1 do
+    let best =
+      List.fold_left
+        (fun acc o -> if d.(o) > acc then d.(o) else acc)
+        min_int
+        (operands v.v_insts.(i))
+    in
+    if best > min_int then d.(i) <- best + Latency.of_inst v.v_insts.(i)
+  done;
+  d
+
+let find_cycles n_layers edges =
+  let adj = Array.make (max 1 n_layers) [] in
+  List.iter (fun e -> adj.(e.src) <- e :: adj.(e.src)) edges;
+  Array.iteri (fun i l -> adj.(i) <- List.rev l) adj;
+  let found = ref [] in
+  for start = 0 to n_layers - 1 do
+    let rec dfs path dirs levels dist node =
+      List.iter
+        (fun e ->
+          if e.dst = start then
+            found :=
+              { path = List.rev path; dirs = List.rev (e.dir :: dirs);
+                levels = levels + e.levels; dist = dist + e.dist }
+              :: !found
+          else if e.dst > start && not (List.mem e.dst path) then
+            dfs (e.dst :: path) (e.dir :: dirs) (levels + e.levels)
+              (dist + e.dist) e.dst)
+        adj.(node)
+    in
+    dfs [ start ] [] 0 0 start
+  done;
+  List.sort compare !found
+
+let ratio c = float_of_int c.levels /. float_of_int c.dist
+
+let analyze cell bindings =
+  match compile cell bindings with
+  | exception Invalid_argument msg -> Error msg
+  | p ->
+    let v = view p in
+    let n = Array.length v.v_insts in
+    (* full input-to-output depth *)
+    let lvl = Array.make n 0 in
+    for i = 0 to n - 1 do
+      let best =
+        List.fold_left (fun acc o -> max acc lvl.(o)) 0 (operands v.v_insts.(i))
+      in
+      lvl.(i) <- best + Latency.of_inst v.v_insts.(i)
+    done;
+    let full_depth =
+      Array.fold_left (fun acc r -> max acc lvl.(r)) 0 v.v_layer_regs
+      |> fun acc -> Array.fold_left (fun acc r -> max acc lvl.(r)) acc v.v_tb_regs
+    in
+    (* recurrence multigraph: longest path from each neighbour-score
+       read to each layer register *)
+    let sources =
+      Array.to_list v.v_insts
+      |> List.mapi (fun i inst ->
+             match inst with
+             | V_up l -> Some (i, l, "N", 1)
+             | V_diag l -> Some (i, l, "NW", 2)
+             | V_left l -> Some (i, l, "W", 1)
+             | _ -> None)
+      |> List.filter_map Fun.id
+    in
+    let edges =
+      List.concat_map
+        (fun (i, src, dir, dist) ->
+          let d = longest_from v i in
+          Array.to_list v.v_layer_regs
+          |> List.mapi (fun dst r ->
+                 if d.(r) > min_int then Some { src; dst; dir; dist; levels = d.(r) }
+                 else None)
+          |> List.filter_map Fun.id)
+        sources
+    in
+    let cycles = find_cycles v.v_n_layers edges in
+    let critical =
+      List.fold_left
+        (fun acc c ->
+          match acc with Some b when ratio b >= ratio c -> acc | _ -> Some c)
+        None cycles
+    in
+    let recurrence_depth =
+      match critical with Some c -> (c.levels + c.dist - 1) / c.dist | None -> 0
+    in
+    Ok
+      {
+        insts = n;
+        full_depth;
+        edges;
+        cycles;
+        critical;
+        recurrence_depth;
+        modeled_ii = 1;
+        (* Feed-forward logic can be pipelined without raising II, so the
+           achievable-clock bound comes from the unretimeable loop-carried
+           cycle, not the full input-to-output depth. *)
+        modeled_mhz = Dphls_resource.Freq.mhz_of_depth recurrence_depth;
+      }
+
+let depth_tolerance = 1
+
+let cycle_name c =
+  Printf.sprintf "[%s via %s]"
+    (String.concat " -> " (List.map string_of_int c.path))
+    (String.concat "," c.dirs)
+
+let tier_index mhz =
+  let rec go i = function
+    | [] -> i - 1
+    | t :: rest -> if mhz >= t -. 0.01 then i else go (i + 1) rest
+  in
+  go 0 Dphls_resource.Freq.tiers
+
+let findings t ~traits =
+  let declared_depth = traits.Traits.logic_depth in
+  let declared_ii = traits.Traits.ii in
+  let declared_mhz = Dphls_resource.Freq.max_mhz traits in
+  let path_info =
+    Report.info ~check:"ii-path"
+      (Printf.sprintf
+         "flat code: %d insts, input-to-output critical path %d levels \
+          (pipelineable); loop-carried critical cycle %s: %d levels / %d \
+          wavefronts -> recurrence bound %d levels, fmax tier %.1f MHz; \
+          modeled II %d (declared %d)"
+         t.insts t.full_depth
+         (match t.critical with Some c -> cycle_name c | None -> "(none)")
+         (match t.critical with Some c -> c.levels | None -> 0)
+         (match t.critical with Some c -> c.dist | None -> 0)
+         t.recurrence_depth t.modeled_mhz t.modeled_ii declared_ii)
+  in
+  let infeasible =
+    if declared_ii < t.modeled_ii then
+      [ Report.error ~check:"ii-infeasible"
+          (Printf.sprintf
+             "declared II %d is below the loop-carried recurrence bound %d — no \
+              schedule can issue wavefronts that fast" declared_ii t.modeled_ii) ]
+    else []
+  in
+  let drift =
+    if declared_depth < t.recurrence_depth - depth_tolerance then
+      [ Report.warning ~check:"ii-depth-drift"
+          (Printf.sprintf
+             "declared logic depth %d is below the loop-carried recurrence bound \
+              %d levels (critical cycle %s) — the declared clock tier cannot be \
+              met even with retiming" declared_depth t.recurrence_depth
+             (match t.critical with Some c -> cycle_name c | None -> "(none)")) ]
+    else if declared_depth > t.full_depth + depth_tolerance then
+      [ Report.info ~check:"ii-depth-conservative"
+          (Printf.sprintf
+             "declared logic depth %d exceeds the modeled full combinational \
+              depth %d levels: the resource model prices this datapath \
+              conservatively (wide operands, control overhead)" declared_depth
+             t.full_depth) ]
+    else []
+  in
+  let freq =
+    (* Tolerance: one level of slack on the recurrence bound before its
+       frequency tier is compared against the declared tier. *)
+    let bound =
+      Dphls_resource.Freq.mhz_of_depth
+        (max 0 (t.recurrence_depth - depth_tolerance))
+    in
+    if tier_index declared_mhz < tier_index bound then
+      [ Report.warning ~check:"ii-freq"
+          (Printf.sprintf
+             "declared frequency tier %.1f MHz exceeds the recurrence-bound tier \
+              %.1f MHz (critical cycle needs %d levels per wavefront, tolerance \
+              ±%d) — the loop-carried dependence cannot be retimed away"
+             declared_mhz bound t.recurrence_depth depth_tolerance) ]
+    else []
+  in
+  (path_info :: infeasible) @ drift @ freq
+
+let explain ppf t ~traits =
+  Format.fprintf ppf "flat code: %d instructions (after CSE/folding/DCE)@\n" t.insts;
+  Format.fprintf ppf
+    "input-to-output critical path: %d levels of logic (pipelineable, does \
+     not bound II)@\n"
+    t.full_depth;
+  Format.fprintf ppf "recurrence edges (levels along longest path):@\n";
+  if t.edges = [] then Format.fprintf ppf "  (none — no neighbour reads)@\n"
+  else
+    List.iter
+      (fun e ->
+        Format.fprintf ppf
+          "  layer %d --%s(distance %d)--> layer %d: %d levels@\n" e.src e.dir
+          e.dist e.dst e.levels)
+      t.edges;
+  Format.fprintf ppf "loop-carried cycles (ratio = levels/wavefront):@\n";
+  if t.cycles = [] then Format.fprintf ppf "  (none)@\n"
+  else
+    List.iter
+      (fun c ->
+        Format.fprintf ppf "  %s: %d levels / %d wavefronts = %.2f%s@\n"
+          (cycle_name c) c.levels c.dist (ratio c)
+          (if t.critical = Some c then "  <- critical" else ""))
+      t.cycles;
+  Format.fprintf ppf
+    "recurrence bound: %d levels; modeled II %d; declared traits: ii %d, \
+     logic_depth %d (%.1f MHz); tolerance ±%d levels on \
+     [recurrence, full] = [%d, %d]@\n"
+    t.recurrence_depth t.modeled_ii traits.Traits.ii traits.Traits.logic_depth
+    (Dphls_resource.Freq.max_mhz traits) depth_tolerance t.recurrence_depth
+    t.full_depth

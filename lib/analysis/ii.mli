@@ -1,0 +1,84 @@
+(** Loop-carried recurrence / initiation-interval analysis
+    ([dphls check] pass 2 of 3).
+
+    Works on the {e compiled} flat code (PR-4's CSE'd, constant-folded
+    SSA program — the instructions the engines actually execute, decoded
+    through {!Dphls_core.Datapath.view}), not the surface expression
+    tree, so algebraic sharing and folded constants are accounted for.
+
+    Two quantities are derived with the {!Latency} per-opcode table:
+
+    - [full_depth]: the longest register-to-register combinational path
+      through one PE — every input (neighbour scores, shifted
+      characters) is registered, so this is the clock-period bound an
+      HLS flow that does not retime across the PE boundary must meet.
+    - the {e loop-carried} critical cycle: longest path from each
+      neighbour-score read back to the layer register it feeds, lifted
+      to an inter-layer multigraph whose edge distances are wavefronts
+      (N/W = 1, NW = 2). The maximum cycle ratio levels/distance is the
+      recurrence bound — no amount of pipelining or retiming can beat
+      it, which is why the wavefront loop achieves II = 1 only when
+      every cycle has distance >= 1 (guaranteed once the [Depend] pass
+      is clean).
+
+    The modeled depth maps through {!Dphls_resource.Freq.mhz_of_depth}
+    onto the paper's discrete frequency tiers and is cross-checked
+    against the kernel's declared {!Dphls_core.Traits.t} (the numbers
+    {!Dphls_resource.Freq.max_mhz} and the {!Dphls_baselines.Rtl_model}
+    cycle model consume). Tolerance rule: see docs/analysis.md. *)
+
+type edge = {
+  src : int;        (** layer whose neighbour score is read *)
+  dst : int;        (** layer register the path terminates in *)
+  dir : string;     (** "NW" | "N" | "W" *)
+  dist : int;       (** dependence distance in wavefronts (NW = 2) *)
+  levels : int;     (** levels of logic along the longest such path *)
+}
+
+type cycle = {
+  path : int list;     (** layers in order; [[0]] = self-loop on layer 0 *)
+  dirs : string list;  (** direction of each step *)
+  levels : int;
+  dist : int;
+}
+
+type t = {
+  insts : int;             (** flat instructions after CSE/folding/DCE *)
+  full_depth : int;        (** longest input-to-output path, levels *)
+  edges : edge list;       (** recurrence multigraph *)
+  cycles : cycle list;     (** all simple cycles (with edge choices) *)
+  critical : cycle option; (** argmax of levels/dist *)
+  recurrence_depth : int;  (** ceil(levels/dist) of the critical cycle *)
+  modeled_ii : int;        (** 1 when every cycle spans >= 1 wavefront *)
+  modeled_mhz : float;     (** Freq tier of [recurrence_depth]: feed-forward
+                               logic can be pipelined without raising II, so
+                               only the unretimeable loop-carried cycle
+                               bounds the achievable clock *)
+}
+
+val analyze :
+  Dphls_core.Datapath.cell ->
+  Dphls_core.Datapath.bindings ->
+  (t, string) result
+(** [Error msg] when the cell does not compile (unbound names,
+    out-of-stencil [Nbr] reads — the [Depend] pass reports those). *)
+
+val depth_tolerance : int
+(** Allowed slack, in levels of logic, on the recurrence bound before
+    the declared traits are flagged (see docs/analysis.md). *)
+
+val findings : t -> traits:Dphls_core.Traits.t -> Report.finding list
+(** Info [ii-path] with the derivation summary; error [ii-infeasible]
+    when the declared II is below the recurrence bound; warning
+    [ii-depth-drift] when the declared logic depth is below the
+    recurrence bound by more than {!depth_tolerance} (the declared
+    clock is unachievable even with retiming); info
+    [ii-depth-conservative] when the declared depth exceeds even the
+    full unpipelined datapath depth; warning [ii-freq] when the
+    declared frequency tier is faster than the recurrence-bound tier
+    (with {!depth_tolerance} levels of slack). The agreement contract
+    tested catalog-wide: no [ii-infeasible], no [ii-depth-drift], no
+    [ii-freq] on any catalog kernel. *)
+
+val explain : Format.formatter -> t -> traits:Dphls_core.Traits.t -> unit
+(** Derivation dump for [dphls check --kernel N --explain ii]. *)

@@ -1,0 +1,29 @@
+(** Minimal strict JSON (RFC 8259) reader.
+
+    The repository deliberately has no dependencies beyond the baked-in
+    toolchain, so report serialization is hand-rolled
+    ({!Report.to_json}). This module is the matching parser: it lets
+    {!Report.of_json} round-trip the checker's own output (property
+    tested in test/t_analysis.ml) and lets CI diff a freshly generated
+    [dphls check --all --json] artifact against the committed baseline
+    structurally rather than byte-wise.
+
+    Strictness: rejects trailing garbage, unterminated strings, bare
+    control characters inside strings, invalid escapes, and malformed
+    numbers. Numbers are represented as [float] (sufficient for the
+    report schema's small integers). [\uXXXX] escapes are decoded to
+    UTF-8; lone surrogates are rejected. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list  (** fields in source order *)
+
+val parse : string -> (t, string) result
+(** [Error msg] includes the byte offset of the failure. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] otherwise. *)

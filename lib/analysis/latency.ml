@@ -1,0 +1,43 @@
+open Dphls_core.Datapath
+
+let of_inst = function
+  | V_const _ | V_up _ | V_diag _ | V_left _ | V_qry _ | V_ref _ -> 0
+  | V_add _ | V_addi _ | V_sub _ | V_abs _ -> 1
+  | V_max _ | V_min _ -> 1
+  | V_max3 _ | V_min3 _ -> 2
+  | V_absdiff _ -> 2
+  | V_sel_eq _ | V_sel_le _ | V_sel_lt _ -> 2
+  | V_lookup _ -> 1
+  | V_mul _ -> 3
+
+let mnemonic = function
+  | V_const _ -> "const"
+  | V_up _ -> "up"
+  | V_diag _ -> "diag"
+  | V_left _ -> "left"
+  | V_qry _ -> "qry"
+  | V_ref _ -> "ref"
+  | V_add _ -> "add"
+  | V_addi _ -> "addi"
+  | V_sub _ -> "sub"
+  | V_mul _ -> "mul"
+  | V_abs _ -> "abs"
+  | V_absdiff _ -> "absdiff"
+  | V_max _ -> "max"
+  | V_min _ -> "min"
+  | V_max3 _ -> "max3"
+  | V_min3 _ -> "min3"
+  | V_sel_eq _ -> "sel_eq"
+  | V_sel_le _ -> "sel_le"
+  | V_sel_lt _ -> "sel_lt"
+  | V_lookup _ -> "lookup"
+
+let table =
+  [
+    ("const", 0); ("up", 0); ("diag", 0); ("left", 0); ("qry", 0); ("ref", 0);
+    ("add", 1); ("addi", 1); ("sub", 1); ("abs", 1);
+    ("max", 1); ("min", 1); ("lookup", 1);
+    ("max3", 2); ("min3", 2); ("absdiff", 2);
+    ("sel_eq", 2); ("sel_le", 2); ("sel_lt", 2);
+    ("mul", 3);
+  ]

@@ -1,0 +1,22 @@
+(** Per-opcode latency model for the compiled PE datapath.
+
+    Latencies are in {e levels of logic} — the unit of
+    {!Dphls_core.Traits.t.logic_depth} and the domain of the
+    {!Dphls_resource.Freq} achieved-clock tiers. The [Ii] analysis sums
+    them along register-to-register paths of the flat code to model the
+    loop-carried recurrence critical path. The table mirrors how the
+    paper's HLS flow maps operators onto FPGA fabric: reads are wires
+    (0), adders/comparators one LUT level each, a select is a compare
+    plus a mux, fused three-way reductions are two comparator levels,
+    the DTW |a−b| primitive a subtract plus a conditional negate, and a
+    multiplier three levels (DSP cascade). *)
+
+val of_inst : Dphls_core.Datapath.view_inst -> int
+(** Levels of logic of one flat instruction. *)
+
+val mnemonic : Dphls_core.Datapath.view_inst -> string
+(** Short opcode name for explain output ("add", "sel_le", ...). *)
+
+val table : (string * int) list
+(** The documented (mnemonic, levels) table, for docs and tests; every
+    distinct mnemonic appears once. *)

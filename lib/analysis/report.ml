@@ -84,3 +84,99 @@ let list_to_json reports =
   Printf.sprintf {|{"reports": [%s], "errors": %d}|}
     (String.concat ", " (List.map to_json reports))
     (List.fold_left (fun acc r -> acc + errors r) 0 reports)
+
+let severity_of_label = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+(* Parsing helpers over Json.t; [ctx] names the field being decoded so
+   mismatches point at the offending part of the schema. *)
+let json_int ctx = function
+  | Json.Num f when Float.is_integer f -> Ok (int_of_float f)
+  | _ -> Error (Printf.sprintf "%s: expected an integer" ctx)
+
+let json_str ctx = function
+  | Json.Str s -> Ok s
+  | _ -> Error (Printf.sprintf "%s: expected a string" ctx)
+
+let json_field ctx name j =
+  match Json.member name j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing field \"%s\"" ctx name)
+
+let ( let* ) = Result.bind
+
+let finding_of_value j =
+  let* check = json_field "finding" "check" j in
+  let* check = json_str "finding.check" check in
+  let* sev = json_field "finding" "severity" j in
+  let* sev = json_str "finding.severity" sev in
+  let* severity =
+    match severity_of_label sev with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "finding.severity: unknown label %S" sev)
+  in
+  let* message = json_field "finding" "message" j in
+  let* message = json_str "finding.message" message in
+  Ok { check; severity; message }
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let of_value j =
+  let* kernel = json_field "report" "kernel" j in
+  let* id = json_field "report.kernel" "id" kernel in
+  let* kernel_id = json_int "report.kernel.id" id in
+  let* name = json_field "report.kernel" "name" kernel in
+  let* kernel_name = json_str "report.kernel.name" name in
+  let* ml = json_field "report" "max_len" j in
+  let* max_len = json_int "report.max_len" ml in
+  let* fs = json_field "report" "findings" j in
+  let* findings =
+    match fs with
+    | Json.Arr items -> map_result finding_of_value items
+    | _ -> Error "report.findings: expected an array"
+  in
+  let t = create ~kernel_id ~kernel_name ~max_len findings in
+  let* summary = json_field "report" "summary" j in
+  let check_count what count =
+    let* v = json_field "report.summary" what summary in
+    let* n = json_int ("report.summary." ^ what) v in
+    if n = count then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "report.summary.%s: claims %d but the findings list has %d" what n
+           count)
+  in
+  let* () = check_count "errors" (errors t) in
+  let* () = check_count "warnings" (warnings t) in
+  let* () = check_count "infos" (infos t) in
+  Ok t
+
+let of_json s =
+  let* j = Json.parse s in
+  of_value j
+
+let list_of_json s =
+  let* j = Json.parse s in
+  let* rs = json_field "root" "reports" j in
+  let* reports =
+    match rs with
+    | Json.Arr items -> map_result of_value items
+    | _ -> Error "root.reports: expected an array"
+  in
+  let* e = json_field "root" "errors" j in
+  let* total = json_int "root.errors" e in
+  let actual = List.fold_left (fun acc r -> acc + errors r) 0 reports in
+  if total <> actual then
+    Error
+      (Printf.sprintf "root.errors: claims %d but the reports sum to %d" total
+         actual)
+  else Ok reports

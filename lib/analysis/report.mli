@@ -49,3 +49,13 @@ val to_json : t -> string
 
 val list_to_json : t list -> string
 (** [{"reports": [...], "errors": total}]. *)
+
+val of_json : string -> (t, string) result
+(** Strict inverse of {!to_json} (via {!Json}): validates the schema,
+    including that the embedded summary counts match the findings list.
+    Round-trip law (property tested): [of_json (to_json t) = Ok t]. *)
+
+val list_of_json : string -> (t list, string) result
+(** Inverse of {!list_to_json}; also validates the total error count.
+    CI uses it to compare a fresh [dphls check --all --json] artifact
+    against the committed baseline structurally. *)

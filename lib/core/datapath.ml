@@ -14,6 +14,7 @@ and expr =
   | Qry of int
   | Ref of int
   | Cur of int
+  | Nbr of int * int * int
   | Add of expr * expr
   | Sub of expr * expr
   | Mul of expr * expr
@@ -35,6 +36,54 @@ type bindings = {
 (* Layer-0-last evaluation order (see the interface). *)
 let eval_order n_layers =
   List.init (n_layers - 1) (fun i -> i + 1) @ [ 0 ]
+
+(* The wavefront schedule's legality contract: the only cross-cell
+   offsets the engines' double-buffered score planes can serve. *)
+let wavefront_stencil = [ (1, 1); (1, 0); (0, 1) ]
+
+let out_of_stencil_msg what drow dcol =
+  Printf.sprintf
+    "Datapath.%s: Nbr (%d, %d) is outside the wavefront stencil \
+     {NW=(1,1), N=(1,0), W=(0,1)} — the anti-diagonal schedule \
+     double-buffers only the previous two wavefronts, so this read \
+     cannot be served (dphls check reports it as depend-out-of-stencil)"
+    what drow dcol
+
+type dep =
+  | Dep_nbr of { drow : int; dcol : int; layer : int }
+  | Dep_cur of int
+
+let expr_deps e =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let add d =
+    if not (Hashtbl.mem seen d) then begin
+      Hashtbl.add seen d ();
+      out := d :: !out
+    end
+  in
+  let rec walk = function
+    | Const _ | Param _ | Qry _ | Ref _ -> ()
+    | Up l -> add (Dep_nbr { drow = 1; dcol = 0; layer = l })
+    | Diag l -> add (Dep_nbr { drow = 1; dcol = 1; layer = l })
+    | Left l -> add (Dep_nbr { drow = 0; dcol = 1; layer = l })
+    | Nbr (drow, dcol, l) -> add (Dep_nbr { drow; dcol; layer = l })
+    | Cur l -> add (Dep_cur l)
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Lookup2 (_, a, b) ->
+      walk a;
+      walk b
+    | Abs a -> walk a
+    | Max es | Min es -> List.iter walk es
+    | Ite (c, t, f) ->
+      (match c with
+      | Eq (a, b) | Le (a, b) | Lt (a, b) ->
+        walk a;
+        walk b);
+      walk t;
+      walk f
+  in
+  walk e;
+  List.rev !out
 
 let eval cell bindings =
   let param name =
@@ -62,6 +111,12 @@ let eval cell bindings =
       | Cur l ->
         if not cur_done.(l) then invalid_arg "Datapath.eval: Cur before definition";
         cur.(l)
+      | Nbr (drow, dcol, l) -> (
+        match (drow, dcol) with
+        | 1, 1 -> input.Pe.diag.(l)
+        | 1, 0 -> input.Pe.up.(l)
+        | 0, 1 -> input.Pe.left.(l)
+        | _ -> invalid_arg (out_of_stencil_msg "eval" drow dcol))
       | Add (a, b) -> Score.add (ev a) (ev b)
       | Sub (a, b) -> Score.add (ev a) (-ev b)
       | Mul (a, b) -> Score.mul (ev a) (ev b)
@@ -261,6 +316,12 @@ let compile cell bindings =
       if l < 0 || l >= n_layers || layer_regs.(l) < 0 then
         invalid_arg "Datapath.compile: Cur before definition";
       layer_regs.(l)
+    | Nbr (drow, dcol, l) -> (
+      match (drow, dcol) with
+      | 1, 1 -> emit (I_diag (check_layer "Nbr" l))
+      | 1, 0 -> emit (I_up (check_layer "Nbr" l))
+      | 0, 1 -> emit (I_left (check_layer "Nbr" l))
+      | _ -> invalid_arg (out_of_stencil_msg "compile" drow dcol))
     | Add (a, b) -> (
       let ra = ev a and rb = ev b in
       match (const_of ra, const_of rb) with
@@ -533,6 +594,72 @@ let flat p =
   let regs = Array.make (max 1 p.n_insts) 0 in
   fun buf -> exec p regs buf
 
+type view_inst =
+  | V_const of int
+  | V_up of int
+  | V_diag of int
+  | V_left of int
+  | V_qry of int
+  | V_ref of int
+  | V_add of int * int
+  | V_addi of int * int
+  | V_sub of int * int
+  | V_mul of int * int
+  | V_abs of int
+  | V_absdiff of int * int
+  | V_max of int * int
+  | V_min of int * int
+  | V_max3 of int * int * int
+  | V_min3 of int * int * int
+  | V_sel_eq of int * int * int * int
+  | V_sel_le of int * int * int * int
+  | V_sel_lt of int * int * int * int
+  | V_lookup of int * int * int
+
+type view = {
+  v_insts : view_inst array;
+  v_layer_regs : int array;
+  v_tb_regs : int array;
+  v_n_layers : int;
+}
+
+let view p =
+  let decode i =
+    let base = i * 5 in
+    let a = p.code.(base + 1)
+    and b = p.code.(base + 2)
+    and c = p.code.(base + 3)
+    and d = p.code.(base + 4) in
+    match p.code.(base) with
+    | 0 (* op_const *) -> V_const a
+    | 1 (* op_up *) -> V_up a
+    | 2 (* op_diag *) -> V_diag a
+    | 3 (* op_left *) -> V_left a
+    | 4 (* op_qry *) -> V_qry a
+    | 5 (* op_ref *) -> V_ref a
+    | 6 (* op_add *) -> V_add (a, b)
+    | 7 (* op_addi *) -> V_addi (a, b)
+    | 8 (* op_sub *) -> V_sub (a, b)
+    | 9 (* op_mul *) -> V_mul (a, b)
+    | 10 (* op_abs *) -> V_abs a
+    | 11 (* op_absdiff *) -> V_absdiff (a, b)
+    | 12 (* op_max *) -> V_max (a, b)
+    | 13 (* op_min *) -> V_min (a, b)
+    | 14 (* op_max3 *) -> V_max3 (a, b, c)
+    | 15 (* op_min3 *) -> V_min3 (a, b, c)
+    | 16 (* op_sel_eq *) -> V_sel_eq (a, b, c, d)
+    | 17 (* op_sel_le *) -> V_sel_le (a, b, c, d)
+    | 18 (* op_sel_lt *) -> V_sel_lt (a, b, c, d)
+    | 19 (* op_lookup *) -> V_lookup (a, b, c)
+    | op -> invalid_arg (Printf.sprintf "Datapath.view: corrupt opcode %d" op)
+  in
+  {
+    v_insts = Array.init p.n_insts decode;
+    v_layer_regs = Array.copy p.layer_regs;
+    v_tb_regs = Array.copy p.tb_regs;
+    v_n_layers = p.n_layers;
+  }
+
 type op_count = {
   adders : int;
   multipliers : int;
@@ -557,7 +684,8 @@ let count cell =
     | None ->
       let d =
         match e with
-        | Const _ | Param _ | Up _ | Diag _ | Left _ | Qry _ | Ref _ | Cur _ -> 1
+        | Const _ | Param _ | Up _ | Diag _ | Left _ | Qry _ | Ref _ | Cur _
+        | Nbr _ -> 1
         | Add (a, b) | Sub (a, b) ->
           incr adders;
           1 + max (walk a) (walk b)
@@ -609,6 +737,10 @@ let validate cell ~n_layers =
     | Up l -> check_layer l "Up"
     | Diag l -> check_layer l "Diag"
     | Left l -> check_layer l "Left"
+    (* stencil membership is deliberately NOT validated here: an
+       out-of-stencil [Nbr] is a well-formed description of an illegal
+       schedule, which the [Depend] analysis reports with context *)
+    | Nbr (_, _, l) -> check_layer l "Nbr"
     | Cur l ->
       check_layer l "Cur";
       if not allow_cur then invalid_arg "Datapath.validate: Cur in a gap layer";

@@ -29,6 +29,16 @@ and expr =
   | Ref of int                 (** element of the local reference character *)
   | Cur of int                 (** current cell's layer (must be evaluated
                                    earlier per the convention above) *)
+  | Nbr of int * int * int     (** [Nbr (drow, dcol, layer)]: generalized
+                                   neighbour read of cell
+                                   (row-drow, col-dcol). Offsets inside
+                                   {!wavefront_stencil} are exactly
+                                   [Diag]/[Up]/[Left]; anything else is
+                                   expressible (e.g. a row-2 recurrence)
+                                   but unservable by the wavefront
+                                   engines — {!eval} and {!compile}
+                                   reject it, and the [Depend] pass of
+                                   [dphls check] reports it statically. *)
   | Add of expr * expr
   | Sub of expr * expr
   | Mul of expr * expr
@@ -53,11 +63,31 @@ type bindings = {
   tables : (string * int array array) list;
 }
 
+val wavefront_stencil : (int * int) list
+(** The [(drow, dcol)] offsets a wavefront-scheduled PE may legally
+    read: [(1, 1)] (NW, two wavefronts back), [(1, 0)] (N) and [(0, 1)]
+    (W, one wavefront back). This is the schedule-legality contract the
+    systolic engines rely on (see {!Dphls_systolic.Schedule}): the
+    anti-diagonal schedule double-buffers exactly the previous two
+    wavefronts' score planes, so a read any deeper has already been
+    overwritten by the time it would be consumed. *)
+
+type dep =
+  | Dep_nbr of { drow : int; dcol : int; layer : int }
+      (** cross-cell read: [Up]/[Diag]/[Left]/[Nbr] *)
+  | Dep_cur of int  (** same-cell read of an earlier-evaluated layer *)
+
+val expr_deps : expr -> dep list
+(** Every distinct cell-state read of the expression (first-occurrence
+    order, deduplicated): the read footprint the [Depend] analysis of
+    [dphls check] proves confined to {!wavefront_stencil}. [Qry]/[Ref]/
+    [Param]/[Const] reads are not cell state and are not reported. *)
+
 val eval : cell -> bindings -> Pe.f
 (** Interpret the symbolic cell as a boxed PE function (with the
     saturating arithmetic of {!Dphls_util.Score}, including saturating
     [Mul]/[Abs]). Raises [Invalid_argument] on unbound names, bad layer
-    references or out-of-range [Cur] uses. *)
+    references, out-of-range [Cur] uses or out-of-stencil [Nbr] reads. *)
 
 type program
 (** A cell lowered to a flat SSA-style instruction sequence over an
@@ -93,6 +123,45 @@ val flat : program -> Pe.flat
     scratch: share it freely within a domain, but build one per domain
     (e.g. per {!Dphls_host.Pool} worker) rather than sharing across
     domains. *)
+
+(** Read-only decode of a compiled {!program}, for static analyses that
+    walk the flat code the engines actually execute (the recurrence-II /
+    critical-path pass of [dphls check]). Instruction [i] writes
+    register [i]; operand registers always precede their instruction
+    (SSA order). [V_lookup]'s first operand is the table id, not a
+    register. *)
+type view_inst =
+  | V_const of int
+  | V_up of int          (** layer index, not a register *)
+  | V_diag of int        (** layer index *)
+  | V_left of int        (** layer index *)
+  | V_qry of int         (** character element index *)
+  | V_ref of int         (** character element index *)
+  | V_add of int * int
+  | V_addi of int * int  (** register, immediate *)
+  | V_sub of int * int
+  | V_mul of int * int
+  | V_abs of int
+  | V_absdiff of int * int
+  | V_max of int * int
+  | V_min of int * int
+  | V_max3 of int * int * int
+  | V_min3 of int * int * int
+  | V_sel_eq of int * int * int * int  (** cmp a, cmp b, taken, untaken *)
+  | V_sel_le of int * int * int * int
+  | V_sel_lt of int * int * int * int
+  | V_lookup of int * int * int        (** table id, row reg, col reg *)
+
+type view = {
+  v_insts : view_inst array;
+  v_layer_regs : int array;  (** register holding each layer's result *)
+  v_tb_regs : int array;     (** register per pointer field, LSB-first *)
+  v_n_layers : int;
+}
+
+val view : program -> view
+(** Decode the assembled code array back into a walkable instruction
+    list. Pure; the result shares nothing mutable with the program. *)
 
 type op_count = {
   adders : int;       (** Add/Sub/Abs nodes *)

@@ -149,6 +149,15 @@ let all =
       ~modifications:"Scoring, Initialization, Traceback and Adaptive Banding"
       ~optimal:{ n_pe = 16; n_b = 8; n_k = 7 }
       ~default_len:256 ~max_len:1024 ~gen:K11_banded_global_linear.gen_drift;
+    (* #19 is not in Table 1: unit-cost Levenshtein, the bit-parallel
+       fast-path positive case (ROADMAP item 2; see docs/analysis.md). *)
+    entry
+      (Registry.Packed (K19_global_edit.kernel, K19_global_edit.default))
+      ~alphabet:"DNA" ~tools:"Edlib, Myers's bit-vector"
+      ~application:"Read-error Estimation, Filtering"
+      ~modifications:"Scoring (unit-cost, no Traceback)"
+      ~optimal:{ n_pe = 64; n_b = 16; n_k = 4 }
+      ~default_len:256 ~max_len:1024 ~gen:K19_global_edit.gen;
   ]
 
 let find id =

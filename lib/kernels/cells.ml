@@ -224,3 +224,21 @@ let protein_cell =
         };
       ];
   }
+
+(* ---------- unit-cost edit distance (#19) ---------- *)
+
+let edit_sub = Ite (Eq (Qry 0, Ref 0), Const 0, Param "sub")
+
+let edit_cell =
+  {
+    layers =
+      [|
+        Min
+          [
+            Add (Diag 0, edit_sub);
+            Add (Up 0, Param "indel");
+            Add (Left 0, Param "indel");
+          ];
+      |];
+    tb_fields = [];
+  }

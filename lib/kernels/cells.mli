@@ -36,3 +36,9 @@ val dtw_cell : cell
 val sdtw_cell : cell
 val viterbi_cell : cell
 val protein_cell : cell
+
+val edit_cell : cell
+(** Unit-cost Levenshtein (#19): min-plus over the three wavefront
+    moves, free matches, [sub]/[indel] costs. With the default unit
+    bindings this is the shape the checker's fast-path classifier
+    proves Myers/GeneTEK bit-parallel eligible. *)

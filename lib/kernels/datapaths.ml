@@ -36,4 +36,5 @@ let rec cell_for id =
   | 16 -> cell_for 11
   | 17 -> cell_for 12
   | 18 -> cell_for 13
+  | 19 -> (Cells.edit_cell, K19_global_edit.(bindings default))
   | _ -> raise Not_found

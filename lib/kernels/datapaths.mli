@@ -1,4 +1,4 @@
-(** Symbolic datapath descriptions for all 15 kernels.
+(** Symbolic datapath descriptions for all catalog kernels.
 
     Each description is the single-source-of-truth form that the RTL
     emitter compiles; its {!Dphls_core.Datapath.eval} closure is verified
@@ -8,8 +8,9 @@
 
 val cell_for : int -> Dphls_core.Datapath.cell * Dphls_core.Datapath.bindings
 (** Datapath and default-parameter bindings for a catalog kernel id
-    (Table 1 ids 1-15 plus the adaptive-band variants 16-18, which share
-    the datapaths of 11-13). Raises [Not_found] for unknown ids. *)
+    (Table 1 ids 1-15, the adaptive-band variants 16-18, which share
+    the datapaths of 11-13, and the unit-cost edit-distance kernel 19).
+    Raises [Not_found] for unknown ids. *)
 
 val select_first_best :
   objective:Dphls_util.Score.objective ->

@@ -1,0 +1,59 @@
+open Dphls_core
+module Score = Dphls_util.Score
+
+type params = { sub : int; indel : int }
+
+let default = { sub = 1; indel = 1 }
+
+let pe p (i : Pe.input) =
+  let s = if i.Pe.qry.(0) = i.Pe.rf.(0) then 0 else p.sub in
+  let d = Score.add i.Pe.diag.(0) s in
+  let u = Score.add i.Pe.up.(0) p.indel in
+  let l = Score.add i.Pe.left.(0) p.indel in
+  { Pe.scores = [| Score.min2 (Score.min2 d u) l |]; tb = 0 }
+
+let bindings p =
+  { Datapath.params = [ ("sub", p.sub); ("indel", p.indel) ]; tables = [] }
+
+let kernel =
+  {
+    Kernel.id = 19;
+    name = "global-edit";
+    description = "Global unit-cost edit distance (Levenshtein, score only)";
+    objective = Score.Minimize;
+    n_layers = 1;
+    score_bits = 16;
+    tb_bits = 0;
+    init_row = (fun p ~ref_len:_ ~layer:_ ~col -> p.indel * (col + 1));
+    init_col = (fun p ~qry_len:_ ~layer:_ ~row -> p.indel * (row + 1));
+    origin = (fun _ ~layer:_ -> 0);
+    pe;
+    pe_flat =
+      Some (fun p -> Datapath.flat (Datapath.compile Cells.edit_cell (bindings p)));
+    score_site = Traceback.Bottom_right;
+    traceback = (fun _ -> None);
+    banding = None;
+    traits =
+      {
+        Traits.adds_per_pe = 3;
+        muls_per_pe = 0;
+        cmps_per_pe = 3;
+        ii = 1;
+        logic_depth = 5;
+        char_bits = Kdefs.dna_char_bits;
+        param_bits = 32;
+      };
+  }
+
+let gen rng ~len =
+  let genome = Dphls_seqgen.Dna_gen.genome rng (len * 4) in
+  let reads =
+    Dphls_seqgen.Read_sim.simulate rng ~genome
+      ~profile:Dphls_seqgen.Read_sim.pacbio_30 ~read_length:(len * 2) ~count:1
+  in
+  match reads with
+  | [ r ] ->
+    let r = Dphls_seqgen.Read_sim.truncate r len in
+    let query, reference = Dphls_seqgen.Read_sim.pair_for_alignment r in
+    Workload.of_bases ~query ~reference
+  | _ -> assert false

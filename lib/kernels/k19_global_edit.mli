@@ -1,0 +1,27 @@
+(** Kernel #19 — Global unit-cost edit distance (Levenshtein).
+
+    Read-error estimation and filtering: the exact distance kernel
+    behind Edlib-style aligners, with free matches and unit
+    substitution/indel costs (both parameters, but unit by default).
+    Score only — the downstream consumer thresholds the distance — so
+    there is no traceback.
+
+    This is the catalog's bit-parallel positive case: the checker's
+    fast-path pass ([dphls check --explain fastpath]) proves the
+    datapath unit-cost edit-distance-shaped, i.e. servable by Myers's
+    bit-vector algorithm (GeneTEK's word-parallel formulation) at a
+    word of cells per operation instead of one cell per PE per cycle.
+    Not in the paper's Table 1; added as the subject of ROADMAP item 2
+    (fast-path eligibility). *)
+
+type params = { sub : int; indel : int }
+
+val default : params
+(** [{ sub = 1; indel = 1 }] — unit costs. *)
+
+val bindings : params -> Dphls_core.Datapath.bindings
+val kernel : params Dphls_core.Kernel.t
+
+val gen : Dphls_util.Rng.t -> len:int -> Dphls_core.Workload.t
+(** Simulated long read vs. its source genome window (same generator
+    family as kernel #1). *)

@@ -10,7 +10,10 @@
 
     A sink is {e not} thread-safe: each domain must accumulate into its
     own sink (or counters derived on the dispatching thread, as
-    {!Dphls_host.Pool} does) and {!merge_into} the results afterwards. *)
+    {!Dphls_host.Pool} does) and {!merge_into} the results afterwards.
+    [dphls check] warns statically when a configuration would violate
+    this ([metrics-domain-safety]); {!guard_domains} catches violations
+    dynamically in debug runs. *)
 
 type t
 
@@ -24,7 +27,17 @@ val create : unit -> t
 val enabled : t -> bool
 
 val add : t -> Counter.t -> int -> unit
-(** [add t c n] bumps counter [c] by [n]; a no-op on {!disabled}. *)
+(** [add t c n] bumps counter [c] by [n]; a no-op on {!disabled}.
+    With {!guard_domains} on, raises [Failure] (naming the counter and
+    both domains) when called from a domain other than the sink's
+    creator. *)
+
+val guard_domains : bool -> unit
+(** Enable/disable the cross-domain write assertion (global, default
+    off — the production hot path stays one branch plus one array
+    update). Each enabled sink records the domain that created it;
+    while the guard is on, bumping a counter from any other domain
+    fails fast instead of silently racing. *)
 
 val incr : t -> Counter.t -> unit
 (** [add t c 1]. *)

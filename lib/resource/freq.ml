@@ -1,9 +1,10 @@
 let tiers = [ 250.0; 200.0; 166.7; 150.0; 125.0 ]
 
-let max_mhz (t : Dphls_core.Traits.t) =
-  let d = t.Dphls_core.Traits.logic_depth in
+let mhz_of_depth d =
   if d <= 6 then 250.0
   else if d = 7 then 200.0
   else if d = 8 then 166.7
   else if d = 9 then 150.0
   else 125.0
+
+let max_mhz (t : Dphls_core.Traits.t) = mhz_of_depth t.Dphls_core.Traits.logic_depth

@@ -5,7 +5,15 @@
     the paper reports (250 / 200 / 166.7 / 150 / 125 MHz, Table 2). The
     model maps the declared PE logic depth onto those tiers. *)
 
+val mhz_of_depth : int -> float
+(** Tier for a given number of levels of logic on the PE critical path
+    (<=6 -> 250, 7 -> 200, 8 -> 166.7, 9 -> 150, >=10 -> 125). Also used
+    by the recurrence-II analysis of [dphls check] to turn its modeled
+    critical path into a frequency it can cross-check against
+    {!max_mhz}. *)
+
 val max_mhz : Dphls_core.Traits.t -> float
+(** [mhz_of_depth] of the kernel's declared logic depth. *)
 
 val tiers : float list
 (** The achievable frequencies, descending. *)

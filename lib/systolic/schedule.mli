@@ -4,7 +4,17 @@
     a chunk, PE [k] owns row [chunk*N_PE + k] and computes cell
     (row, col) at wavefront [w = k + col]. Traceback pointers are address-
     coalesced: every PE writes wavefront [w] of chunk [c] to the same
-    address [c * wavefronts_per_chunk + w] of its private bank (§5.2). *)
+    address [c * wavefronts_per_chunk + w] of its private bank (§5.2).
+
+    {b Schedule-legality contract.} Cell (row, col) on wavefront [w]
+    may only read cells on wavefronts [w-1] and [w-2] — exactly the
+    {!Dphls_core.Datapath.wavefront_stencil} offsets NW/N/W. The
+    engines (and PR-7's task-parallel overlap variant) double-buffer
+    precisely those two score planes, so a PE whose datapath read any
+    deeper (expressible via [Datapath.Nbr]) would consume an
+    already-overwritten plane. The [Depend] pass of [dphls check]
+    proves every catalog datapath confined to the stencil before the
+    engines ever run it ([depend-out-of-stencil]). *)
 
 type t = {
   n_pe : int;

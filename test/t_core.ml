@@ -238,8 +238,8 @@ let test_registry_all_valid () =
   List.iter
     (fun (e : Dphls_kernels.Catalog.entry) -> Registry.validate e.packed)
     Dphls_kernels.Catalog.all;
-  Alcotest.(check int) "18 kernels" 18 (List.length Dphls_kernels.Catalog.all);
-  Alcotest.(check (list int)) "ids 1..18" (List.init 18 (fun i -> i + 1))
+  Alcotest.(check int) "19 kernels" 19 (List.length Dphls_kernels.Catalog.all);
+  Alcotest.(check (list int)) "ids 1..19" (List.init 19 (fun i -> i + 1))
     Dphls_kernels.Catalog.ids
 
 let test_registry_lookup () =
