@@ -96,16 +96,10 @@ let test_tiling =
   let qb, rb = Dphls_seqgen.Read_sim.pair_for_alignment read in
   let query = Types.seq_of_bases qb and reference = Types.seq_of_bases rb in
   let p = Dphls_kernels.K02_global_affine.default in
-  let cfg = Dphls_systolic.Config.create ~n_pe:16 in
-  let run_tile ~band w =
-    let k0 = Dphls_kernels.K02_global_affine.kernel in
-    let kernel =
-      match band with
-      | Some b -> { k0 with Kernel.banding = Some b }
-      | None -> k0
-    in
-    let result, stats = Dphls_systolic.Engine.run cfg kernel p w in
-    (result, stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total)
+  let run_tile =
+    Dphls_engines.Engines.(tile_runner systolic)
+      (Dphls_engines.Engine_intf.config ~n_pe:16 ())
+      Dphls_kernels.K02_global_affine.kernel p
   in
   Test.make ~name:"tiling:512b-read"
     (Staged.stage (fun () ->
@@ -549,12 +543,107 @@ let profile_overhead_bench ?(len = 96) () =
     "counter overhead within budget: %+.2f%% (limit 3%%; tracer row %+.2f%%, informational)\n%!"
     gated (pct enabled_ns)
 
+(* ---- bit-parallel fast path: Myers engine vs compiled systolic ----
+   Kernel #19 (unit-cost global edit distance, the one catalog kernel the
+   Fastpath proof admits) at word-straddling query lengths. Both sides
+   run through the registry backends — the exact modules [--engine]
+   selects. Everything lands in BENCH_5.json; exits non-zero unless the
+   bit-parallel engine is >= 5x faster at every length >= 1024 measured
+   (pass --len to cap the largest length, e.g. for CI smoke). *)
+let fastpath_bench ?(max_len = 8192) () =
+  let module I = Dphls_engines.Engine_intf in
+  let n_pe = 32 in
+  let cfg = I.config ~n_pe () in
+  let e = Dphls_kernels.Catalog.find 19 in
+  let (Registry.Packed (k, p)) = e.packed in
+  let lengths = List.filter (fun l -> l <= max_len) [ 64; 256; 1024; 8192 ] in
+  let time_run ~reps run w =
+    ignore (run w) (* warm-up *);
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (run w);
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best *. 1e9
+  in
+  let runs =
+    List.map
+      (fun len ->
+        let rng = Dphls_util.Rng.create (seed + len) in
+        let w = e.Dphls_kernels.Catalog.gen rng ~len in
+        let qry_len, ref_len = Workload.sizes w in
+        (* the systolic simulator sweeps 67M cells at len 8192; keep its
+           repetitions down there so the bench stays CI-sized *)
+        let reps = if len >= 4096 then 2 else 5 in
+        let module Sy = Dphls_engines.Backends.Systolic in
+        let module Bp = Dphls_engines.Backends.Bitpar in
+        {
+          Dphls_host.Throughput.fp_kernel = Printf.sprintf "global-edit(#%d)" 19;
+          fp_qry_len = qry_len;
+          fp_ref_len = ref_len;
+          fp_cells = qry_len * ref_len;
+          fp_n_pe = n_pe;
+          fp_systolic_ns = time_run ~reps (fun w -> Sy.run cfg k p w) w;
+          fp_bitpar_ns = time_run ~reps:5 (fun w -> Bp.run cfg k p w) w;
+        })
+      lengths
+  in
+  Dphls_util.Pretty.print_table
+    ~title:
+      (Printf.sprintf
+         "bit-parallel fast path: Myers engine vs compiled systolic (N_PE=%d)"
+         n_pe)
+    ~header:
+      [ "kernel"; "len"; "systolic us"; "bitpar us"; "bitpar Mc/s"; "speedup" ]
+    (List.map
+       (fun (r : Dphls_host.Throughput.fastpath_run) ->
+         [
+           r.fp_kernel;
+           string_of_int r.fp_qry_len;
+           Printf.sprintf "%.1f" (r.fp_systolic_ns /. 1e3);
+           Printf.sprintf "%.1f" (r.fp_bitpar_ns /. 1e3);
+           Printf.sprintf "%.1f"
+             (Dphls_host.Throughput.pe_cells_per_sec ~cells:r.fp_cells
+                ~ns:r.fp_bitpar_ns
+             /. 1e6);
+           Printf.sprintf "%.2fx" (Dphls_host.Throughput.fastpath_speedup r);
+         ])
+       runs);
+  let oc = open_out "BENCH_5.json" in
+  output_string oc (Dphls_host.Throughput.fastpath_json runs);
+  close_out oc;
+  Printf.printf "wrote BENCH_5.json\n%!";
+  let gated =
+    List.filter
+      (fun (r : Dphls_host.Throughput.fastpath_run) -> r.fp_qry_len >= 1024)
+      runs
+  in
+  List.iter
+    (fun r ->
+      let s = Dphls_host.Throughput.fastpath_speedup r in
+      if s < 5.0 then begin
+        Printf.printf
+          "FAIL: bit-parallel speedup %.2fx < 5x at qry_len %d\n%!" s
+          r.Dphls_host.Throughput.fp_qry_len;
+        exit 1
+      end)
+    gated;
+  (match gated with
+  | [] ->
+    Printf.printf
+      "speedup gate skipped (no measured length >= 1024; pass a larger \
+       --len)\n%!"
+  | _ ->
+    Printf.printf "bit-parallel speedup gate passed (>= 5x at len >= 1024)\n%!")
+
 let () =
   let argv = Sys.argv in
   let banding_only = Array.exists (( = ) "--banding-only") argv in
   let pe_only = Array.exists (( = ) "--pe-only") argv in
   let profile_overhead = Array.exists (( = ) "--profile-overhead") argv in
   let overlap_only = Array.exists (( = ) "--overlap") argv in
+  let fastpath_only = Array.exists (( = ) "--fastpath") argv in
   let len_opt =
     let r = ref None in
     Array.iteri
@@ -572,6 +661,7 @@ let () =
   else if pe_only then pe_bench ~len:pe_len ()
   else if profile_overhead then profile_overhead_bench ?len:len_opt ()
   else if overlap_only then overlap_bench ?len:len_opt ()
+  else if fastpath_only then fastpath_bench ?max_len:len_opt ()
   else begin
     run_benchmarks ();
     Dphls_util.Pretty.section "Experiment tables (paper artifacts)";

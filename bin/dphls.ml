@@ -70,8 +70,21 @@ let datapath_override ~mode k =
 
 let datapath_doc = "PE datapath: compiled (default) or boxed interpreter"
 
+(* --engine selects the backend through the registry; "auto" defers to
+   Engines.select per workload. Unknown names exit 2 listing the valid
+   values, like the other enum flags. *)
+let engine_override ~mode =
+  match Dphls_engines.Engines.of_string mode with
+  | Ok choice -> choice
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2
+
+let engine_doc =
+  "Engine: auto (fast path when provably safe), systolic, reference or bitpar"
+
 let align_run kernel_spec query reference n_pe vcd_path band_mode band_width
-    band_threshold datapath_mode overlap =
+    band_threshold datapath_mode engine_mode overlap =
   let e = find_kernel kernel_spec in
   let id = Registry.id e.packed in
   if List.mem id [ 8; 9; 14 ] then begin
@@ -94,39 +107,81 @@ let align_run kernel_spec query reference n_pe vcd_path band_mode band_width
     | Some banding -> { k with Kernel.banding }
   in
   let k = datapath_override ~mode:datapath_mode k in
-  let cfg = Dphls_systolic.Config.create ~n_pe in
+  let choice = engine_override ~mode:engine_mode in
+  let metrics = Dphls_obs.Metrics.create () in
+  let qry_len, ref_len = Workload.sizes w in
+  let engine =
+    Dphls_engines.Engines.resolve ~metrics ~qry_len ~ref_len choice k p
+  in
+  let engine_name = Dphls_engines.Engines.name engine in
+  if vcd_path <> None && not (Dphls_engines.Engines.caps engine).capture
+  then begin
+    Printf.eprintf
+      "--vcd needs the systolic engine's capture stream (engine is %s)\n"
+      engine_name;
+    exit 2
+  end;
+  let (module E : Dphls_engines.Engine_intf.S) = engine in
+  let cfg = Dphls_engines.Engine_intf.config ~n_pe () in
   let trace = Dphls_systolic.Trace.create ~enabled:(vcd_path <> None) in
-  let result, stats = Dphls_systolic.Engine.run ~trace cfg k p w in
-  let golden = Dphls_reference.Ref_engine.run ~band_pe:n_pe k p w in
+  let result, stats =
+    try
+      if E.caps.Dphls_engines.Engine_intf.capture then E.run ~trace cfg k p w
+      else E.run cfg k p w
+    with Dphls_engines.Engine_intf.Unsupported msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
   (match vcd_path with
   | Some path ->
     Dphls_systolic.Vcd.write_file path trace ~n_pe;
     Printf.eprintf "wrote waveform %s\n" path
   | None -> ());
   Printf.printf "kernel      : #%d %s\n" id (Registry.name e.packed);
+  (* only non-default requests print the engine line, keeping the
+     historical output stable for scripts that parse it *)
+  if engine_mode <> "systolic" then
+    Printf.printf "engine      : %s%s\n" engine_name
+      (match choice with
+      | Dphls_engines.Engines.Auto -> " (auto)"
+      | Dphls_engines.Engines.Forced _ -> "");
   Printf.printf "score       : %s\n" (Dphls_util.Score.to_string result.Result.score);
   if result.Result.path <> [] then
     Printf.printf "cigar       : %s\n" (Result.cigar result);
   (match result.Result.start_cell with
   | Some c -> Printf.printf "start cell  : (%d,%d)\n" c.Types.row c.Types.col
   | None -> ());
-  Printf.printf "cycles      : %d (prologue %d, compute %d, traceback %d)\n"
-    stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total
-    stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.prologue
-    stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.compute
-    stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.traceback;
-  if overlap then begin
-    let c = stats.Dphls_systolic.Engine.cycles in
-    Printf.printf
-      "overlapped  : %d steady-state (prologue hidden under a neighbouring \
-       alignment's compute recovers %d cycles)\n"
-      c.Dphls_systolic.Engine.total_overlapped
-      (c.Dphls_systolic.Engine.total - c.Dphls_systolic.Engine.total_overlapped)
-  end;
-  Printf.printf "PE util     : %.2f over %d PEs\n"
-    stats.Dphls_systolic.Engine.utilization n_pe;
-  Printf.printf "golden check: %s\n"
-    (if Result.equal_alignment result golden then "match" else "MISMATCH")
+  (match stats with
+  | None -> ()
+  | Some stats ->
+    Printf.printf "cycles      : %d (prologue %d, compute %d, traceback %d)\n"
+      stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total
+      stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.prologue
+      stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.compute
+      stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.traceback;
+    if overlap then begin
+      let c = stats.Dphls_systolic.Engine.cycles in
+      Printf.printf
+        "overlapped  : %d steady-state (prologue hidden under a neighbouring \
+         alignment's compute recovers %d cycles)\n"
+        c.Dphls_systolic.Engine.total_overlapped
+        (c.Dphls_systolic.Engine.total - c.Dphls_systolic.Engine.total_overlapped)
+    end;
+    Printf.printf "PE util     : %.2f over %d PEs\n"
+      stats.Dphls_systolic.Engine.utilization n_pe);
+  match engine_name with
+  | "reference" -> ()
+  | "bitpar" ->
+    (* score-only engine: certify the score against the canonical golden
+       run (same kernel banding, so fixed bands compare like-for-like) *)
+    let golden = Dphls_reference.Ref_engine.run k p w in
+    Printf.printf "golden check: %s\n"
+      (if result.Result.score = golden.Result.score then "score match"
+       else "score MISMATCH")
+  | _ ->
+    let golden = Dphls_reference.Ref_engine.run ~band_pe:n_pe k p w in
+    Printf.printf "golden check: %s\n"
+      (if Result.equal_alignment result golden then "match" else "MISMATCH")
 
 let align_cmd =
   let kernel =
@@ -153,6 +208,9 @@ let align_cmd =
   let datapath =
     Arg.(value & opt string "compiled" & info [ "datapath" ] ~doc:datapath_doc)
   in
+  let engine =
+    Arg.(value & opt string "systolic" & info [ "engine" ] ~doc:engine_doc)
+  in
   let overlap =
     Arg.(
       value & flag
@@ -165,7 +223,7 @@ let align_cmd =
     (Cmd.info "align" ~doc:"Align two sequences on the systolic simulator")
     Term.(
       const align_run $ kernel $ query $ reference $ n_pe $ vcd $ band
-      $ band_width $ band_threshold $ datapath $ overlap)
+      $ band_width $ band_threshold $ datapath $ engine $ overlap)
 
 (* ---- resources ---- *)
 
@@ -303,7 +361,7 @@ let map_cmd =
 (* ---- batch ---- *)
 
 let batch_run pairs_path kind_s workers n_pe chunk compare overlap band_mode
-    band_width band_threshold datapath_mode =
+    band_width band_threshold datapath_mode engine_mode =
   let datapath =
     match datapath_mode with
     | "compiled" -> Dphls.Align.Compiled
@@ -329,7 +387,22 @@ let batch_run pairs_path kind_s workers n_pe chunk compare overlap band_mode
       exit 2
   in
   let engine =
-    match n_pe with None -> Dphls.Align.Golden | Some n -> Dphls.Align.Systolic n
+    match engine_mode with
+    (* no --engine keeps the historical mapping: --n-pe selects the
+       systolic engine, its absence the golden one *)
+    | None -> (
+      match n_pe with
+      | None -> Dphls.Align.Golden
+      | Some n -> Dphls.Align.Systolic n)
+    | Some mode -> (
+      let n = Option.value n_pe ~default:32 in
+      match engine_override ~mode with
+      | Dphls_engines.Engines.Auto -> Dphls.Align.Auto n
+      | Dphls_engines.Engines.Forced e -> (
+        match Dphls_engines.Engines.name e with
+        | "systolic" -> Dphls.Align.Systolic n
+        | "reference" -> Dphls.Align.Golden
+        | _ -> Dphls.Align.Bitpar))
   in
   let workers =
     (* default to real parallelism even on boxes that report one core *)
@@ -467,12 +540,15 @@ let batch_cmd =
   let datapath =
     Arg.(value & opt string "compiled" & info [ "datapath" ] ~doc:datapath_doc)
   in
+  let engine =
+    Arg.(value & opt (some string) None & info [ "engine" ] ~doc:engine_doc)
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Align a FASTA pair file in parallel across CPU domains")
     Term.(
       const batch_run $ pairs $ kind $ workers $ n_pe $ chunk $ compare
-      $ overlap $ band $ band_width $ band_threshold $ datapath)
+      $ overlap $ band $ band_width $ band_threshold $ datapath $ engine)
 
 (* ---- cosim ---- *)
 
@@ -783,7 +859,7 @@ let rtl_cmd =
 (* ---- profile ---- *)
 
 let profile_run kernel_spec n_pe trials len band_mode band_width band_threshold
-    workers json trace_path overlap =
+    workers json trace_path engine_mode overlap =
   let e = find_kernel kernel_spec in
   let (Registry.Packed (k, p)) = e.packed in
   let k =
@@ -797,9 +873,26 @@ let profile_run kernel_spec n_pe trials len band_mode band_width band_threshold
     Printf.eprintf "profile: trials must be >= 1\n";
     exit 2
   end;
+  let choice = engine_override ~mode:engine_mode in
   let metrics = Dphls_obs.Metrics.create () in
   let tracer = Dphls_obs.Tracer.create () in
-  let cfg = Dphls_systolic.Config.create ~n_pe in
+  let cfg = Dphls_engines.Engine_intf.config ~n_pe () in
+  (* auto re-decides per workload (each decision bumps a dispatch
+     counter into [sink]); a forced engine is a constant *)
+  let select_for ?sink w =
+    match choice with
+    | Dphls_engines.Engines.Forced e -> e
+    | Dphls_engines.Engines.Auto ->
+      let qry_len, ref_len = Workload.sizes w in
+      Dphls_engines.Engines.select ?metrics:sink ~qry_len ~ref_len k p
+  in
+  let run_one ?sink ?metrics ?tracer w =
+    let (module E : Dphls_engines.Engine_intf.S) = select_for ?sink w in
+    try ignore (E.run ?metrics ?tracer cfg k p w)
+    with Dphls_engines.Engine_intf.Unsupported msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
   let rng = Dphls_util.Rng.create 2026 in
   let workloads =
     Array.init trials (fun _ -> e.Dphls_kernels.Catalog.gen rng ~len)
@@ -819,14 +912,17 @@ let profile_run kernel_spec n_pe trials len band_mode band_width band_threshold
             ~qry_len:(Array.length w.Workload.query)
             ~ref_len:(Array.length w.Workload.reference))
     workloads;
-  if overlap then
-    ignore
-      (Dphls_systolic.Engine.run_batch ~overlap:true ~metrics ~tracer cfg k p
-         workloads)
-  else
-    Array.iter
-      (fun w -> ignore (Dphls_systolic.Engine.run ~metrics ~tracer cfg k p w))
-      workloads;
+  (if overlap then
+     match choice with
+     | Dphls_engines.Engines.Forced e
+       when Dphls_engines.Engines.name e = "systolic" ->
+       let (module E : Dphls_engines.Engine_intf.S) = e in
+       ignore (E.run_batch ~overlap:true ~metrics ~tracer cfg k p workloads)
+     | _ ->
+       Printf.eprintf "--overlap requires --engine systolic\n";
+       exit 2
+   else
+     Array.iter (fun w -> run_one ~sink:metrics ~metrics ~tracer w) workloads);
   (* Optional pool phase: re-run the same workloads as a parallel batch
      to exercise the pool's task/steal/idle counters and per-worker
      chunk spans. Engine metrics stay out of the worker tasks — the
@@ -835,7 +931,9 @@ let profile_run kernel_spec n_pe trials len band_mode band_width band_threshold
     Dphls_host.Pool.with_pool ~workers (fun pool ->
         let _, _ =
           Dphls_host.Pool.run ~metrics ~tracer pool
-            (fun i -> ignore (Dphls_systolic.Engine.run cfg k p workloads.(i)))
+            (* no sink in the tasks: the counter sink is not domain-safe,
+               so auto decisions inside workers go unrecorded *)
+            (fun i -> run_one workloads.(i))
             trials
         in
         ());
@@ -913,6 +1011,9 @@ let profile_cmd =
       & info [ "trace" ]
           ~doc:"Chrome trace_event output file (Perfetto-loadable)")
   in
+  let engine =
+    Arg.(value & opt string "systolic" & info [ "engine" ] ~doc:engine_doc)
+  in
   let overlap =
     Arg.(
       value & flag
@@ -928,7 +1029,7 @@ let profile_cmd =
           print a counter/latency summary and export a Chrome trace")
     Term.(
       const profile_run $ kernel $ n_pe $ trials $ len $ band $ band_width
-      $ band_threshold $ workers $ json $ trace $ overlap)
+      $ band_threshold $ workers $ json $ trace $ engine $ overlap)
 
 (* ---- experiment ---- *)
 

@@ -27,15 +27,10 @@ let () =
   Printf.printf "simulated %d reads of ~%d bases (15%% error)\n%!" n_reads read_length;
 
   let p = K2.default in
-  let config = Dphls_systolic.Config.create ~n_pe:32 in
-  let run_tile ~band w =
-    let kernel =
-      match band with
-      | Some b -> { K2.kernel with Kernel.banding = Some b }
-      | None -> K2.kernel
-    in
-    let result, stats = Dphls_systolic.Engine.run config kernel p w in
-    (result, stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total)
+  let run_tile =
+    Dphls_engines.Engines.(tile_runner systolic)
+      (Dphls_engines.Engine_intf.config ~n_pe:32 ())
+      K2.kernel p
   in
   let total_cycles = ref 0 in
   let total_tiles = ref 0 in

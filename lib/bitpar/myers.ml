@@ -1,0 +1,174 @@
+(* Myers/Hyyro blocked bit-vector edit distance. The block step is the
+   edlib calculateBlock recurrence verbatim; everything around it is the
+   word bookkeeping: Peq tables, the inter-word horizontal-delta chain,
+   and the banded sliding window. *)
+
+let word_bits = 62
+let mask = (1 lsl word_bits) - 1
+let popcount x =
+  let x = ref x and n = ref 0 in
+  while !x <> 0 do
+    x := !x land (!x - 1);
+    incr n
+  done;
+  !n
+
+(* Peq.(c).(w): query positions in word [w] holding character [c].
+   [alpha] covers both sequences, so reference characters always index a
+   row (all-zero when the character never occurs in the query). *)
+let build_peq ~query ~reference ~nwords =
+  let alpha = ref 1 in
+  let scan c =
+    if c < 0 then invalid_arg "Myers: negative character code";
+    if c >= !alpha then alpha := c + 1
+  in
+  Array.iter scan query;
+  Array.iter scan reference;
+  let peq = Array.make_matrix !alpha nwords 0 in
+  Array.iteri
+    (fun i c ->
+      let w = i / word_bits in
+      peq.(c).(w) <- peq.(c).(w) lor (1 lsl (i mod word_bits)))
+    query;
+  peq
+
+(* Advance word [b] of the column by one reference character. [eq] is
+   the word's match mask, [hin] the horizontal delta entering the word's
+   first row; returns the horizontal delta leaving its last row. *)
+let step vp vn b eq hin =
+  let pv = vp.(b) and mv = vn.(b) in
+  let hin_neg = if hin < 0 then 1 else 0 in
+  let eq2 = eq lor hin_neg in
+  let xv = eq lor mv in
+  let xh = ((((eq2 land pv) + pv) land mask) lxor pv) lor eq2 in
+  let ph = mv lor (mask land lnot (xh lor pv)) in
+  let mh = pv land xh in
+  let hout =
+    ((ph lsr (word_bits - 1)) land 1) - ((mh lsr (word_bits - 1)) land 1)
+  in
+  let ph = ((ph lsl 1) land mask) lor (if hin > 0 then 1 else 0) in
+  let mh = ((mh lsl 1) land mask) lor hin_neg in
+  vp.(b) <- mh lor (mask land lnot (xv lor ph));
+  vn.(b) <- ph land xv;
+  hout
+
+let require_nonempty m n =
+  if m = 0 || n = 0 then invalid_arg "Myers: empty sequence"
+
+let distance ~query ~reference =
+  let m = Array.length query and n = Array.length reference in
+  require_nonempty m n;
+  let nw = (m + word_bits - 1) / word_bits in
+  let peq = build_peq ~query ~reference ~nwords:nw in
+  (* VP all ones: D(i,-1) = i + 1. Bits at rows >= m evolve as padding;
+     carries and shifts only move information toward higher bits, so
+     they never reach the real rows below. *)
+  let vp = Array.make nw mask and vn = Array.make nw 0 in
+  for j = 0 to n - 1 do
+    let row = peq.(reference.(j)) in
+    (* hin = +1: the init row steps D(-1,j-1) -> D(-1,j) by +1. *)
+    let hin = ref 1 in
+    for b = 0 to nw - 1 do
+      hin := step vp vn b row.(b) !hin
+    done
+  done;
+  (* Read column n-1 top-down: D(m-1,n-1) = D(-1,n-1) + sum of deltas. *)
+  let d = ref n in
+  for b = 0 to nw - 1 do
+    let used = m - (b * word_bits) in
+    let bits = if used >= word_bits then mask else (1 lsl used) - 1 in
+    d := !d + popcount (vp.(b) land bits) - popcount (vn.(b) land bits)
+  done;
+  !d
+
+(* ---- fixed band: sliding window over the active block range ---- *)
+
+(* Window slot k at column j is cell (j - width + k, j), k = 0..2w.
+   Moving to the next column shifts every slot down one query row, i.e.
+   the delta words shift right by one bit. *)
+let shift_down a nw =
+  for t = 0 to nw - 1 do
+    let hi =
+      if t + 1 < nw then (a.(t + 1) land 1) lsl (word_bits - 1) else 0
+    in
+    a.(t) <- (a.(t) lsr 1) lor hi
+  done
+
+let set_bit a k = a.(k / word_bits) <- a.(k / word_bits) lor (1 lsl (k mod word_bits))
+let clear_bit a k =
+  a.(k / word_bits) <- a.(k / word_bits) land lnot (1 lsl (k mod word_bits))
+let get_bit a k = (a.(k / word_bits) lsr (k mod word_bits)) land 1
+
+(* Window match mask: bit k of [dst] = full-query Peq bit (offset + k).
+   Bits at negative or >= m rows are zero (virtual border rows and
+   below-matrix padding never match). *)
+let gather dst peq_row nwords_full ~offset ~nw =
+  for t = 0 to nw - 1 do
+    let lo = offset + (t * word_bits) in
+    dst.(t) <-
+      (if lo >= 0 then begin
+         let q = lo / word_bits and r = lo mod word_bits in
+         let w0 = if q < nwords_full then peq_row.(q) else 0 in
+         let w1 = if q + 1 < nwords_full then peq_row.(q + 1) else 0 in
+         if r = 0 then w0
+         else ((w0 lsr r) lor (w1 lsl (word_bits - r))) land mask
+       end
+       else if lo + word_bits <= 0 then 0
+       else (peq_row.(0) lsl -lo) land mask)
+  done
+
+(* Sum of deltas over slots lo..hi inclusive. *)
+let delta_sum vp vn ~lo ~hi =
+  let s = ref 0 in
+  let b_lo = lo / word_bits and b_hi = hi / word_bits in
+  for b = b_lo to b_hi do
+    let first = max lo (b * word_bits) - (b * word_bits)
+    and last = min hi ((b * word_bits) + word_bits - 1) - (b * word_bits) in
+    let bits = ((1 lsl (last - first + 1)) - 1) lsl first in
+    s := !s + popcount (vp.(b) land bits) - popcount (vn.(b) land bits)
+  done;
+  !s
+
+let distance_banded ~query ~reference ~width =
+  let m = Array.length query and n = Array.length reference in
+  require_nonempty m n;
+  if width < 1 then invalid_arg "Myers: band width < 1";
+  if width >= max (m - 1) (n - 1) then Some (distance ~query ~reference)
+  else if abs (m - n) > width then None
+  else begin
+    let l = (2 * width) + 1 in
+    let nw = (l + word_bits - 1) / word_bits in
+    let nw_full = (m + word_bits - 1) / word_bits in
+    let peq = build_peq ~query ~reference ~nwords:nw_full in
+    (* Column -1: slot k holds row k - 1 - width, value |k - width|
+       (init column below row -1, a +1-per-row fence above it). *)
+    let vp = Array.make nw 0 and vn = Array.make nw 0 in
+    for k = 0 to width do
+      set_bit vn k
+    done;
+    for k = width + 1 to l - 1 do
+      set_bit vp k
+    done;
+    let v0 = ref width in
+    let eq = Array.make nw 0 in
+    for j = 0 to n - 1 do
+      (* Slide the window down one row... *)
+      shift_down vp nw;
+      shift_down vn nw;
+      (* ...and fence the row entering from below the old window: a +1
+         delta makes any path through it cost >= 2, so it never beats an
+         in-band move (cost <= 1). *)
+      set_bit vp (l - 1);
+      clear_bit vn (l - 1);
+      gather eq peq.(reference.(j)) nw_full ~offset:(j - width) ~nw;
+      (* hin = +1 fences the out-of-band cell above the window top the
+         same way (and reproduces the init row on early columns). *)
+      let hin = ref 1 in
+      for b = 0 to nw - 1 do
+        hin := step vp vn b eq.(b) !hin
+      done;
+      v0 := !v0 + 1 + get_bit vp 0 - get_bit vn 0
+    done;
+    let k_fin = m - n + width in
+    Some (if k_fin = 0 then !v0 else !v0 + delta_sum vp vn ~lo:1 ~hi:k_fin)
+  end

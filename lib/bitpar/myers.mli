@@ -1,0 +1,40 @@
+(** Multi-word Myers bit-vector core: unit-cost Levenshtein distance at
+    one machine word of DP cells per block step.
+
+    The DP column is held as two delta bit-vectors (VP/VN: vertical
+    score difference +1/-1 per row) packed [word_bits] rows per OCaml
+    native int; one block step advances a whole word of cells with a
+    handful of logical operations plus one carry-propagating addition,
+    and the horizontal delta chains across words so query lengths beyond
+    one word work (Hyyro's blocked formulation, as implemented by
+    edlib's [calculateBlock]).
+
+    Fixed-band mode keeps the same block step but clamps the active
+    block range to the band: a window of [2 x width + 1] diagonal slots
+    slides down one query row per reference column, so only the words
+    covering the band are ever touched. Out-of-band neighbours are
+    fenced with a +1 delta — a detour through the fence costs at least
+    2 while any in-band move costs at most 1, so fenced cells never win
+    and the computed scores equal the banded DP with out-of-band cells
+    pinned at the objective's worst value (the two engines' semantics).
+
+    Characters are plain small non-negative ints (the first component of
+    a {!Dphls_core.Types.ch}); the eligible recurrence shapes compare
+    exactly that component. *)
+
+val word_bits : int
+(** DP cells per machine word: 62 on a 64-bit host (the native-int sign
+    bit is kept clear so every stored vector is a non-negative int). *)
+
+val distance : query:int array -> reference:int array -> int
+(** Unbanded unit-cost edit distance [D(|q|-1, |r|-1)] with the global
+    init borders [D(i,-1) = i+1], [D(-1,j) = j+1]. Raises
+    [Invalid_argument] on an empty sequence. *)
+
+val distance_banded :
+  query:int array -> reference:int array -> width:int -> int option
+(** Same distance under a fixed band [|row - col| <= width] with
+    out-of-band cells read as +infinity. [None] when the bottom-right
+    cell itself is out of band ([abs (|q| - |r|) > width]) — the score
+    site is then the worst value, matching the engines. Raises
+    [Invalid_argument] on an empty sequence or [width < 1]. *)

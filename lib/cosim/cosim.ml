@@ -1,4 +1,6 @@
 open Dphls_core
+module R = Dphls_engines.Backends.Reference
+module Sy = Dphls_engines.Backends.Systolic
 
 type mismatch = {
   index : int;
@@ -19,7 +21,10 @@ let passed r = r.agreed = r.total
 
 let verify ?(n_pe = 16) ?(max_mismatches = 8) ?alt_pe ?vectors kernel params
     workloads =
-  let cfg = Dphls_systolic.Config.create ~n_pe in
+  (* golden_chunked replays the systolic engine's [n_pe]-row chunked
+     traversal so adaptive bands prune the exact same cells (the old
+     [band_pe] argument, now carried by the engine config). *)
+  let cfg = Dphls_engines.Engine_intf.config ~golden_chunked:true ~n_pe () in
   let total = List.length workloads in
   let agreed = ref 0 in
   let mismatches = ref [] in
@@ -28,15 +33,14 @@ let verify ?(n_pe = 16) ?(max_mismatches = 8) ?alt_pe ?vectors kernel params
   let util_sum = ref 0.0 in
   List.iteri
     (fun index w ->
-      let golden = Dphls_reference.Ref_engine.run ~band_pe:n_pe kernel params w in
+      let golden = fst (R.run cfg kernel params w) in
       let trace =
         match vectors with
         | None -> Dphls_systolic.Trace.create ~enabled:false
         | Some _ -> Dphls_systolic.Trace.create_capture ()
       in
-      let systolic, stats =
-        Dphls_systolic.Engine.run ~trace cfg kernel params w
-      in
+      let systolic, stats = Sy.run ~trace cfg kernel params w in
+      let stats = Option.get stats in
       (match vectors with
       | None -> ()
       | Some dir ->
@@ -58,8 +62,7 @@ let verify ?(n_pe = 16) ?(max_mismatches = 8) ?alt_pe ?vectors kernel params
          checks the compiler output against its source of truth. *)
       let boxed_ok =
         Result.equal_alignment golden
-          (Dphls_reference.Ref_engine.run ~band_pe:n_pe (Kernel.boxed kernel)
-             params w)
+          (fst (R.run cfg (Kernel.boxed kernel) params w))
       in
       let alt_ok =
         match alt_pe with
@@ -68,8 +71,7 @@ let verify ?(n_pe = 16) ?(max_mismatches = 8) ?alt_pe ?vectors kernel params
           (* drop pe_flat too, or the engines would keep the compiled
              datapath and ignore the substituted closure *)
           let alt = { kernel with Kernel.pe = (fun _ -> pe); pe_flat = None } in
-          Result.equal_alignment golden
-            (Dphls_reference.Ref_engine.run ~band_pe:n_pe alt params w)
+          Result.equal_alignment golden (fst (R.run cfg alt params w))
       in
       if Result.equal_alignment golden systolic && boxed_ok && alt_ok then
         incr agreed

@@ -1,6 +1,8 @@
 open Dphls_core
+module Engines = Dphls_engines.Engines
+module Engine_intf = Dphls_engines.Engine_intf
 
-type engine = Golden | Systolic of int
+type engine = Golden | Systolic of int | Bitpar | Auto of int
 type datapath = Compiled | Boxed
 
 type alignment = {
@@ -46,6 +48,23 @@ let view_of_result (w : Workload.t) result cycles ~decode =
       device_cycles = cycles;
     }
 
+let cycles_of_stats stats =
+  Option.map
+    (fun s -> s.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total)
+    stats
+
+let run_via (type p) (e : Engine_intf.t) cfg ~overlap ?metrics ?tracer
+    (kernel : p Kernel.t) (params : p) (ws : Workload.t array) ~decode =
+  let (module E : Engine_intf.S) = e in
+  let results, batch =
+    E.run_batch ~overlap ?metrics ?tracer cfg kernel params ws
+  in
+  ( Array.mapi
+      (fun i (r, stats) ->
+        view_of_result ws.(i) r (cycles_of_stats stats) ~decode)
+      results,
+    batch )
+
 let run_kernel_batch (type p) ?band ?(datapath = Compiled) ?(overlap = false)
     ?metrics ?tracer ~engine (kernel : p Kernel.t) (params : p)
     (ws : Workload.t array) ~decode =
@@ -57,29 +76,35 @@ let run_kernel_batch (type p) ?band ?(datapath = Compiled) ?(overlap = false)
   let kernel =
     match datapath with Compiled -> kernel | Boxed -> Kernel.boxed kernel
   in
+  let go e cfg = run_via e cfg ~overlap ?metrics ?tracer kernel params ws ~decode in
   match engine with
-  | Golden ->
-    (* The golden engine has no prologue stage to hide; [overlap] is a
-       device-model knob and changes nothing here. *)
-    ( Array.map
+  | Golden -> go Engines.reference (Engine_intf.config ~n_pe:1 ())
+  | Systolic n_pe -> go Engines.systolic (Engine_intf.config ~n_pe ())
+  | Bitpar -> go Engines.bitpar (Engine_intf.config ~n_pe:1 ())
+  | Auto n_pe ->
+    let cfg = Engine_intf.config ~n_pe () in
+    (* One observable dispatch decision per workload. Selections for a
+       single kernel+params are uniform in practice, so the whole array
+       still runs as one staged batch (keeping overlap accounting);
+       a mixed batch would fall back to per-workload singletons. *)
+    let choices =
+      Array.map
         (fun w ->
-          view_of_result w
-            (Dphls_reference.Ref_engine.run ?metrics ?tracer kernel params w)
-            None ~decode)
-        ws,
-      None )
-  | Systolic n_pe ->
-    let results, batch =
-      Dphls_systolic.Engine.run_batch ~overlap ?metrics ?tracer
-        (Dphls_systolic.Config.create ~n_pe) kernel params ws
+          let qry_len, ref_len = Workload.sizes w in
+          Engines.select ?metrics ~qry_len ~ref_len kernel params)
+        ws
     in
-    ( Array.mapi
-        (fun i (r, stats) ->
-          view_of_result ws.(i) r
-            (Some stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total)
-            ~decode)
-        results,
-      Some batch )
+    if Array.length ws = 0 then go Engines.systolic cfg
+    else if Array.for_all (fun e -> e == choices.(0)) choices then
+      go choices.(0) cfg
+    else
+      ( Array.mapi
+          (fun i w ->
+            (fst
+               (run_via choices.(i) cfg ~overlap:false ?metrics ?tracer kernel
+                  params [| w |] ~decode)).(0))
+          ws,
+        None )
 
 let run_kernel ?band ?datapath ?metrics ?tracer ~engine kernel params w ~decode
     =

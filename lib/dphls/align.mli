@@ -8,6 +8,16 @@
 type engine =
   | Golden                   (** exact full-matrix engine *)
   | Systolic of int          (** cycle-level array with the given N_PE *)
+  | Bitpar
+      (** bit-parallel Myers engine: score-only, no traceback; raises
+          {!Dphls_engines.Engine_intf.Unsupported} for kernels outside
+          the fast-path shape ({!Dphls_analysis.Fastpath}) *)
+  | Auto of int
+      (** {!Dphls_engines.Engines.select} per workload: [Bitpar] when
+          the kernel+workload is fully fast-path eligible, else
+          [Systolic] with the given N_PE. Results never depend on the
+          routing; the decision is visible as the
+          [engine_fastpath_hits]/[engine_fastpath_fallbacks] counters. *)
 
 type datapath =
   | Compiled  (** flat compiled PE datapath (default; allocation-free) *)

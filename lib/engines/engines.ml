@@ -1,0 +1,56 @@
+(* The engine registry and the auto-dispatch policy. *)
+
+let systolic : Engine_intf.t = (module Backends.Systolic)
+let reference : Engine_intf.t = (module Backends.Reference)
+let bitpar : Engine_intf.t = (module Backends.Bitpar)
+let all = [ systolic; reference; bitpar ]
+let name (e : Engine_intf.t) = let (module E) = e in E.name
+let caps (e : Engine_intf.t) = let (module E) = e in E.caps
+let names = List.map name all
+let find n = List.find_opt (fun e -> name e = n) all
+
+type choice = Auto | Forced of Engine_intf.t
+
+let of_string = function
+  | "auto" -> Ok Auto
+  | s -> (
+    match find s with
+    | Some e -> Ok (Forced e)
+    | None ->
+      Error
+        (Printf.sprintf "unknown engine %S (valid: auto | %s)" s
+           (String.concat " | " names)))
+
+let choice_name = function Auto -> "auto" | Forced e -> name e
+
+let select ?(metrics = Dphls_obs.Metrics.disabled) ~qry_len ~ref_len k p =
+  match
+    ( Dphls_core.Kernel.has_traceback k p,
+      Backends.Bitpar.supports ~qry_len ~ref_len k p )
+  with
+  | false, Ok _ ->
+    Dphls_obs.Metrics.incr metrics Dphls_obs.Counter.Engine_fastpath_hits;
+    bitpar
+  | _ ->
+    Dphls_obs.Metrics.incr metrics Dphls_obs.Counter.Engine_fastpath_fallbacks;
+    systolic
+
+let resolve ?metrics ~qry_len ~ref_len choice k p =
+  match choice with
+  | Forced e -> e
+  | Auto -> select ?metrics ~qry_len ~ref_len k p
+
+let tile_runner ?metrics ?tracer (e : Engine_intf.t)
+    (cfg : Engine_intf.config) k p =
+  let (module E : Engine_intf.S) = e in
+  fun ~band w ->
+    let k =
+      match band with
+      | Some _ -> { k with Dphls_core.Kernel.banding = band }
+      | None -> k
+    in
+    let result, stats = E.run ?metrics ?tracer cfg k p w in
+    ( result,
+      match stats with
+      | Some s -> s.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total
+      | None -> 0 )

@@ -94,15 +94,10 @@ let tiling ?(read_length = 768) ?(seed = Common.default_seed) () =
       ~gap_open:p.K2.gap_open ~gap_extend:p.K2.gap_extend ~query:qb ~reference:rb
   in
   let query = Types.seq_of_bases qb and reference = Types.seq_of_bases rb in
-  let cfg = Dphls_systolic.Config.create ~n_pe:16 in
-  let run_tile ~band w =
-    let kernel =
-      match band with
-      | Some b -> { K2.kernel with Kernel.banding = Some b }
-      | None -> K2.kernel
-    in
-    let result, stats = Dphls_systolic.Engine.run cfg kernel p w in
-    (result, stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total)
+  let run_tile =
+    Dphls_engines.Engines.(tile_runner systolic)
+      (Dphls_engines.Engine_intf.config ~n_pe:16 ())
+      K2.kernel p
   in
   List.map
     (fun (tile, overlap) ->

@@ -30,15 +30,10 @@ let compute ?(read_length = 2048) ?(seed = Common.default_seed) () =
       ~reference:reference_b
   in
   let query = Types.seq_of_bases query_b and reference = Types.seq_of_bases reference_b in
-  let cfg = Dphls_systolic.Config.create ~n_pe:32 in
-  let run_tile ~band w =
-    let kernel =
-      match band with
-      | Some b -> { K2.kernel with Kernel.banding = Some b }
-      | None -> K2.kernel
-    in
-    let result, stats = Dphls_systolic.Engine.run cfg kernel p w in
-    (result, stats.Dphls_systolic.Engine.cycles.Dphls_systolic.Engine.total)
+  let run_tile =
+    Dphls_engines.Engines.(tile_runner systolic)
+      (Dphls_engines.Engine_intf.config ~n_pe:32 ())
+      K2.kernel p
   in
   let outcome = Dphls_tiling.Tiling.align Dphls_tiling.Tiling.default ~run:run_tile
       ~query ~reference

@@ -158,3 +158,38 @@ let scaling ~baseline points =
         efficiency = measured /. model;
       })
     points
+
+type fastpath_run = {
+  fp_kernel : string;
+  fp_qry_len : int;
+  fp_ref_len : int;
+  fp_cells : int;
+  fp_n_pe : int;
+  fp_systolic_ns : float;
+  fp_bitpar_ns : float;
+}
+
+let fastpath_speedup r =
+  if r.fp_bitpar_ns <= 0.0 then invalid_arg "fastpath_speedup: bitpar_ns <= 0";
+  r.fp_systolic_ns /. r.fp_bitpar_ns
+
+let fastpath_json runs =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  {\"kernel\": %S, \"qry_len\": %d, \"ref_len\": %d, \
+            \"cells\": %d, \"n_pe\": %d, \"systolic_ns\": %.0f, \
+            \"bitpar_ns\": %.0f, \"systolic_mcells_s\": %.2f, \
+            \"bitpar_mcells_s\": %.2f, \"speedup\": %.2f}"
+           r.fp_kernel r.fp_qry_len r.fp_ref_len r.fp_cells r.fp_n_pe
+           r.fp_systolic_ns r.fp_bitpar_ns
+           (pe_cells_per_sec ~cells:r.fp_cells ~ns:r.fp_systolic_ns /. 1e6)
+           (pe_cells_per_sec ~cells:r.fp_cells ~ns:r.fp_bitpar_ns /. 1e6)
+           (fastpath_speedup r)))
+    runs;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf

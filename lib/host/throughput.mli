@@ -112,3 +112,24 @@ val scaling :
 (** [scaling ~baseline points] compares each [(workers, report)]
     measurement against the analytical model. [baseline] is the
     single-worker run of the same batch. *)
+
+(** One bit-parallel fast-path measurement of the same unit-cost
+    alignment workload: the compiled systolic simulator vs the Myers
+    bit-parallel engine on kernel #19, as reported by
+    [bench --fastpath] (the BENCH_5.json payload). *)
+type fastpath_run = {
+  fp_kernel : string;        (** shape label, e.g. "global-edit(#19)" *)
+  fp_qry_len : int;
+  fp_ref_len : int;
+  fp_cells : int;            (** qry_len x ref_len *)
+  fp_n_pe : int;             (** systolic array height of the baseline *)
+  fp_systolic_ns : float;    (** host wall per alignment, compiled systolic *)
+  fp_bitpar_ns : float;      (** host wall per alignment, bit-parallel *)
+}
+
+val fastpath_speedup : fastpath_run -> float
+(** [systolic_ns / bitpar_ns]; raises on [bitpar_ns <= 0]. *)
+
+val fastpath_json : fastpath_run list -> string
+(** Renders the runs (with derived Mcells/s rates and speedups) as a
+    JSON array (the BENCH_5.json payload). *)

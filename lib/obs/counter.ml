@@ -11,6 +11,8 @@ type t =
   | Pool_tasks
   | Pool_steals
   | Pool_idle_waits
+  | Engine_fastpath_hits
+  | Engine_fastpath_fallbacks
 
 let all =
   [|
@@ -26,6 +28,8 @@ let all =
     Pool_tasks;
     Pool_steals;
     Pool_idle_waits;
+    Engine_fastpath_hits;
+    Engine_fastpath_fallbacks;
   |]
 
 let count = Array.length all
@@ -45,6 +49,8 @@ let index = function
   | Pool_tasks -> 9
   | Pool_steals -> 10
   | Pool_idle_waits -> 11
+  | Engine_fastpath_hits -> 12
+  | Engine_fastpath_fallbacks -> 13
 
 let name = function
   | Cells_evaluated -> "cells_evaluated"
@@ -59,6 +65,8 @@ let name = function
   | Pool_tasks -> "pool_tasks"
   | Pool_steals -> "pool_steals"
   | Pool_idle_waits -> "pool_idle_waits"
+  | Engine_fastpath_hits -> "engine_fastpath_hits"
+  | Engine_fastpath_fallbacks -> "engine_fastpath_fallbacks"
 
 let unit_name = function
   | Cells_evaluated | Cells_band_skipped -> "cells"
@@ -72,6 +80,7 @@ let unit_name = function
   | Pool_tasks -> "tasks"
   | Pool_steals -> "chunks"
   | Pool_idle_waits -> "waits"
+  | Engine_fastpath_hits | Engine_fastpath_fallbacks -> "dispatches"
 
 let describe = function
   | Cells_evaluated ->
@@ -97,5 +106,10 @@ let describe = function
     "work chunks popped from the shared queue — Host.Pool.run"
   | Pool_idle_waits ->
     "times a worker blocked on an empty queue during a batch — Host.Pool"
+  | Engine_fastpath_hits ->
+    "auto dispatches routed to the bit-parallel engine — Engines.select"
+  | Engine_fastpath_fallbacks ->
+    "auto dispatches that fell back to the systolic engine — \
+     Engines.select"
 
 let of_name s = Array.find_opt (fun c -> name c = s) all

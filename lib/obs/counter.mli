@@ -21,6 +21,9 @@ type t =
   | Pool_tasks           (** tasks executed by pool workers *)
   | Pool_steals          (** work chunks grabbed from the shared queue *)
   | Pool_idle_waits      (** times a pool worker went idle (queue empty) *)
+  | Engine_fastpath_hits (** auto dispatches routed to the bit-parallel engine *)
+  | Engine_fastpath_fallbacks
+      (** auto dispatches that fell back to the systolic engine *)
 
 val all : t array
 (** Every counter, in catalog (display) order. *)

@@ -1,0 +1,415 @@
+(* Pluggable-engine layer: the Myers bit-parallel core against a scalar
+   oracle, the registry backends against the golden engine, the auto
+   dispatch policy, and the --engine CLI surface. *)
+open Dphls_core
+module Myers = Dphls_bitpar.Myers
+module BEngine = Dphls_bitpar.Engine
+module Engine_intf = Dphls_engines.Engine_intf
+module Backends = Dphls_engines.Backends
+module Engines = Dphls_engines.Engines
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- scalar oracle: banded unit-cost Levenshtein, worst = +inf ---- *)
+
+let scalar_edit ?width ~query ~reference () =
+  let m = Array.length query and n = Array.length reference in
+  let inf = max_int / 4 in
+  let in_band i j =
+    match width with None -> true | Some w -> abs (i - j) <= w
+  in
+  let prev = Array.make (n + 1) 0 and cur = Array.make (n + 1) 0 in
+  for j = 0 to n do
+    (* virtual row -1: D(-1,j) = j+1 stored at prev.(j) shifted by one *)
+    prev.(j) <- j
+  done;
+  for i = 0 to m - 1 do
+    cur.(0) <- i + 1;
+    for j = 0 to n - 1 do
+      cur.(j + 1) <-
+        (if in_band i j then
+           let sub = if query.(i) = reference.(j) then 0 else 1 in
+           min
+             (prev.(j) + sub)
+             (min (prev.(j + 1) + 1) (cur.(j) + 1))
+         else inf)
+    done;
+    Array.blit cur 0 prev 0 (n + 1)
+  done;
+  if prev.(n) >= inf then None else Some prev.(n)
+
+let random_ints rng ~len ~alpha = Array.init len (fun _ -> Dphls_util.Rng.int rng alpha)
+
+(* Word-boundary lengths from the satellite spec plus the native word
+   size (62 cells per OCaml int), and some small fill-ins. *)
+let boundary_lengths = [ 1; 2; 7; 61; 62; 63; 64; 65; 123; 124; 125; 127; 128; 129 ]
+
+let test_myers_boundaries () =
+  let rng = Dphls_util.Rng.create 91 in
+  List.iter
+    (fun lq ->
+      List.iter
+        (fun lr ->
+          let query = random_ints rng ~len:lq ~alpha:4
+          and reference = random_ints rng ~len:lr ~alpha:4 in
+          let expect = scalar_edit ~query ~reference () in
+          Alcotest.(check (option int))
+            (Printf.sprintf "D %dx%d" lq lr)
+            expect
+            (Some (Myers.distance ~query ~reference)))
+        [ 1; 61; 62; 63; 64; 65; 127; 128; 129 ])
+    boundary_lengths
+
+let prop_myers_unbanded =
+  QCheck.Test.make ~name:"myers: unbanded == scalar oracle" ~count:300
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Dphls_util.Rng.create seed in
+      let lq = 1 + Dphls_util.Rng.int rng 200
+      and lr = 1 + Dphls_util.Rng.int rng 200
+      and alpha = 1 + Dphls_util.Rng.int rng 6 in
+      let query = random_ints rng ~len:lq ~alpha
+      and reference = random_ints rng ~len:lr ~alpha in
+      scalar_edit ~query ~reference ()
+      = Some (Myers.distance ~query ~reference))
+
+let prop_myers_banded =
+  QCheck.Test.make ~name:"myers: fixed band == scalar banded oracle" ~count:400
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Dphls_util.Rng.create seed in
+      (* bands narrower than one word, lengths straddling words *)
+      let width = 1 + Dphls_util.Rng.int rng 12 in
+      let lq = 1 + Dphls_util.Rng.int rng 140 in
+      let dl = Dphls_util.Rng.int rng (2 * width + 4) - (width + 2) in
+      let lr = max 1 (lq + dl) in
+      let query = random_ints rng ~len:lq ~alpha:4
+      and reference = random_ints rng ~len:lr ~alpha:4 in
+      scalar_edit ~width ~query ~reference ()
+      = Myers.distance_banded ~query ~reference ~width)
+
+(* ---- scalar oracle: max-plus global DP for the Doubled mapping ---- *)
+
+let scalar_maxplus ?width ~match_ ~mismatch ~gap ~query ~reference () =
+  let m = Array.length query and n = Array.length reference in
+  let neg_inf = min_int / 4 in
+  let in_band i j =
+    match width with None -> true | Some w -> abs (i - j) <= w
+  in
+  let prev = Array.make (n + 1) 0 and cur = Array.make (n + 1) 0 in
+  for j = 0 to n do
+    prev.(j) <- j * gap
+  done;
+  for i = 0 to m - 1 do
+    cur.(0) <- (i + 1) * gap;
+    for j = 0 to n - 1 do
+      cur.(j + 1) <-
+        (if in_band i j then
+           let s = if query.(i) = reference.(j) then match_ else mismatch in
+           max
+             (prev.(j) + s)
+             (max (prev.(j + 1) + gap) (cur.(j) + gap))
+         else neg_inf)
+    done;
+    Array.blit cur 0 prev 0 (n + 1)
+  done;
+  prev.(n)
+
+(* The Doubled mapping against the scalar max-plus oracle, on parameter
+   triples satisfying the doubled-weight identity 2(match - mismatch) =
+   match - 2 gap (w2 even since match is). The registry cannot reach
+   this mapping from catalog kernels (no max-plus kernel qualifies with
+   default bindings), so the engine API is fuzzed directly. *)
+let prop_doubled_mapping =
+  QCheck.Test.make ~name:"bitpar: doubled max-plus mapping == scalar DP"
+    ~count:300
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Dphls_util.Rng.create seed in
+      let match_ = 2 * (1 + Dphls_util.Rng.int rng 4) in
+      let gap = -1 - Dphls_util.Rng.int rng 4 in
+      let weight2 = match_ - (2 * gap) in
+      let mismatch = match_ - (weight2 / 2) in
+      let banded = Dphls_util.Rng.int rng 2 = 1 in
+      let width = 2 + Dphls_util.Rng.int rng 10 in
+      let lq = 1 + Dphls_util.Rng.int rng 120 in
+      let lr =
+        if banded then max 1 (lq + Dphls_util.Rng.int rng (width + 1) - (width / 2))
+        else 1 + Dphls_util.Rng.int rng 120
+      in
+      let query = random_ints rng ~len:lq ~alpha:4
+      and reference = random_ints rng ~len:lr ~alpha:4 in
+      let w = Workload.of_bases ~query ~reference in
+      let band = if banded then Some (Banding.fixed width) else None in
+      let r = BEngine.run ?band (BEngine.Doubled { match_; weight2 }) w in
+      let expect =
+        scalar_maxplus ?width:(if banded then Some width else None) ~match_
+          ~mismatch ~gap ~query ~reference ()
+      in
+      r.Result.score = expect)
+
+(* ---- kernel #19 through the registry backends vs the golden engine ---- *)
+
+let k19 = Dphls_kernels.K19_global_edit.kernel
+let cfg16 = Engine_intf.config ~n_pe:16 ()
+
+let prop_bitpar_backend_vs_golden =
+  QCheck.Test.make
+    ~name:"bitpar backend: #19 scores == golden engine (random costs, bands)"
+    ~count:250
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Dphls_util.Rng.create seed in
+      let c = 1 + Dphls_util.Rng.int rng 4 in
+      let p = { Dphls_kernels.K19_global_edit.sub = c; indel = c } in
+      (* lengths biased onto word boundaries (the 62-bit packing seams) *)
+      let pick_len () =
+        match Dphls_util.Rng.int rng 3 with
+        | 0 -> List.nth boundary_lengths (Dphls_util.Rng.int rng (List.length boundary_lengths))
+        | _ -> 1 + Dphls_util.Rng.int rng 150
+      in
+      let lq = pick_len () and lr = pick_len () in
+      let query = random_ints rng ~len:lq ~alpha:4
+      and reference = random_ints rng ~len:lr ~alpha:4 in
+      let w = Workload.of_bases ~query ~reference in
+      let banding =
+        match Dphls_util.Rng.int rng 3 with
+        | 0 -> None
+        (* narrower than one word, including widths the lengths outrun *)
+        | _ -> Some (Banding.fixed (1 + Dphls_util.Rng.int rng 20))
+      in
+      let k = { k19 with Kernel.banding } in
+      let bitpar, _ = Backends.Bitpar.run cfg16 k p w in
+      let golden = Dphls_reference.Ref_engine.run k p w in
+      bitpar.Result.score = golden.Result.score)
+
+(* ---- registry ports are the engines they wrap, bit for bit ---- *)
+
+let small_workload (e : Dphls_kernels.Catalog.entry) ~len =
+  let rng = Dphls_util.Rng.create (17 + Registry.id e.packed) in
+  e.Dphls_kernels.Catalog.gen rng ~len
+
+let test_registry_port_identity () =
+  List.iter
+    (fun id ->
+      let e = Dphls_kernels.Catalog.find id in
+      let (Registry.Packed (k, p)) = e.packed in
+      let w = small_workload e ~len:40 in
+      let direct_sys, direct_stats =
+        Dphls_systolic.Engine.run (Dphls_systolic.Config.create ~n_pe:16) k p w
+      in
+      let reg_sys, reg_stats = Backends.Systolic.run cfg16 k p w in
+      Alcotest.(check bool)
+        (Printf.sprintf "#%d systolic result identical" id)
+        true
+        (Result.equal_alignment direct_sys reg_sys);
+      Alcotest.(check bool)
+        (Printf.sprintf "#%d systolic stats identical" id)
+        true
+        (reg_stats = Some direct_stats);
+      let direct_ref = Dphls_reference.Ref_engine.run k p w in
+      let reg_ref, no_stats = Backends.Reference.run cfg16 k p w in
+      Alcotest.(check bool)
+        (Printf.sprintf "#%d reference result identical" id)
+        true
+        (Result.equal_alignment direct_ref reg_ref);
+      Alcotest.(check bool)
+        (Printf.sprintf "#%d reference has no device stats" id)
+        true (no_stats = None);
+      (* golden_chunked replays the cosim band_pe chunking *)
+      let chunked = Dphls_reference.Ref_engine.run ~band_pe:16 k p w in
+      let reg_chunked, _ =
+        Backends.Reference.run
+          (Engine_intf.config ~golden_chunked:true ~n_pe:16 ())
+          k p w
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "#%d golden_chunked == band_pe" id)
+        true
+        (Result.equal_alignment chunked reg_chunked))
+    [ 1; 2; 3; 7; 12; 15; 16; 19 ]
+
+(* ---- auto dispatch: whole catalog, exactly one fast-path hit ---- *)
+
+let test_auto_dispatch_catalog () =
+  let metrics = Dphls_obs.Metrics.create () in
+  List.iter
+    (fun (e : Dphls_kernels.Catalog.entry) ->
+      let (Registry.Packed (k, p)) = e.packed in
+      let w = small_workload e ~len:40 in
+      let qry_len, ref_len = Workload.sizes w in
+      let chosen = Engines.select ~metrics ~qry_len ~ref_len k p in
+      let (module E : Engine_intf.S) = chosen in
+      (* the routing never changes results: whichever engine auto picks
+         scores exactly like the golden engine *)
+      let r, _ = E.run cfg16 k p w in
+      let golden = Dphls_reference.Ref_engine.run ~band_pe:16 k p w in
+      Alcotest.(check int)
+        (Printf.sprintf "#%d auto score == golden" (Registry.id e.packed))
+        golden.Result.score r.Result.score;
+      if Registry.id e.packed = 19 then
+        Alcotest.(check string) "#19 routes to bitpar" "bitpar" E.name
+      else
+        Alcotest.(check string)
+          (Printf.sprintf "#%d falls back to systolic" (Registry.id e.packed))
+          "systolic" E.name)
+    Dphls_kernels.Catalog.all;
+  let total = List.length Dphls_kernels.Catalog.all in
+  Alcotest.(check int) "exactly one fast-path hit across the catalog" 1
+    (Dphls_obs.Metrics.get metrics Dphls_obs.Counter.Engine_fastpath_hits);
+  Alcotest.(check int) "every other kernel counted as a fallback" (total - 1)
+    (Dphls_obs.Metrics.get metrics Dphls_obs.Counter.Engine_fastpath_fallbacks)
+
+(* ---- registry lookups and refusal paths ---- *)
+
+let test_registry_lookup () =
+  Alcotest.(check (list string)) "registry names"
+    [ "systolic"; "reference"; "bitpar" ]
+    Engines.names;
+  Alcotest.(check bool) "find systolic" true
+    (match Engines.find "systolic" with
+    | Some e -> e == Engines.systolic
+    | None -> false);
+  Alcotest.(check bool) "of_string auto" true
+    (match Engines.of_string "auto" with
+    | Ok Engines.Auto -> true
+    | _ -> false);
+  (match Engines.of_string "bogus" with
+  | Ok _ -> Alcotest.fail "bogus accepted"
+  | Error msg ->
+    Alcotest.(check string) "error lists the valid values"
+      "unknown engine \"bogus\" (valid: auto | systolic | reference | bitpar)"
+      msg);
+  Alcotest.(check bool) "bitpar caps: no traceback, no capture" true
+    (let c = Engines.caps Engines.bitpar in
+     (not c.Engine_intf.traceback) && (not c.Engine_intf.capture)
+     && (not c.Engine_intf.adaptive_band)
+     && not c.Engine_intf.cycle_model);
+  Alcotest.(check bool) "systolic caps: full" true
+    (let c = Engines.caps Engines.systolic in
+     c.Engine_intf.traceback && c.Engine_intf.capture && c.Engine_intf.cycle_model)
+
+let test_unsupported_paths () =
+  let e = Dphls_kernels.Catalog.find 1 in
+  let (Registry.Packed (k, p)) = e.packed in
+  let w = small_workload e ~len:16 in
+  (* a traceback kernel cannot route to the bit-parallel engine *)
+  (match Backends.Bitpar.run cfg16 k p w with
+  | exception Engine_intf.Unsupported msg ->
+    Alcotest.(check bool) "names the disqualifying property" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "bitpar accepted a traceback kernel");
+  (* the golden engine has no capture stream *)
+  let trace = Dphls_systolic.Trace.create_capture () in
+  (match Backends.Reference.run ~trace cfg16 k p w with
+  | exception Engine_intf.Unsupported _ -> ()
+  | _ -> Alcotest.fail "reference accepted a capture hook");
+  (* adaptive bands stay on the array engines *)
+  let e16 = Dphls_kernels.Catalog.find 16 in
+  let (Registry.Packed (k16, p16)) = e16.packed in
+  Alcotest.(check bool) "adaptive band refused by supports" true
+    (match Backends.Bitpar.supports ~qry_len:16 ~ref_len:16 k16 p16 with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* ---- the align API surface: Bitpar and Auto engines ---- *)
+
+let test_align_api_engines () =
+  (* Auto on a traceback kernel falls back and is bit-identical to the
+     default golden run *)
+  let g = Dphls.Align.global ~query:"ACGTACGT" ~reference:"ACGTTCGT" () in
+  let a =
+    Dphls.Align.global ~engine:(Dphls.Align.Auto 16) ~query:"ACGTACGT"
+      ~reference:"ACGTTCGT" ()
+  in
+  Alcotest.(check int) "auto score == golden score" g.Dphls.Align.score
+    a.Dphls.Align.score;
+  Alcotest.(check string) "auto cigar == golden cigar" g.Dphls.Align.cigar
+    a.Dphls.Align.cigar;
+  (* Bitpar on a traceback kernel is a clean refusal *)
+  match
+    Dphls.Align.global ~engine:Dphls.Align.Bitpar ~query:"ACGT"
+      ~reference:"ACGT" ()
+  with
+  | exception Engine_intf.Unsupported _ -> ()
+  | _ -> Alcotest.fail "Align.Bitpar accepted a traceback kernel"
+
+(* ---- CLI: --engine on align, negative path first ---- *)
+
+let dphls_exe = "../bin/dphls.exe"
+
+let run_cli args =
+  let out = Filename.temp_file "dphls_cli" ".txt" in
+  let code =
+    Sys.command (Filename.quote_command dphls_exe ~stdout:out ~stderr:out args)
+  in
+  let ic = open_in out in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  (code, text)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+  scan 0
+
+let test_cli_engine_bogus () =
+  let code, out =
+    run_cli [ "align"; "-k"; "1"; "-q"; "ACGT"; "-r"; "ACGT"; "--engine"; "bogus" ]
+  in
+  Alcotest.(check int) "exit 2" 2 code;
+  Alcotest.(check bool) "lists the valid engine names" true
+    (contains out "auto | systolic | reference | bitpar")
+
+let test_cli_engine_bitpar () =
+  let code, out =
+    run_cli
+      [ "align"; "-k"; "19"; "-q"; "ACGTACGTA"; "-r"; "ACGTTCGT"; "--engine"; "bitpar" ]
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "names the engine" true (contains out "engine      : bitpar");
+  Alcotest.(check bool) "score certified against golden" true
+    (contains out "golden check: score match")
+
+let test_cli_engine_auto_fallback () =
+  let code, out =
+    run_cli
+      [ "align"; "-k"; "1"; "-q"; "ACGTACGT"; "-r"; "ACGTTCGT"; "--engine"; "auto" ]
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "reports the fallback decision" true
+    (contains out "engine      : systolic (auto)");
+  Alcotest.(check bool) "still golden-checked" true
+    (contains out "golden check: match")
+
+let test_cli_engine_bitpar_refusal () =
+  let code, out =
+    run_cli [ "align"; "-k"; "1"; "-q"; "ACGT"; "-r"; "ACGT"; "--engine"; "bitpar" ]
+  in
+  Alcotest.(check int) "exit 2" 2 code;
+  Alcotest.(check bool) "explains the refusal" true
+    (contains out "not bit-parallel eligible")
+
+let suite =
+  [
+    Alcotest.test_case "myers word-boundary lengths" `Quick test_myers_boundaries;
+    qtest prop_myers_unbanded;
+    qtest prop_myers_banded;
+    qtest prop_doubled_mapping;
+    qtest prop_bitpar_backend_vs_golden;
+    Alcotest.test_case "registry ports are bit-identical" `Quick
+      test_registry_port_identity;
+    Alcotest.test_case "auto dispatch: catalog, one fast-path hit" `Quick
+      test_auto_dispatch_catalog;
+    Alcotest.test_case "registry lookup and caps" `Quick test_registry_lookup;
+    Alcotest.test_case "unsupported requests refused" `Quick
+      test_unsupported_paths;
+    Alcotest.test_case "align API: Bitpar and Auto" `Quick test_align_api_engines;
+    Alcotest.test_case "cli: --engine bogus exits 2" `Quick test_cli_engine_bogus;
+    Alcotest.test_case "cli: --engine bitpar on #19" `Quick test_cli_engine_bitpar;
+    Alcotest.test_case "cli: --engine auto falls back" `Quick
+      test_cli_engine_auto_fallback;
+    Alcotest.test_case "cli: --engine bitpar refusal" `Quick
+      test_cli_engine_bitpar_refusal;
+  ]

@@ -30,7 +30,15 @@ let test_counter_catalog () =
         (Counter.of_name (Counter.name c) = Some c))
     Counter.all;
   Alcotest.(check bool) "unknown name rejected" true
-    (Counter.of_name "nope" = None)
+    (Counter.of_name "nope" = None);
+  (* the engine-dispatch counters joined the catalog in the pluggable
+     engine refactor; pin the catalog size so an accidental removal (or
+     a summary consumer missing them) fails loudly *)
+  Alcotest.(check int) "catalog holds 14 counters" 14 Counter.count;
+  Alcotest.(check bool) "dispatch counters present" true
+    (Counter.of_name "engine_fastpath_hits" = Some Counter.Engine_fastpath_hits
+    && Counter.of_name "engine_fastpath_fallbacks"
+       = Some Counter.Engine_fastpath_fallbacks)
 
 let test_metrics_sink () =
   let m = Metrics.create () in

@@ -28,4 +28,5 @@ let () =
       ("oracles", T_oracles.suite);
       ("analysis", T_analysis.suite);
       ("obs", T_obs.suite);
+      ("engines", T_engines.suite);
     ]
