@@ -1,0 +1,45 @@
+let scalar_banded ~query ~reference ~width =
+  let m = Array.length query and n = Array.length reference in
+  if abs (m - n) > width then None
+  else begin
+    let inf = max_int / 4 in
+    let in_band i j = abs (i - j) <= width in
+    let d = Array.make_matrix (m + 1) (n + 1) inf in
+    d.(0).(0) <- 0;
+    for i = 1 to m do d.(0 + i).(0) <- i done;
+    for j = 1 to n do d.(0).(j) <- j done;
+    for i = 1 to m do
+      for j = 1 to n do
+        if in_band (i - 1) (j - 1) then begin
+          let sub = d.(i-1).(j-1) + (if query.(i-1) = reference.(j-1) then 0 else 1) in
+          let del = d.(i-1).(j) + 1 in
+          let ins = d.(i).(j-1) + 1 in
+          d.(i).(j) <- min sub (min del ins)
+        end
+      done
+    done;
+    Some d.(m).(n)
+  end
+
+let () =
+  let rng = Random.State.make [| 42 |] in
+  let fails = ref 0 and runs = ref 0 in
+  for _ = 1 to 4000 do
+    let width = [| 31; 32; 61; 62; 63; 64; 65; 93; 100; 124; 125; 126 |].(Random.State.int rng 12) in
+    let m = 1 + Random.State.int rng 300 in
+    let dl = Random.State.int rng (2 * width + 6) - (width + 3) in
+    let n = max 1 (m + dl) in
+    let query = Array.init m (fun _ -> Random.State.int rng 4) in
+    let reference = Array.init n (fun _ -> Random.State.int rng 4) in
+    let expect = scalar_banded ~query ~reference ~width in
+    let got = Dphls_bitpar.Myers.distance_banded ~query ~reference ~width in
+    incr runs;
+    if expect <> got then begin
+      incr fails;
+      if !fails <= 5 then
+        Printf.printf "FAIL m=%d n=%d width=%d expect=%s got=%s\n" m n width
+          (match expect with None -> "None" | Some d -> string_of_int d)
+          (match got with None -> "None" | Some d -> string_of_int d)
+    end
+  done;
+  Printf.printf "%d runs, %d fails\n" !runs !fails
