@@ -637,6 +637,205 @@ let fastpath_bench ?(max_len = 8192) () =
   | _ ->
     Printf.printf "bit-parallel speedup gate passed (>= 5x at len >= 1024)\n%!")
 
+(* ---- serve soak: sustained req/s, tail latency, flat memory ----
+
+   Replays a Zipf-skewed stream of requests from a fixed pool of
+   distinct (kernel, qry, ref) lines through an in-process
+   Dphls_serve.Server — the same admission/coalesce/compute path
+   [dphls serve] drives, minus the file descriptors. The skew makes the
+   LRU cache earn its keep (popular pairs repeat), the periodic flush
+   plays the role of the daemon's batch timeout, and two VmRSS probes
+   bracket the run so unbounded growth anywhere in the queue/cache
+   path fails the bench. Lands in BENCH_6.json; exits non-zero if any
+   request is lost, p99 misses the SLO, the cache never hits, or RSS
+   grew more than 10% between the probes. *)
+
+(* live-set RSS: compact first so the probe measures retention (what a
+   leak in the queue/cache path would grow), not allocator headroom *)
+let rss_kb () =
+  Gc.compact ();
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    let rec loop () =
+      match input_line ic with
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmRSS:" then
+          Scanf.sscanf
+            (String.sub line 6 (String.length line - 6))
+            " %d" Fun.id
+        else loop ()
+      | exception End_of_file -> 0
+    in
+    let kb = loop () in
+    close_in ic;
+    kb
+
+let serve_bench ?(total = 1_000_000) () =
+  let module Server = Dphls_serve.Server in
+  let module Proto = Dphls_serve.Proto in
+  let n_pairs = 1024 in
+  let slo_p99_ms = 25.0 in
+  let rng = Dphls_util.Rng.create (seed + 6) in
+  let bases = [| 'A'; 'C'; 'G'; 'T' |] in
+  let random_dna len =
+    String.init len (fun _ -> bases.(Dphls_util.Rng.int rng 4))
+  in
+  (* a fixed pool of request lines: ~4% mismatch between qry and ref,
+     kernel #19 (bit-parallel eligible) and #1 (systolic) interleaved *)
+  let lines =
+    Array.init n_pairs (fun i ->
+        let len = 48 + Dphls_util.Rng.int rng 17 in
+        let qry = random_dna len in
+        let refs =
+          String.mapi
+            (fun _ c ->
+              if Dphls_util.Rng.int rng 25 = 0 then
+                bases.(Dphls_util.Rng.int rng 4)
+              else c)
+            qry
+        in
+        Printf.sprintf "{\"kernel\":%d,\"qry\":\"%s\",\"ref\":\"%s\"}"
+          (if i mod 2 = 0 then 19 else 1)
+          qry refs)
+  in
+  (* Zipf(s=1.1) over pair ranks, drawn by binary search on the CDF *)
+  let cdf =
+    let c = Array.make n_pairs 0.0 in
+    let acc = ref 0.0 in
+    for i = 0 to n_pairs - 1 do
+      acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) 1.1);
+      c.(i) <- !acc
+    done;
+    c
+  in
+  let zipf_total = cdf.(n_pairs - 1) in
+  let draw () =
+    let u = Dphls_util.Rng.float rng zipf_total in
+    let lo = ref 0 and hi = ref (n_pairs - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let server =
+    Server.create
+      {
+        (Server.default_config ()) with
+        Server.slo_p99_ms = Some slo_p99_ms;
+        cache_capacity = 4096;
+        batch_max = 64;
+      }
+  in
+  (* a long-lived daemon keeps its heap close to the live set; OCaml
+     5.1 cannot return pages to the OS (compaction landed in 5.2), so
+     without this the major heap's default 120% slack absorbs transient
+     bursts as permanent RSS and the flatness gate measures the
+     allocator, not the server *)
+  let prior_gc = Gc.get () in
+  Gc.set { prior_gc with Gc.space_overhead = 60 };
+  let errors = ref 0 in
+  let consume =
+    List.iter (fun r ->
+        match r with
+        | Proto.Ok_response _ -> ()
+        | Proto.Error_response _ -> incr errors)
+  in
+  let warmup = max 1 (min 100_000 (total / 5)) in
+  let rss_first = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to total do
+    consume (Server.submit server lines.(draw ()));
+    (* the daemon's batch-timeout stand-in: no group coalesces forever *)
+    if i mod 2048 = 0 then consume (Server.flush server);
+    if i = warmup then rss_first := rss_kb ()
+  done;
+  consume (Server.drain server);
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let rss_last = rss_kb () in
+  let s = Server.summary server in
+  Server.close server;
+  let soak =
+    {
+      Dphls_host.Throughput.sv_requests = total;
+      sv_completed = s.Server.completed;
+      sv_cache_hits = s.Server.cache_hits;
+      sv_rejected = s.Server.rejected;
+      sv_expired = s.Server.expired;
+      sv_batches = s.Server.batches;
+      sv_distinct_pairs = n_pairs;
+      sv_wall_s = wall_s;
+      sv_p50_ms = s.Server.p50_ms;
+      sv_p99_ms = s.Server.p99_ms;
+      sv_max_ms = s.Server.max_ms;
+      sv_slo_p99_ms = slo_p99_ms;
+      sv_rss_first_kb = !rss_first;
+      sv_rss_last_kb = rss_last;
+    }
+  in
+  Dphls_util.Pretty.print_table
+    ~title:
+      (Printf.sprintf
+         "serve soak: %d Zipf-skewed requests over %d distinct pairs" total
+         n_pairs)
+    ~header:[ "metric"; "value" ]
+    [
+      [ "completed"; string_of_int soak.sv_completed ];
+      [
+        "sustained req/s";
+        Printf.sprintf "%.0f" (Dphls_host.Throughput.serve_req_per_sec soak);
+      ];
+      [
+        "cache hit rate";
+        Dphls_util.Pretty.percent
+          (float_of_int soak.sv_cache_hits /. float_of_int soak.sv_completed);
+      ];
+      [ "p50"; Printf.sprintf "%.4f ms" soak.sv_p50_ms ];
+      [ "p99"; Printf.sprintf "%.4f ms" soak.sv_p99_ms ];
+      [ "max"; Printf.sprintf "%.4f ms" soak.sv_max_ms ];
+      [ "engine batches"; string_of_int soak.sv_batches ];
+      [
+        "RSS first/last";
+        Printf.sprintf "%d / %d kB" soak.sv_rss_first_kb soak.sv_rss_last_kb;
+      ];
+    ];
+  let oc = open_out "BENCH_6.json" in
+  output_string oc (Dphls_host.Throughput.serve_json soak);
+  close_out oc;
+  Printf.printf "wrote BENCH_6.json\n%!";
+  if !errors > 0 then begin
+    Printf.printf "FAIL: %d requests answered with an error\n%!" !errors;
+    exit 1
+  end;
+  if soak.sv_completed <> total then begin
+    Printf.printf "FAIL: %d of %d requests completed\n%!" soak.sv_completed
+      total;
+    exit 1
+  end;
+  if soak.sv_p99_ms > slo_p99_ms then begin
+    Printf.printf "FAIL: p99 %.3f ms exceeds the %.1f ms SLO\n%!"
+      soak.sv_p99_ms slo_p99_ms;
+    exit 1
+  end;
+  if soak.sv_cache_hits = 0 then begin
+    Printf.printf "FAIL: the result cache never hit\n%!";
+    exit 1
+  end;
+  if
+    soak.sv_rss_first_kb > 0
+    && float_of_int soak.sv_rss_last_kb
+       > 1.10 *. float_of_int soak.sv_rss_first_kb
+  then begin
+    Printf.printf "FAIL: RSS grew %d -> %d kB (> 10%%) during the soak\n%!"
+      soak.sv_rss_first_kb soak.sv_rss_last_kb;
+    exit 1
+  end;
+  Gc.set prior_gc;
+  Printf.printf
+    "serve soak gates passed (all completed, p99 within SLO, cache hit, \
+     flat RSS)\n%!"
+
 let () =
   let argv = Sys.argv in
   let banding_only = Array.exists (( = ) "--banding-only") argv in
@@ -644,6 +843,8 @@ let () =
   let profile_overhead = Array.exists (( = ) "--profile-overhead") argv in
   let overlap_only = Array.exists (( = ) "--overlap") argv in
   let fastpath_only = Array.exists (( = ) "--fastpath") argv in
+  let serve_only = Array.exists (( = ) "--serve") argv in
+  let quick = Array.exists (( = ) "--quick") argv in
   let len_opt =
     let r = ref None in
     Array.iteri
@@ -662,6 +863,8 @@ let () =
   else if profile_overhead then profile_overhead_bench ?len:len_opt ()
   else if overlap_only then overlap_bench ?len:len_opt ()
   else if fastpath_only then fastpath_bench ?max_len:len_opt ()
+  else if serve_only then
+    serve_bench ~total:(if quick then 100_000 else 1_000_000) ()
   else begin
     run_benchmarks ();
     Dphls_util.Pretty.section "Experiment tables (paper artifacts)";

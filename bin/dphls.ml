@@ -1052,6 +1052,181 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Run paper experiments (all when no name given)")
     Term.(const experiment_run $ exp_name $ quick)
 
+(* ---- serve ---- *)
+
+module Serve = Dphls_serve.Server
+module Serve_proto = Dphls_serve.Proto
+
+let serve_run socket max_conns queue_depth batch_max cache_capacity max_len
+    deadline_ms n_pe workers slo_p99_ms check json trace_path =
+  let metrics = Dphls_obs.Metrics.create () in
+  let tracer =
+    match trace_path with
+    | Some _ -> Dphls_obs.Tracer.create ()
+    | None -> Dphls_obs.Tracer.disabled
+  in
+  let cfg =
+    {
+      (Serve.default_config ()) with
+      Serve.queue_depth;
+      batch_max;
+      cache_capacity;
+      max_seq_len = max_len;
+      default_deadline_ms = (if deadline_ms > 0.0 then Some deadline_ms else None);
+      n_pe;
+      workers;
+      slo_p99_ms;
+      metrics;
+      tracer;
+    }
+  in
+  let server = Serve.create cfg in
+  let respond oc responses =
+    List.iter
+      (fun r ->
+        output_string oc (Serve_proto.response_line r);
+        output_char oc '\n')
+      responses;
+    flush oc
+  in
+  (* one client session: a response line per request line, everything
+     still queued flushed (in admission order) at EOF *)
+  let session ic oc =
+    let rec loop () =
+      match input_line ic with
+      | line ->
+        if String.trim line <> "" then respond oc (Serve.submit server line);
+        loop ()
+      | exception End_of_file -> respond oc (Serve.drain server)
+    in
+    loop ()
+  in
+  (match socket with
+  | None -> session stdin stdout
+  | Some path ->
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind sock (Unix.ADDR_UNIX path);
+    Unix.listen sock 8;
+    Printf.eprintf "dphls serve: listening on %s\n%!" path;
+    let conns = ref 0 in
+    while max_conns = 0 || !conns < max_conns do
+      let fd, _ = Unix.accept sock in
+      incr conns;
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      (try session ic oc with Sys_error _ | Unix.Unix_error _ -> ());
+      close_out_noerr oc
+    done;
+    Unix.close sock;
+    (try Unix.unlink path with Unix.Unix_error _ -> ()));
+  let s = Serve.summary server in
+  if json then prerr_endline (Serve.summary_to_json s)
+  else prerr_string (Serve.summary_to_text s);
+  (match trace_path with
+  | Some p ->
+    Dphls_obs.Chrome.write_file p ~process_name:"dphls serve" tracer;
+    Printf.eprintf "trace written to %s — load it in Perfetto\n" p
+  | None -> ());
+  Serve.close server;
+  if check && not s.Serve.slo_ok then exit 1
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix domain socket instead of stdin/stdout \
+             (connections are served sequentially)")
+  in
+  let max_conns =
+    Arg.(
+      value & opt int 0
+      & info [ "max-conns" ]
+          ~doc:"With --socket: exit after this many connections (0 = forever)")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 256
+      & info [ "queue-depth" ]
+          ~doc:
+            "Bounded pending-request queue per (kernel, band, engine) group; \
+             a request beyond it is answered $(b,overloaded)")
+  in
+  let batch_max =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~doc:"Coalesce up to this many requests per engine batch")
+  in
+  let cache_capacity =
+    Arg.(
+      value & opt int 4096
+      & info [ "cache" ] ~doc:"Result-cache entries, LRU-evicted (0 disables)")
+  in
+  let max_len =
+    Arg.(
+      value & opt int 4096
+      & info [ "max-len" ]
+          ~doc:"Per-sequence length cap; above it is $(b,oversized)")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt float 0.0
+      & info [ "deadline-ms" ]
+          ~doc:
+            "Default per-request deadline in ms (0 = none); requests may \
+             override with their own $(b,deadline_ms) field")
+  in
+  let n_pe =
+    Arg.(value & opt int 32 & info [ "n-pe" ] ~doc:"Processing elements")
+  in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ]
+          ~doc:"Slice large batches across this many worker domains")
+  in
+  let slo_p99_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo-p99-ms" ]
+          ~doc:
+            "Latency objective: report p99 attainment in the shutdown summary")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ] ~doc:"Exit non-zero if the p99 SLO was violated")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the shutdown summary as JSON (stderr)")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:
+            "Export admit/compute/request spans as a Chrome trace_event file \
+             (Perfetto-loadable)")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent alignment service: one JSON request per line on \
+          stdin (or a Unix socket), one JSON response per line out, with \
+          dynamic batching, bounded queues, a result cache, deadlines and an \
+          SLO-gated shutdown summary")
+    Term.(
+      const serve_run $ socket $ max_conns $ queue_depth $ batch_max
+      $ cache_capacity $ max_len $ deadline_ms $ n_pe $ workers $ slo_p99_ms
+      $ check $ json $ trace)
+
 (* ---- check ---- *)
 
 let kernel_datapath (e : Dphls_kernels.Catalog.entry) =
@@ -1209,4 +1384,4 @@ let () =
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; align_cmd; batch_cmd; gen_cmd; map_cmd; cosim_cmd;
          resources_cmd; rtl_cmd; experiment_cmd; check_cmd; profile_cmd;
-         vectors_cmd ]))
+         vectors_cmd; serve_cmd ]))

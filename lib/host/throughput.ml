@@ -193,3 +193,39 @@ let fastpath_json runs =
     runs;
   Buffer.add_string buf "\n]\n";
   Buffer.contents buf
+
+type serve_soak = {
+  sv_requests : int;
+  sv_completed : int;
+  sv_cache_hits : int;
+  sv_rejected : int;
+  sv_expired : int;
+  sv_batches : int;
+  sv_distinct_pairs : int;
+  sv_wall_s : float;
+  sv_p50_ms : float;
+  sv_p99_ms : float;
+  sv_max_ms : float;
+  sv_slo_p99_ms : float;
+  sv_rss_first_kb : int;
+  sv_rss_last_kb : int;
+}
+
+let serve_req_per_sec s =
+  if s.sv_wall_s <= 0.0 then invalid_arg "Throughput.serve_req_per_sec";
+  float_of_int s.sv_completed /. s.sv_wall_s
+
+let serve_json s =
+  Printf.sprintf
+    "{\"requests\": %d, \"completed\": %d, \"cache_hits\": %d, \
+     \"cache_hit_rate\": %.4f, \"rejected\": %d, \"expired\": %d, \
+     \"batches\": %d, \"distinct_pairs\": %d, \"wall_s\": %.3f, \
+     \"req_per_s\": %.0f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, \
+     \"max_ms\": %.4f, \"slo_p99_ms\": %.3f, \"rss_first_kb\": %d, \
+     \"rss_last_kb\": %d}\n"
+    s.sv_requests s.sv_completed s.sv_cache_hits
+    (if s.sv_completed = 0 then 0.0
+     else float_of_int s.sv_cache_hits /. float_of_int s.sv_completed)
+    s.sv_rejected s.sv_expired s.sv_batches s.sv_distinct_pairs s.sv_wall_s
+    (serve_req_per_sec s) s.sv_p50_ms s.sv_p99_ms s.sv_max_ms s.sv_slo_p99_ms
+    s.sv_rss_first_kb s.sv_rss_last_kb

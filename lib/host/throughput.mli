@@ -133,3 +133,32 @@ val fastpath_speedup : fastpath_run -> float
 val fastpath_json : fastpath_run list -> string
 (** Renders the runs (with derived Mcells/s rates and speedups) as a
     JSON array (the BENCH_5.json payload). *)
+
+(** One [bench --serve] soak: the sustained-throughput and latency
+    profile of a {!Dphls_serve.Server} loopback replay, plus the two
+    RSS probes the memory-flatness gate compares (the BENCH_6.json
+    payload). *)
+type serve_soak = {
+  sv_requests : int;         (** request lines submitted *)
+  sv_completed : int;        (** [ok] responses (cached + computed) *)
+  sv_cache_hits : int;
+  sv_rejected : int;         (** [overloaded] responses *)
+  sv_expired : int;          (** [deadline_exceeded] responses *)
+  sv_batches : int;          (** coalesced engine runs *)
+  sv_distinct_pairs : int;   (** size of the Zipf-sampled request pool *)
+  sv_wall_s : float;
+  sv_p50_ms : float;
+  sv_p99_ms : float;
+  sv_max_ms : float;
+  sv_slo_p99_ms : float;     (** the gate the soak was run against *)
+  sv_rss_first_kb : int;     (** VmRSS after the warm-up window (0 when
+                                 /proc is unavailable) *)
+  sv_rss_last_kb : int;      (** VmRSS after the final request *)
+}
+
+val serve_req_per_sec : serve_soak -> float
+(** [completed / wall_s]; raises on [wall_s <= 0]. *)
+
+val serve_json : serve_soak -> string
+(** Renders the soak (with the derived req/s rate and cache hit rate)
+    as one JSON object (the BENCH_6.json payload). *)

@@ -13,6 +13,10 @@ type t =
   | Pool_idle_waits
   | Engine_fastpath_hits
   | Engine_fastpath_fallbacks
+  | Serve_requests_admitted
+  | Serve_requests_rejected
+  | Serve_requests_expired
+  | Serve_cache_hits
 
 let all =
   [|
@@ -30,6 +34,10 @@ let all =
     Pool_idle_waits;
     Engine_fastpath_hits;
     Engine_fastpath_fallbacks;
+    Serve_requests_admitted;
+    Serve_requests_rejected;
+    Serve_requests_expired;
+    Serve_cache_hits;
   |]
 
 let count = Array.length all
@@ -51,6 +59,10 @@ let index = function
   | Pool_idle_waits -> 11
   | Engine_fastpath_hits -> 12
   | Engine_fastpath_fallbacks -> 13
+  | Serve_requests_admitted -> 14
+  | Serve_requests_rejected -> 15
+  | Serve_requests_expired -> 16
+  | Serve_cache_hits -> 17
 
 let name = function
   | Cells_evaluated -> "cells_evaluated"
@@ -67,6 +79,10 @@ let name = function
   | Pool_idle_waits -> "pool_idle_waits"
   | Engine_fastpath_hits -> "engine_fastpath_hits"
   | Engine_fastpath_fallbacks -> "engine_fastpath_fallbacks"
+  | Serve_requests_admitted -> "serve_requests_admitted"
+  | Serve_requests_rejected -> "serve_requests_rejected"
+  | Serve_requests_expired -> "serve_requests_expired"
+  | Serve_cache_hits -> "serve_cache_hits"
 
 let unit_name = function
   | Cells_evaluated | Cells_band_skipped -> "cells"
@@ -81,6 +97,9 @@ let unit_name = function
   | Pool_steals -> "chunks"
   | Pool_idle_waits -> "waits"
   | Engine_fastpath_hits | Engine_fastpath_fallbacks -> "dispatches"
+  | Serve_requests_admitted | Serve_requests_rejected
+  | Serve_requests_expired | Serve_cache_hits ->
+    "requests"
 
 let describe = function
   | Cells_evaluated ->
@@ -111,5 +130,15 @@ let describe = function
   | Engine_fastpath_fallbacks ->
     "auto dispatches that fell back to the systolic engine — \
      Engines.select"
+  | Serve_requests_admitted ->
+    "requests accepted into a per-kernel queue — Serve.Server.submit"
+  | Serve_requests_rejected ->
+    "requests refused with `overloaded` (queue full) — Serve.Server.submit"
+  | Serve_requests_expired ->
+    "requests whose deadline passed before dequeue (`deadline_exceeded`, \
+     never run) — Serve.Server flush"
+  | Serve_cache_hits ->
+    "requests answered from the result cache without recompute — \
+     Serve.Server.submit"
 
 let of_name s = Array.find_opt (fun c -> name c = s) all

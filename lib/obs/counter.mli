@@ -24,6 +24,12 @@ type t =
   | Engine_fastpath_hits (** auto dispatches routed to the bit-parallel engine *)
   | Engine_fastpath_fallbacks
       (** auto dispatches that fell back to the systolic engine *)
+  | Serve_requests_admitted  (** requests accepted into a serve queue *)
+  | Serve_requests_rejected
+      (** requests refused with [overloaded] (bounded queue full) *)
+  | Serve_requests_expired
+      (** requests whose deadline passed before dequeue (never run) *)
+  | Serve_cache_hits (** requests answered from the serve result cache *)
 
 val all : t array
 (** Every counter, in catalog (display) order. *)

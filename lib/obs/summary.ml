@@ -19,14 +19,18 @@ type t = {
 
 let stat_of_group (name, cat) durations =
   let xs = Array.of_list (List.rev durations) in
+  (* nearest-rank percentiles: always an observed duration, so the p99
+     of a 1-sample (or any small-n) group is a real latency, not an
+     interpolated value below the worst one — the serve SLO gate
+     compares against these and must not flip on rounding *)
   {
     span_name = name;
     cat;
     count = Array.length xs;
     total_s = Array.fold_left ( +. ) 0.0 xs;
     mean_s = Stats.mean xs;
-    p50_s = Stats.percentile xs 50.0;
-    p99_s = Stats.percentile xs 99.0;
+    p50_s = Stats.percentile_exact xs 50.0;
+    p99_s = Stats.percentile_exact xs 99.0;
     max_s = Stats.max_of xs;
   }
 

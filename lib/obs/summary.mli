@@ -1,6 +1,11 @@
 (** One-page aggregation of a profiled run: the counter table plus
     per-span-name latency histograms (count, total, mean, p50, p99,
-    max via {!Dphls_util.Stats.percentile}).
+    max via {!Dphls_util.Stats.percentile_exact} — nearest-rank, so
+    every reported percentile is an observed duration; with one sample
+    p50 = p99 = max, and p99 on small groups is the maximum rather
+    than an interpolated value below it. [dphls serve] gates its
+    latency SLO on these, so the verdict never flips on interpolation
+    rounding).
 
     This is what [dphls profile] prints; {!to_json} is the
     machine-readable twin, used by the CI smoke check. *)

@@ -1,0 +1,73 @@
+type value = {
+  score : int;
+  cigar : string;
+  cycles : int option;
+  engine : string;
+}
+
+(* intrusive doubly-linked recency list: head = most recent *)
+type node = {
+  key : string;
+  mutable v : value;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  cap : int;
+  tbl : (string, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+}
+
+let create ~capacity =
+  { cap = capacity; tbl = Hashtbl.create (max 16 capacity);
+    head = None; tail = None }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let is_head t n = match t.head with Some h -> h == n | None -> false
+
+let touch t n =
+  if not (is_head t n) then begin
+    unlink t n;
+    push_front t n
+  end
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> None
+  | Some n ->
+    touch t n;
+    Some n.v
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.tbl n.key
+
+let add t key v =
+  if t.cap > 0 then
+    match Hashtbl.find_opt t.tbl key with
+    | Some n ->
+      n.v <- v;
+      touch t n
+    | None ->
+      let n = { key; v; prev = None; next = None } in
+      Hashtbl.add t.tbl key n;
+      push_front t n;
+      if Hashtbl.length t.tbl > t.cap then evict_lru t

@@ -31,6 +31,25 @@ let percentile xs p =
     let frac = rank -. float_of_int lo in
     s.(lo) +. (frac *. (s.(hi) -. s.(lo)))
 
+let percentile_exact xs p =
+  check_nonempty xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile_exact";
+  let s = sorted xs in
+  let n = Array.length s in
+  (* nearest-rank: the smallest observed value with at least p% of the
+     samples at or below it. Never interpolates, so the result is always
+     a sample that actually occurred — what an SLO verdict must compare
+     against. ceil(p/100 * n) computed in exact integer arithmetic keeps
+     boundary ranks (p = 50 on even n, p = 100) free of float rounding. *)
+  let rank =
+    let scaled = p *. float_of_int n /. 100.0 in
+    let c = int_of_float (ceil scaled) in
+    (* guard against ceil landing below the true rank on exact
+       boundaries misrepresented by the float product *)
+    if float_of_int c < scaled then c + 1 else c
+  in
+  s.(max 0 (min (n - 1) (rank - 1)))
+
 let median xs = percentile xs 50.0
 
 let geomean xs =

@@ -1,0 +1,39 @@
+#!/bin/sh
+# Link-check docs/*.md (and the README): every relative markdown link
+# must resolve to a file in the repo. External http(s) links and
+# pure #anchors are skipped — this gate is about repo drift (a doc
+# renamed or deleted without its referrers updated), not the network.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+for doc in README.md docs/*.md; do
+  dir=$(dirname "$doc")
+  # inline links: [text](target) — one per line via grep -o, then the
+  # target extracted by stripping up to the last "](" and the final ")"
+  grep -o '\[[^]]*\]([^)]*)' "$doc" 2>/dev/null | sed 's/.*](//; s/)$//' |
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*|'') continue ;;
+    esac
+    path=${target%%#*}
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "BROKEN: $doc -> $target"
+      # the while runs in a subshell; signal through a marker file
+      : > .doc-links-broken
+    fi
+  done
+done
+
+if [ -e .doc-links-broken ]; then
+  rm -f .doc-links-broken
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "doc link check failed" >&2
+  exit 1
+fi
+echo "doc links OK"

@@ -32,13 +32,22 @@ let test_counter_catalog () =
   Alcotest.(check bool) "unknown name rejected" true
     (Counter.of_name "nope" = None);
   (* the engine-dispatch counters joined the catalog in the pluggable
-     engine refactor; pin the catalog size so an accidental removal (or
-     a summary consumer missing them) fails loudly *)
-  Alcotest.(check int) "catalog holds 14 counters" 14 Counter.count;
+     engine refactor and the serve admission counters in the service
+     layer; pin the catalog size so an accidental removal (or a summary
+     consumer missing them) fails loudly *)
+  Alcotest.(check int) "catalog holds 18 counters" 18 Counter.count;
   Alcotest.(check bool) "dispatch counters present" true
     (Counter.of_name "engine_fastpath_hits" = Some Counter.Engine_fastpath_hits
     && Counter.of_name "engine_fastpath_fallbacks"
-       = Some Counter.Engine_fastpath_fallbacks)
+       = Some Counter.Engine_fastpath_fallbacks);
+  Alcotest.(check bool) "serve counters present" true
+    (Counter.of_name "serve_requests_admitted"
+       = Some Counter.Serve_requests_admitted
+    && Counter.of_name "serve_requests_rejected"
+       = Some Counter.Serve_requests_rejected
+    && Counter.of_name "serve_requests_expired"
+       = Some Counter.Serve_requests_expired
+    && Counter.of_name "serve_cache_hits" = Some Counter.Serve_cache_hits)
 
 let test_metrics_sink () =
   let m = Metrics.create () in

@@ -120,6 +120,70 @@ let test_stats () =
   Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile xs 0.0);
   Alcotest.(check (float 1e-9)) "p100" 4.0 (Stats.percentile xs 100.0)
 
+(* Nearest-rank percentile edge cases: the serve SLO gate depends on
+   these being exact (a reported percentile is always an observed
+   sample; p99 of a small group is its max, not an interpolation). *)
+let test_percentile_exact_edges () =
+  let one = [| 7.5 |] in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "1 sample, p%.0f" p)
+        7.5
+        (Stats.percentile_exact one p))
+    [ 0.0; 50.0; 99.0; 100.0 ];
+  let two = [| 1.0; 9.0 |] in
+  Alcotest.(check (float 0.0)) "2 samples, p50 = lower" 1.0
+    (Stats.percentile_exact two 50.0);
+  Alcotest.(check (float 0.0)) "2 samples, p99 = max" 9.0
+    (Stats.percentile_exact two 99.0);
+  (* linear interpolation would report p99 below the worst sample on
+     small n — the verdict-flipping behavior percentile_exact removes *)
+  Alcotest.(check bool) "interpolated p99 underestimates on n=2" true
+    (Stats.percentile two 99.0 < 9.0);
+  let hundred = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 0.0)) "100 samples, p99 = 99th value" 99.0
+    (Stats.percentile_exact hundred 99.0);
+  Alcotest.(check (float 0.0)) "100 samples, p100 = max" 100.0
+    (Stats.percentile_exact hundred 100.0);
+  Alcotest.(check bool) "empty still rejected" true
+    (try
+       ignore (Stats.percentile_exact [||] 50.0);
+       false
+     with Invalid_argument _ -> true)
+
+(* Loop oracle: percentile_exact xs p must equal the smallest observed
+   value v with #(samples <= v) >= ceil(p/100 * n), found by brute
+   force over the samples themselves. *)
+let test_percentile_exact_oracle =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"percentile_exact = loop oracle"
+       QCheck.(
+         pair
+           (list_of_size Gen.(int_range 1 40) (int_range (-50) 50))
+           (int_range 0 100))
+       (fun (ints, p) ->
+         QCheck.assume (ints <> []);
+         let xs = Array.of_list (List.map float_of_int ints) in
+         let p = float_of_int p in
+         let n = Array.length xs in
+         let need =
+           max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int n)))
+         in
+         let le v = Array.fold_left (fun a x -> if x <= v then a + 1 else a) 0 xs in
+         let oracle =
+           Array.fold_left
+             (fun acc x ->
+               if le x >= need then match acc with
+                 | Some b when b <= x -> acc
+                 | _ -> Some x
+               else acc)
+             None xs
+         in
+         match oracle with
+         | None -> false
+         | Some v -> Stats.percentile_exact xs p = v))
+
 let test_pretty () =
   Alcotest.(check string) "sci" "3.51e6" (Pretty.sci 3.51e6);
   Alcotest.(check string) "percent" "1.72%" (Pretty.percent 0.0172);
@@ -147,5 +211,8 @@ let suite =
     Alcotest.test_case "bits widths" `Quick test_bits;
     Alcotest.test_case "bits clog2 invalid" `Quick test_bits_clog2_invalid;
     Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "percentile_exact edges" `Quick
+      test_percentile_exact_edges;
+    test_percentile_exact_oracle;
     Alcotest.test_case "pretty" `Quick test_pretty;
   ]

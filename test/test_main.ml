@@ -29,4 +29,5 @@ let () =
       ("analysis", T_analysis.suite);
       ("obs", T_obs.suite);
       ("engines", T_engines.suite);
+      ("serve", T_serve.suite);
     ]
